@@ -1,0 +1,81 @@
+//! The 32 MB 3D DRAM cache variant (§6 studied 32 MB and 64 MB stacks).
+//!
+//! Halving the stack halves the refreshable rows (and the baseline refresh
+//! rate) but also halves the cache capacity, so more of each working set
+//! spills to main memory and — with the same L2-miss stream compressed onto
+//! half as many rows — the *fraction* of rows covered by accesses rises.
+
+use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_dram::configs::{stacked_3d_32mb, stacked_3d_64mb};
+use smartrefresh_dram::time::Duration;
+use smartrefresh_energy::{geometric_mean, DramPowerParams};
+use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smartrefresh_workloads::catalog;
+
+fn main() {
+    let scale: f64 = std::env::var("SMARTREFRESH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    // A representative slice of the catalog keeps this ablation quick.
+    let picks = [
+        "fasta",
+        "hmmer",
+        "mummer",
+        "gcc",
+        "twolf",
+        "radix",
+        "perl_twolf",
+    ];
+
+    for module in [
+        stacked_3d_64mb(Duration::from_ms(64)),
+        stacked_3d_32mb(Duration::from_ms(64)),
+    ] {
+        println!(
+            "=== {} @ {} ({:.0} baseline refreshes/s) ===",
+            module.name,
+            module.timing.retention,
+            module.baseline_refreshes_per_sec()
+        );
+        let mut reductions = Vec::new();
+        for name in picks {
+            let entry = catalog()
+                .into_iter()
+                .find(|e| e.name() == name)
+                .expect("catalog entry");
+            let mut base_cfg = ExperimentConfig::stacked(
+                module.clone(),
+                DramPowerParams::stacked_3d_64mb(),
+                PolicyKind::CbrDistributed,
+            )
+            .scaled(scale);
+            base_cfg.reference = Duration::from_ms(64);
+            // The program's footprint is the same stream either way; only
+            // the cache underneath shrinks.
+            base_cfg.workload_geometry = Some(stacked_3d_64mb(Duration::from_ms(64)).geometry);
+            let mut smart_cfg = base_cfg.clone();
+            smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
+            let baseline = run_experiment(&base_cfg, &entry.stacked).expect("baseline");
+            let smart = run_experiment(&smart_cfg, &entry.stacked).expect("smart");
+            assert!(smart.integrity_ok);
+            let reduction = 1.0 - smart.refreshes_per_sec / baseline.refreshes_per_sec;
+            reductions.push(reduction.max(1e-9));
+            println!(
+                "  {name:<14} reduction {:>6.1}% | memory-behind-cache accesses {:>9}",
+                reduction * 100.0,
+                smart.memory_behind_cache
+            );
+        }
+        println!(
+            "  GMEAN reduction: {:.1}%\n",
+            geometric_mean(&reductions) * 100.0
+        );
+    }
+    println!(
+        "The 32 MB stack halves the refresh bill outright and concentrates the\n\
+         same access stream on half as many rows, so Smart Refresh eliminates a\n\
+         larger fraction of it — at the cost of more main-memory traffic behind\n\
+         the cache."
+    );
+}

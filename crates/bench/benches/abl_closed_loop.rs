@@ -1,0 +1,107 @@
+//! Cross-check: closed-loop CPU simulation (the Simics+Ruby stand-in).
+//!
+//! The figure harness drives DRAM-level access streams open-loop. This
+//! bench validates the methodology from one level up: an in-order core with
+//! L1/L2 caches executes synthetic programs; L2 misses stall the core, so
+//! IPC reacts to the memory system directly. Smart Refresh must (a) still
+//! eliminate refreshes on the *emergent* DRAM stream, (b) preserve data,
+//! and (c) never hurt IPC — the Fig 18 claim measured without the CPI model.
+
+use smartrefresh_core::{CbrDistributed, SmartRefresh, SmartRefreshConfig};
+use smartrefresh_cpu::{Cpu, CpuConfig, ProgramSpec, SyntheticProgram};
+use smartrefresh_ctrl::MemoryController;
+use smartrefresh_dram::time::Duration;
+use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
+
+struct Outcome {
+    refreshes_per_sec: f64,
+    ipc: f64,
+    apki: f64,
+}
+
+fn run(spec: &ProgramSpec, smart: bool, instructions: u64) -> Outcome {
+    // An 8 MB module with a 2 ms retention keeps several full refresh
+    // intervals inside even the shortest run, so the measured rates are
+    // steady-state rather than power-up transient.
+    let g = Geometry::new(1, 4, 2048, 128, 64);
+    let t = TimingParams::ddr2_667().with_retention(Duration::from_ms(2));
+    let mut cpu = if smart {
+        let cfg = SmartRefreshConfig {
+            hysteresis: None,
+            ..SmartRefreshConfig::paper_defaults()
+        };
+        let mc = MemoryController::new(
+            DramDevice::new(g, t),
+            Box::new(SmartRefresh::new(g, t.retention, cfg))
+                as Box<dyn smartrefresh_core::RefreshPolicy>,
+        );
+        Cpu::new(CpuConfig::table1_default(), mc)
+    } else {
+        let mc = MemoryController::new(
+            DramDevice::new(g, t),
+            Box::new(CbrDistributed::new(g, t.retention))
+                as Box<dyn smartrefresh_core::RefreshPolicy>,
+        );
+        Cpu::new(CpuConfig::table1_default(), mc)
+    };
+    let mut prog = SyntheticProgram::new(spec.clone(), 0xBEEF);
+    cpu.run(&mut prog, instructions).unwrap();
+    assert!(
+        cpu.controller()
+            .device()
+            .check_integrity(cpu.controller().now())
+            .is_ok(),
+        "retention violated under closed-loop execution"
+    );
+    let elapsed = cpu.now().as_secs_f64();
+    Outcome {
+        refreshes_per_sec: cpu.controller().device().stats().total_refreshes() as f64 / elapsed,
+        ipc: cpu.stats().ipc(),
+        apki: cpu.stats().apki(),
+    }
+}
+
+fn main() {
+    let instructions: u64 = std::env::var("SMARTREFRESH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|s| (6.0e6 * s) as u64)
+        .unwrap_or(6_000_000);
+    println!(
+        "=== Cross-check: closed-loop CPU -> L1 -> L2 -> DRAM ({instructions} instructions) ==="
+    );
+    println!(
+        "{:<16} {:<7} {:>12} {:>8} {:>8}",
+        "program", "policy", "refreshes/s", "ipc", "apki"
+    );
+    for spec in [
+        ProgramSpec::pointer_chase(4 << 20), // half the module
+        ProgramSpec::streaming(4 << 20),
+        ProgramSpec::cache_resident(),
+    ] {
+        let base = run(&spec, false, instructions);
+        let smart = run(&spec, true, instructions);
+        for (label, o) in [("cbr", &base), ("smart", &smart)] {
+            println!(
+                "{:<16} {:<7} {:>12.0} {:>8.3} {:>8.1}",
+                spec.name, label, o.refreshes_per_sec, o.ipc, o.apki
+            );
+        }
+        let reduction = 1.0 - smart.refreshes_per_sec / base.refreshes_per_sec;
+        println!(
+            "{:<16} reduction {:.1}% | IPC delta {:+.2}%\n",
+            "",
+            reduction * 100.0,
+            (smart.ipc / base.ipc - 1.0) * 100.0
+        );
+        assert!(
+            smart.ipc >= base.ipc * 0.995,
+            "smart refresh must not hurt IPC"
+        );
+    }
+    println!(
+        "DRAM-touching programs see real refresh elimination on the stream that\n\
+         emerges from the cache hierarchy, and IPC never degrades — the Fig 18\n\
+         conclusion reproduced without the analytic CPI model."
+    );
+}

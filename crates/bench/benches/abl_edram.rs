@@ -1,0 +1,89 @@
+//! Extension: Smart Refresh on embedded DRAM.
+//!
+//! The paper's introduction notes that eDRAM refresh intervals are an order
+//! of magnitude shorter than commodity DRAM's (NEC: 4 ms). At millisecond
+//! retention the baseline refresh stream is so hot that refresh dominates
+//! the module's energy, which makes access-driven refresh elimination far
+//! more valuable than on a DIMM. This bench runs the same workload on the
+//! 16 MB eDRAM macro and reports how the refresh share and savings scale.
+
+use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_dram::configs::edram_16mb;
+use smartrefresh_dram::time::Duration;
+use smartrefresh_energy::{BusEnergyModel, DramPowerParams};
+use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind, Topology};
+use smartrefresh_workloads::{Suite, WorkloadSpec};
+
+fn main() {
+    let module = edram_16mb();
+    let spec = WorkloadSpec {
+        name: "edram-bench",
+        suite: Suite::Synthetic,
+        coverage: 0.4,
+        intensity: 3.0,
+        row_hit_frac: 0.4,
+        hot_frac: 0.2,
+        hot_weight: 0.5,
+        write_frac: 0.3,
+        apki: 8.0,
+    };
+    // On-die macro: via-style interconnect, 3D-like power magnitudes.
+    let power = DramPowerParams::stacked_3d_64mb();
+
+    println!(
+        "=== Extension: 16 MB eDRAM macro, {} retention ({:.1}M refreshes/s baseline) ===",
+        module.timing.retention,
+        module.baseline_refreshes_per_sec() / 1e6
+    );
+    let mut base = None;
+    for policy in [
+        PolicyKind::CbrDistributed,
+        PolicyKind::Smart(SmartRefreshConfig {
+            hysteresis: None,
+            ..SmartRefreshConfig::paper_defaults()
+        }),
+    ] {
+        let cfg = ExperimentConfig {
+            bus: BusEnergyModel::stacked_3d(),
+            module: module.clone(),
+            power,
+            policy,
+            topology: Topology::Conventional,
+            measure: module.timing.retention * 24,
+            warmup: module.timing.retention * 8,
+            seed: 0x5eed,
+            // An on-die eDRAM serves cache-class traffic: its working set is
+            // re-touched at millisecond scale, matching the 4 ms interval.
+            reference: Duration::from_ms(4),
+            page_policy: smartrefresh_ctrl::PagePolicy::Open,
+            workload_geometry: None,
+        };
+        let r = run_experiment(&cfg, &spec).expect("run");
+        assert!(r.integrity_ok);
+        println!(
+            "{:<8} refreshes/s {:>12.0} | refresh share {:>5.1}% | total {:>8.3} mJ",
+            r.policy,
+            r.refreshes_per_sec,
+            r.energy.dram.refresh_share() * 100.0,
+            r.energy.total_j() * 1e3
+        );
+        match policy {
+            PolicyKind::CbrDistributed => base = Some(r),
+            _ => {
+                let b = base.as_ref().expect("baseline first");
+                println!(
+                    "\nsmart vs CBR on eDRAM: {:.1}% fewer refreshes, {:.1}% refresh-energy \
+                     savings, {:.1}% total savings",
+                    (1.0 - r.refreshes_per_sec / b.refreshes_per_sec) * 100.0,
+                    r.energy.refresh_savings_vs(&b.energy) * 100.0,
+                    r.energy.total_savings_vs(&b.energy) * 100.0
+                );
+            }
+        }
+    }
+    println!(
+        "\nAt 4 ms retention the refresh share of total energy is far above the\n\
+         DIMM's ~30-45%, so every eliminated refresh counts roughly double —\n\
+         the environment the paper's eDRAM citations motivate."
+    );
+}

@@ -1,0 +1,75 @@
+//! Extension: Smart Refresh across independent memory channels.
+//!
+//! The paper's configurations are single-channel ("one-channel, one-rank,
+//! one-bank"), but the technique composes per channel: each controller
+//! keeps counters for its own rows, and an asymmetric traffic split lets
+//! hot channels skip refreshes while idle channels sweep periodically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartrefresh_bench::mini_module;
+use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_sim::system::MultiChannelSystem;
+use smartrefresh_sim::PolicyKind;
+
+fn main() {
+    let module = mini_module(); // 4096 rows per channel, 16 ms retention
+    let channels = 4u32;
+    let interleave = 4096u64;
+    let mut sys = MultiChannelSystem::new(module.clone(), channels, interleave, || {
+        PolicyKind::Smart(SmartRefreshConfig {
+            hysteresis: None,
+            ..SmartRefreshConfig::paper_defaults()
+        })
+    });
+
+    // Skewed traffic: 70% of accesses to channel 0, 20% to 1, 10% to 2,
+    // nothing to 3. Each access picks a random row block within its channel.
+    let horizon = Instant::ZERO + module.timing.retention * 8;
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let mut now = Instant::ZERO;
+    while now < horizon {
+        now += Duration::from_ns(rng.gen_range(200..2_000));
+        let r: f64 = rng.gen();
+        let channel = if r < 0.7 {
+            0u64
+        } else if r < 0.9 {
+            1
+        } else {
+            2
+        };
+        // Random interleave block plus a random row-sized offset inside it,
+        // so accesses spread over every row of the channel.
+        let block = rng.gen_range(0..2048u64);
+        let offset = rng.gen_range(0..16u64) * 256; // 16 rows per 4 KB block
+        let addr = (block * u64::from(channels) + channel) * interleave + offset;
+        sys.access(addr, rng.gen_bool(0.3), now).expect("access");
+    }
+    sys.advance_to(horizon).expect("advance");
+    assert!(sys.check_integrity(horizon).is_ok());
+
+    println!("=== Extension: 4-channel system with skewed traffic (70/20/10/0) ===");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "channel", "demand accs", "refreshes", "reduction"
+    );
+    let span = horizon.as_secs_f64();
+    let baseline = module.baseline_refreshes_per_sec();
+    for i in 0..channels as usize {
+        let ops = sys.channel(i).device().stats();
+        let ctrl = sys.channel(i).stats();
+        let rate = ops.total_refreshes() as f64 / span;
+        println!(
+            "{i:>8} {:>14} {:>14.0} {:>11.1}%",
+            ctrl.transactions,
+            rate,
+            (1.0 - rate / baseline) * 100.0
+        );
+    }
+    println!(
+        "\nHotter channels skip more refreshes; the untouched channel sweeps at\n\
+         the full periodic rate — counters, staggering and the queue bound all\n\
+         hold per channel with no cross-channel coupling."
+    );
+}

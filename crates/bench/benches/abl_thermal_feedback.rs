@@ -1,0 +1,72 @@
+//! Extension: closing the thermal loop on the 3D stack (§4.5).
+//!
+//! The paper treats the 32 ms interval as an exogenous consequence of the
+//! stack's ~90 °C operating point. But refresh power feeds the temperature
+//! that sets the refresh rate: eliminating refreshes can cool the die below
+//! the 85 °C threshold and win back the 2× refresh-rate penalty on top of
+//! the per-operation savings. This bench iterates
+//! `retention → power → temperature → retention` to a fixed point for the
+//! CBR baseline and for Smart Refresh.
+
+use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_dram::configs::stacked_3d_64mb;
+use smartrefresh_dram::time::Duration;
+use smartrefresh_energy::DramPowerParams;
+use smartrefresh_sim::thermal::{ThermalModel, THRESHOLD_C};
+use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smartrefresh_workloads::find;
+
+fn power_w(policy: PolicyKind, retention: Duration) -> f64 {
+    let module = stacked_3d_64mb(retention);
+    let mut cfg = ExperimentConfig::stacked(module, DramPowerParams::stacked_3d_64mb(), policy);
+    cfg.reference = Duration::from_ms(64);
+    let spec = find("twolf").expect("catalog entry").stacked;
+    let r = run_experiment(&cfg, &spec).expect("run");
+    assert!(r.integrity_ok);
+    r.energy.total_j() / r.span.as_secs_f64()
+}
+
+fn main() {
+    let model = ThermalModel::stacked_default();
+    println!(
+        "=== Extension: thermal feedback on the 64 MB stack (threshold {THRESHOLD_C} C) ===\n\
+         model: T = {} C + {} C/W x P_dram | workload: twolf L2-miss stream\n",
+        model.base_c, model.r_c_per_w
+    );
+    let mut settled = Vec::new();
+    for (label, policy) in [
+        ("cbr", PolicyKind::CbrDistributed),
+        (
+            "smart",
+            PolicyKind::Smart(SmartRefreshConfig::paper_defaults()),
+        ),
+    ] {
+        let point = model.settle(|retention| power_w(policy, retention), 4);
+        println!(
+            "{label:<6} settles at {} refresh | {:.1} mW | {:.2} C | {} iterations",
+            point.retention,
+            point.power_w * 1e3,
+            point.temperature_c,
+            point.iterations
+        );
+        settled.push((label, point));
+    }
+    let cbr = settled[0].1;
+    let smart = settled[1].1;
+    println!(
+        "\nCBR's refresh power keeps the die above {THRESHOLD_C} C, locking in the\n\
+         doubled 32 ms rate; Smart Refresh removes enough of it to cool below\n\
+         the threshold and run at 64 ms — {:.1}% less DRAM power at the settled\n\
+         operating points (vs {:.1}% comparing both at a fixed interval).",
+        (1.0 - smart.power_w / cbr.power_w) * 100.0,
+        {
+            let fixed_cbr = power_w(PolicyKind::CbrDistributed, Duration::from_ms(32));
+            let fixed_smart = power_w(
+                PolicyKind::Smart(SmartRefreshConfig::paper_defaults()),
+                Duration::from_ms(32),
+            );
+            (1.0 - fixed_smart / fixed_cbr) * 100.0
+        }
+    );
+    assert!(smart.power_w < cbr.power_w);
+}

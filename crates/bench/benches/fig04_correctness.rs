@@ -1,0 +1,59 @@
+//! The §4.3 correctness argument (Fig 4), checked empirically at scale:
+//! drive randomised access patterns against Smart Refresh and report the
+//! worst observed staleness of any row — it must never exceed the retention
+//! deadline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartrefresh_core::{SmartRefresh, SmartRefreshConfig};
+use smartrefresh_ctrl::{MemTransaction, MemoryController};
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
+
+fn main() {
+    let g = Geometry::new(1, 4, 256, 32, 64); // 1024 rows
+    let retention = Duration::from_ms(8);
+    let t = TimingParams::ddr2_667().with_retention(retention);
+    println!("=== Fig 4: correctness under randomised access patterns ===");
+    println!(
+        "{:>6} {:>10} {:>16} {:>12}",
+        "seed", "accesses", "max staleness", "verdict"
+    );
+
+    for seed in 0..8u64 {
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 8,
+            queue_capacity: 8,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, retention, cfg);
+        let mut mc = MemoryController::new(DramDevice::new(g, t), policy);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = Instant::ZERO;
+        let mut max_staleness = Duration::ZERO;
+        let mut accesses = 0u64;
+        let horizon = Instant::ZERO + retention * 8;
+        while now < horizon {
+            now += Duration::from_ns(rng.gen_range(100..200_000));
+            let row = rng.gen_range(0..1024u64);
+            mc.access(MemTransaction::read(row * g.row_bytes(), now))
+                .unwrap();
+            accesses += 1;
+            max_staleness = max_staleness.max(mc.device().retention().max_staleness(mc.now()));
+        }
+        mc.advance_to(horizon).unwrap();
+        max_staleness = max_staleness.max(mc.device().retention().max_staleness(horizon));
+        let ok = max_staleness <= retention;
+        println!(
+            "{seed:>6} {accesses:>10} {:>16} {:>12}",
+            max_staleness.to_string(),
+            if ok { "<= deadline" } else { "VIOLATED" }
+        );
+        assert!(ok, "retention violated for seed {seed}");
+    }
+    println!(
+        "\nEvery row met its {retention} deadline on every pattern — the Fig 4 guarantee.",
+        retention = retention
+    );
+}

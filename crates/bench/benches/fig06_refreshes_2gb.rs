@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (refreshes per second, 2 GB DRAM) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig06_refreshes_2gb`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig06);
+}

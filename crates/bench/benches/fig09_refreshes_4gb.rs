@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (refreshes per second, 4 GB DRAM) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig09_refreshes_4gb`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig09);
+}

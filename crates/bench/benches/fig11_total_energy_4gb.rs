@@ -1,0 +1,7 @@
+//! Regenerates Figure 11 (relative total energy savings, 4 GB DRAM) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig11_total_energy_4gb`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig11);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 12 (refreshes per second, 64 MB 3D DRAM cache at 64 ms) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig12_refreshes_3d64`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig12);
+}

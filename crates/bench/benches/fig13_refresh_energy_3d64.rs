@@ -1,0 +1,7 @@
+//! Regenerates Figure 13 (relative refresh energy savings, 3D cache at 64 ms) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig13_refresh_energy_3d64`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig13);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 15 (refreshes per second, 64 MB 3D DRAM cache at 32 ms) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig15_refreshes_3d32`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig15);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 16 (relative refresh energy savings, 3D cache at 32 ms) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig16_refresh_energy_3d32`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig16);
+}

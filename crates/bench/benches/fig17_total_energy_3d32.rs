@@ -1,0 +1,7 @@
+//! Regenerates Figure 17 (relative total energy savings, 3D cache at 32 ms) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig17_total_energy_3d32`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig17);
+}

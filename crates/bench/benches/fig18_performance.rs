@@ -1,0 +1,7 @@
+//! Regenerates Figure 18 (performance improvement, 3D cache at 32 ms) of the paper.
+//! Run with `cargo bench -p smartrefresh-bench --bench fig18_performance`;
+//! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
+
+fn main() {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig18);
+}

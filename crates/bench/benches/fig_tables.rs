@@ -1,0 +1,92 @@
+//! Regenerates the paper's configuration tables: Table 1 (DRAM module and
+//! L2 cache), Table 2 (3D DRAM cache), Table 3 (bus energy parameters), and
+//! the §4.7 counter-area arithmetic.
+
+use smartrefresh_cache::{SetAssocCache, StackedDramCache};
+use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
+use smartrefresh_dram::time::Duration;
+use smartrefresh_energy::bus::BusEnergyModel;
+use smartrefresh_energy::sram::area_overhead_kb;
+
+fn main() {
+    println!("=== Table 1: DRAM Module and L2 Cache Configuration ===");
+    for cfg in [conventional_2gb(), conventional_4gb()] {
+        let g = cfg.geometry;
+        println!(
+            "{:<10} DDR2 | {} | rows {} | banks {} | ranks {} | cols {} | \
+             open page | refresh {} | baseline {:.0}/s",
+            cfg.name,
+            g,
+            g.rows(),
+            g.banks(),
+            g.ranks(),
+            g.columns(),
+            cfg.timing.retention,
+            cfg.baseline_refreshes_per_sec()
+        );
+    }
+    let l2 = SetAssocCache::new(1 << 20, 8, 64);
+    println!(
+        "L2 cache   1 MB, {}-way, {} sets, {} B lines",
+        l2.ways(),
+        l2.sets(),
+        l2.line_bytes()
+    );
+
+    println!("\n=== Table 2: 3D DRAM Cache Configuration ===");
+    for retention_ms in [64u64, 32] {
+        let cfg = stacked_3d_64mb(Duration::from_ms(retention_ms));
+        println!(
+            "{:<10} DDR2 | {} | direct mapped | refresh {} | baseline {:.0}/s",
+            cfg.name,
+            cfg.geometry,
+            cfg.timing.retention,
+            cfg.baseline_refreshes_per_sec()
+        );
+    }
+    let l3 = StackedDramCache::table2_64mb();
+    println!(
+        "tag array  {} lines (direct mapped)",
+        l3.capacity_bytes() / 64
+    );
+
+    println!("\n=== Table 3: Bus Energy Parameters ===");
+    let bus = BusEnergyModel::table3(2);
+    println!("on-chip length      {} mm", bus.on_chip_mm);
+    println!("off-chip length     {} mm", bus.off_chip_mm);
+    println!(
+        "on-chip C           {:.2} pF/mm",
+        bus.on_chip_f_per_mm * 1e12
+    );
+    println!(
+        "off-chip C          {:.2} pF/mm",
+        bus.off_chip_f_per_mm * 1e12
+    );
+    println!("module input C      {:.1} pF", bus.module_input_f * 1e12);
+    println!(
+        "C_load              {:.2} pF",
+        bus.load_capacitance() * 1e12
+    );
+    println!(
+        "C (1.3 x C_load)    {:.2} pF",
+        bus.wire_capacitance() * 1e12
+    );
+    println!(
+        "energy per 14-bit RAS-only address transfer: {:.3} nJ",
+        bus.energy_per_transfer(14) * 1e9
+    );
+
+    println!("\n=== Section 4.7: Counter Area Overhead ===");
+    let g2 = conventional_2gb().geometry;
+    println!(
+        "2 GB module: {} counters x 3 bits = {:.0} KB (paper: 48 KB)",
+        g2.total_rows(),
+        area_overhead_kb(g2.total_rows(), 3)
+    );
+    let counters_32gb = 32u64 * 1024 * 1024 * 1024 / g2.row_bytes();
+    println!(
+        "32 GB controller: {} counters x 3 bits = {:.0} KB (paper: 768 KB)",
+        counters_32gb,
+        area_overhead_kb(counters_32gb, 3)
+    );
+}

@@ -1,0 +1,273 @@
+//! A set-associative write-back cache with LRU replacement.
+//!
+//! Used for the 1 MB / 8-way L2 of Table 1 and (with one way) the
+//! direct-mapped 64 MB 3D DRAM cache of Table 2. The model is functional —
+//! hit/miss/eviction behaviour and statistics — because that is all the
+//! refresh study needs: the cache determines *which* addresses reach the
+//! DRAM behind it and *when* dirty lines come back.
+
+use crate::stats::CacheStats;
+
+/// Response to one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheResponse {
+    /// True when the line was present.
+    pub hit: bool,
+    /// Line-aligned address of a dirty victim that must be written back.
+    pub writeback: Option<u64>,
+    /// Line-aligned address that must be fetched from the next level
+    /// (present exactly when `hit` is false).
+    pub fill: Option<u64>,
+}
+
+/// A set-associative write-back, write-allocate cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_cache::SetAssocCache;
+///
+/// // Table 1 L2: 1 MB, 8-way, 64 B lines.
+/// let mut l2 = SetAssocCache::new(1 << 20, 8, 64);
+/// let first = l2.access(0x1000, false);
+/// assert!(!first.hit);
+/// assert_eq!(first.fill, Some(0x1000));
+/// assert!(l2.access(0x1000, false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: u64,
+    ways: usize,
+    line_bytes: u64,
+    /// `tags[set * ways + way]`; `None` = invalid.
+    tags: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+    /// Per-line LRU stamp; larger = more recent.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with `ways` ways and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is degenerate (zero sizes, capacity not divisible
+    /// into sets, or non-power-of-two line size).
+    pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(
+            capacity_bytes > 0 && ways > 0 && line_bytes > 0,
+            "zero-sized cache"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = capacity_bytes / line_bytes;
+        assert!(
+            lines.is_multiple_of(ways as u64) && lines > 0,
+            "capacity must divide into an integral number of sets"
+        );
+        let sets = lines / ways as u64;
+        let n = lines as usize;
+        SetAssocCache {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![None; n],
+            dirty: vec![false; n],
+            stamps: vec![0; n],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets * self.ways as u64 * self.line_bytes
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes) % self.sets
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    fn rebuild_addr(&self, tag: u64, set: u64) -> u64 {
+        (tag * self.sets + set) * self.line_bytes
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes) / self.sets
+    }
+
+    /// Performs one access, allocating on miss (write-allocate) and
+    /// returning any dirty victim.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheResponse {
+        self.clock += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.ways as u64) as usize;
+        let slots = base..base + self.ways;
+
+        // Hit path.
+        for i in slots.clone() {
+            if self.tags[i] == Some(tag) {
+                self.stamps[i] = self.clock;
+                self.dirty[i] |= is_write;
+                self.stats.record(true, is_write, false);
+                return CacheResponse {
+                    hit: true,
+                    writeback: None,
+                    fill: None,
+                };
+            }
+        }
+
+        // Miss: pick invalid way or LRU victim.
+        let victim = slots
+            .clone()
+            .find(|&i| self.tags[i].is_none())
+            .unwrap_or_else(|| {
+                slots
+                    .clone()
+                    .min_by_key(|&i| self.stamps[i])
+                    .expect("nonzero ways")
+            });
+        let writeback = match (self.tags[victim], self.dirty[victim]) {
+            (Some(old_tag), true) => Some(self.rebuild_addr(old_tag, set)),
+            _ => None,
+        };
+        self.tags[victim] = Some(tag);
+        self.dirty[victim] = is_write;
+        self.stamps[victim] = self.clock;
+        self.stats.record(false, is_write, writeback.is_some());
+        CacheResponse {
+            hit: false,
+            writeback,
+            fill: Some(self.line_addr(addr)),
+        }
+    }
+
+    /// True when the line containing `addr` is currently cached (no state
+    /// change, no statistics).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.ways as u64) as usize;
+        (base..base + self.ways).any(|i| self.tags[i] == Some(tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        // 2 sets of 1 way, 64 B lines -> capacity 128 B.
+        let mut c = SetAssocCache::new(128, 1, 64);
+        assert!(!c.access(0, false).hit);
+        assert!(!c.access(128, false).hit, "same set, different tag");
+        assert!(!c.access(0, false).hit, "original was evicted");
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        // One set, 2 ways.
+        let mut c = SetAssocCache::new(128, 2, 64);
+        c.access(0, false); // A
+        c.access(128, false); // B
+        c.access(0, false); // touch A -> B is LRU
+        let r = c.access(256, false); // C evicts B
+        assert!(!r.hit);
+        assert!(c.probe(0), "A still resident");
+        assert!(!c.probe(128), "B evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = SetAssocCache::new(128, 1, 64);
+        c.access(64, true); // write to set 1
+        let r = c.access(64 + 128, false); // conflict in set 1
+        assert_eq!(r.writeback, Some(64));
+        assert_eq!(r.fill, Some(64 + 128));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = SetAssocCache::new(128, 1, 64);
+        c.access(0, false);
+        let r = c.access(128, false);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn writeback_address_reconstruction_roundtrips() {
+        let mut c = SetAssocCache::new(1 << 20, 8, 64);
+        let addr = 0xdead_b000u64;
+        c.access(addr, true);
+        // Evict by filling the same set with 8 conflicting tags.
+        let mut wbs = Vec::new();
+        for k in 1..=8u64 {
+            let conflicting = addr + k * c.sets() * c.line_bytes();
+            if let Some(wb) = c.access(conflicting, false).writeback {
+                wbs.push(wb);
+            }
+        }
+        assert!(wbs.contains(&(addr & !63)), "writebacks {wbs:?}");
+    }
+
+    #[test]
+    fn stats_count_hits_misses_writebacks() {
+        let mut c = SetAssocCache::new(128, 1, 64);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(128, true);
+        c.access(0, false); // evicts dirty 128
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn table_configs_shape() {
+        let l2 = SetAssocCache::new(1 << 20, 8, 64);
+        assert_eq!(l2.sets(), 2048);
+        assert_eq!(l2.capacity_bytes(), 1 << 20);
+        let l3 = SetAssocCache::new(64 << 20, 1, 64);
+        assert_eq!(l3.sets(), 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_line_rejected() {
+        SetAssocCache::new(128, 1, 48);
+    }
+}

@@ -1,0 +1,30 @@
+//! Cache hierarchy substrate for the Smart Refresh reproduction.
+//!
+//! * [`cache::SetAssocCache`] — the set-associative write-back cache used for
+//!   the Table 1 L2 (1 MB, 8-way, 64 B lines);
+//! * [`hierarchy::StackedDramCache`] — the Table 2 direct-mapped 3D
+//!   die-stacked DRAM cache, mapping an L2-miss stream onto stacked-DRAM
+//!   data-array traffic (whose refresh policy is the experiment) plus
+//!   residual main-memory traffic.
+//!
+//! ```
+//! use smartrefresh_cache::{SetAssocCache, StackedDramCache};
+//!
+//! let mut l2 = SetAssocCache::new(1 << 20, 8, 64);
+//! let mut l3 = StackedDramCache::table2_64mb();
+//! // An L2 miss flows into the stacked cache.
+//! if let Some(fill) = l2.access(0xabc0, false).fill {
+//!     let t = l3.access(fill, false);
+//!     assert!(t.stacked_is_write); // the fill lands in the stacked DRAM
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod stats;
+
+pub use cache::{CacheResponse, SetAssocCache};
+pub use hierarchy::{StackedAccessTraffic, StackedDramCache};
+pub use stats::CacheStats;

@@ -1,0 +1,65 @@
+//! Cache access statistics.
+
+/// Counters accumulated by a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Write accesses (hits or misses).
+    pub writes: u64,
+    /// Dirty evictions (write-backs to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no accesses occurred.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    pub(crate) fn record(&mut self, hit: bool, is_write: bool, writeback: bool) {
+        self.accesses += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        if is_write {
+            self.writes += 1;
+        }
+        if writeback {
+            self.writebacks += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = CacheStats::default();
+        s.record(true, false, false);
+        s.record(false, true, true);
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+}

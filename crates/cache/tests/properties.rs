@@ -1,0 +1,109 @@
+//! Property-based tests of the cache substrate against a reference model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use smartrefresh_cache::{SetAssocCache, StackedDramCache};
+
+/// A trivially-correct reference cache: per-set vectors ordered by recency.
+struct ModelCache {
+    sets: u64,
+    ways: usize,
+    line: u64,
+    /// set -> most-recent-first list of (tag, dirty).
+    state: HashMap<u64, Vec<(u64, bool)>>,
+}
+
+impl ModelCache {
+    fn new(capacity: u64, ways: usize, line: u64) -> Self {
+        ModelCache {
+            sets: capacity / line / ways as u64,
+            ways,
+            line,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Returns (hit, writeback address).
+    fn access(&mut self, addr: u64, is_write: bool) -> (bool, Option<u64>) {
+        let set = (addr / self.line) % self.sets;
+        let tag = (addr / self.line) / self.sets;
+        let list = self.state.entry(set).or_default();
+        if let Some(pos) = list.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = list.remove(pos);
+            list.insert(0, (t, d || is_write));
+            return (true, None);
+        }
+        let mut wb = None;
+        if list.len() == self.ways {
+            let (vt, vd) = list.pop().expect("full set");
+            if vd {
+                wb = Some((vt * self.sets + set) * self.line);
+            }
+        }
+        list.insert(0, (tag, is_write));
+        (false, wb)
+    }
+}
+
+proptest! {
+    /// The LRU set-associative cache agrees with the reference model on
+    /// every access outcome and every writeback, for arbitrary streams.
+    #[test]
+    fn cache_matches_reference_model(
+        ways in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
+        accesses in prop::collection::vec((0u64..2048, any::<bool>()), 1..400)
+    ) {
+        let capacity = 64 * 16; // 16 lines
+        let mut dut = SetAssocCache::new(capacity, ways, 64);
+        let mut model = ModelCache::new(capacity, ways, 64);
+        for (block, is_write) in accesses {
+            let addr = block * 64 + (block % 64); // arbitrary offset in line
+            let got = dut.access(addr, is_write);
+            let (hit, wb) = model.access(addr, is_write);
+            prop_assert_eq!(got.hit, hit, "hit mismatch at {:#x}", addr);
+            prop_assert_eq!(got.writeback, wb, "writeback mismatch at {:#x}", addr);
+            prop_assert_eq!(got.fill.is_some(), !hit);
+        }
+    }
+
+    /// probe() never disturbs state: interleaving probes changes nothing.
+    #[test]
+    fn probe_is_pure(accesses in prop::collection::vec(0u64..256, 1..100)) {
+        let mut a = SetAssocCache::new(1024, 2, 64);
+        let mut b = SetAssocCache::new(1024, 2, 64);
+        for &block in &accesses {
+            b.probe(block * 64);
+            b.probe((block + 7) * 64);
+            let ra = a.access(block * 64, false);
+            let rb = b.access(block * 64, false);
+            prop_assert_eq!(ra.hit, rb.hit);
+        }
+    }
+
+    /// The stacked cache's slot mapping is stable and within capacity, and a
+    /// hit to the same line always lands on the same stacked address.
+    #[test]
+    fn stacked_slots_are_stable(addrs in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut l3 = StackedDramCache::new(1 << 20);
+        for &addr in &addrs {
+            let t1 = l3.access(addr, false);
+            let t2 = l3.access(addr, false);
+            prop_assert!(t1.stacked_addr < 1 << 20);
+            prop_assert_eq!(t1.stacked_addr, t2.stacked_addr);
+            prop_assert_eq!(t2.memory_fill, None, "second access must hit");
+        }
+    }
+
+    /// Cache statistics are internally consistent.
+    #[test]
+    fn stats_add_up(accesses in prop::collection::vec((0u64..512, any::<bool>()), 1..200)) {
+        let mut c = SetAssocCache::new(2048, 4, 64);
+        for (block, w) in accesses {
+            c.access(block * 64, w);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.writebacks <= s.misses, "writebacks only on misses");
+    }
+}

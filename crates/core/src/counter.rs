@@ -1,0 +1,193 @@
+//! The per-row time-out counter array (§4.1).
+//!
+//! Smart Refresh associates one small binary down-counter with every
+//! `(rank, bank, row)` of the module. The counter is reset to its maximum
+//! whenever the row's charge is restored by a normal access (row open or
+//! page close) and decremented once per *counter access period* by the
+//! staggered update circuitry. A row only needs a refresh when its counter
+//! has counted all the way down — i.e. when a full retention interval has
+//! passed without any access restoring the row.
+//!
+//! The paper uses 2-bit counters for exposition and 3-bit counters for all
+//! simulations; the array supports any width from 1 to 8 bits.
+
+/// A dense array of k-bit down-counters, one per `(rank, bank, row)`.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_core::counter::CounterArray;
+///
+/// let mut a = CounterArray::new(8, 3);
+/// assert_eq!(a.max_value(), 7);
+/// assert_eq!(a.get(0), 7); // counters start at max (rows fresh at power-up)
+/// assert!(!a.decrement(0)); // 7 -> 6, not yet zero
+/// a.reset(0);               // a normal access restores the row
+/// assert_eq!(a.get(0), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterArray {
+    values: Vec<u8>,
+    bits: u32,
+    max: u8,
+    resets: u64,
+    decrements: u64,
+}
+
+impl CounterArray {
+    /// Creates `len` counters of `bits` width, all initialised to max.
+    ///
+    /// At power-up every row has just been swept by the initial refresh, so
+    /// max is the correct starting value; combined with the per-row index
+    /// phase of the staggered scheduler this reproduces the burst-free
+    /// start-up of Fig 3 without the Fig 2(b) re-refresh overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=8`.
+    pub fn new(len: u64, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = ((1u16 << bits) - 1) as u8;
+        CounterArray {
+            values: vec![max; len as usize],
+            bits,
+            max,
+            resets: 0,
+            decrements: 0,
+        }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Counter width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The maximum (reset) value, `2^bits - 1`.
+    pub fn max_value(&self) -> u8 {
+        self.max
+    }
+
+    /// Current value of counter `index`.
+    pub fn get(&self, index: u64) -> u8 {
+        self.values[index as usize]
+    }
+
+    /// True when counter `index` has counted down to zero (row refresh due).
+    pub fn is_zero(&self, index: u64) -> bool {
+        self.values[index as usize] == 0
+    }
+
+    /// Resets counter `index` to max (a normal access restored the row).
+    pub fn reset(&mut self, index: u64) {
+        self.values[index as usize] = self.max;
+        self.resets += 1;
+    }
+
+    /// Decrements counter `index` by one, saturating at zero. Returns true
+    /// when the counter is zero *after* the decrement.
+    pub fn decrement(&mut self, index: u64) -> bool {
+        let v = &mut self.values[index as usize];
+        if *v > 0 {
+            *v -= 1;
+        }
+        self.decrements += 1;
+        *v == 0
+    }
+
+    /// Overwrites a counter with an arbitrary value (used when re-enabling
+    /// Smart Refresh after a CBR fallback period, where each row's remaining
+    /// slack is known from the CBR sweep position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds the counter maximum.
+    pub fn set(&mut self, index: u64, value: u8) {
+        assert!(value <= self.max, "value exceeds counter width");
+        self.values[index as usize] = value;
+    }
+
+    /// Number of reset operations performed (each is one SRAM write).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Number of decrement operations performed.
+    pub fn decrements(&self) -> u64 {
+        self.decrements
+    }
+
+    /// Iterator over current counter values.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_determines_max() {
+        assert_eq!(CounterArray::new(4, 2).max_value(), 3);
+        assert_eq!(CounterArray::new(4, 3).max_value(), 7);
+        assert_eq!(CounterArray::new(4, 8).max_value(), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_width_rejected() {
+        CounterArray::new(4, 0);
+    }
+
+    #[test]
+    fn countdown_reaches_zero_after_max_steps() {
+        let mut a = CounterArray::new(1, 2);
+        assert!(!a.decrement(0)); // 3 -> 2
+        assert!(!a.decrement(0)); // 2 -> 1
+        assert!(a.decrement(0)); // 1 -> 0
+        assert!(a.is_zero(0));
+        assert!(a.decrement(0)); // saturates at 0
+        assert_eq!(a.decrements(), 4);
+    }
+
+    #[test]
+    fn reset_restores_max_and_counts() {
+        let mut a = CounterArray::new(2, 3);
+        a.decrement(1);
+        a.reset(1);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.resets(), 1);
+    }
+
+    #[test]
+    fn set_validates_width() {
+        let mut a = CounterArray::new(1, 2);
+        a.set(0, 3);
+        assert_eq!(a.get(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds counter width")]
+    fn set_rejects_oversized_value() {
+        let mut a = CounterArray::new(1, 2);
+        a.set(0, 4);
+    }
+
+    #[test]
+    fn iter_exposes_values() {
+        let mut a = CounterArray::new(3, 3);
+        a.decrement(1);
+        let v: Vec<u8> = a.iter().collect();
+        assert_eq!(v, vec![7, 6, 7]);
+    }
+}

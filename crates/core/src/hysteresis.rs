@@ -1,0 +1,221 @@
+//! Autonomous enable/disable of Smart Refresh (§4.6).
+//!
+//! When the working set fits in the caches and DRAM accesses become rare,
+//! Smart Refresh degenerates to the periodic policy while still paying for
+//! counter maintenance and RAS-only addressing. The paper adds "a simple
+//! circuitry" that falls back to the conventional CBR policy when fewer
+//! accesses than 1% of the row count arrive within a full refresh interval,
+//! and re-enables Smart Refresh when accesses exceed 2% of the row count.
+//! The 1%/2% split is a hysteresis band that prevents oscillation.
+
+use smartrefresh_dram::time::{Duration, Instant};
+
+/// Which refresh engine is currently driving the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Full Smart Refresh: counters reset on access, refreshes skipped.
+    Smart,
+    /// Conventional fallback: counters not consulted, periodic refresh only.
+    FallbackCbr,
+}
+
+/// Thresholds for the §4.6 auto enable/disable circuitry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HysteresisConfig {
+    /// Fall back to CBR when `accesses / total_rows` drops below this
+    /// fraction over one window (paper: 0.01).
+    pub low_watermark: f64,
+    /// Re-enable Smart Refresh when the ratio exceeds this fraction
+    /// (paper: 0.02).
+    pub high_watermark: f64,
+}
+
+impl HysteresisConfig {
+    /// The paper's 1% / 2% thresholds.
+    pub fn paper_defaults() -> Self {
+        HysteresisConfig {
+            low_watermark: 0.01,
+            high_watermark: 0.02,
+        }
+    }
+}
+
+impl Default for HysteresisConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Counts DRAM accesses per refresh-interval window and decides the mode at
+/// every window boundary.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_core::{ActivityMonitor, HysteresisConfig, PolicyMode};
+/// use smartrefresh_dram::time::{Duration, Instant};
+///
+/// let mut m = ActivityMonitor::new(
+///     HysteresisConfig::paper_defaults(), Duration::from_ms(64), 1000);
+/// // A silent first window drops below the 1% watermark.
+/// let after = m.roll_to(Instant::ZERO + Duration::from_ms(64));
+/// assert_eq!(after, PolicyMode::FallbackCbr);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActivityMonitor {
+    cfg: HysteresisConfig,
+    window: Duration,
+    total_rows: u64,
+    window_end: Instant,
+    accesses_in_window: u64,
+    mode: PolicyMode,
+    switches: u64,
+}
+
+impl ActivityMonitor {
+    /// Creates a monitor starting in [`PolicyMode::Smart`] with one decision
+    /// per `window` (the refresh interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero, `total_rows` is zero, or the watermarks
+    /// are not `0 <= low <= high`.
+    pub fn new(cfg: HysteresisConfig, window: Duration, total_rows: u64) -> Self {
+        assert!(!window.is_zero(), "window must be nonzero");
+        assert!(total_rows > 0, "total_rows must be nonzero");
+        assert!(
+            cfg.low_watermark >= 0.0 && cfg.low_watermark <= cfg.high_watermark,
+            "watermarks must satisfy 0 <= low <= high"
+        );
+        ActivityMonitor {
+            cfg,
+            window,
+            total_rows,
+            window_end: Instant::ZERO + window,
+            accesses_in_window: 0,
+            mode: PolicyMode::Smart,
+            switches: 0,
+        }
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> PolicyMode {
+        self.mode
+    }
+
+    /// Number of mode switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Records one DRAM access (row activation) at `now`.
+    pub fn record_access(&mut self, now: Instant) {
+        self.roll_to(now);
+        self.accesses_in_window += 1;
+    }
+
+    /// Processes any window boundaries up to `now`, applying the mode
+    /// decision for each completed window. Returns the (possibly new) mode.
+    pub fn roll_to(&mut self, now: Instant) -> PolicyMode {
+        while now >= self.window_end {
+            let ratio = self.accesses_in_window as f64 / self.total_rows as f64;
+            let new_mode = match self.mode {
+                PolicyMode::Smart if ratio < self.cfg.low_watermark => PolicyMode::FallbackCbr,
+                PolicyMode::FallbackCbr if ratio > self.cfg.high_watermark => PolicyMode::Smart,
+                current => current,
+            };
+            if new_mode != self.mode {
+                self.switches += 1;
+                self.mode = new_mode;
+            }
+            self.accesses_in_window = 0;
+            self.window_end += self.window;
+        }
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> ActivityMonitor {
+        // 1000 rows: low = 10 accesses, high = 20 accesses per window.
+        ActivityMonitor::new(
+            HysteresisConfig::paper_defaults(),
+            Duration::from_ms(64),
+            1000,
+        )
+    }
+
+    fn ms(n: u64) -> Instant {
+        Instant::ZERO + Duration::from_ms(n)
+    }
+
+    #[test]
+    fn starts_in_smart_mode() {
+        assert_eq!(monitor().mode(), PolicyMode::Smart);
+    }
+
+    #[test]
+    fn idle_window_falls_back() {
+        let mut m = monitor();
+        assert_eq!(m.roll_to(ms(64)), PolicyMode::FallbackCbr);
+        assert_eq!(m.switches(), 1);
+    }
+
+    #[test]
+    fn busy_window_stays_smart() {
+        let mut m = monitor();
+        for _ in 0..25 {
+            m.record_access(ms(1));
+        }
+        assert_eq!(m.roll_to(ms(64)), PolicyMode::Smart);
+        assert_eq!(m.switches(), 0);
+    }
+
+    #[test]
+    fn hysteresis_band_prevents_oscillation() {
+        let mut m = monitor();
+        // 15 accesses = 1.5%: above low, below high. Stays wherever it is.
+        for _ in 0..15 {
+            m.record_access(ms(1));
+        }
+        assert_eq!(m.roll_to(ms(64)), PolicyMode::Smart);
+        // Idle window -> fallback.
+        assert_eq!(m.roll_to(ms(128)), PolicyMode::FallbackCbr);
+        // 15 accesses again: NOT enough to re-enable (needs > 2%).
+        for _ in 0..15 {
+            m.record_access(ms(129));
+        }
+        assert_eq!(m.roll_to(ms(192)), PolicyMode::FallbackCbr);
+        // 25 accesses (2.5%) re-enables.
+        for _ in 0..25 {
+            m.record_access(ms(193));
+        }
+        assert_eq!(m.roll_to(ms(256)), PolicyMode::Smart);
+        assert_eq!(m.switches(), 2);
+    }
+
+    #[test]
+    fn multiple_elapsed_windows_all_decided() {
+        let mut m = monitor();
+        // Jump 3 windows with no accesses: first boundary switches to
+        // fallback, later ones keep it there.
+        assert_eq!(m.roll_to(ms(200)), PolicyMode::FallbackCbr);
+        assert_eq!(m.switches(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn inverted_watermarks_rejected() {
+        ActivityMonitor::new(
+            HysteresisConfig {
+                low_watermark: 0.05,
+                high_watermark: 0.01,
+            },
+            Duration::from_ms(64),
+            100,
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The refresh-policy abstraction shared by the baselines and Smart Refresh.
+//!
+//! A policy lives inside the memory controller. It observes row activity
+//! (opens and closes), wakes up on its own schedule to generate refresh
+//! work, and exposes that work as a queue of [`RefreshAction`]s which the
+//! controller dispatches to the DRAM device as soon as the target bank is
+//! free. The policy also reports the bookkeeping traffic (counter-array SRAM
+//! reads/writes) that the energy model charges against the technique.
+
+use smartrefresh_dram::time::Instant;
+use smartrefresh_dram::RowAddr;
+
+/// One refresh command for the controller to dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshAction {
+    /// CAS-before-RAS refresh: the device's internal counter picks the row;
+    /// no address is driven on the bus (the low-power baseline, §3).
+    Cbr {
+        /// Target rank.
+        rank: u32,
+        /// Target bank within the rank.
+        bank: u32,
+    },
+    /// RAS-only refresh of an explicit row. `charge_bus` is true when the
+    /// row address is driven over the external address bus and must be
+    /// charged bus energy (Smart Refresh's overhead); the §4.6 fallback mode
+    /// regenerates addresses internally and is modelled as CBR-grade energy.
+    RasOnly {
+        /// The row to refresh.
+        row: RowAddr,
+        /// Whether to charge address-bus energy for this refresh.
+        charge_bus: bool,
+    },
+}
+
+impl RefreshAction {
+    /// The `(rank, bank)` this action occupies.
+    pub fn target_bank(&self) -> (u32, u32) {
+        match *self {
+            RefreshAction::Cbr { rank, bank } => (rank, bank),
+            RefreshAction::RasOnly { row, .. } => (row.rank, row.bank),
+        }
+    }
+}
+
+/// Counter-array SRAM traffic accumulated by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SramTraffic {
+    /// Counter-array reads (one per counter examined).
+    pub reads: u64,
+    /// Counter-array writes (one per decrement or reset).
+    pub writes: u64,
+}
+
+/// A DRAM refresh policy.
+///
+/// The controller drives a policy with this contract:
+///
+/// 1. forward every row open/close via [`on_row_opened`]/[`on_row_closed`];
+/// 2. whenever simulation time reaches [`next_wakeup`], call [`advance`];
+/// 3. after any `advance` or at any idle moment, drain [`pop_pending`] and
+///    issue the actions to the device (refreshes have priority over demand
+///    accesses so the pending queue drains before the next tick, §5).
+///
+/// [`on_row_opened`]: RefreshPolicy::on_row_opened
+/// [`on_row_closed`]: RefreshPolicy::on_row_closed
+/// [`next_wakeup`]: RefreshPolicy::next_wakeup
+/// [`advance`]: RefreshPolicy::advance
+/// [`pop_pending`]: RefreshPolicy::pop_pending
+pub trait RefreshPolicy {
+    /// Short name used in reports (e.g. `"cbr"`, `"smart"`).
+    fn name(&self) -> &'static str;
+
+    /// A row was opened (ACTIVATE) by a normal access at `now`.
+    fn on_row_opened(&mut self, row: RowAddr, now: Instant);
+
+    /// A row was closed (PRECHARGE writes the page back) at `now`.
+    fn on_row_closed(&mut self, row: RowAddr, now: Instant);
+
+    /// The next instant at which the policy has internal work to do, or
+    /// `None` for policies with no schedule (e.g. no-refresh).
+    fn next_wakeup(&self) -> Option<Instant>;
+
+    /// Advances internal state to `now`, moving any due refresh work into
+    /// the pending queue.
+    fn advance(&mut self, now: Instant);
+
+    /// Pops the next pending refresh action, least-recent first.
+    fn pop_pending(&mut self) -> Option<RefreshAction>;
+
+    /// Number of pending, undispatched refresh actions.
+    fn pending_len(&self) -> usize;
+
+    /// Counter-array SRAM traffic so far (zero for counter-less baselines).
+    fn sram_traffic(&self) -> SramTraffic {
+        SramTraffic::default()
+    }
+
+    /// Highest pending-queue occupancy observed (for the §5 bound).
+    fn queue_high_water(&self) -> usize {
+        0
+    }
+
+    /// True when the policy's §4.6 circuitry has currently disabled the
+    /// smart machinery (always false for policies without one).
+    fn in_fallback(&self) -> bool {
+        false
+    }
+}
+
+impl<P: RefreshPolicy + ?Sized> RefreshPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_row_opened(&mut self, row: RowAddr, now: Instant) {
+        (**self).on_row_opened(row, now);
+    }
+
+    fn on_row_closed(&mut self, row: RowAddr, now: Instant) {
+        (**self).on_row_closed(row, now);
+    }
+
+    fn next_wakeup(&self) -> Option<Instant> {
+        (**self).next_wakeup()
+    }
+
+    fn advance(&mut self, now: Instant) {
+        (**self).advance(now);
+    }
+
+    fn pop_pending(&mut self) -> Option<RefreshAction> {
+        (**self).pop_pending()
+    }
+
+    fn pending_len(&self) -> usize {
+        (**self).pending_len()
+    }
+
+    fn sram_traffic(&self) -> SramTraffic {
+        (**self).sram_traffic()
+    }
+
+    fn queue_high_water(&self) -> usize {
+        (**self).queue_high_water()
+    }
+
+    fn in_fallback(&self) -> bool {
+        (**self).in_fallback()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_reports_target_bank() {
+        let a = RefreshAction::Cbr { rank: 1, bank: 2 };
+        assert_eq!(a.target_bank(), (1, 2));
+        let b = RefreshAction::RasOnly {
+            row: RowAddr {
+                rank: 0,
+                bank: 3,
+                row: 9,
+            },
+            charge_bus: true,
+        };
+        assert_eq!(b.target_bank(), (0, 3));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_p: &dyn RefreshPolicy) {}
+    }
+}

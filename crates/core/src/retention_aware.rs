@@ -1,0 +1,184 @@
+//! Retention-aware refresh (the RAPID / multi-rate line of work, §8).
+//!
+//! The paper positions Smart Refresh as *orthogonal* to retention-aware
+//! schemes: RAPID (Venkatesan et al.) and multi-rate refresh exploit the
+//! fact that only a tiny population of weak rows needs the worst-case
+//! interval, while Smart Refresh exploits accesses. This module provides
+//! the retention-aware baseline so the combination can be evaluated:
+//!
+//! * [`RetentionAwareDistributed`] — a RAPID-like periodic policy: a
+//!   distributed sweep at the base cadence that refreshes each row only on
+//!   the sweeps its retention bin requires (a row with multiplier `2^m` is
+//!   refreshed every `2^m` base intervals).
+//! * The Smart Refresh side of the combination lives in
+//!   [`SmartRefresh::with_profile`](crate::smart::SmartRefresh::with_profile):
+//!   each row's countdown is strided by its bin, so an idle strong row is
+//!   refreshed once per *its own* deadline and an accessed row not at all.
+
+use std::collections::VecDeque;
+
+use smartrefresh_dram::profile::RetentionProfile;
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::{Geometry, RowAddr};
+
+use crate::policy::{RefreshAction, RefreshPolicy};
+
+/// RAPID-like distributed refresh honouring a per-row retention profile.
+#[derive(Debug, Clone)]
+pub struct RetentionAwareDistributed {
+    geometry: Geometry,
+    profile: RetentionProfile,
+    slot: Duration,
+    next_due: Instant,
+    next_flat: u64,
+    sweep: u64,
+    pending: VecDeque<RefreshAction>,
+    high_water: usize,
+    skipped: u64,
+}
+
+impl RetentionAwareDistributed {
+    /// Creates the policy for a module with the given *base* (worst-case)
+    /// retention and a measured per-row profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover the module's rows.
+    pub fn new(geometry: Geometry, retention: Duration, profile: RetentionProfile) -> Self {
+        assert_eq!(
+            profile.len(),
+            geometry.total_rows(),
+            "profile must cover every row"
+        );
+        let slot = retention.div_by(geometry.total_rows());
+        assert!(!slot.is_zero(), "retention too short for row count");
+        RetentionAwareDistributed {
+            geometry,
+            profile,
+            slot,
+            next_due: Instant::ZERO + slot,
+            next_flat: 0,
+            sweep: 0,
+            pending: VecDeque::new(),
+            high_water: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Refreshes skipped because the row's bin was not yet due.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+impl RefreshPolicy for RetentionAwareDistributed {
+    fn name(&self) -> &'static str {
+        "retention-aware"
+    }
+
+    fn on_row_opened(&mut self, _row: RowAddr, _now: Instant) {}
+
+    fn on_row_closed(&mut self, _row: RowAddr, _now: Instant) {}
+
+    fn next_wakeup(&self) -> Option<Instant> {
+        Some(self.next_due)
+    }
+
+    fn advance(&mut self, now: Instant) {
+        while self.next_due <= now {
+            let idx = self.next_flat;
+            self.next_flat += 1;
+            if self.next_flat == self.geometry.total_rows() {
+                self.next_flat = 0;
+                self.sweep += 1;
+            }
+            let period = 1u64 << self.profile.multiplier_log2(idx);
+            if self.sweep.is_multiple_of(period) {
+                self.pending.push_back(RefreshAction::RasOnly {
+                    row: self.geometry.unflatten(idx),
+                    charge_bus: true,
+                });
+                self.high_water = self.high_water.max(self.pending.len());
+            } else {
+                self.skipped += 1;
+            }
+            self.next_due += self.slot;
+        }
+    }
+
+    fn pop_pending(&mut self) -> Option<RefreshAction> {
+        self.pending.pop_front()
+    }
+
+    fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn queue_high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> Geometry {
+        Geometry::new(1, 2, 8, 4, 64) // 16 rows
+    }
+
+    fn drain(p: &mut RetentionAwareDistributed) -> Vec<RefreshAction> {
+        let mut v = Vec::new();
+        while let Some(a) = p.pop_pending() {
+            v.push(a);
+        }
+        v
+    }
+
+    #[test]
+    fn worst_case_profile_degenerates_to_distributed() {
+        let g = geometry();
+        let profile = RetentionProfile::worst_case(g.total_rows());
+        let mut p = RetentionAwareDistributed::new(g, Duration::from_ms(16), profile);
+        p.advance(Instant::ZERO + Duration::from_ms(32)); // two sweeps
+        assert_eq!(drain(&mut p).len(), 32);
+        assert_eq!(p.skipped(), 0);
+    }
+
+    #[test]
+    fn strong_rows_refresh_at_their_own_period() {
+        let g = geometry();
+        // All rows at 4x retention.
+        let profile = RetentionProfile::from_bins(g.total_rows(), 0, &[(2, 1.0)]);
+        let mut p = RetentionAwareDistributed::new(g, Duration::from_ms(16), profile);
+        // Four sweeps: only the first (sweep 0) refreshes anything.
+        p.advance(Instant::ZERO + Duration::from_ms(64));
+        assert_eq!(drain(&mut p).len(), 16);
+        assert_eq!(p.skipped(), 48);
+    }
+
+    #[test]
+    fn mixed_bins_refresh_in_proportion() {
+        let g = Geometry::new(1, 2, 64, 4, 64); // 128 rows
+        let profile = RetentionProfile::from_bins(g.total_rows(), 1, &[(0, 0.5), (3, 0.5)]);
+        let mut p = RetentionAwareDistributed::new(g, Duration::from_ms(16), profile.clone());
+        // Eight sweeps = one full period of the slowest bin.
+        p.advance(Instant::ZERO + Duration::from_ms(16 * 8));
+        let refreshed = drain(&mut p).len() as f64;
+        let expected = profile.ideal_refresh_fraction() * 128.0 * 8.0;
+        assert!(
+            (refreshed - expected).abs() <= 1.0,
+            "refreshed {refreshed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every row")]
+    fn mismatched_profile_rejected() {
+        RetentionAwareDistributed::new(
+            geometry(),
+            Duration::from_ms(16),
+            RetentionProfile::worst_case(3),
+        );
+    }
+}

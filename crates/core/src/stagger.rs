@@ -1,0 +1,239 @@
+//! The staggered countdown schedule (§4.2, Fig 3).
+//!
+//! Decrementing every counter simultaneously would make all counters of rows
+//! with correlated access times reach zero together, recreating the burst
+//! refresh the technique set out to avoid (Fig 2). Instead the counters are
+//! hashed into `N` *segments* (N = pending-refresh-queue size, 8 in the
+//! paper's simulations) and a single index walks through each segment so
+//! that:
+//!
+//! * exactly `N` counters — one per segment — are examined per *tick*;
+//! * every counter is examined exactly once per *counter access period*
+//!   (`retention / 2^bits`; 16 ms in the paper's 2-bit illustration, 8 ms for
+//!   the simulated 3-bit counters);
+//! * consequently at most `N` refresh requests are generated at once, which
+//!   bounds the pending queue (§5).
+//!
+//! Segments are contiguous ranges of the flat `(rank, bank, row)` index.
+//! Because the flat index is row-major within each bank, segment `s` of a
+//! module whose `total_rows / N` equals the per-bank row count covers exactly
+//! one bank — so the ≤ N simultaneous refreshes land on distinct banks and
+//! proceed in parallel.
+
+use smartrefresh_dram::time::{Duration, Instant};
+
+/// The deterministic walk order of the staggered counter-update circuitry.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_core::StaggerSchedule;
+/// use smartrefresh_dram::time::Duration;
+///
+/// // The paper's Fig 3: 64 rows, 4 segments, 2-bit counters, 64 ms.
+/// let s = StaggerSchedule::new(64, 4, 2, Duration::from_ms(64));
+/// assert_eq!(s.access_period(), Duration::from_ms(16));
+/// assert_eq!(s.tick_interval(), Duration::from_ms(1));
+/// // One counter per segment is examined at every tick.
+/// assert_eq!(s.indices_at_tick(0).count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaggerSchedule {
+    total_rows: u64,
+    segments: u32,
+    rows_per_segment: u64,
+    access_period: Duration,
+    tick_interval: Duration,
+}
+
+impl StaggerSchedule {
+    /// Builds the schedule for `total_rows` counters of `counter_bits` width
+    /// hashed into `segments` segments, under the given retention interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or `counter_bits > 8`.
+    pub fn new(total_rows: u64, segments: u32, counter_bits: u32, retention: Duration) -> Self {
+        assert!(total_rows > 0, "need at least one row");
+        assert!(segments > 0, "need at least one segment");
+        assert!(
+            (1..=8).contains(&counter_bits),
+            "counter width must be 1..=8 bits"
+        );
+        assert!(!retention.is_zero(), "retention must be nonzero");
+        let steps = 1u64 << counter_bits;
+        let access_period = retention.div_by(steps);
+        let rows_per_segment = total_rows.div_ceil(u64::from(segments));
+        let tick_interval = access_period.div_by(rows_per_segment);
+        assert!(
+            !tick_interval.is_zero(),
+            "tick interval underflows picoseconds; retention too short for row count"
+        );
+        StaggerSchedule {
+            total_rows,
+            segments,
+            rows_per_segment,
+            access_period,
+            tick_interval,
+        }
+    }
+
+    /// The counter access period: each counter is examined exactly once per
+    /// this span (`retention / 2^bits`).
+    pub fn access_period(&self) -> Duration {
+        self.access_period
+    }
+
+    /// Time between successive index advances (the paper's "clock period
+    /// equal to the counter access period divided by the number of time-out
+    /// counters within each segment").
+    pub fn tick_interval(&self) -> Duration {
+        self.tick_interval
+    }
+
+    /// Number of segments (= max refresh requests per tick).
+    pub fn segments(&self) -> u32 {
+        self.segments
+    }
+
+    /// Counters per segment (the last segment may be partially filled).
+    pub fn rows_per_segment(&self) -> u64 {
+        self.rows_per_segment
+    }
+
+    /// Total counters covered.
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Number of ticks in one access period.
+    pub fn ticks_per_period(&self) -> u64 {
+        self.rows_per_segment
+    }
+
+    /// The start time of tick number `tick` (tick 0 fires at one tick
+    /// interval after time zero, so a freshly initialised array is not
+    /// examined at the very instant of power-up).
+    pub fn tick_time(&self, tick: u64) -> Instant {
+        Instant::ZERO + self.tick_interval * (tick + 1)
+    }
+
+    /// The flat counter indices examined at tick `tick`: one per segment,
+    /// skipping tail slots of a partial last segment.
+    pub fn indices_at_tick(&self, tick: u64) -> impl Iterator<Item = u64> + '_ {
+        let offset = tick % self.rows_per_segment;
+        (0..u64::from(self.segments))
+            .map(move |s| s * self.rows_per_segment + offset)
+            .filter(move |&i| i < self.total_rows)
+    }
+
+    /// The fixed phase (offset within the access period) at which a given
+    /// counter is examined.
+    pub fn phase_of(&self, flat_index: u64) -> Duration {
+        let offset = flat_index % self.rows_per_segment;
+        self.tick_interval * (offset + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: 64 ms retention, 2-bit counters,
+    /// 4 segments of 16 rows (Fig 3).
+    fn fig3() -> StaggerSchedule {
+        StaggerSchedule::new(64, 4, 2, Duration::from_ms(64))
+    }
+
+    #[test]
+    fn fig3_periods_match_paper() {
+        let s = fig3();
+        assert_eq!(s.access_period(), Duration::from_ms(16));
+        // "if there are 16 memory rows for each segment and the refresh
+        //  period is 16ms, then the counter index will advance by one every
+        //  1ms."
+        assert_eq!(s.tick_interval(), Duration::from_ms(1));
+        assert_eq!(s.rows_per_segment(), 16);
+    }
+
+    #[test]
+    fn section5_example_4us_tick() {
+        // "if the refresh interval is 32ms and there are 8192 rows in the
+        //  device, the counters are accessed every 4µs" (8 segments, 3-bit).
+        let s = StaggerSchedule::new(8192, 8, 3, Duration::from_ms(32));
+        assert_eq!(s.access_period(), Duration::from_ms(4));
+        assert_eq!(s.tick_interval(), Duration::from_ps(3_906_250)); // ~4 us
+    }
+
+    #[test]
+    fn one_index_per_segment_per_tick() {
+        let s = fig3();
+        for tick in 0..48 {
+            let idx: Vec<u64> = s.indices_at_tick(tick).collect();
+            assert_eq!(idx.len(), 4);
+            // All in distinct segments.
+            let segs: Vec<u64> = idx.iter().map(|i| i / s.rows_per_segment()).collect();
+            assert_eq!(segs, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn every_counter_examined_exactly_once_per_period() {
+        let s = fig3();
+        let mut counts = vec![0u32; 64];
+        for tick in 0..s.ticks_per_period() {
+            for i in s.indices_at_tick(tick) {
+                counts[i as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1), "counts = {counts:?}");
+    }
+
+    #[test]
+    fn partial_last_segment_is_skipped_not_duplicated() {
+        // 10 rows in 4 segments -> 3 per segment, last has only 1.
+        let s = StaggerSchedule::new(10, 4, 2, Duration::from_ms(64));
+        assert_eq!(s.rows_per_segment(), 3);
+        let mut counts = vec![0u32; 10];
+        for tick in 0..s.ticks_per_period() {
+            for i in s.indices_at_tick(tick) {
+                counts[i as usize] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1), "counts = {counts:?}");
+    }
+
+    #[test]
+    fn tick_times_are_evenly_spaced() {
+        let s = fig3();
+        assert_eq!(s.tick_time(0), Instant::ZERO + Duration::from_ms(1));
+        assert_eq!(s.tick_time(5) - s.tick_time(4), s.tick_interval());
+    }
+
+    #[test]
+    fn phase_spreads_rows_across_the_period() {
+        let s = fig3();
+        // Rows 0 and 1 (same segment, adjacent offsets) differ by one tick.
+        assert_eq!(s.phase_of(1) - s.phase_of(0), s.tick_interval());
+        // Rows 0 and 16 (different segments, same offset) share a phase.
+        assert_eq!(s.phase_of(0), s.phase_of(16));
+        // No phase exceeds the access period.
+        for i in 0..64 {
+            assert!(s.phase_of(i) <= s.access_period());
+        }
+    }
+
+    #[test]
+    fn paper_2gb_configuration_ticks() {
+        // 131,072 counters, 8 segments, 3-bit, 64 ms: the per-bank segment
+        // property — each segment is exactly one (rank, bank).
+        let s = StaggerSchedule::new(131_072, 8, 3, Duration::from_ms(64));
+        assert_eq!(s.rows_per_segment(), 16_384);
+        assert_eq!(s.access_period(), Duration::from_ms(8));
+        // Tick indices at any tick hit 8 different 16384-row (= one-bank)
+        // ranges, so simultaneous refreshes parallelise across banks.
+        let idx: Vec<u64> = s.indices_at_tick(0).collect();
+        let banks: Vec<u64> = idx.iter().map(|i| i / 16_384).collect();
+        assert_eq!(banks, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the Smart Refresh engine invariants, exercised
+//! directly against the policy (the whole-system properties live in the
+//! workspace-level `tests/correctness.rs`).
+
+use proptest::prelude::*;
+use smartrefresh_core::{
+    CounterArray, RefreshAction, RefreshPolicy, SmartRefresh, SmartRefreshConfig, StaggerSchedule,
+};
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::{Geometry, RowAddr};
+
+proptest! {
+    /// The stagger schedule examines every counter exactly once per access
+    /// period, for arbitrary row counts and segment counts.
+    #[test]
+    fn stagger_examines_each_counter_once_per_period(
+        total in 1u64..500,
+        segments in 1u32..=16,
+        bits in 1u32..=4,
+    ) {
+        let s = StaggerSchedule::new(total, segments, bits, Duration::from_ms(64));
+        let mut counts = vec![0u32; total as usize];
+        for tick in 0..s.ticks_per_period() {
+            for idx in s.indices_at_tick(tick) {
+                prop_assert!(idx < total);
+                counts[idx as usize] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == 1), "coverage {counts:?}");
+    }
+
+    /// At most `segments` counters are examined per tick.
+    #[test]
+    fn stagger_bounds_per_tick_work(
+        total in 1u64..500,
+        segments in 1u32..=16,
+        tick in 0u64..10_000,
+    ) {
+        let s = StaggerSchedule::new(total, segments, 3, Duration::from_ms(64));
+        let n = s.indices_at_tick(tick).count();
+        prop_assert!(n <= segments as usize);
+        prop_assert!(n >= 1);
+    }
+
+    /// Counter arrays never exceed their width and saturate at zero.
+    #[test]
+    fn counters_respect_width(
+        bits in 1u32..=8,
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200),
+    ) {
+        let mut a = CounterArray::new(64, bits);
+        for (idx, reset) in ops {
+            if reset {
+                a.reset(idx);
+            } else {
+                a.decrement(idx);
+            }
+            prop_assert!(a.get(idx) <= a.max_value());
+        }
+    }
+
+    /// An idle engine emits each row exactly once per interval regardless of
+    /// the (bits, segments) configuration — the distributed-refresh
+    /// degeneration the §4.2 staggering relies on.
+    #[test]
+    fn idle_emission_is_one_per_row_per_interval(
+        bits in 2u32..=4,
+        segments in 2u32..=8,
+    ) {
+        let g = Geometry::new(1, 2, 16, 4, 64); // 32 rows
+        let retention = Duration::from_ms(8);
+        let cfg = SmartRefreshConfig {
+            counter_bits: bits,
+            segments,
+            queue_capacity: segments as usize,
+            hysteresis: None,
+        };
+        let mut p = SmartRefresh::new(g, retention, cfg);
+        let mut per_row = vec![0u32; 32];
+        let intervals = 3u64;
+        let mut t = Duration::ZERO;
+        while t <= retention * intervals {
+            p.advance(Instant::ZERO + t);
+            while let Some(a) = p.pop_pending() {
+                if let RefreshAction::RasOnly { row, .. } = a {
+                    per_row[g.flatten(row) as usize] += 1;
+                }
+            }
+            t += Duration::from_us(25);
+        }
+        prop_assert!(
+            per_row.iter().all(|&c| c == intervals as u32),
+            "per-row counts {per_row:?}"
+        );
+    }
+
+    /// Rows being accessed are never refreshed while the accesses continue
+    /// faster than the counter period.
+    #[test]
+    fn hammered_rows_never_refresh(row in 0u32..16, bits in 2u32..=3) {
+        let g = Geometry::new(1, 1, 16, 4, 64);
+        let retention = Duration::from_ms(8);
+        let cfg = SmartRefreshConfig {
+            counter_bits: bits,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let mut p = SmartRefresh::new(g, retention, cfg);
+        let hot = RowAddr { rank: 0, bank: 0, row };
+        let period = retention.div_by(1 << bits);
+        let mut refreshed = false;
+        let mut t = Duration::ZERO;
+        while t <= retention * 4 {
+            p.on_row_opened(hot, Instant::ZERO + t);
+            p.advance(Instant::ZERO + t);
+            while let Some(a) = p.pop_pending() {
+                if let RefreshAction::RasOnly { row: r, .. } = a {
+                    refreshed |= r == hot;
+                }
+            }
+            t += period.div_by(2); // touch twice per counter period
+        }
+        prop_assert!(!refreshed);
+    }
+}

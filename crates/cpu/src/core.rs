@@ -1,0 +1,295 @@
+//! The in-order core model.
+//!
+//! [`Cpu`] executes a synthetic instruction stream against an L1/L2 cache
+//! hierarchy backed by the DRAM memory controller — the closed loop the
+//! paper obtained from Simics + Ruby. Non-memory instructions retire at the
+//! base CPI; memory references probe L1 then L2; L2 misses stall the core
+//! until the DRAM returns data, so refresh-induced bank contention feeds
+//! straight back into IPC (the honest version of the Fig 18 measurement).
+
+use smartrefresh_cache::SetAssocCache;
+use smartrefresh_core::RefreshPolicy;
+use smartrefresh_ctrl::{MemTransaction, MemoryController};
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::DramError;
+
+use crate::program::SyntheticProgram;
+
+/// Core and cache-hierarchy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Core clock frequency, Hz.
+    pub freq_hz: f64,
+    /// Cycles per non-memory instruction.
+    pub base_cpi: f64,
+    /// L1 data cache: (capacity bytes, ways). 64 B lines.
+    pub l1: (u64, usize),
+    /// L1 hit latency in cycles.
+    pub l1_hit_cycles: f64,
+    /// L2 cache: (capacity bytes, ways). 64 B lines (Table 1: 1 MB, 8-way).
+    pub l2: (u64, usize),
+    /// L2 hit latency in cycles.
+    pub l2_hit_cycles: f64,
+}
+
+impl CpuConfig {
+    /// A 3 GHz core with a 32 KB/8-way L1 and the Table 1 L2 (1 MB, 8-way).
+    pub fn table1_default() -> Self {
+        CpuConfig {
+            freq_hz: 3.0e9,
+            base_cpi: 1.0,
+            l1: (32 * 1024, 8),
+            l1_hit_cycles: 3.0,
+            l2: (1 << 20, 8),
+            l2_hit_cycles: 12.0,
+        }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::table1_default()
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Core cycles consumed.
+    pub cycles: f64,
+    /// Memory references issued.
+    pub mem_refs: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses (DRAM demand accesses).
+    pub l2_misses: u64,
+    /// Dirty L2 victims written back to DRAM.
+    pub writebacks: u64,
+}
+
+impl CpuStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// DRAM accesses per kilo-instruction.
+    pub fn apki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.l2_misses + self.writebacks) as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// The in-order core bound to a memory controller.
+#[derive(Debug)]
+pub struct Cpu<P: RefreshPolicy> {
+    config: CpuConfig,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    controller: MemoryController<P>,
+    now: Instant,
+    stats: CpuStats,
+}
+
+impl<P: RefreshPolicy> Cpu<P> {
+    /// Builds the core on top of a memory controller.
+    pub fn new(config: CpuConfig, controller: MemoryController<P>) -> Self {
+        Cpu {
+            l1: SetAssocCache::new(config.l1.0, config.l1.1, 64),
+            l2: SetAssocCache::new(config.l2.0, config.l2.1, 64),
+            config,
+            controller,
+            now: Instant::ZERO,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The memory controller (device stats, refresh policy state).
+    pub fn controller(&self) -> &MemoryController<P> {
+        &self.controller
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    fn cycles_to_duration(&self, cycles: f64) -> Duration {
+        Duration::from_ps((cycles / self.config.freq_hz * 1e12) as u64)
+    }
+
+    /// Executes `instructions` instructions of `program`, advancing DRAM
+    /// time (and refresh work) in lockstep with the core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] from the memory system.
+    pub fn run(
+        &mut self,
+        program: &mut SyntheticProgram,
+        instructions: u64,
+    ) -> Result<(), DramError> {
+        for _ in 0..instructions {
+            self.stats.instructions += 1;
+            let mut cycles = self.config.base_cpi;
+            if let Some(r) = program.step() {
+                self.stats.mem_refs += 1;
+                cycles += self.access_memory(r.addr, r.is_write)?;
+            }
+            self.stats.cycles += cycles;
+            self.now += self.cycles_to_duration(cycles);
+        }
+        self.controller.advance_to(self.now)?;
+        Ok(())
+    }
+
+    /// Returns the extra stall cycles for one memory reference.
+    fn access_memory(&mut self, addr: u64, is_write: bool) -> Result<f64, DramError> {
+        let l1 = self.l1.access(addr, is_write);
+        if l1.hit {
+            return Ok(self.config.l1_hit_cycles);
+        }
+        self.stats.l1_misses += 1;
+        // L1 victims are absorbed by the inclusive L2 model (no traffic).
+        let fill = l1.fill.expect("miss produces fill");
+        let l2 = self.l2.access(fill, is_write);
+        if l2.hit {
+            return Ok(self.config.l2_hit_cycles);
+        }
+        self.stats.l2_misses += 1;
+        // Dirty L2 victim: enqueue the write-back without stalling the core.
+        if let Some(wb) = l2.writeback {
+            self.stats.writebacks += 1;
+            self.controller
+                .access(MemTransaction::write(wb, self.now))?;
+        }
+        // Demand fill: the core stalls until data returns.
+        let result = self
+            .controller
+            .access(MemTransaction::read(fill, self.now))?;
+        let stall = result.completed_at.saturating_since(self.now);
+        Ok(self.config.l2_hit_cycles + stall.as_secs_f64() * self.config.freq_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramSpec;
+    use smartrefresh_core::{CbrDistributed, SmartRefresh, SmartRefreshConfig};
+    use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
+
+    fn controller_cbr() -> MemoryController<CbrDistributed> {
+        let g = Geometry::new(1, 4, 512, 32, 64);
+        let t = TimingParams::ddr2_667().with_retention(Duration::from_ms(8));
+        MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention))
+    }
+
+    fn small_cpu_config() -> CpuConfig {
+        CpuConfig {
+            l1: (4 * 1024, 4),
+            l2: (64 * 1024, 8),
+            ..CpuConfig::table1_default()
+        }
+    }
+
+    #[test]
+    fn cache_resident_program_rarely_touches_dram() {
+        let mut cpu = Cpu::new(small_cpu_config(), controller_cbr());
+        // Working set smaller than the L2.
+        let spec = ProgramSpec {
+            working_set_bytes: 32 * 1024,
+            ..ProgramSpec::cache_resident()
+        };
+        let mut prog = SyntheticProgram::new(spec, 1);
+        cpu.run(&mut prog, 200_000).unwrap();
+        let s = *cpu.stats();
+        assert_eq!(s.instructions, 200_000);
+        // Mostly L1/L2 latency, no DRAM stalls.
+        assert!(s.ipc() > 0.15, "ipc {}", s.ipc());
+        // After warm-up the hierarchy absorbs almost everything.
+        assert!(
+            (s.l2_misses as f64) < s.mem_refs as f64 * 0.05,
+            "l2 misses {} of {}",
+            s.l2_misses,
+            s.mem_refs
+        );
+    }
+
+    #[test]
+    fn pointer_chase_stalls_on_dram() {
+        let mut cpu = Cpu::new(small_cpu_config(), controller_cbr());
+        let mut prog = SyntheticProgram::new(ProgramSpec::pointer_chase(1 << 21), 1);
+        cpu.run(&mut prog, 100_000).unwrap();
+        let s = *cpu.stats();
+        assert!(s.l2_misses > 1_000, "l2 misses {}", s.l2_misses);
+        assert!(
+            s.ipc() < 0.5,
+            "DRAM-bound program must stall, ipc {}",
+            s.ipc()
+        );
+        assert!(s.apki() > 10.0);
+    }
+
+    #[test]
+    fn dram_time_tracks_core_time() {
+        let mut cpu = Cpu::new(small_cpu_config(), controller_cbr());
+        let mut prog = SyntheticProgram::new(ProgramSpec::streaming(1 << 20), 2);
+        cpu.run(&mut prog, 50_000).unwrap();
+        assert!(cpu.controller().now() >= cpu.now() || cpu.stats().l2_misses == 0);
+        // Refreshes proceeded during execution.
+        assert!(cpu.controller().device().stats().total_refreshes() > 0);
+    }
+
+    #[test]
+    fn smart_refresh_preserves_integrity_under_cpu_load() {
+        let g = Geometry::new(1, 4, 512, 32, 64);
+        let t = TimingParams::ddr2_667().with_retention(Duration::from_ms(8));
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let mc = MemoryController::new(
+            DramDevice::new(g, t),
+            SmartRefresh::new(g, t.retention, cfg),
+        );
+        let mut cpu = Cpu::new(small_cpu_config(), mc);
+        let mut prog = SyntheticProgram::new(ProgramSpec::pointer_chase(1 << 21), 3);
+        cpu.run(&mut prog, 200_000).unwrap();
+        assert!(cpu
+            .controller()
+            .device()
+            .check_integrity(cpu.controller().now())
+            .is_ok());
+    }
+
+    #[test]
+    fn writebacks_reach_dram_without_stalling() {
+        let mut cpu = Cpu::new(small_cpu_config(), controller_cbr());
+        // Write-heavy pointer chase to force dirty evictions.
+        let spec = ProgramSpec {
+            write_fraction: 0.8,
+            ..ProgramSpec::pointer_chase(1 << 21)
+        };
+        let mut prog = SyntheticProgram::new(spec, 4);
+        cpu.run(&mut prog, 150_000).unwrap();
+        assert!(cpu.stats().writebacks > 100);
+        assert!(cpu.controller().device().stats().writes > 100);
+    }
+}

@@ -1,0 +1,35 @@
+//! Closed-loop processor frontend for the Smart Refresh reproduction.
+//!
+//! The paper's evaluation stack was Simics (functional CPU) + Ruby (cache
+//! timing) + DRAMsim (memory). The `smartrefresh-workloads` generators model
+//! the DRAM-level stream directly; this crate rebuilds the layer above it —
+//! an in-order core ([`core::Cpu`]) running synthetic instruction streams
+//! ([`program::SyntheticProgram`]) through L1/L2 caches into the memory
+//! controller — so IPC, miss rates and write-back traffic *emerge* from the
+//! hierarchy instead of being parameterised. The `abl_closed_loop` bench
+//! uses it as an independent cross-check of the Fig 18 methodology.
+//!
+//! ```
+//! use smartrefresh_cpu::{Cpu, CpuConfig, ProgramSpec, SyntheticProgram};
+//! use smartrefresh_core::CbrDistributed;
+//! use smartrefresh_ctrl::MemoryController;
+//! use smartrefresh_dram::time::Duration;
+//! use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
+//!
+//! let g = Geometry::new(1, 4, 256, 32, 64);
+//! let t = TimingParams::ddr2_667().with_retention(Duration::from_ms(8));
+//! let mc = MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention));
+//! let mut cpu = Cpu::new(CpuConfig::table1_default(), mc);
+//! let mut prog = SyntheticProgram::new(ProgramSpec::streaming(1 << 20), 7);
+//! cpu.run(&mut prog, 10_000)?;
+//! assert!(cpu.stats().ipc() > 0.0);
+//! # Ok::<(), smartrefresh_dram::DramError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod program;
+
+pub use crate::core::{Cpu, CpuConfig, CpuStats};
+pub use program::{MemRef, ProgramSpec, SyntheticProgram};

@@ -1,0 +1,635 @@
+//! The memory controller.
+//!
+//! [`MemoryController`] owns the DRAM device and a refresh policy and
+//! arbitrates between demand accesses and refresh work:
+//!
+//! * **Open-page scheduling** (Table 1's row-buffer policy): rows stay open
+//!   after an access; a conflicting access precharges and re-activates.
+//! * **Refresh dispatch**: at every policy wakeup the pending refresh queue
+//!   is drained, each refresh issued at the earliest instant its bank is
+//!   free. This satisfies the §5 drain-before-next-tick contract that bounds
+//!   the queue.
+//! * **Interaction accounting**: demand accesses delayed behind refresh-busy
+//!   banks show up in the latency statistics — the effect Fig 18 measures.
+//!
+//! Policy notifications follow §4.1: the row's counter is reset when the row
+//! is *opened* and again when the page is *closed* (whether by a demand
+//! conflict or by a refresh that had to close an open page first).
+
+use smartrefresh_core::{RefreshAction, RefreshPolicy};
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::{DramDevice, DramError, RowAddr};
+
+use crate::stats::{ControllerStats, RowBufferOutcome};
+use crate::transaction::MemTransaction;
+
+/// Power-down bookkeeping: DDR2 modules drop CKE between commands and burn
+/// a fraction of standby power. Idle gaps longer than `min_gap` are credited
+/// as power-down residency, net of the entry/exit overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerDownConfig {
+    /// Shortest idle gap worth entering power-down for.
+    pub min_gap: Duration,
+    /// Entry plus exit overhead subtracted from each credited gap
+    /// (tCKE + tXP at DDR2-667 scales).
+    pub overhead: Duration,
+}
+
+impl Default for PowerDownConfig {
+    fn default() -> Self {
+        PowerDownConfig {
+            min_gap: Duration::from_ns(100),
+            overhead: Duration::from_ns(16),
+        }
+    }
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagePolicy {
+    /// Keep rows open after an access (Table 1's policy); idle pages close
+    /// after the controller's timeout.
+    Open,
+    /// Precharge immediately after every column access (auto-precharge).
+    /// Every access pays the full activate latency, but banks return to the
+    /// precharged state where refreshes are cheapest.
+    Closed,
+}
+
+/// Result of one completed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// When the data movement finished (read data returned / write retired).
+    pub completed_at: Instant,
+    /// Row-buffer outcome.
+    pub outcome: RowBufferOutcome,
+}
+
+/// Memory controller binding a [`DramDevice`] to a [`RefreshPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_core::CbrDistributed;
+/// use smartrefresh_ctrl::{MemTransaction, MemoryController};
+/// use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
+/// use smartrefresh_dram::time::{Duration, Instant};
+///
+/// let g = Geometry::new(1, 2, 64, 16, 64);
+/// let t = TimingParams::ddr2_667();
+/// let policy = CbrDistributed::new(g, t.retention);
+/// let mut mc = MemoryController::new(DramDevice::new(g, t), policy);
+///
+/// let r = mc.access(MemTransaction::read(0, Instant::ZERO))?;
+/// assert!(r.completed_at > Instant::ZERO);
+/// # Ok::<(), smartrefresh_dram::DramError>(())
+/// ```
+#[derive(Debug)]
+pub struct MemoryController<P: RefreshPolicy> {
+    device: DramDevice,
+    policy: P,
+    stats: ControllerStats,
+    /// Latest simulation time observed (monotonicity guard).
+    now: Instant,
+    /// Idle open pages are closed this long after their last use, bounding
+    /// active-standby background energy (DRAMsim's open-page controllers do
+    /// the same). `None` leaves pages open until a conflict or refresh.
+    page_close_timeout: Option<Duration>,
+    /// Open-page vs closed-page row-buffer management.
+    page_policy: PagePolicy,
+    /// Power-down residency accounting; `None` disables it.
+    powerdown: Option<PowerDownConfig>,
+    /// End of the most recent device command, for idle-gap accounting.
+    last_cmd_end: Instant,
+    /// Per-bank time of last demand use, for the idle-close policy.
+    last_use: Vec<Instant>,
+}
+
+impl<P: RefreshPolicy> MemoryController<P> {
+    /// Creates a controller over a device and a refresh policy, with the
+    /// default 1 µs idle page-close timeout.
+    pub fn new(device: DramDevice, policy: P) -> Self {
+        let banks = device.geometry().total_banks() as usize;
+        MemoryController {
+            device,
+            policy,
+            stats: ControllerStats::new(),
+            now: Instant::ZERO,
+            page_close_timeout: Some(Duration::from_us(1)),
+            page_policy: PagePolicy::Open,
+            powerdown: Some(PowerDownConfig::default()),
+            last_cmd_end: Instant::ZERO,
+            last_use: vec![Instant::ZERO; banks],
+        }
+    }
+
+    /// Overrides power-down accounting (`None` disables it).
+    pub fn with_powerdown(mut self, cfg: Option<PowerDownConfig>) -> Self {
+        self.powerdown = cfg;
+        self
+    }
+
+    /// Credits the idle gap before a command issued at `start` and advances
+    /// the last-command horizon to `end`.
+    fn note_command(&mut self, start: Instant, end: Instant) {
+        if let Some(pd) = self.powerdown {
+            if start > self.last_cmd_end {
+                let gap = start.since(self.last_cmd_end);
+                if gap > pd.min_gap {
+                    self.stats.powerdown_time += gap - pd.overhead;
+                }
+            }
+        }
+        self.last_cmd_end = self.last_cmd_end.max(end);
+    }
+
+    /// Overrides the idle page-close timeout (`None` disables idle closes).
+    pub fn with_page_close_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.page_close_timeout = timeout;
+        self
+    }
+
+    /// Switches the row-buffer management policy (default [`PagePolicy::Open`]).
+    pub fn with_page_policy(mut self, policy: PagePolicy) -> Self {
+        self.page_policy = policy;
+        self
+    }
+
+    /// The underlying device (operation counts, retention state).
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// The refresh policy (mode, SRAM traffic, queue high-water).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Latest simulation time the controller has observed.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Processes all refresh work due up to `t`: advances the policy through
+    /// each of its wakeups and drains the pending queue at every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] on an illegal command, which indicates a
+    /// scheduling bug rather than a recoverable condition.
+    pub fn advance_to(&mut self, t: Instant) -> Result<(), DramError> {
+        while let Some(wake) = self.policy.next_wakeup() {
+            if wake > t {
+                break;
+            }
+            self.close_idle_pages(wake)?;
+            self.policy.advance(wake);
+            self.dispatch_refreshes(wake)?;
+        }
+        self.close_idle_pages(t)?;
+        self.now = self.now.max(t);
+        Ok(())
+    }
+
+    /// Closes any open page whose bank has been idle past the timeout.
+    fn close_idle_pages(&mut self, now: Instant) -> Result<(), DramError> {
+        let Some(timeout) = self.page_close_timeout else {
+            return Ok(());
+        };
+        let geometry = *self.device.geometry();
+        for bank_idx in 0..geometry.total_banks() {
+            let rank = bank_idx / geometry.banks();
+            let bank = bank_idx % geometry.banks();
+            let b = self.device.bank(rank, bank);
+            let Some(open_row) = b.open_row() else {
+                continue;
+            };
+            let deadline = self.last_use[bank_idx as usize] + timeout;
+            if deadline > now {
+                continue;
+            }
+            let pre_at = deadline.max(b.earliest_precharge()).max(b.busy_until());
+            if pre_at > now {
+                continue;
+            }
+            self.device.precharge(rank, bank, pre_at)?;
+            let end = self.device.bank(rank, bank).busy_until();
+            self.note_command(pre_at, end);
+            self.policy.on_row_closed(
+                RowAddr {
+                    rank,
+                    bank,
+                    row: open_row,
+                },
+                pre_at,
+            );
+        }
+        Ok(())
+    }
+
+    fn dispatch_refreshes(&mut self, now: Instant) -> Result<(), DramError> {
+        while let Some(action) = self.policy.pop_pending() {
+            let (rank, bank) = action.target_bank();
+            let issue_at = now.max(self.device.bank(rank, bank).busy_until());
+            // If the bank holds an open page the refresh will close it; the
+            // policy must see the close so the row's counter resets (§4.1).
+            let closing = self.device.bank(rank, bank).open_row();
+            match action {
+                RefreshAction::Cbr { .. } => {
+                    self.device.refresh_cbr(rank, bank, issue_at)?;
+                }
+                RefreshAction::RasOnly { row, charge_bus } => {
+                    self.device.refresh_ras_only(row, issue_at)?;
+                    if charge_bus {
+                        self.stats.bus_charged_refreshes += 1;
+                    }
+                }
+            }
+            if let Some(closed_row) = closing {
+                self.policy.on_row_closed(
+                    RowAddr {
+                        rank,
+                        bank,
+                        row: closed_row,
+                    },
+                    issue_at,
+                );
+            }
+            let end = self.device.bank(rank, bank).busy_until();
+            self.note_command(issue_at, end);
+            self.stats.refreshes_issued += 1;
+        }
+        Ok(())
+    }
+
+    /// Executes one demand transaction under the open-page policy, first
+    /// processing any refresh work due by its arrival time.
+    ///
+    /// Returns the completion time; latency (completion − arrival) includes
+    /// any waiting behind refreshes occupying the bank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] on an illegal command sequence (a controller
+    /// bug, not a workload condition).
+    pub fn access(&mut self, tx: MemTransaction) -> Result<AccessResult, DramError> {
+        self.advance_to(tx.arrival)?;
+        let decoded = self.device.geometry().decode(tx.addr);
+        let target = decoded.row_addr;
+        let (rank, bank) = (target.rank, target.bank);
+
+        let open = self.device.bank(rank, bank).open_row();
+        let outcome = match open {
+            Some(r) if r == target.row => RowBufferOutcome::Hit,
+            Some(_) => RowBufferOutcome::Conflict,
+            None => RowBufferOutcome::Miss,
+        };
+
+        let mut t = tx.arrival.max(self.device.bank(rank, bank).busy_until());
+        let first_cmd_at = t;
+        if let RowBufferOutcome::Conflict = outcome {
+            let b = self.device.bank(rank, bank);
+            let pre_at = t.max(b.earliest_precharge());
+            let closed_row = b.open_row().expect("conflict implies open row");
+            self.device.precharge(rank, bank, pre_at)?;
+            self.policy.on_row_closed(
+                RowAddr {
+                    rank,
+                    bank,
+                    row: closed_row,
+                },
+                pre_at,
+            );
+            t = self.device.bank(rank, bank).busy_until();
+        }
+        if outcome != RowBufferOutcome::Hit {
+            // Respect the rank's tRRD/tFAW activation window.
+            t = t.max(self.device.earliest_activate(rank));
+            let act = self.device.activate(target, t)?;
+            self.policy.on_row_opened(target, t);
+            t = act.bank_ready_at;
+        }
+        let out = if tx.is_write {
+            self.device.write(target, decoded.column, t)?
+        } else {
+            self.device.read(target, decoded.column, t)?
+        };
+        // A row-buffer hit also rewrites the cells through the sense amps;
+        // the paper resets the counter on any access to an open row.
+        if outcome == RowBufferOutcome::Hit {
+            self.policy.on_row_opened(target, t);
+        }
+        self.last_use[self.device.geometry().bank_index(rank, bank) as usize] = out.bank_ready_at;
+        self.note_command(first_cmd_at, out.bank_ready_at);
+        if self.page_policy == PagePolicy::Closed {
+            // Auto-precharge: close the row at the earliest legal instant.
+            let b = self.device.bank(rank, bank);
+            let pre_at = out.bank_ready_at.max(b.earliest_precharge());
+            let closed_row = b.open_row().expect("row open after access");
+            self.device.precharge(rank, bank, pre_at)?;
+            self.policy.on_row_closed(
+                RowAddr {
+                    rank,
+                    bank,
+                    row: closed_row,
+                },
+                pre_at,
+            );
+        }
+        let latency = out.completed_at.since(tx.arrival);
+        self.stats.record(outcome, latency);
+        self.now = self.now.max(out.completed_at);
+        Ok(AccessResult {
+            completed_at: out.completed_at,
+            outcome,
+        })
+    }
+
+    /// Finishes a run: processes refresh work up to `t` and returns the
+    /// device for inspection alongside the policy and stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError`] like [`MemoryController::advance_to`].
+    pub fn finish(mut self, t: Instant) -> Result<(DramDevice, P, ControllerStats), DramError> {
+        self.advance_to(t)?;
+        Ok((self.device, self.policy, self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartrefresh_core::{CbrDistributed, NoRefresh, SmartRefresh, SmartRefreshConfig};
+    use smartrefresh_dram::time::Duration;
+    use smartrefresh_dram::{Geometry, TimingParams};
+
+    fn small_geometry() -> Geometry {
+        Geometry::new(1, 2, 32, 16, 64)
+    }
+
+    fn cbr_controller() -> MemoryController<CbrDistributed> {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention))
+    }
+
+    fn ms(n: u64) -> Instant {
+        Instant::ZERO + Duration::from_ms(n)
+    }
+
+    #[test]
+    fn miss_hit_conflict_sequence() {
+        let mut mc = cbr_controller();
+        let g = *mc.device().geometry();
+        // First access to row 0 of bank 0: miss.
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        assert_eq!(a.outcome, RowBufferOutcome::Miss);
+        // Same row, next column: hit.
+        let b = mc.access(MemTransaction::read(8, a.completed_at)).unwrap();
+        assert_eq!(b.outcome, RowBufferOutcome::Hit);
+        // Different row, same bank: conflict. Row stride in bank 0 is
+        // row_bytes * total_banks.
+        let other_row = g.row_bytes() * u64::from(g.total_banks());
+        let c = mc
+            .access(MemTransaction::read(
+                other_row,
+                b.completed_at + Duration::from_ns(300),
+            ))
+            .unwrap();
+        assert_eq!(c.outcome, RowBufferOutcome::Conflict);
+        assert_eq!(mc.stats().transactions, 3);
+        assert_eq!(mc.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn latency_ordering_matches_outcome() {
+        // NoRefresh keeps the banks free so raw latencies are observable.
+        let g = small_geometry();
+        let timing = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, timing), NoRefresh::new());
+        let t = *mc.device().timing();
+        let a = mc.access(MemTransaction::read(0, ms(1))).unwrap();
+        let miss_latency = a.completed_at.since(ms(1));
+        assert_eq!(miss_latency, t.row_miss_latency());
+        // Within the idle page-close timeout the row is still open.
+        let t2 = a.completed_at + Duration::from_ns(100);
+        let b = mc.access(MemTransaction::read(8, t2)).unwrap();
+        assert_eq!(b.completed_at.since(t2), t.row_hit_latency());
+    }
+
+    #[test]
+    fn cbr_policy_refreshes_all_rows_within_interval() {
+        let mut mc = cbr_controller();
+        mc.advance_to(ms(64)).unwrap();
+        assert_eq!(mc.device().stats().cbr_refreshes, 64);
+        assert!(mc.device().check_integrity(ms(64)).is_ok());
+        assert_eq!(
+            mc.stats().bus_charged_refreshes,
+            0,
+            "CBR drives no address bus"
+        );
+    }
+
+    #[test]
+    fn no_refresh_policy_fails_integrity() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), NoRefresh::new());
+        mc.advance_to(ms(65)).unwrap();
+        assert!(mc.device().check_integrity(ms(65)).is_err());
+    }
+
+    #[test]
+    fn smart_policy_keeps_integrity_with_accesses() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        let mut mc = MemoryController::new(DramDevice::new(g, t), policy);
+        // Hammer a handful of rows while time passes over 3 intervals.
+        for step in 0..1920u64 {
+            let now = Instant::ZERO + Duration::from_us(100) * step;
+            let addr = (step % 5) * 64;
+            mc.access(MemTransaction::read(addr, now)).unwrap();
+        }
+        let end = Instant::ZERO + Duration::from_us(100) * 1920;
+        mc.advance_to(end).unwrap();
+        assert!(mc.device().check_integrity(end).is_ok());
+        // The hot rows were accessed constantly, so fewer refreshes than the
+        // periodic sweep were needed.
+        let periodic = 3 * 64;
+        assert!(
+            (mc.device().stats().ras_only_refreshes as i64) < periodic,
+            "smart refresh should skip some refreshes"
+        );
+        assert!(mc.policy().queue_high_water() <= 4);
+    }
+
+    #[test]
+    fn refresh_closing_open_page_notifies_policy() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 2,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        // Disable idle closes so the page genuinely stays open.
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), policy).with_page_close_timeout(None);
+        // Open a row in bank 0 and leave it open across a full interval.
+        mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        mc.advance_to(ms(70)).unwrap();
+        // The refresh sweep hit bank 0 with the page open; device noticed...
+        assert!(mc.device().stats().refreshes_closing_open_page >= 1);
+        // ...and integrity still holds.
+        assert!(mc.device().check_integrity(ms(70)).is_ok());
+    }
+
+    #[test]
+    fn finish_returns_components() {
+        let mc = cbr_controller();
+        let (dev, _policy, stats) = mc.finish(ms(10)).unwrap();
+        assert!(dev.stats().cbr_refreshes > 0);
+        assert_eq!(stats.transactions, 0);
+    }
+
+    #[test]
+    fn closed_page_policy_precharges_after_every_access() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), NoRefresh::new())
+            .with_page_policy(PagePolicy::Closed);
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        // Bank closes as soon as tRAS allows.
+        mc.advance_to(a.completed_at + Duration::from_us(1))
+            .unwrap();
+        assert!(mc.device().bank(0, 0).is_precharged());
+        // A second access to the same row is a miss, not a hit.
+        let b = mc
+            .access(MemTransaction::read(
+                8,
+                a.completed_at + Duration::from_us(2),
+            ))
+            .unwrap();
+        assert_eq!(b.outcome, RowBufferOutcome::Miss);
+        assert_eq!(mc.stats().row_hits, 0);
+        assert_eq!(mc.device().stats().precharges, 2);
+    }
+
+    #[test]
+    fn closed_page_resets_smart_counters_via_precharge() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        let mut mc = MemoryController::new(DramDevice::new(g, t), policy)
+            .with_page_policy(PagePolicy::Closed);
+        mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        // Open (activate) + close (auto-precharge) both reset the counter.
+        assert_eq!(mc.policy().stats().access_resets, 2);
+    }
+
+    #[test]
+    fn powerdown_credits_idle_gaps() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), NoRefresh::new());
+        // Two accesses 10 us apart: the gap minus overhead is credited.
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        mc.access(MemTransaction::read(
+            64,
+            a.completed_at + Duration::from_us(10),
+        ))
+        .unwrap();
+        let pd = mc.stats().powerdown_time;
+        assert!(
+            pd > Duration::from_us(8) && pd < Duration::from_us(10),
+            "powerdown credit {pd}"
+        );
+    }
+
+    #[test]
+    fn powerdown_ignores_short_gaps() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), NoRefresh::new());
+        let mut at = Instant::ZERO;
+        for i in 0..10u64 {
+            let r = mc.access(MemTransaction::read(i * 64, at)).unwrap();
+            at = r.completed_at + Duration::from_ns(50); // below min_gap
+        }
+        assert_eq!(mc.stats().powerdown_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn refreshes_interrupt_powerdown() {
+        // With CBR refreshing every slot, long gaps get chopped up.
+        let mut with_refresh = cbr_controller();
+        with_refresh.advance_to(ms(64)).unwrap();
+        let pd_refresh = with_refresh.stats().powerdown_time;
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut without = MemoryController::new(DramDevice::new(g, t), NoRefresh::new());
+        without.advance_to(ms(64)).unwrap();
+        // NoRefresh issues no commands at all, so no gap is ever *closed* -
+        // the credit happens lazily at the next command. Issue one.
+        without.access(MemTransaction::read(0, ms(64))).unwrap();
+        let pd_none = without.stats().powerdown_time;
+        assert!(
+            pd_none > pd_refresh,
+            "refresh wakeups must shrink power-down residency ({pd_refresh} vs {pd_none})"
+        );
+    }
+
+    #[test]
+    fn powerdown_can_be_disabled() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), NoRefresh::new()).with_powerdown(None);
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        mc.access(MemTransaction::read(
+            64,
+            a.completed_at + Duration::from_ms(1),
+        ))
+        .unwrap();
+        assert_eq!(mc.stats().powerdown_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn accesses_delayed_by_refresh_busy_bank() {
+        let mut mc = cbr_controller();
+        // Advance so a refresh lands exactly at 1 ms in bank 0 (slot walk).
+        mc.advance_to(ms(64)).unwrap();
+        // Immediately access bank the refresh targeted; the access at the
+        // same instant as a refresh sees a busy bank.
+        let slot = mc.policy().slot();
+        let next_refresh_due = Instant::ZERO + Duration::from_ms(64) + slot;
+        let tx = MemTransaction::read(0, next_refresh_due);
+        let r = mc.access(tx).unwrap();
+        let lat = r.completed_at.since(tx.arrival);
+        assert!(
+            lat >= mc.device().timing().row_miss_latency(),
+            "latency at least the miss latency"
+        );
+    }
+}

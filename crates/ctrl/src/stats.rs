@@ -1,0 +1,119 @@
+//! Controller-side statistics: row-buffer outcomes and access latency.
+
+use smartrefresh_dram::time::Duration;
+
+/// Row-buffer outcome of one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowBufferOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was precharged; an activate was needed.
+    Miss,
+    /// A different row was open; precharge + activate were needed.
+    Conflict,
+}
+
+/// Statistics accumulated by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Demand transactions completed.
+    pub transactions: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses (bank was precharged).
+    pub row_misses: u64,
+    /// Row-buffer conflicts (another row was open).
+    pub row_conflicts: u64,
+    /// Sum of per-transaction latencies (completion − arrival).
+    pub total_latency: Duration,
+    /// Worst single-transaction latency.
+    pub max_latency: Duration,
+    /// Refresh commands dispatched to the device.
+    pub refreshes_issued: u64,
+    /// Refreshes that drove an explicit row address over the external bus
+    /// (charged bus energy by the energy model).
+    pub bus_charged_refreshes: u64,
+    /// Accumulated time the module could sit in precharge power-down: idle
+    /// gaps between commands, net of entry/exit overheads. The energy model
+    /// bills these at the power-down rate instead of full standby.
+    pub powerdown_time: Duration,
+}
+
+impl ControllerStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean transaction latency; zero when no transactions completed.
+    pub fn avg_latency(&self) -> Duration {
+        if self.transactions == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency.div_by(self.transactions)
+        }
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.transactions as f64
+        }
+    }
+
+    /// Difference of two snapshots (`self` later minus `earlier`), used to
+    /// exclude warm-up periods from measurements.
+    ///
+    /// `max_latency` is taken from the later snapshot (a maximum cannot be
+    /// meaningfully subtracted).
+    pub fn delta_since(&self, earlier: &ControllerStats) -> ControllerStats {
+        ControllerStats {
+            transactions: self.transactions - earlier.transactions,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+            row_conflicts: self.row_conflicts - earlier.row_conflicts,
+            total_latency: self.total_latency - earlier.total_latency,
+            max_latency: self.max_latency,
+            refreshes_issued: self.refreshes_issued - earlier.refreshes_issued,
+            bus_charged_refreshes: self.bus_charged_refreshes - earlier.bus_charged_refreshes,
+            powerdown_time: self.powerdown_time - earlier.powerdown_time,
+        }
+    }
+
+    /// Records one transaction outcome.
+    pub(crate) fn record(&mut self, outcome: RowBufferOutcome, latency: Duration) {
+        self.transactions += 1;
+        match outcome {
+            RowBufferOutcome::Hit => self.row_hits += 1,
+            RowBufferOutcome::Miss => self.row_misses += 1,
+            RowBufferOutcome::Conflict => self.row_conflicts += 1,
+        }
+        self.total_latency += latency;
+        self.max_latency = self.max_latency.max(latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_and_rates() {
+        let mut s = ControllerStats::new();
+        s.record(RowBufferOutcome::Hit, Duration::from_ns(20));
+        s.record(RowBufferOutcome::Miss, Duration::from_ns(40));
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.avg_latency(), Duration::from_ns(30));
+        assert_eq!(s.max_latency, Duration::from_ns(40));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = ControllerStats::new();
+        assert_eq!(s.avg_latency(), Duration::ZERO);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Memory transactions presented to the controller.
+
+use smartrefresh_dram::time::Instant;
+
+/// One demand access (cache miss or write-back) arriving at the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTransaction {
+    /// Physical byte address.
+    pub addr: u64,
+    /// True for a write (write-back), false for a read (fill).
+    pub is_write: bool,
+    /// When the request reaches the controller.
+    pub arrival: Instant,
+}
+
+impl MemTransaction {
+    /// Convenience constructor for a read.
+    pub fn read(addr: u64, arrival: Instant) -> Self {
+        MemTransaction {
+            addr,
+            is_write: false,
+            arrival,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(addr: u64, arrival: Instant) -> Self {
+        MemTransaction {
+            addr,
+            is_write: true,
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        let r = MemTransaction::read(64, Instant::ZERO);
+        let w = MemTransaction::write(64, Instant::ZERO);
+        assert!(!r.is_write);
+        assert!(w.is_write);
+        assert_eq!(r.addr, w.addr);
+    }
+}

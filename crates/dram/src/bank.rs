@@ -1,0 +1,162 @@
+//! Per-bank state machine.
+//!
+//! Each bank is either *precharged* (idle, sense amplifiers empty) or has one
+//! *open row* latched in its sense amplifiers. Commands reserve the bank for
+//! their duration via a `busy_until` horizon; the device layer converts
+//! illegal interleavings into [`DramError`](crate::error::DramError)s.
+//!
+//! The bank also accumulates the total time it has spent with a row open,
+//! which the energy model uses for active-standby background power.
+
+use crate::time::{Duration, Instant};
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    open_row: Option<u32>,
+    busy_until: Instant,
+    earliest_precharge: Instant,
+    opened_at: Instant,
+    total_open_time: Duration,
+}
+
+impl Bank {
+    /// A freshly powered-up, precharged bank.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            busy_until: Instant::ZERO,
+            earliest_precharge: Instant::ZERO,
+            opened_at: Instant::ZERO,
+            total_open_time: Duration::ZERO,
+        }
+    }
+
+    /// The row currently held in the sense amplifiers, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// True when no row is open.
+    pub fn is_precharged(&self) -> bool {
+        self.open_row.is_none()
+    }
+
+    /// The time at which the bank finishes its current operation.
+    pub fn busy_until(&self) -> Instant {
+        self.busy_until
+    }
+
+    /// Earliest instant a PRECHARGE may legally be issued (tRAS constraint).
+    pub fn earliest_precharge(&self) -> Instant {
+        self.earliest_precharge
+    }
+
+    /// True when the bank can accept a command at `now`.
+    pub fn is_ready(&self, now: Instant) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Records an ACTIVATE: latches `row`, reserving the bank until
+    /// `now + trcd` and forbidding precharge before `now + tras`.
+    pub(crate) fn do_activate(&mut self, row: u32, now: Instant, trcd: Duration, tras: Duration) {
+        debug_assert!(self.open_row.is_none());
+        self.open_row = Some(row);
+        self.opened_at = now;
+        self.busy_until = now + trcd;
+        self.earliest_precharge = now + tras;
+    }
+
+    /// Records a column access occupying the bank until `now + tburst`.
+    pub(crate) fn do_column_access(&mut self, now: Instant, tburst: Duration) {
+        self.busy_until = now + tburst;
+    }
+
+    /// Raises the earliest-precharge floor (write recovery: data must be
+    /// restored before the row may close).
+    pub(crate) fn extend_precharge_floor(&mut self, t: Instant) {
+        self.earliest_precharge = self.earliest_precharge.max(t);
+    }
+
+    /// Records a PRECHARGE: closes the row, accumulating open time, and
+    /// reserves the bank until `now + trp`. Returns the row that was closed.
+    pub(crate) fn do_precharge(&mut self, now: Instant, trp: Duration) -> u32 {
+        let row = self.open_row.take().expect("precharge with no open row");
+        self.total_open_time += now.saturating_since(self.opened_at);
+        self.busy_until = now + trp;
+        row
+    }
+
+    /// Records a refresh cycle occupying the bank for `trfc` starting at
+    /// `start` (which may be after an implied precharge).
+    pub(crate) fn do_refresh(&mut self, start: Instant, trfc: Duration) {
+        debug_assert!(self.open_row.is_none());
+        self.busy_until = start + trfc;
+    }
+
+    /// Total time this bank has spent with a row open, including a partial
+    /// interval up to `now` if a row is open right now.
+    pub fn open_time(&self, now: Instant) -> Duration {
+        let mut t = self.total_open_time;
+        if self.open_row.is_some() {
+            t += now.saturating_since(self.opened_at);
+        }
+        t
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> Duration {
+        Duration::from_ns(n)
+    }
+
+    fn at(n: u64) -> Instant {
+        Instant::from_ps(n * 1000)
+    }
+
+    #[test]
+    fn activate_then_precharge_tracks_open_time() {
+        let mut b = Bank::new();
+        b.do_activate(7, at(0), ns(15), ns(45));
+        assert_eq!(b.open_row(), Some(7));
+        assert!(!b.is_precharged());
+        assert_eq!(b.busy_until(), at(15));
+        assert_eq!(b.earliest_precharge(), at(45));
+        let closed = b.do_precharge(at(100), ns(15));
+        assert_eq!(closed, 7);
+        assert!(b.is_precharged());
+        assert_eq!(b.open_time(at(1000)), ns(100));
+    }
+
+    #[test]
+    fn open_time_counts_partial_interval() {
+        let mut b = Bank::new();
+        b.do_activate(0, at(10), ns(15), ns(45));
+        assert_eq!(b.open_time(at(60)), ns(50));
+    }
+
+    #[test]
+    fn ready_respects_busy_horizon() {
+        let mut b = Bank::new();
+        b.do_refresh(at(0), ns(70));
+        assert!(!b.is_ready(at(69)));
+        assert!(b.is_ready(at(70)));
+    }
+
+    #[test]
+    fn column_access_extends_busy() {
+        let mut b = Bank::new();
+        b.do_activate(1, at(0), ns(15), ns(45));
+        b.do_column_access(at(15), ns(6));
+        assert_eq!(b.busy_until(), at(21));
+    }
+}

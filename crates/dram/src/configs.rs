@@ -1,0 +1,142 @@
+//! Preset module configurations from the paper's evaluation tables.
+//!
+//! | Preset | Source | Geometry | Refresh interval |
+//! |---|---|---|---|
+//! | [`conventional_2gb`] | Table 1 | 2 ranks x 4 banks x 16384 rows x 2048 cols | 64 ms |
+//! | [`conventional_4gb`] | Table 1 | 2 ranks x 8 banks x 16384 rows x 2048 cols | 64 ms |
+//! | [`stacked_3d_64mb`]  | Table 2 | 1 rank x 4 banks x 16384 rows x 128 cols | 64 or 32 ms |
+//! | [`stacked_3d_32mb`]  | §6      | half-capacity 3D variant | 64 or 32 ms |
+//!
+//! The baseline (CBR distributed) refresh rates follow directly:
+//! `total_rows / interval` = 2,048,000/s (2 GB), 4,096,000/s (4 GB),
+//! 1,024,000/s (3D @ 64 ms), 2,048,000/s (3D @ 32 ms) — the values marked as
+//! "Baseline" in Figs 6, 9, 12 and 15.
+
+use crate::geometry::Geometry;
+use crate::time::Duration;
+use crate::timing::TimingParams;
+
+/// A named module configuration: geometry plus timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleConfig {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Module shape.
+    pub geometry: Geometry,
+    /// Timing parameters, including the retention interval.
+    pub timing: TimingParams,
+}
+
+impl ModuleConfig {
+    /// Baseline refresh operations per second for this configuration: every
+    /// `(rank, bank, row)` refreshed once per retention interval.
+    pub fn baseline_refreshes_per_sec(&self) -> f64 {
+        self.geometry.total_rows() as f64 / self.timing.retention.as_secs_f64()
+    }
+}
+
+/// Table 1: the 2 GB DDR2 module (2 ranks, 4 banks, 16384 rows, 2048 columns,
+/// 64-bit data + 8-bit ECC, 64 ms refresh interval, open-page policy).
+pub fn conventional_2gb() -> ModuleConfig {
+    ModuleConfig {
+        name: "ddr2-2gb",
+        geometry: Geometry::new(2, 4, 16384, 2048, 64),
+        timing: TimingParams::ddr2_667(),
+    }
+}
+
+/// Table 1: the 4 GB variant (8 banks instead of 4).
+pub fn conventional_4gb() -> ModuleConfig {
+    ModuleConfig {
+        name: "ddr2-4gb",
+        geometry: Geometry::new(2, 8, 16384, 2048, 64),
+        timing: TimingParams::ddr2_667(),
+    }
+}
+
+/// Table 2: the 64 MB 3D die-stacked DRAM cache (1 rank, 4 banks, 16384 rows,
+/// 128 columns) at the given refresh interval (64 ms nominal, 32 ms when the
+/// stack runs above 85 °C, §4.5).
+pub fn stacked_3d_64mb(retention: Duration) -> ModuleConfig {
+    ModuleConfig {
+        name: "3d-64mb",
+        geometry: Geometry::new(1, 4, 16384, 128, 64),
+        timing: TimingParams::ddr2_667().with_retention(retention),
+    }
+}
+
+/// An embedded-DRAM macro in the style the paper's introduction cites
+/// (NEC eDRAM, 4 ms refresh interval): 16 MB, 1 KB rows. At millisecond
+/// retention the refresh stream is an order of magnitude hotter than a
+/// DIMM's, which is what makes refresh elimination so valuable on-die.
+pub fn edram_16mb() -> ModuleConfig {
+    ModuleConfig {
+        name: "edram-16mb",
+        geometry: Geometry::new(1, 4, 4096, 128, 64),
+        timing: TimingParams::ddr2_667().with_retention(Duration::from_ms(4)),
+    }
+}
+
+/// The 32 MB 3D variant studied alongside the 64 MB one (§6): half the rows.
+pub fn stacked_3d_32mb(retention: Duration) -> ModuleConfig {
+    ModuleConfig {
+        name: "3d-32mb",
+        geometry: Geometry::new(1, 4, 8192, 128, 64),
+        timing: TimingParams::ddr2_667().with_retention(retention),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_rates_match_paper_figures() {
+        assert_eq!(conventional_2gb().baseline_refreshes_per_sec(), 2_048_000.0);
+        assert_eq!(conventional_4gb().baseline_refreshes_per_sec(), 4_096_000.0);
+        assert_eq!(
+            stacked_3d_64mb(Duration::from_ms(64)).baseline_refreshes_per_sec(),
+            1_024_000.0
+        );
+        assert_eq!(
+            stacked_3d_64mb(Duration::from_ms(32)).baseline_refreshes_per_sec(),
+            2_048_000.0
+        );
+    }
+
+    #[test]
+    fn capacities_match_names() {
+        assert_eq!(conventional_2gb().geometry.capacity_bytes(), 2 << 30);
+        assert_eq!(conventional_4gb().geometry.capacity_bytes(), 4 << 30);
+        assert_eq!(
+            stacked_3d_64mb(Duration::from_ms(64))
+                .geometry
+                .capacity_bytes(),
+            64 << 20
+        );
+        assert_eq!(
+            stacked_3d_32mb(Duration::from_ms(32))
+                .geometry
+                .capacity_bytes(),
+            32 << 20
+        );
+    }
+
+    #[test]
+    fn edram_refreshes_an_order_of_magnitude_faster() {
+        let e = edram_16mb();
+        assert_eq!(e.geometry.capacity_bytes(), 16 << 20);
+        // 16384 rows / 4 ms = 4,096,000 refreshes per second.
+        assert_eq!(e.baseline_refreshes_per_sec(), 4_096_000.0);
+    }
+
+    #[test]
+    fn row_sizes_differ_between_conventional_and_3d() {
+        // 16 KB rows in the DIMM, 1 KB rows in the 3D stack.
+        assert_eq!(conventional_2gb().geometry.row_bytes(), 16 * 1024);
+        assert_eq!(
+            stacked_3d_64mb(Duration::from_ms(64)).geometry.row_bytes(),
+            1024
+        );
+    }
+}

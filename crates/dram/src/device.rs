@@ -1,0 +1,636 @@
+//! The DRAM device model.
+//!
+//! [`DramDevice`] combines the geometry, timing, per-bank state machines, the
+//! CBR internal refresh-address counters, retention tracking and operation
+//! statistics into the component a memory controller issues commands to.
+//!
+//! The model is event-granular rather than cycle-by-cycle: each command
+//! executes instantaneously at an `Instant`, reserving its bank until the
+//! datasheet-accurate completion time. That is exactly the level of detail
+//! the paper's results depend on — refresh counts, refresh/bank-state
+//! interactions, bank occupancy (for the Fig 18 latency results) and row
+//! open-time (for background power).
+
+use crate::bank::Bank;
+use crate::error::DramError;
+use crate::geometry::{Geometry, RowAddr};
+use crate::rank::RankState;
+use crate::retention::RetentionTracker;
+use crate::stats::OpStats;
+use crate::time::{Duration, Instant};
+use crate::timing::TimingParams;
+
+/// Outcome of a successfully issued command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// When the addressed bank becomes available for the next command.
+    pub bank_ready_at: Instant,
+    /// When the requested data is available (reads) or the operation's
+    /// effect is complete. Equal to `bank_ready_at` for non-data commands.
+    pub completed_at: Instant,
+    /// For refresh commands: true when the bank had an open page that had to
+    /// be written back and precharged first (extra energy and time).
+    pub closed_open_page: bool,
+}
+
+/// A DDR2-style DRAM module.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
+/// use smartrefresh_dram::geometry::RowAddr;
+/// use smartrefresh_dram::time::Instant;
+///
+/// let mut dev = DramDevice::new(Geometry::new(1, 4, 64, 32, 64), TimingParams::ddr2_667());
+/// let row = RowAddr { rank: 0, bank: 0, row: 3 };
+/// let act = dev.activate(row, Instant::ZERO)?;
+/// let rd = dev.read(row, 0, act.bank_ready_at)?;
+/// assert!(rd.completed_at > act.bank_ready_at);
+/// # Ok::<(), smartrefresh_dram::DramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    geometry: Geometry,
+    timing: TimingParams,
+    banks: Vec<Bank>,
+    /// CBR internal refresh row counter, one per (rank, bank).
+    cbr_row_counters: Vec<u32>,
+    /// tRRD/tFAW activation windows, one per rank.
+    ranks: Vec<RankState>,
+    retention: RetentionTracker,
+    stats: OpStats,
+}
+
+impl DramDevice {
+    /// Creates a device with all banks precharged and all rows considered
+    /// freshly restored at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timing` fails [`TimingParams::validate`].
+    pub fn new(geometry: Geometry, timing: TimingParams) -> Self {
+        timing.validate();
+        let nbanks = geometry.total_banks() as usize;
+        DramDevice {
+            banks: vec![Bank::new(); nbanks],
+            cbr_row_counters: vec![0; nbanks],
+            ranks: vec![RankState::new(); geometry.ranks() as usize],
+            retention: RetentionTracker::new(&geometry, timing.retention),
+            geometry,
+            timing,
+            stats: OpStats::new(),
+        }
+    }
+
+    /// The module geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// The retention tracker (for integrity checks and optimality metrics).
+    pub fn retention(&self) -> &RetentionTracker {
+        &self.retention
+    }
+
+    /// Installs a per-row retention profile so integrity checks validate
+    /// against each row's true (variable) deadline instead of the worst
+    /// case. Used by the retention-aware experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not cover the module's rows.
+    pub fn apply_retention_profile(&mut self, profile: &crate::profile::RetentionProfile) {
+        self.retention.apply_profile(profile);
+    }
+
+    /// Bank state, for scheduling decisions by the controller.
+    pub fn bank(&self, rank: u32, bank: u32) -> &Bank {
+        &self.banks[self.geometry.bank_index(rank, bank) as usize]
+    }
+
+    /// Earliest instant an ACTIVATE to `rank` satisfies tRRD and tFAW.
+    pub fn earliest_activate(&self, rank: u32) -> Instant {
+        self.ranks[rank as usize].earliest_activate(self.timing.trrd, self.timing.tfaw)
+    }
+
+    /// Total row-open time summed over all banks up to `now` (for
+    /// active-standby background energy).
+    pub fn total_open_time(&self, now: Instant) -> Duration {
+        self.banks.iter().map(|b| b.open_time(now)).sum()
+    }
+
+    fn check_addr(&self, addr: RowAddr) -> Result<(), DramError> {
+        if addr.rank >= self.geometry.ranks()
+            || addr.bank >= self.geometry.banks()
+            || addr.row >= self.geometry.rows()
+        {
+            return Err(DramError::AddressOutOfRange { addr });
+        }
+        Ok(())
+    }
+
+    fn bank_mut(&mut self, rank: u32, bank: u32) -> &mut Bank {
+        let i = self.geometry.bank_index(rank, bank) as usize;
+        &mut self.banks[i]
+    }
+
+    fn require_ready(&self, rank: u32, bank: u32, now: Instant) -> Result<(), DramError> {
+        let b = self.bank(rank, bank);
+        if !b.is_ready(now) {
+            return Err(DramError::BankBusy {
+                rank,
+                bank,
+                ready_at: b.busy_until(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Issues ACTIVATE: opens `addr.row` in its bank.
+    ///
+    /// Opening a row senses (and thus destroys-then-restores) its cells, so
+    /// this also counts as a charge restore for retention purposes — the
+    /// physical fact Smart Refresh exploits.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankBusy`], [`DramError::BankAlreadyOpen`] or
+    /// [`DramError::AddressOutOfRange`].
+    pub fn activate(&mut self, addr: RowAddr, now: Instant) -> Result<OpOutcome, DramError> {
+        self.check_addr(addr)?;
+        self.require_ready(addr.rank, addr.bank, now)?;
+        if let Some(open) = self.bank(addr.rank, addr.bank).open_row() {
+            return Err(DramError::BankAlreadyOpen {
+                rank: addr.rank,
+                bank: addr.bank,
+                open_row: open,
+            });
+        }
+        let window = self.earliest_activate(addr.rank);
+        if now < window {
+            return Err(DramError::ActivateTooSoon {
+                rank: addr.rank,
+                earliest: window,
+            });
+        }
+        self.ranks[addr.rank as usize].record_activate(now);
+        let (trcd, tras) = (self.timing.trcd, self.timing.tras);
+        self.bank_mut(addr.rank, addr.bank)
+            .do_activate(addr.row, now, trcd, tras);
+        // The restore completes with the sense/restore phase (tRAS window);
+        // we credit it at activate+tRAS, conservatively within the deadline.
+        let restore_at = now + tras;
+        self.retention
+            .restore(self.geometry.flatten(addr), restore_at);
+        self.stats.activates += 1;
+        Ok(OpOutcome {
+            bank_ready_at: now + trcd,
+            completed_at: now + trcd,
+            closed_open_page: false,
+        })
+    }
+
+    fn column_access(
+        &mut self,
+        addr: RowAddr,
+        column: u32,
+        now: Instant,
+        is_write: bool,
+    ) -> Result<OpOutcome, DramError> {
+        self.check_addr(addr)?;
+        if column >= self.geometry.columns() {
+            return Err(DramError::AddressOutOfRange { addr });
+        }
+        self.require_ready(addr.rank, addr.bank, now)?;
+        match self.bank(addr.rank, addr.bank).open_row() {
+            None => {
+                return Err(DramError::NoOpenRow {
+                    rank: addr.rank,
+                    bank: addr.bank,
+                })
+            }
+            Some(open) if open != addr.row => {
+                return Err(DramError::RowMismatch {
+                    requested: addr.row,
+                    open_row: open,
+                })
+            }
+            Some(_) => {}
+        }
+        let tburst = self.timing.tburst;
+        let tcl = self.timing.tcl;
+        let twr = self.timing.twr;
+        self.bank_mut(addr.rank, addr.bank)
+            .do_column_access(now, tburst);
+        if is_write {
+            // Write recovery: the row may not close until tWR after the
+            // last data beat.
+            self.bank_mut(addr.rank, addr.bank)
+                .extend_precharge_floor(now + tcl + tburst + twr);
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        Ok(OpOutcome {
+            bank_ready_at: now + tburst,
+            completed_at: now + tcl + tburst,
+            closed_open_page: false,
+        })
+    }
+
+    /// Issues READ of `column` from the open row.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::NoOpenRow`], [`DramError::RowMismatch`],
+    /// [`DramError::BankBusy`] or [`DramError::AddressOutOfRange`].
+    pub fn read(
+        &mut self,
+        addr: RowAddr,
+        column: u32,
+        now: Instant,
+    ) -> Result<OpOutcome, DramError> {
+        self.column_access(addr, column, now, false)
+    }
+
+    /// Issues WRITE of `column` into the open row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DramDevice::read`].
+    pub fn write(
+        &mut self,
+        addr: RowAddr,
+        column: u32,
+        now: Instant,
+    ) -> Result<OpOutcome, DramError> {
+        self.column_access(addr, column, now, true)
+    }
+
+    /// Issues PRECHARGE: writes the open row back and closes the bank.
+    ///
+    /// Closing a page rewrites the cells, so this is also a charge restore
+    /// (the paper resets the row's time-out counter here too, §4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::NoOpenRow`], [`DramError::BankBusy`] or
+    /// [`DramError::PrechargeTooEarly`].
+    pub fn precharge(
+        &mut self,
+        rank: u32,
+        bank: u32,
+        now: Instant,
+    ) -> Result<OpOutcome, DramError> {
+        self.require_ready(rank, bank, now)?;
+        let b = self.bank(rank, bank);
+        if b.open_row().is_none() {
+            return Err(DramError::NoOpenRow { rank, bank });
+        }
+        if now < b.earliest_precharge() {
+            return Err(DramError::PrechargeTooEarly {
+                earliest: b.earliest_precharge(),
+            });
+        }
+        let trp = self.timing.trp;
+        let row = self.bank_mut(rank, bank).do_precharge(now, trp);
+        self.retention
+            .restore(self.geometry.flatten(RowAddr { rank, bank, row }), now);
+        self.stats.precharges += 1;
+        Ok(OpOutcome {
+            bank_ready_at: now + trp,
+            completed_at: now + trp,
+            closed_open_page: false,
+        })
+    }
+
+    fn refresh_common(
+        &mut self,
+        rank: u32,
+        bank: u32,
+        row: u32,
+        now: Instant,
+    ) -> Result<OpOutcome, DramError> {
+        self.require_ready(rank, bank, now)?;
+        let mut start = now;
+        let mut closed_open_page = false;
+        // A refresh arriving at a bank with an open page implicitly writes the
+        // page back and precharges first (extra time and energy, §7.1),
+        // honouring the tRAS / write-recovery floor.
+        if self.bank(rank, bank).open_row().is_some() {
+            let trp = self.timing.trp;
+            let pre_at = now.max(self.bank(rank, bank).earliest_precharge());
+            let closed = self.bank_mut(rank, bank).do_precharge(pre_at, trp);
+            self.retention.restore(
+                self.geometry.flatten(RowAddr {
+                    rank,
+                    bank,
+                    row: closed,
+                }),
+                pre_at,
+            );
+            start = pre_at + trp;
+            closed_open_page = true;
+            self.stats.refreshes_closing_open_page += 1;
+        }
+        let trfc = self.timing.trfc;
+        self.bank_mut(rank, bank).do_refresh(start, trfc);
+        let done = start + trfc;
+        self.retention
+            .restore(self.geometry.flatten(RowAddr { rank, bank, row }), done);
+        Ok(OpOutcome {
+            bank_ready_at: done,
+            completed_at: done,
+            closed_open_page,
+        })
+    }
+
+    /// Issues a CBR (CAS-before-RAS) refresh to `(rank, bank)`.
+    ///
+    /// The module's internal address counter selects the row and then
+    /// increments, wrapping at the row count — the controller cannot choose
+    /// or reset it (§3). Returns the row that was refreshed alongside the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankBusy`] if the bank has not finished its previous
+    /// operation.
+    pub fn refresh_cbr(
+        &mut self,
+        rank: u32,
+        bank: u32,
+        now: Instant,
+    ) -> Result<(OpOutcome, u32), DramError> {
+        let idx = self.geometry.bank_index(rank, bank) as usize;
+        let row = self.cbr_row_counters[idx];
+        let outcome = self.refresh_common(rank, bank, row, now)?;
+        self.cbr_row_counters[idx] = (row + 1) % self.geometry.rows();
+        self.stats.cbr_refreshes += 1;
+        Ok((outcome, row))
+    }
+
+    /// Issues a RAS-only refresh of an explicit row (the controller puts the
+    /// row address on the address bus, §3). This is the mechanism Smart
+    /// Refresh uses, at the cost of bus energy accounted by the energy model.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankBusy`] or [`DramError::AddressOutOfRange`].
+    pub fn refresh_ras_only(
+        &mut self,
+        addr: RowAddr,
+        now: Instant,
+    ) -> Result<OpOutcome, DramError> {
+        self.check_addr(addr)?;
+        let outcome = self.refresh_common(addr.rank, addr.bank, addr.row, now)?;
+        self.stats.ras_only_refreshes += 1;
+        Ok(outcome)
+    }
+
+    /// Verifies that no row has exceeded the retention deadline as of `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flat indices of decayed rows. An `Err` from this method
+    /// means the refresh policy under test has a *correctness* bug.
+    pub fn check_integrity(&self, now: Instant) -> Result<(), Vec<u64>> {
+        let v = self.retention.violations(now);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DramDevice {
+        DramDevice::new(Geometry::new(1, 2, 16, 8, 64), TimingParams::ddr2_667())
+    }
+
+    fn row(bank: u32, row: u32) -> RowAddr {
+        RowAddr { rank: 0, bank, row }
+    }
+
+    #[test]
+    fn read_requires_activate_first() {
+        let mut d = dev();
+        let err = d.read(row(0, 3), 0, Instant::ZERO).unwrap_err();
+        assert!(matches!(err, DramError::NoOpenRow { .. }));
+    }
+
+    #[test]
+    fn full_access_cycle_updates_stats_and_retention() {
+        let mut d = dev();
+        let a = row(0, 3);
+        let t0 = Instant::ZERO;
+        let act = d.activate(a, t0).unwrap();
+        let rd = d.read(a, 2, act.bank_ready_at).unwrap();
+        let pre_time = d.bank(0, 0).earliest_precharge().max(rd.bank_ready_at);
+        d.precharge(0, 0, pre_time).unwrap();
+        assert_eq!(d.stats().activates, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().precharges, 1);
+        // Retention restored at precharge time (later than activate+tRAS).
+        assert_eq!(
+            d.retention().last_restore(d.geometry().flatten(a)),
+            pre_time
+        );
+    }
+
+    #[test]
+    fn activate_while_open_is_rejected() {
+        let mut d = dev();
+        d.activate(row(0, 1), Instant::ZERO).unwrap();
+        let t = Instant::ZERO + Duration::from_us(1);
+        let err = d.activate(row(0, 2), t).unwrap_err();
+        assert!(matches!(
+            err,
+            DramError::BankAlreadyOpen { open_row: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn early_precharge_is_rejected() {
+        let mut d = dev();
+        let act = d.activate(row(0, 1), Instant::ZERO).unwrap();
+        let err = d.precharge(0, 0, act.bank_ready_at).unwrap_err();
+        assert!(matches!(err, DramError::PrechargeTooEarly { .. }));
+    }
+
+    #[test]
+    fn busy_bank_rejects_commands() {
+        let mut d = dev();
+        d.refresh_ras_only(row(0, 5), Instant::ZERO).unwrap();
+        let err = d
+            .activate(row(0, 1), Instant::ZERO + Duration::from_ns(10))
+            .unwrap_err();
+        assert!(matches!(err, DramError::BankBusy { .. }));
+    }
+
+    #[test]
+    fn cbr_counter_walks_rows_and_wraps() {
+        let mut d = dev();
+        let mut now = Instant::ZERO;
+        let mut seen = Vec::new();
+        for _ in 0..18 {
+            let (out, r) = d.refresh_cbr(0, 1, now).unwrap();
+            seen.push(r);
+            now = out.bank_ready_at;
+        }
+        assert_eq!(&seen[..4], &[0, 1, 2, 3]);
+        assert_eq!(seen[16], 0, "counter wraps at 16 rows");
+        assert_eq!(d.stats().cbr_refreshes, 18);
+    }
+
+    #[test]
+    fn cbr_counters_are_per_bank() {
+        let mut d = dev();
+        d.refresh_cbr(0, 0, Instant::ZERO).unwrap();
+        let (_, r) = d
+            .refresh_cbr(0, 1, Instant::ZERO + Duration::from_us(1))
+            .unwrap();
+        assert_eq!(r, 0, "bank 1 counter unaffected by bank 0 refreshes");
+    }
+
+    #[test]
+    fn refresh_into_open_bank_closes_page_and_flags_it() {
+        let mut d = dev();
+        d.activate(row(0, 1), Instant::ZERO).unwrap();
+        let t = Instant::ZERO + Duration::from_us(1);
+        let out = d.refresh_ras_only(row(0, 7), t).unwrap();
+        assert!(out.closed_open_page);
+        assert_eq!(d.stats().refreshes_closing_open_page, 1);
+        assert!(d.bank(0, 0).is_precharged());
+        // Occupies trp + trfc instead of just trfc.
+        assert_eq!(out.bank_ready_at, t + d.timing().trp + d.timing().trfc);
+    }
+
+    #[test]
+    fn integrity_detects_decay_and_refresh_fixes_it() {
+        let mut d = dev();
+        let late = Instant::ZERO + Duration::from_ms(65);
+        assert!(d.check_integrity(late).is_err());
+        let mut now = late;
+        for b in 0..2 {
+            for r in 0..16 {
+                let out = d.refresh_ras_only(row(b, r), now).unwrap();
+                now = out.bank_ready_at;
+            }
+        }
+        assert!(d.check_integrity(now).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let mut d = dev();
+        let bad = RowAddr {
+            rank: 0,
+            bank: 9,
+            row: 0,
+        };
+        assert!(matches!(
+            d.activate(bad, Instant::ZERO),
+            Err(DramError::AddressOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.refresh_ras_only(bad, Instant::ZERO),
+            Err(DramError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn trrd_spaces_activates_within_a_rank() {
+        let mut d = dev();
+        d.activate(row(0, 0), Instant::ZERO).unwrap();
+        // Different bank, same rank, 1 ns later: violates tRRD (7.5 ns).
+        let err = d
+            .activate(row(1, 0), Instant::ZERO + Duration::from_ns(1))
+            .unwrap_err();
+        assert!(matches!(err, DramError::ActivateTooSoon { .. }));
+        // At the published earliest time it succeeds.
+        let earliest = d.earliest_activate(0);
+        d.activate(row(1, 0), earliest).unwrap();
+    }
+
+    #[test]
+    fn tfaw_limits_activate_bursts() {
+        // Geometry with >4 banks so tRRD alone would allow a 5th activate.
+        let g = Geometry::new(1, 8, 16, 8, 64);
+        let mut d = DramDevice::new(g, TimingParams::ddr2_667());
+        let mut now = Instant::ZERO;
+        for bank in 0..4 {
+            now = now.max(d.earliest_activate(0));
+            d.activate(
+                RowAddr {
+                    rank: 0,
+                    bank,
+                    row: 0,
+                },
+                now,
+            )
+            .unwrap();
+        }
+        let fifth_earliest = d.earliest_activate(0);
+        // tFAW (37.5 ns) from the first activate dominates 4 x tRRD (30 ns).
+        assert_eq!(fifth_earliest, Instant::ZERO + Duration::from_ps(37_500));
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut d = dev();
+        let a = row(0, 3);
+        let act = d.activate(a, Instant::ZERO).unwrap();
+        d.write(a, 0, act.bank_ready_at).unwrap();
+        let t = *d.timing();
+        // Write at 15 ns: recovery floor = 15 + tCL + tBURST + tWR = 51 ns,
+        // which exceeds the tRAS floor of 45 ns.
+        let floor = act.bank_ready_at + t.tcl + t.tburst + t.twr;
+        assert_eq!(d.bank(0, 0).earliest_precharge(), floor);
+        assert!(floor > Instant::ZERO + t.tras);
+        // Precharging just before the recovery floor is rejected...
+        let err = d.precharge(0, 0, floor - Duration::from_ns(1)).unwrap_err();
+        assert!(matches!(err, DramError::PrechargeTooEarly { .. }));
+        // ...and at the floor it succeeds.
+        d.precharge(0, 0, floor).unwrap();
+    }
+
+    #[test]
+    fn ranks_have_independent_activation_windows() {
+        let mut d = DramDevice::new(Geometry::new(2, 2, 16, 8, 64), TimingParams::ddr2_667());
+        d.activate(
+            RowAddr {
+                rank: 0,
+                bank: 0,
+                row: 0,
+            },
+            Instant::ZERO,
+        )
+        .unwrap();
+        // Rank 1 is unconstrained by rank 0's activate.
+        assert_eq!(d.earliest_activate(1), Instant::ZERO);
+    }
+
+    #[test]
+    fn open_time_accumulates_for_background_energy() {
+        let mut d = dev();
+        d.activate(row(0, 0), Instant::ZERO).unwrap();
+        let now = Instant::ZERO + Duration::from_us(10);
+        assert_eq!(d.total_open_time(now), Duration::from_us(10));
+    }
+}

@@ -1,0 +1,140 @@
+//! Error type for illegal DRAM command sequences.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::geometry::RowAddr;
+use crate::time::Instant;
+
+/// An illegal command was issued to the DRAM device.
+///
+/// The device enforces protocol legality (a bank must be precharged before
+/// ACTIVATE, a row must be open before READ, timing windows must have
+/// elapsed). The memory controller is expected to schedule commands so these
+/// never fire; any occurrence is a controller bug, so callers typically
+/// propagate rather than recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// The bank is still busy with a previous operation until the given time.
+    BankBusy {
+        /// Bank that was addressed.
+        rank: u32,
+        /// Bank index within the rank.
+        bank: u32,
+        /// When the bank becomes available again.
+        ready_at: Instant,
+    },
+    /// ACTIVATE was issued to a bank that already has an open row.
+    BankAlreadyOpen {
+        /// Bank that was addressed.
+        rank: u32,
+        /// Bank index within the rank.
+        bank: u32,
+        /// The row currently held in the sense amplifiers.
+        open_row: u32,
+    },
+    /// READ/WRITE/PRECHARGE was issued to a bank with no open row.
+    NoOpenRow {
+        /// Bank that was addressed.
+        rank: u32,
+        /// Bank index within the rank.
+        bank: u32,
+    },
+    /// READ/WRITE addressed a row other than the open one.
+    RowMismatch {
+        /// Row requested by the command.
+        requested: u32,
+        /// Row actually open in the bank.
+        open_row: u32,
+    },
+    /// PRECHARGE was issued before `tRAS` expired for the open row.
+    PrechargeTooEarly {
+        /// Earliest legal precharge time.
+        earliest: Instant,
+    },
+    /// ACTIVATE issued before the rank's tRRD/tFAW window allows it.
+    ActivateTooSoon {
+        /// Rank that was addressed.
+        rank: u32,
+        /// Earliest legal activate time.
+        earliest: Instant,
+    },
+    /// An address component was outside the module geometry.
+    AddressOutOfRange {
+        /// The offending `(rank, bank, row)`.
+        addr: RowAddr,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BankBusy {
+                rank,
+                bank,
+                ready_at,
+            } => write!(f, "bank r{rank}b{bank} busy until {ready_at}"),
+            DramError::BankAlreadyOpen {
+                rank,
+                bank,
+                open_row,
+            } => write!(f, "bank r{rank}b{bank} already has row {open_row} open"),
+            DramError::NoOpenRow { rank, bank } => {
+                write!(f, "bank r{rank}b{bank} has no open row")
+            }
+            DramError::RowMismatch {
+                requested,
+                open_row,
+            } => write!(f, "row {requested} requested but row {open_row} is open"),
+            DramError::ActivateTooSoon { rank, earliest } => {
+                write!(
+                    f,
+                    "activate to rank {rank} before tRRD/tFAW window; earliest is {earliest}"
+                )
+            }
+            DramError::PrechargeTooEarly { earliest } => {
+                write!(
+                    f,
+                    "precharge before tRAS expiry; earliest legal is {earliest}"
+                )
+            }
+            DramError::AddressOutOfRange { addr } => {
+                write!(f, "address {addr} outside module geometry")
+            }
+        }
+    }
+}
+
+impl StdError for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            DramError::BankBusy {
+                rank: 0,
+                bank: 1,
+                ready_at: Instant::from_ps(5),
+            },
+            DramError::NoOpenRow { rank: 0, bank: 0 },
+            DramError::RowMismatch {
+                requested: 1,
+                open_row: 2,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DramError>();
+    }
+}

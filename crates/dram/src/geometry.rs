@@ -1,0 +1,331 @@
+//! DRAM module geometry and physical-address mapping.
+//!
+//! A module is organised as `ranks × banks × rows × columns`, with a data bus
+//! `data_bits` wide (Table 1 of the paper uses 72 bits: 64 data + 8 ECC; only
+//! the 64 data bits contribute to capacity). One *column access* transfers one
+//! bus-width worth of data.
+//!
+//! Smart Refresh tracks state per `(rank, bank, row)` triple — the unit that a
+//! single refresh operation restores under the paper's
+//! one-channel/one-rank/one-bank refresh command policy. [`RowAddr`] names
+//! such a triple and [`Geometry::flatten`] gives it a dense index usable for
+//! counter arrays and retention tables.
+
+use std::fmt;
+
+/// Shape of a DRAM module.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_dram::geometry::Geometry;
+///
+/// // Table 1: 2 GB DDR2 module.
+/// let g = Geometry::new(2, 4, 16384, 2048, 64);
+/// assert_eq!(g.capacity_bytes(), 2 * 1024 * 1024 * 1024);
+/// assert_eq!(g.total_rows(), 131_072);
+/// assert_eq!(g.row_bytes(), 16 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    ranks: u32,
+    banks: u32,
+    rows: u32,
+    columns: u32,
+    /// Width of the *data* portion of the bus in bits (excludes ECC).
+    data_bits: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `data_bits` is not a multiple of 8.
+    pub fn new(ranks: u32, banks: u32, rows: u32, columns: u32, data_bits: u32) -> Self {
+        assert!(ranks > 0, "ranks must be nonzero");
+        assert!(banks > 0, "banks must be nonzero");
+        assert!(rows > 0, "rows must be nonzero");
+        assert!(columns > 0, "columns must be nonzero");
+        assert!(
+            data_bits > 0 && data_bits.is_multiple_of(8),
+            "data_bits must be a nonzero multiple of 8"
+        );
+        Geometry {
+            ranks,
+            banks,
+            rows,
+            columns,
+            data_bits,
+        }
+    }
+
+    /// Number of ranks in the module.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// Number of banks per rank.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Number of rows per bank.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns per row.
+    pub fn columns(&self) -> u32 {
+        self.columns
+    }
+
+    /// Width of the data portion of the bus, in bits.
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Bytes transferred by one column access.
+    pub fn column_bytes(&self) -> u64 {
+        u64::from(self.data_bits) / 8
+    }
+
+    /// Bytes stored in one row (the unit restored by one refresh).
+    pub fn row_bytes(&self) -> u64 {
+        u64::from(self.columns) * self.column_bytes()
+    }
+
+    /// Total data capacity of the module in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.ranks) * u64::from(self.banks) * u64::from(self.rows) * self.row_bytes()
+    }
+
+    /// Total number of independently refreshable `(rank, bank, row)` triples.
+    ///
+    /// This is the count the baseline CBR policy must sweep once per refresh
+    /// interval, and the number of time-out counters Smart Refresh maintains.
+    pub fn total_rows(&self) -> u64 {
+        u64::from(self.ranks) * u64::from(self.banks) * u64::from(self.rows)
+    }
+
+    /// Number of banks across all ranks.
+    pub fn total_banks(&self) -> u32 {
+        self.ranks * self.banks
+    }
+
+    /// Maps a physical byte address to its `(rank, bank, row, column)`.
+    ///
+    /// The mapping interleaves consecutive column-sized blocks across columns,
+    /// then banks, then ranks, then rows — the usual open-page-friendly layout
+    /// in which a contiguous `row_bytes()`-sized region covering all banks
+    /// maps to one row index in each bank.
+    ///
+    /// Addresses beyond the capacity wrap (callers model virtual→physical
+    /// placement separately).
+    pub fn decode(&self, addr: u64) -> DecodedAddr {
+        let col_unit = self.column_bytes();
+        let blocks = addr / col_unit;
+        let column = (blocks % u64::from(self.columns)) as u32;
+        let after_col = blocks / u64::from(self.columns);
+        let bank = (after_col % u64::from(self.banks)) as u32;
+        let after_bank = after_col / u64::from(self.banks);
+        let rank = (after_bank % u64::from(self.ranks)) as u32;
+        let after_rank = after_bank / u64::from(self.ranks);
+        let row = (after_rank % u64::from(self.rows)) as u32;
+        DecodedAddr {
+            row_addr: RowAddr { rank, bank, row },
+            column,
+        }
+    }
+
+    /// Dense index of a `(rank, bank, row)` triple in `0..total_rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is out of range for this geometry.
+    pub fn flatten(&self, row: RowAddr) -> u64 {
+        assert!(row.rank < self.ranks, "rank out of range");
+        assert!(row.bank < self.banks, "bank out of range");
+        assert!(row.row < self.rows, "row out of range");
+        (u64::from(row.rank) * u64::from(self.banks) + u64::from(row.bank)) * u64::from(self.rows)
+            + u64::from(row.row)
+    }
+
+    /// Inverse of [`Geometry::flatten`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_rows()`.
+    pub fn unflatten(&self, index: u64) -> RowAddr {
+        assert!(index < self.total_rows(), "flat row index out of range");
+        let row = (index % u64::from(self.rows)) as u32;
+        let rb = index / u64::from(self.rows);
+        let bank = (rb % u64::from(self.banks)) as u32;
+        let rank = (rb / u64::from(self.banks)) as u32;
+        RowAddr { rank, bank, row }
+    }
+
+    /// Dense index of a `(rank, bank)` pair in `0..total_banks()`.
+    pub fn bank_index(&self, rank: u32, bank: u32) -> u32 {
+        assert!(rank < self.ranks, "rank out of range");
+        assert!(bank < self.banks, "bank out of range");
+        rank * self.banks + bank
+    }
+
+    /// Iterator over every `(rank, bank, row)` triple in flat-index order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowAddr> + '_ {
+        (0..self.total_rows()).map(move |i| self.unflatten(i))
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ranks x {} banks x {} rows x {} cols x {} bits ({} MB)",
+            self.ranks,
+            self.banks,
+            self.rows,
+            self.columns,
+            self.data_bits,
+            self.capacity_bytes() / (1024 * 1024)
+        )
+    }
+}
+
+/// A `(rank, bank, row)` triple — the granularity of one refresh operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowAddr {
+    /// Rank index within the module.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}b{}row{}", self.rank, self.bank, self.row)
+    }
+}
+
+/// Result of decoding a physical address: the row triple plus the column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// The `(rank, bank, row)` this address falls in.
+    pub row_addr: RowAddr,
+    /// Column within the row.
+    pub column: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_2gb() -> Geometry {
+        Geometry::new(2, 4, 16384, 2048, 64)
+    }
+
+    fn table2_3d() -> Geometry {
+        Geometry::new(1, 4, 16384, 128, 64)
+    }
+
+    #[test]
+    fn capacities_match_paper_tables() {
+        assert_eq!(table1_2gb().capacity_bytes(), 2 << 30);
+        // Table 1 variant: 4 GB via 8 banks.
+        assert_eq!(
+            Geometry::new(2, 8, 16384, 2048, 64).capacity_bytes(),
+            4 << 30
+        );
+        assert_eq!(table2_3d().capacity_bytes(), 64 << 20);
+    }
+
+    #[test]
+    fn total_rows_drive_baseline_refresh_rates() {
+        // These counts divided by the refresh interval give the paper's
+        // baseline refreshes/sec (2,048,000 for 2 GB @ 64 ms, etc).
+        assert_eq!(table1_2gb().total_rows(), 131_072);
+        assert_eq!(Geometry::new(2, 8, 16384, 2048, 64).total_rows(), 262_144);
+        assert_eq!(table2_3d().total_rows(), 65_536);
+    }
+
+    #[test]
+    fn decode_roundtrips_within_capacity() {
+        let g = table1_2gb();
+        let addrs = [0u64, 8, 16 * 1024, 123_456_792, g.capacity_bytes() - 8];
+        for &a in &addrs {
+            let d = g.decode(a);
+            assert!(d.row_addr.rank < g.ranks());
+            assert!(d.row_addr.bank < g.banks());
+            assert!(d.row_addr.row < g.rows());
+            assert!(d.column < g.columns());
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_stay_in_row_then_switch_bank() {
+        let g = table1_2gb();
+        let first = g.decode(0);
+        let next_col = g.decode(8);
+        assert_eq!(first.row_addr, next_col.row_addr);
+        assert_eq!(next_col.column, 1);
+        // After a full row worth of columns, the bank advances.
+        let next_bank = g.decode(g.row_bytes());
+        assert_eq!(next_bank.row_addr.bank, 1);
+        assert_eq!(next_bank.row_addr.row, 0);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let g = Geometry::new(2, 4, 8, 4, 64);
+        for i in 0..g.total_rows() {
+            let ra = g.unflatten(i);
+            assert_eq!(g.flatten(ra), i);
+        }
+    }
+
+    #[test]
+    fn flatten_is_dense_and_unique() {
+        let g = Geometry::new(2, 2, 4, 4, 64);
+        let mut seen = vec![false; g.total_rows() as usize];
+        for ra in g.iter_rows() {
+            let i = g.flatten(ra) as usize;
+            assert!(!seen[i], "duplicate flat index");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn flatten_rejects_bad_rank() {
+        let g = Geometry::new(1, 1, 1, 1, 64);
+        g.flatten(RowAddr {
+            rank: 1,
+            bank: 0,
+            row: 0,
+        });
+    }
+
+    #[test]
+    fn bank_index_dense() {
+        let g = Geometry::new(2, 4, 8, 4, 64);
+        let mut seen = vec![false; g.total_banks() as usize];
+        for rank in 0..2 {
+            for bank in 0..4 {
+                let i = g.bank_index(rank, bank) as usize;
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_mentions_capacity() {
+        let s = table2_3d().to_string();
+        assert!(s.contains("64 MB"), "display was {s}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-row retention profiles (variable retention time).
+//!
+//! Real DRAM cells retain charge for wildly different times; the worst-case
+//! 64 ms figure covers a tiny population of weak cells. Retention-aware
+//! proposals the paper cites as orthogonal — RAPID (Venkatesan et al.,
+//! HPCA'06) and multi-rate refresh (Kim & Papaefthymiou; Ohsawa et al.'s
+//! VRA) — bin rows by measured retention and refresh each bin at its own
+//! rate. [`RetentionProfile`] models such a binning: each row gets a
+//! power-of-two multiplier over the base retention interval.
+//!
+//! The Smart Refresh paper (§8) claims its technique is orthogonal and can
+//! be applied on top; the `smartrefresh-core` crate implements that
+//! combination and the `abl_retention_aware` bench demonstrates it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-row retention multipliers: row `i` retains data for
+/// `base_retention << multiplier_log2(i)`.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_dram::RetentionProfile;
+///
+/// let p = RetentionProfile::rapid_like(10_000, 42);
+/// // Most rows retain far longer than the worst case, so an ideal
+/// // retention-aware scheme needs only a fraction of the refreshes.
+/// assert!(p.ideal_refresh_fraction() < 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetentionProfile {
+    multipliers_log2: Vec<u8>,
+}
+
+impl RetentionProfile {
+    /// Every row at the worst-case base retention (the conservative default
+    /// all non-retention-aware schemes assume).
+    pub fn worst_case(total_rows: u64) -> Self {
+        RetentionProfile {
+            multipliers_log2: vec![0; total_rows as usize],
+        }
+    }
+
+    /// A RAPID-like measured distribution: a small population of weak rows
+    /// pins the worst case while most rows retain far longer.
+    ///
+    /// Bins (log2 multiplier over the base interval): 1× for 0.5% of rows,
+    /// 2× for 4.5%, 4× for 25%, 8× for the remaining 70%.
+    pub fn rapid_like(total_rows: u64, seed: u64) -> Self {
+        Self::from_bins(
+            total_rows,
+            seed,
+            &[(0, 0.005), (1, 0.045), (2, 0.25), (3, 0.70)],
+        )
+    }
+
+    /// Builds a profile from `(log2 multiplier, fraction)` bins; fractions
+    /// must sum to 1 (within rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions do not sum to ~1 or a multiplier exceeds 7.
+    pub fn from_bins(total_rows: u64, seed: u64, bins: &[(u8, f64)]) -> Self {
+        let sum: f64 = bins.iter().map(|&(_, f)| f).sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "bin fractions must sum to 1, got {sum}"
+        );
+        assert!(
+            bins.iter().all(|&(m, _)| m <= 7),
+            "multiplier beyond 128x base retention is not meaningful"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e7e_1234_abcd_0001);
+        let multipliers_log2 = (0..total_rows)
+            .map(|_| {
+                let mut x: f64 = rng.gen();
+                for &(m, f) in bins {
+                    if x < f {
+                        return m;
+                    }
+                    x -= f;
+                }
+                bins.last().expect("nonempty bins").0
+            })
+            .collect();
+        RetentionProfile { multipliers_log2 }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> u64 {
+        self.multipliers_log2.len() as u64
+    }
+
+    /// True when the profile covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.multipliers_log2.is_empty()
+    }
+
+    /// The log2 retention multiplier of row `flat_index`.
+    pub fn multiplier_log2(&self, flat_index: u64) -> u8 {
+        self.multipliers_log2[flat_index as usize]
+    }
+
+    /// Iterator over all multipliers in flat-index order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.multipliers_log2.iter().copied()
+    }
+
+    /// The fraction of baseline refreshes an ideal retention-aware scheme
+    /// needs: `E[1 / 2^multiplier]`.
+    pub fn ideal_refresh_fraction(&self) -> f64 {
+        if self.multipliers_log2.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .multipliers_log2
+            .iter()
+            .map(|&m| 1.0 / f64::from(1u32 << m))
+            .sum();
+        sum / self.multipliers_log2.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_is_all_ones() {
+        let p = RetentionProfile::worst_case(16);
+        assert!(p.iter().all(|m| m == 0));
+        assert_eq!(p.ideal_refresh_fraction(), 1.0);
+    }
+
+    #[test]
+    fn rapid_like_matches_bin_fractions() {
+        let p = RetentionProfile::rapid_like(100_000, 42);
+        let weak = p.iter().filter(|&m| m == 0).count() as f64 / 100_000.0;
+        let strong = p.iter().filter(|&m| m == 3).count() as f64 / 100_000.0;
+        assert!((weak - 0.005).abs() < 0.002, "weak fraction {weak}");
+        assert!((strong - 0.70).abs() < 0.01, "strong fraction {strong}");
+        // Ideal refresh fraction ~ 0.005 + 0.045/2 + 0.25/4 + 0.70/8 = 0.178
+        let f = p.ideal_refresh_fraction();
+        assert!((f - 0.178).abs() < 0.01, "ideal fraction {f}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RetentionProfile::rapid_like(1000, 7);
+        let b = RetentionProfile::rapid_like(1000, 7);
+        assert_eq!(a, b);
+        let c = RetentionProfile::rapid_like(1000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_bins_rejected() {
+        RetentionProfile::from_bins(10, 0, &[(0, 0.5)]);
+    }
+}

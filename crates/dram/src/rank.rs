@@ -1,0 +1,112 @@
+//! Per-rank activation-window state (tRRD / tFAW).
+//!
+//! DDR2 bounds how quickly rows may be opened within one rank: successive
+//! ACTIVATEs must be at least `tRRD` apart, and no more than four ACTIVATEs
+//! may fall in any rolling `tFAW` window (a charge-pump current limit).
+//! Each rank tracks its recent activates so the device can expose the
+//! earliest legal time for the next one.
+
+use crate::time::{Duration, Instant};
+
+/// Activation-window bookkeeping for one rank.
+#[derive(Debug, Clone)]
+pub struct RankState {
+    /// Ring of the four most recent ACTIVATE times.
+    recent: [Instant; 4],
+    next_slot: usize,
+    count: u64,
+    last_activate: Option<Instant>,
+}
+
+impl RankState {
+    /// A rank with no activation history.
+    pub fn new() -> Self {
+        RankState {
+            recent: [Instant::ZERO; 4],
+            next_slot: 0,
+            count: 0,
+            last_activate: None,
+        }
+    }
+
+    /// Earliest instant the next ACTIVATE may legally be issued.
+    pub fn earliest_activate(&self, trrd: Duration, tfaw: Duration) -> Instant {
+        let rrd_bound = match self.last_activate {
+            Some(t) => t + trrd,
+            None => Instant::ZERO,
+        };
+        // The slot about to be overwritten holds the 4th-most-recent
+        // activate; the next one must be at least tFAW after it.
+        let faw_bound = if self.count >= 4 {
+            self.recent[self.next_slot] + tfaw
+        } else {
+            Instant::ZERO
+        };
+        rrd_bound.max(faw_bound)
+    }
+
+    /// Records an ACTIVATE at `now`.
+    pub fn record_activate(&mut self, now: Instant) {
+        self.recent[self.next_slot] = now;
+        self.next_slot = (self.next_slot + 1) % 4;
+        self.count += 1;
+        self.last_activate = Some(now);
+    }
+}
+
+impl Default for RankState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> Duration {
+        Duration::from_ns(n)
+    }
+
+    fn at(n: u64) -> Instant {
+        Instant::from_ps(n * 1000)
+    }
+
+    #[test]
+    fn fresh_rank_has_no_bound() {
+        let r = RankState::new();
+        assert_eq!(r.earliest_activate(ns(8), ns(38)), Instant::ZERO);
+    }
+
+    #[test]
+    fn trrd_spaces_consecutive_activates() {
+        let mut r = RankState::new();
+        r.record_activate(at(100));
+        assert_eq!(r.earliest_activate(ns(8), ns(38)), at(108));
+    }
+
+    #[test]
+    fn tfaw_limits_four_in_a_window() {
+        let mut r = RankState::new();
+        // Four activates 8 ns apart starting at t = 0.
+        for i in 0..4 {
+            r.record_activate(at(8 * i));
+        }
+        // 5th activate: tRRD would allow t = 32, but tFAW forces t >= 0 + 38.
+        assert_eq!(r.earliest_activate(ns(8), ns(38)), at(38));
+    }
+
+    #[test]
+    fn window_rolls_forward() {
+        let mut r = RankState::new();
+        for i in 0..5 {
+            let e = r.earliest_activate(ns(8), ns(38));
+            let t = e.max(at(8 * i));
+            r.record_activate(t);
+        }
+        // After the 5th, the oldest in-window activate is the 2nd (t=8):
+        // next earliest is max(last+8, 8+38).
+        let e = r.earliest_activate(ns(8), ns(38));
+        assert_eq!(e, at(46));
+    }
+}

@@ -1,0 +1,288 @@
+//! Data-retention tracking.
+//!
+//! DRAM cells leak; every row must have its charge restored (by a refresh, an
+//! activate/precharge cycle, or a read/write — all of which rewrite the cells)
+//! at least once per retention interval. This module *checks* that guarantee
+//! rather than assuming it: the device records a restore timestamp per
+//! `(rank, bank, row)` and [`RetentionTracker::violations`] reports any row
+//! whose data would have decayed.
+//!
+//! The tracker also builds a histogram of inter-restore intervals, which is
+//! what the paper's *optimality* metric (§4.4) is computed from: a scheme is
+//! 100% optimal if every row is restored exactly at the retention deadline,
+//! never earlier.
+
+use crate::geometry::Geometry;
+use crate::time::{Duration, Instant};
+
+/// Records the last charge-restore instant for every row of a module.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_dram::retention::RetentionTracker;
+/// use smartrefresh_dram::time::{Duration, Instant};
+/// use smartrefresh_dram::Geometry;
+///
+/// let g = Geometry::new(1, 1, 4, 4, 64);
+/// let mut t = RetentionTracker::new(&g, Duration::from_ms(64));
+/// let late = Instant::ZERO + Duration::from_ms(65);
+/// assert_eq!(t.violations(late).len(), 4); // nothing refreshed: all decayed
+/// t.restore(0, late);
+/// assert_eq!(t.violations(late).len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetentionTracker {
+    last_restore: Vec<Instant>,
+    retention: Duration,
+    /// Optional per-row deadlines (variable retention); `retention` is the
+    /// worst case and the default for every row.
+    per_row: Option<Vec<Duration>>,
+    /// Histogram of inter-restore intervals, in 1 ms buckets.
+    interval_hist: Vec<u64>,
+    hist_bucket: Duration,
+    restores: u64,
+}
+
+/// Summary statistics over observed inter-restore intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionSummary {
+    /// Number of restore events observed (excluding the initial state).
+    pub restores: u64,
+    /// Mean inter-restore interval in seconds.
+    pub mean_interval_s: f64,
+    /// Fraction of the retention deadline the mean interval achieves
+    /// (the paper's optimality metric; 1.0 = every restore exactly at the
+    /// deadline).
+    pub optimality: f64,
+}
+
+impl RetentionTracker {
+    /// Creates a tracker for `geometry` with the given retention deadline.
+    /// All rows are considered freshly restored at time zero (as if a full
+    /// refresh sweep completed at power-up).
+    pub fn new(geometry: &Geometry, retention: Duration) -> Self {
+        assert!(!retention.is_zero(), "retention must be nonzero");
+        let buckets = 2 * (retention.as_ps() / 1_000_000_000).max(1) as usize + 2;
+        RetentionTracker {
+            last_restore: vec![Instant::ZERO; geometry.total_rows() as usize],
+            retention,
+            per_row: None,
+            interval_hist: vec![0; buckets],
+            hist_bucket: Duration::from_ms(1),
+            restores: 0,
+        }
+    }
+
+    /// The retention deadline rows must meet.
+    pub fn retention(&self) -> Duration {
+        self.retention
+    }
+
+    /// Installs per-row deadlines from a retention profile: row `i` must be
+    /// restored every `retention << profile.multiplier_log2(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile length does not match the tracked row count.
+    pub fn apply_profile(&mut self, profile: &crate::profile::RetentionProfile) {
+        assert_eq!(
+            profile.len() as usize,
+            self.last_restore.len(),
+            "profile must cover every row"
+        );
+        let base = self.retention;
+        self.per_row = Some(
+            profile
+                .iter()
+                .map(|m| Duration::from_ps(base.as_ps() << m))
+                .collect(),
+        );
+    }
+
+    /// The deadline for a specific row (the base retention unless a profile
+    /// was applied).
+    pub fn row_deadline(&self, flat_index: u64) -> Duration {
+        match &self.per_row {
+            Some(v) => v[flat_index as usize],
+            None => self.retention,
+        }
+    }
+
+    /// Number of rows tracked.
+    pub fn len(&self) -> usize {
+        self.last_restore.len()
+    }
+
+    /// True when tracking zero rows (degenerate geometry).
+    pub fn is_empty(&self) -> bool {
+        self.last_restore.is_empty()
+    }
+
+    /// Records that row `flat_index` had its charge restored at `now`.
+    ///
+    /// Returns the interval since the previous restore, or `None` if `now`
+    /// precedes it (restores arriving out of order are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_index` is out of range.
+    pub fn restore(&mut self, flat_index: u64, now: Instant) -> Option<Duration> {
+        let slot = &mut self.last_restore[flat_index as usize];
+        if now < *slot {
+            return None;
+        }
+        let interval = now.since(*slot);
+        *slot = now;
+        self.restores += 1;
+        let bucket = (interval.as_ps() / self.hist_bucket.as_ps()) as usize;
+        let top = self.interval_hist.len() - 1;
+        self.interval_hist[bucket.min(top)] += 1;
+        Some(interval)
+    }
+
+    /// The last restore instant for a row.
+    pub fn last_restore(&self, flat_index: u64) -> Instant {
+        self.last_restore[flat_index as usize]
+    }
+
+    /// Flat indices of all rows whose data has exceeded the retention
+    /// deadline as of `now`. An empty result means data integrity held.
+    pub fn violations(&self, now: Instant) -> Vec<u64> {
+        self.last_restore
+            .iter()
+            .enumerate()
+            .filter(|&(i, &t)| now.saturating_since(t) > self.row_deadline(i as u64))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// The staleness of the most-overdue row at `now`.
+    pub fn max_staleness(&self, now: Instant) -> Duration {
+        self.last_restore
+            .iter()
+            .map(|&t| now.saturating_since(t))
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Histogram of inter-restore intervals (1 ms buckets; the last bucket
+    /// aggregates everything beyond 2x the retention deadline).
+    pub fn interval_histogram(&self) -> &[u64] {
+        &self.interval_hist
+    }
+
+    /// Summary statistics, including the paper's optimality metric: the mean
+    /// inter-restore interval divided by the retention deadline.
+    pub fn summary(&self) -> RetentionSummary {
+        let total: u64 = self.interval_hist.iter().sum();
+        let mean_ps = if total == 0 {
+            0.0
+        } else {
+            // Use bucket midpoints; adequate at 1 ms resolution vs 64 ms scales.
+            let weighted: f64 = self
+                .interval_hist
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i as f64 + 0.5) * self.hist_bucket.as_ps() as f64 * c as f64)
+                .sum();
+            weighted / total as f64
+        };
+        RetentionSummary {
+            restores: self.restores,
+            mean_interval_s: mean_ps * 1e-12,
+            optimality: if self.retention.as_ps() == 0 {
+                0.0
+            } else {
+                mean_ps / self.retention.as_ps() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    fn small() -> Geometry {
+        Geometry::new(1, 2, 4, 4, 64)
+    }
+
+    #[test]
+    fn fresh_tracker_has_no_violations_within_deadline() {
+        let t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        assert!(t
+            .violations(Instant::ZERO + Duration::from_ms(64))
+            .is_empty());
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn staleness_grows_until_restore() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        let now = Instant::ZERO + Duration::from_ms(65);
+        assert_eq!(t.violations(now).len(), 8);
+        for i in 0..8 {
+            t.restore(i, now);
+        }
+        assert!(t.violations(now).is_empty());
+        assert_eq!(t.max_staleness(now), Duration::ZERO);
+    }
+
+    #[test]
+    fn restore_returns_interval_and_rejects_time_travel() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        let t1 = Instant::ZERO + Duration::from_ms(10);
+        assert_eq!(t.restore(0, t1), Some(Duration::from_ms(10)));
+        assert_eq!(t.restore(0, Instant::ZERO + Duration::from_ms(5)), None);
+        assert_eq!(t.last_restore(0), t1);
+    }
+
+    #[test]
+    fn optimality_of_exact_deadline_refresh_is_one() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        let mut now = Instant::ZERO;
+        for _ in 0..10 {
+            now += Duration::from_ms(64);
+            for i in 0..8 {
+                t.restore(i, now);
+            }
+        }
+        let s = t.summary();
+        assert_eq!(s.restores, 80);
+        // 64 ms intervals land in the 64 ms bucket whose midpoint is 64.5 ms.
+        assert!(
+            (s.optimality - 1.0).abs() < 0.02,
+            "optimality {}",
+            s.optimality
+        );
+    }
+
+    #[test]
+    fn early_refresh_lowers_optimality() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        let mut now = Instant::ZERO;
+        for _ in 0..10 {
+            now += Duration::from_ms(32);
+            for i in 0..8 {
+                t.restore(i, now);
+            }
+        }
+        let s = t.summary();
+        assert!(
+            (s.optimality - 0.5).abs() < 0.02,
+            "optimality {}",
+            s.optimality
+        );
+    }
+
+    #[test]
+    fn histogram_top_bucket_catches_outliers() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(4));
+        t.restore(0, Instant::ZERO + Duration::from_ms(100));
+        let hist = t.interval_histogram();
+        assert_eq!(*hist.last().unwrap(), 1);
+    }
+}

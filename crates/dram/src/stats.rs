@@ -1,0 +1,89 @@
+//! Operation counters accumulated by the device.
+//!
+//! The energy model converts these counts (plus bank open-time) into energy;
+//! the figure harnesses read the refresh counts directly (Figs 6, 9, 12, 15).
+
+/// Counts of DRAM operations performed since construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// ACTIVATE commands (row opens) from normal accesses.
+    pub activates: u64,
+    /// READ column accesses.
+    pub reads: u64,
+    /// WRITE column accesses.
+    pub writes: u64,
+    /// Explicit PRECHARGE commands (row closes) from normal accesses.
+    pub precharges: u64,
+    /// Row refreshes performed via CBR (internal address counter).
+    pub cbr_refreshes: u64,
+    /// Row refreshes performed via RAS-only (explicit row address on the bus).
+    pub ras_only_refreshes: u64,
+    /// Refreshes that found the bank with an open page and had to close it
+    /// first (costs extra energy, §7.1).
+    pub refreshes_closing_open_page: u64,
+}
+
+impl OpStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total row refreshes regardless of mechanism.
+    pub fn total_refreshes(&self) -> u64 {
+        self.cbr_refreshes + self.ras_only_refreshes
+    }
+
+    /// Total column accesses (reads + writes).
+    pub fn column_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Difference of two snapshots (`self` later minus `earlier`), used for
+    /// excluding warm-up periods from measurements.
+    pub fn delta_since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            activates: self.activates - earlier.activates,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            precharges: self.precharges - earlier.precharges,
+            cbr_refreshes: self.cbr_refreshes - earlier.cbr_refreshes,
+            ras_only_refreshes: self.ras_only_refreshes - earlier.ras_only_refreshes,
+            refreshes_closing_open_page: self.refreshes_closing_open_page
+                - earlier.refreshes_closing_open_page,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_both_refresh_kinds() {
+        let s = OpStats {
+            cbr_refreshes: 3,
+            ras_only_refreshes: 4,
+            ..OpStats::new()
+        };
+        assert_eq!(s.total_refreshes(), 7);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let early = OpStats {
+            reads: 10,
+            writes: 5,
+            ..OpStats::new()
+        };
+        let late = OpStats {
+            reads: 25,
+            writes: 11,
+            ..OpStats::new()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.writes, 6);
+        assert_eq!(d.column_accesses(), 21);
+    }
+}

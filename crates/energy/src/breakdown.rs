@@ -1,0 +1,157 @@
+//! Whole-system energy breakdown and savings arithmetic.
+//!
+//! An [`EnergyBreakdown`] collects the DRAM-internal energy plus the two
+//! overheads Smart Refresh introduces — counter-array SRAM accesses and
+//! RAS-only address-bus transfers — so that comparisons against the CBR
+//! baseline charge the technique honestly for everything it adds, exactly
+//! as the paper does ("the energy overheads caused by these extra counters
+//! were all accounted for", §4.7).
+
+use std::fmt;
+
+use crate::dram_power::DramEnergy;
+
+/// Energy totals for one simulated run, joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// DRAM-internal energy split.
+    pub dram: DramEnergy,
+    /// Counter-array SRAM access energy (Smart Refresh only).
+    pub counter_sram_j: f64,
+    /// Address-bus energy for RAS-only refreshes (Smart Refresh only).
+    pub refresh_bus_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy attributable to the refresh mechanism: the DRAM refresh
+    /// energy plus all technique overheads. This is the quantity compared in
+    /// the "relative refresh energy savings" figures (Figs 7, 10, 13, 16).
+    pub fn refresh_mechanism_j(&self) -> f64 {
+        self.dram.refresh_j + self.counter_sram_j + self.refresh_bus_j
+    }
+
+    /// Total system energy (the "total DRAM energy" of Figs 8, 11, 14, 17).
+    pub fn total_j(&self) -> f64 {
+        self.dram.total_j() + self.counter_sram_j + self.refresh_bus_j
+    }
+
+    /// Relative savings of `self` (the technique) versus `baseline`:
+    /// `1 - self/baseline`, as a fraction. Negative when the technique loses.
+    pub fn total_savings_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        savings(self.total_j(), baseline.total_j())
+    }
+
+    /// Relative refresh-mechanism savings versus `baseline`.
+    pub fn refresh_savings_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        savings(self.refresh_mechanism_j(), baseline.refresh_mechanism_j())
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bg {:.3} mJ | act/pre {:.3} mJ | rd/wr {:.3} mJ | refresh {:.3} mJ | \
+             counters {:.3} mJ | bus {:.3} mJ | total {:.3} mJ",
+            self.dram.background_j * 1e3,
+            self.dram.activate_precharge_j * 1e3,
+            self.dram.read_write_j * 1e3,
+            self.dram.refresh_j * 1e3,
+            self.counter_sram_j * 1e3,
+            self.refresh_bus_j * 1e3,
+            self.total_j() * 1e3,
+        )
+    }
+}
+
+/// Fractional savings of `value` relative to `baseline` (`1 - value/baseline`).
+/// Returns 0 for a zero baseline.
+pub fn savings(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        1.0 - value / baseline
+    }
+}
+
+/// Geometric mean of a slice of positive values; 0.0 for an empty slice.
+///
+/// The paper reports GMEANs across benchmarks for every figure.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bd(refresh: f64, other: f64, overhead: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dram: DramEnergy {
+                background_j: other,
+                refresh_j: refresh,
+                ..DramEnergy::default()
+            },
+            counter_sram_j: overhead / 2.0,
+            refresh_bus_j: overhead / 2.0,
+        }
+    }
+
+    #[test]
+    fn savings_basic() {
+        assert_eq!(savings(50.0, 100.0), 0.5);
+        assert_eq!(savings(100.0, 100.0), 0.0);
+        assert!(savings(110.0, 100.0) < 0.0);
+        assert_eq!(savings(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn overheads_are_charged_to_the_technique() {
+        let baseline = bd(1.0, 3.0, 0.0);
+        let smart = bd(0.5, 3.0, 0.1);
+        // Refresh mechanism: (0.5 + 0.1) vs 1.0 -> 40% savings, not 50%.
+        assert!((smart.refresh_savings_vs(&baseline) - 0.4).abs() < 1e-12);
+        // Total: 3.6 vs 4.0 -> 10%.
+        assert!((smart.total_savings_vs(&baseline) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_matches_paper_style() {
+        let vals = [0.25, 0.79];
+        let g = geometric_mean(&vals);
+        assert!((g - (0.25f64 * 0.79).sqrt()).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn gmean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let s = bd(1.0, 1.0, 0.0).to_string();
+        assert!(s.contains("total"));
+    }
+}

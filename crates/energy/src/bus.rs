@@ -1,0 +1,142 @@
+//! Address-bus energy model (paper §6, Table 3).
+//!
+//! Smart Refresh uses RAS-only refresh, which — unlike the CBR baseline —
+//! must drive the row address onto the address bus for every refresh. The
+//! paper charges this overhead with the elementary model from Catthoor's
+//! *Custom Memory Management Methodology*:
+//!
+//! ```text
+//! Energy = C · V_DD² · bus_width · num_accesses
+//! C      = C_load + C_driver,          C_driver = 0.3 · C_load
+//! C_load = L_onchip · C_per_mm_onchip
+//!        + L_offchip · C_per_mm_offchip
+//!        + Σ_m C_in(m)        (input capacitance of each memory module/rank)
+//! ```
+//!
+//! Default constants are Table 3 of the paper: 36 mm on-chip (semi-perimeter
+//! of the Intel 855PM MCH die), 102 mm off-chip (855PM design guide),
+//! 0.21 pF/mm on-chip (ITRS 2006), 0.1 pF/mm off-chip, 3 pF per module input
+//! (Micron datasheet).
+
+/// Parameters of the bus energy model.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_energy::bus::BusEnergyModel;
+///
+/// let bus = BusEnergyModel::table3(2); // 2 ranks on the channel
+/// // One RAS-only refresh drives a 14-bit row address (16384 rows).
+/// let joules = bus.energy_per_transfer(14);
+/// assert!(joules > 0.0 && joules < 1e-8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusEnergyModel {
+    /// On-chip trace length in mm (semi-perimeter method).
+    pub on_chip_mm: f64,
+    /// Off-chip trace length in mm.
+    pub off_chip_mm: f64,
+    /// On-chip wire capacitance in F/mm.
+    pub on_chip_f_per_mm: f64,
+    /// Off-chip wire capacitance in F/mm.
+    pub off_chip_f_per_mm: f64,
+    /// Input capacitance of one memory module (rank), in F.
+    pub module_input_f: f64,
+    /// Number of modules (ranks) hanging off the bus.
+    pub modules: u32,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl BusEnergyModel {
+    /// Table 3 constants for a channel with `modules` ranks, 1.8 V DDR2.
+    pub fn table3(modules: u32) -> Self {
+        BusEnergyModel {
+            on_chip_mm: 36.0,
+            off_chip_mm: 102.0,
+            on_chip_f_per_mm: 0.21e-12,
+            off_chip_f_per_mm: 0.1e-12,
+            module_input_f: 3.0e-12,
+            modules,
+            vdd: 1.8,
+        }
+    }
+
+    /// A die-to-die via "bus" for the 3D stacked configuration: no off-chip
+    /// segment, short vertical vias, a single stacked module. The paper
+    /// models the wires/vias between the on-die controller and the stacked
+    /// DRAM as overhead for Smart Refresh in the 3D case (§7.2).
+    pub fn stacked_3d() -> Self {
+        BusEnergyModel {
+            on_chip_mm: 10.0,
+            off_chip_mm: 0.0,
+            on_chip_f_per_mm: 0.21e-12,
+            off_chip_f_per_mm: 0.1e-12,
+            module_input_f: 0.5e-12,
+            modules: 1,
+            vdd: 1.8,
+        }
+    }
+
+    /// Load capacitance of one bus wire, in farads.
+    pub fn load_capacitance(&self) -> f64 {
+        self.on_chip_mm * self.on_chip_f_per_mm
+            + self.off_chip_mm * self.off_chip_f_per_mm
+            + f64::from(self.modules) * self.module_input_f
+    }
+
+    /// Total per-wire capacitance including the driver (`C = 1.3 · C_load`,
+    /// the 30% impedance-matching driver share from the paper).
+    pub fn wire_capacitance(&self) -> f64 {
+        1.3 * self.load_capacitance()
+    }
+
+    /// Energy in joules to drive `bus_width` wires once.
+    pub fn energy_per_transfer(&self, bus_width: u32) -> f64 {
+        self.wire_capacitance() * self.vdd * self.vdd * f64::from(bus_width)
+    }
+
+    /// Energy in joules for `n` transfers of `bus_width` wires
+    /// (the paper's `Energy = C · V² · Width · Num_Accesses`).
+    pub fn energy(&self, bus_width: u32, n: u64) -> f64 {
+        self.energy_per_transfer(bus_width) * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_capacitance_matches_hand_computation() {
+        let bus = BusEnergyModel::table3(2);
+        // 36*0.21 + 102*0.1 + 2*3 = 7.56 + 10.2 + 6.0 = 23.76 pF
+        let cload = bus.load_capacitance();
+        assert!((cload - 23.76e-12).abs() < 1e-15, "cload = {cload}");
+        let c = bus.wire_capacitance();
+        assert!((c - 1.3 * 23.76e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_scales_linearly_in_width_and_count() {
+        let bus = BusEnergyModel::table3(2);
+        let e1 = bus.energy(14, 1);
+        assert!((bus.energy(28, 1) - 2.0 * e1).abs() < 1e-18);
+        assert!((bus.energy(14, 10) - 10.0 * e1).abs() < 1e-18);
+    }
+
+    #[test]
+    fn per_refresh_overhead_is_nanojoule_scale() {
+        // Sanity: the RAS-only overhead must be small relative to the
+        // ~100 nJ row refresh itself, or Smart Refresh could never win.
+        let e = BusEnergyModel::table3(2).energy_per_transfer(14);
+        assert!(e > 0.1e-9 && e < 5e-9, "per-transfer energy {e} J");
+    }
+
+    #[test]
+    fn stacked_3d_bus_is_cheaper_than_board_bus() {
+        let board = BusEnergyModel::table3(2).energy_per_transfer(14);
+        let stacked = BusEnergyModel::stacked_3d().energy_per_transfer(14);
+        assert!(stacked < board / 5.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! DRAM module power model.
+//!
+//! Follows the structure of the DRAMsim/Micron power calculation the paper
+//! used: total module energy is the sum of
+//!
+//! * **background** energy — precharge-standby power for the whole interval
+//!   plus an active-standby increment while any row is open;
+//! * **activate/precharge** energy per row open/close pair;
+//! * **read/write burst** energy per column access;
+//! * **refresh** energy per row refresh, with an extra charge when the
+//!   refresh had to close an open page first (§7.1 discusses exactly this
+//!   bank-state dependence).
+//!
+//! Constants are module-level (all devices on the DIMM together) and are
+//! calibrated to DDR2-667 datasheet magnitudes; `EXPERIMENTS.md` records the
+//! calibration. The *relative* results (what Smart Refresh saves) depend on
+//! the refresh share of total energy, which these defaults place in the
+//! 20–35% band the paper's 2 GB results imply.
+
+use smartrefresh_dram::time::Duration;
+use smartrefresh_dram::OpStats;
+
+/// Per-operation energies and background powers for one DRAM module.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_dram::time::Duration;
+/// use smartrefresh_dram::OpStats;
+/// use smartrefresh_energy::DramPowerParams;
+///
+/// let p = DramPowerParams::ddr2_2gb();
+/// let ops = OpStats { cbr_refreshes: 2_048_000, ..OpStats::new() };
+/// let e = p.energy(&ops, Duration::from_ms(1000), Duration::ZERO, 0);
+/// // Idle module: refresh is a large slice of total DRAM energy (§1).
+/// assert!(e.refresh_share() > 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramPowerParams {
+    /// Energy per ACTIVATE command, joules.
+    pub e_activate: f64,
+    /// Energy per PRECHARGE command, joules.
+    pub e_precharge: f64,
+    /// Energy per READ column access, joules.
+    pub e_read: f64,
+    /// Energy per WRITE column access, joules.
+    pub e_write: f64,
+    /// Energy per row refresh, joules.
+    pub e_refresh_row: f64,
+    /// Extra energy when a refresh must first close an open page, joules.
+    pub e_refresh_close_page: f64,
+    /// Extra energy per RAS-only refresh relative to CBR, joules: the
+    /// address decode/drive path inside the module plus command overheads
+    /// (§3 calls CBR "lower power" exactly for this reason). The external
+    /// address-bus wire energy is modelled separately in `bus`.
+    pub e_ras_only_extra: f64,
+    /// Precharge-standby background power, watts (always burning).
+    pub p_standby: f64,
+    /// Background power while the module sits in precharge power-down
+    /// (CKE low), watts. Charged against the controller's accumulated
+    /// power-down residency instead of `p_standby`.
+    pub p_powerdown: f64,
+    /// Additional background power while a bank holds an open row, watts
+    /// (charged against accumulated open time).
+    pub p_active_extra: f64,
+}
+
+impl DramPowerParams {
+    /// Calibrated constants for the Table 1 registered 2 GB DDR2-667 DIMM.
+    pub fn ddr2_2gb() -> Self {
+        DramPowerParams {
+            e_activate: 20e-9,
+            e_precharge: 20e-9,
+            e_read: 30e-9,
+            e_write: 32e-9,
+            e_refresh_row: 290e-9,
+            e_refresh_close_page: 25e-9,
+            e_ras_only_extra: 15e-9,
+            p_standby: 0.65,
+            p_powerdown: 0.45,
+            p_active_extra: 0.15,
+        }
+    }
+
+    /// The 4 GB variant: double the devices-per-rank density, so standby
+    /// power roughly doubles while per-operation energies stay per-row.
+    pub fn ddr2_4gb() -> Self {
+        DramPowerParams {
+            p_standby: 1.20,
+            ..Self::ddr2_2gb()
+        }
+    }
+
+    /// The 64 MB 3D die-stacked DRAM: 1 KB rows (1/16 the DIMM's 16 KB) make
+    /// every per-row operation proportionally cheaper, and the small on-die
+    /// array has a far smaller standby floor. Die-to-die vias also shrink the
+    /// I/O portion of column access energy.
+    pub fn stacked_3d_64mb() -> Self {
+        DramPowerParams {
+            e_activate: 2.0e-9,
+            e_precharge: 2.0e-9,
+            e_read: 4.0e-9,
+            e_write: 4.4e-9,
+            e_refresh_row: 30e-9,
+            e_refresh_close_page: 2.0e-9,
+            // Die-to-die vias make the RAS-only path essentially free.
+            e_ras_only_extra: 0.0,
+            p_standby: 0.025,
+            p_powerdown: 0.018,
+            p_active_extra: 0.012,
+        }
+    }
+
+    /// Energy in joules implied by an operation-count delta plus the time
+    /// span it covers and the row open-time accumulated within it.
+    /// `charged_ras_refreshes` counts the RAS-only refreshes that actually
+    /// drove the external address path (the §4.6 fallback regenerates
+    /// addresses internally and is CBR-grade, so its refreshes are excluded).
+    pub fn energy(
+        &self,
+        ops: &OpStats,
+        span: Duration,
+        open_time: Duration,
+        charged_ras_refreshes: u64,
+    ) -> DramEnergy {
+        self.energy_with_powerdown(ops, span, open_time, charged_ras_refreshes, Duration::ZERO)
+    }
+
+    /// Like [`DramPowerParams::energy`], additionally billing
+    /// `powerdown_time` of the span at the power-down rate instead of full
+    /// standby.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `powerdown_time` exceeds `span`.
+    pub fn energy_with_powerdown(
+        &self,
+        ops: &OpStats,
+        span: Duration,
+        open_time: Duration,
+        charged_ras_refreshes: u64,
+        powerdown_time: Duration,
+    ) -> DramEnergy {
+        debug_assert!(powerdown_time <= span, "power-down exceeds the span");
+        let awake = span.saturating_sub(powerdown_time);
+        let background = self.p_standby * awake.as_secs_f64()
+            + self.p_powerdown * powerdown_time.as_secs_f64()
+            + self.p_active_extra * open_time.as_secs_f64();
+        let activate_precharge =
+            ops.activates as f64 * self.e_activate + ops.precharges as f64 * self.e_precharge;
+        let read_write = ops.reads as f64 * self.e_read + ops.writes as f64 * self.e_write;
+        debug_assert!(charged_ras_refreshes <= ops.ras_only_refreshes);
+        let refresh = ops.total_refreshes() as f64 * self.e_refresh_row
+            + charged_ras_refreshes as f64 * self.e_ras_only_extra
+            + ops.refreshes_closing_open_page as f64 * self.e_refresh_close_page;
+        DramEnergy {
+            background_j: background,
+            activate_precharge_j: activate_precharge,
+            read_write_j: read_write,
+            refresh_j: refresh,
+        }
+    }
+}
+
+/// Energy consumed by the DRAM module itself, split by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DramEnergy {
+    /// Standby + active background energy, joules.
+    pub background_j: f64,
+    /// Row open/close energy, joules.
+    pub activate_precharge_j: f64,
+    /// Column access energy, joules.
+    pub read_write_j: f64,
+    /// Refresh energy (including open-page closes), joules.
+    pub refresh_j: f64,
+}
+
+impl DramEnergy {
+    /// Total module energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.background_j + self.activate_precharge_j + self.read_write_j + self.refresh_j
+    }
+
+    /// Fraction of total energy spent on refresh.
+    pub fn refresh_share(&self) -> f64 {
+        let t = self.total_j();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.refresh_j / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(refreshes: u64) -> OpStats {
+        OpStats {
+            cbr_refreshes: refreshes,
+            ..OpStats::new()
+        }
+    }
+
+    #[test]
+    fn idle_module_burns_only_background_and_refresh() {
+        let p = DramPowerParams::ddr2_2gb();
+        // One second of idle 2 GB module under baseline CBR refresh.
+        let e = p.energy(&ops(2_048_000), Duration::from_ms(1000), Duration::ZERO, 0);
+        assert_eq!(e.activate_precharge_j, 0.0);
+        assert_eq!(e.read_write_j, 0.0);
+        assert!((e.background_j - 0.65).abs() < 1e-12);
+        assert!((e.refresh_j - 2_048_000.0 * 290e-9).abs() < 1e-9);
+        // Refresh is a large fraction of idle DRAM power — at least the
+        // one-third the ITSY study (cited in the paper's introduction)
+        // observed for its lowest-power mode.
+        let share = e.refresh_share();
+        assert!(share > 0.30 && share < 0.55, "idle refresh share {share}");
+    }
+
+    #[test]
+    fn open_page_refreshes_cost_extra() {
+        let p = DramPowerParams::ddr2_2gb();
+        let mut o = ops(100);
+        let base = p.energy(&o, Duration::ZERO, Duration::ZERO, 0).refresh_j;
+        o.refreshes_closing_open_page = 40;
+        let with_closes = p.energy(&o, Duration::ZERO, Duration::ZERO, 0).refresh_j;
+        assert!((with_closes - base - 40.0 * 25e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn active_standby_charged_against_open_time() {
+        let p = DramPowerParams::ddr2_2gb();
+        let half_open = p.energy(
+            &OpStats::new(),
+            Duration::from_ms(1000),
+            Duration::from_ms(500),
+            0,
+        );
+        assert!((half_open.background_j - (0.65 + 0.075)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let g2 = DramPowerParams::ddr2_2gb();
+        let g4 = DramPowerParams::ddr2_4gb();
+        let d3 = DramPowerParams::stacked_3d_64mb();
+        assert!(g4.p_standby > g2.p_standby);
+        assert!(d3.e_refresh_row < g2.e_refresh_row / 5.0);
+        assert!(d3.p_standby < g2.p_standby / 10.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let p = DramPowerParams::ddr2_2gb();
+        let o = OpStats {
+            activates: 10,
+            precharges: 10,
+            reads: 100,
+            writes: 50,
+            cbr_refreshes: 7,
+            ras_only_refreshes: 3,
+            refreshes_closing_open_page: 2,
+        };
+        let e = p.energy(
+            &o,
+            Duration::from_us(1),
+            Duration::from_us(1),
+            o.ras_only_refreshes,
+        );
+        let sum = e.background_j + e.activate_precharge_j + e.read_write_j + e.refresh_j;
+        assert!((e.total_j() - sum).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,43 @@
+//! Energy models for the Smart Refresh reproduction.
+//!
+//! Three models, mirroring the paper's §6 evaluation methodology:
+//!
+//! * [`dram_power`] — DRAMsim/Micron-style module power: background,
+//!   activate/precharge, read/write burst, and bank-state-dependent refresh
+//!   energy;
+//! * [`sram`] — the Artisan-style counter-array cost (energy per counter
+//!   read/write plus the §4.7 area formula);
+//! * [`bus`] — the `E = C·V²·W·N` address-bus model with the paper's
+//!   Table 3 constants, charging Smart Refresh for RAS-only refreshes.
+//!
+//! [`breakdown::EnergyBreakdown`] combines all three so baseline-vs-smart
+//! comparisons include every overhead the technique introduces.
+//!
+//! ```
+//! use smartrefresh_energy::{BusEnergyModel, DramPowerParams, SramArrayModel};
+//! use smartrefresh_dram::{Geometry, OpStats};
+//! use smartrefresh_dram::time::Duration;
+//!
+//! let g = Geometry::new(2, 4, 16384, 2048, 64);
+//! let dram = DramPowerParams::ddr2_2gb();
+//! let counters = SramArrayModel::artisan_90nm(&g, 3);
+//! let bus = BusEnergyModel::table3(g.ranks());
+//!
+//! let ops = OpStats { ras_only_refreshes: 1_000, ..OpStats::new() };
+//! let dram_e = dram.energy(&ops, Duration::from_ms(1), Duration::ZERO, ops.ras_only_refreshes);
+//! let bus_e = bus.energy(14, ops.ras_only_refreshes);
+//! let ctr_e = counters.energy(8_000, 8_000);
+//! assert!(bus_e + ctr_e < dram_e.refresh_j / 10.0); // overheads stay small
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod bus;
+pub mod dram_power;
+pub mod sram;
+
+pub use breakdown::{geometric_mean, mean, savings, EnergyBreakdown};
+pub use bus::BusEnergyModel;
+pub use dram_power::{DramEnergy, DramPowerParams};
+pub use sram::SramArrayModel;

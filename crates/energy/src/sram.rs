@@ -1,0 +1,122 @@
+//! SRAM counter-array energy and area model.
+//!
+//! Smart Refresh stores one k-bit down-counter per `(rank, bank, row)` in an
+//! SRAM array inside the memory controller. The paper sized this array with
+//! the Artisan 90 nm SRAM generator and observed that the array access energy
+//! dominates the decrement logic by an order of magnitude, so only array
+//! reads/writes are charged (§6). We follow the same accounting:
+//!
+//! * one **read** per counter examined by the staggered update circuitry
+//!   (8 at a time in the default configuration),
+//! * one **write** per counter decremented or reset,
+//! * plus a write whenever a normal access resets a row's counter.
+//!
+//! The area overhead follows §4.7:
+//! `Area = N_banks · N_ranks · N_rows · N_bits / (8 · 1024)` KB.
+
+use smartrefresh_dram::Geometry;
+
+/// Energy/area model of the counter SRAM array.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_energy::sram::SramArrayModel;
+/// use smartrefresh_dram::Geometry;
+///
+/// // Table 1 2 GB module, 3-bit counters: the paper's 48 KB example (§4.7).
+/// let g = Geometry::new(2, 4, 16384, 2048, 64);
+/// let m = SramArrayModel::artisan_90nm(&g, 3);
+/// assert_eq!(m.area_kb(), 48.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramArrayModel {
+    /// Number of counters (one per (rank, bank, row)).
+    pub entries: u64,
+    /// Bits per counter.
+    pub bits_per_entry: u32,
+    /// Energy per entry read, joules.
+    pub read_energy_j: f64,
+    /// Energy per entry write, joules.
+    pub write_energy_j: f64,
+}
+
+impl SramArrayModel {
+    /// Artisan-90nm-style defaults: ~10 pJ read / ~12 pJ write per entry for
+    /// an array of this size class (tens to hundreds of KB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_entry` is zero.
+    pub fn artisan_90nm(geometry: &Geometry, bits_per_entry: u32) -> Self {
+        assert!(bits_per_entry > 0, "counter width must be nonzero");
+        SramArrayModel {
+            entries: geometry.total_rows(),
+            bits_per_entry,
+            read_energy_j: 10e-12,
+            write_energy_j: 12e-12,
+        }
+    }
+
+    /// Area of the array in KB (paper §4.7 formula).
+    pub fn area_kb(&self) -> f64 {
+        self.entries as f64 * f64::from(self.bits_per_entry) / (8.0 * 1024.0)
+    }
+
+    /// Energy in joules for a batch of counter-array operations.
+    pub fn energy(&self, reads: u64, writes: u64) -> f64 {
+        reads as f64 * self.read_energy_j + writes as f64 * self.write_energy_j
+    }
+}
+
+/// Stand-alone §4.7 area formula, usable without building a model.
+///
+/// ```
+/// use smartrefresh_energy::sram::area_overhead_kb;
+/// // "If we assume that the memory controller can support up to 32 GB,
+/// //  the counter space needed will be 768 KB."
+/// let counters_32gb = 32u64 * 1024 * 1024 * 1024 / (16 * 1024); // 16 KB rows
+/// assert_eq!(area_overhead_kb(counters_32gb, 3), 768.0);
+/// ```
+pub fn area_overhead_kb(counters: u64, bits_per_counter: u32) -> f64 {
+    counters as f64 * f64::from(bits_per_counter) / (8.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_area_examples() {
+        // 4 banks * 2 ranks * 16384 rows = 131,072 counters, 3 bits -> 48 KB.
+        assert_eq!(area_overhead_kb(131_072, 3), 48.0);
+        // 32 GB controller -> 768 KB.
+        assert_eq!(area_overhead_kb(2_097_152, 3), 768.0);
+    }
+
+    #[test]
+    fn model_area_matches_formula() {
+        let g = Geometry::new(2, 8, 16384, 2048, 64);
+        let m = SramArrayModel::artisan_90nm(&g, 3);
+        assert_eq!(m.area_kb(), area_overhead_kb(g.total_rows(), 3));
+        assert_eq!(m.area_kb(), 96.0);
+    }
+
+    #[test]
+    fn energy_is_linear() {
+        let g = Geometry::new(1, 1, 16, 4, 64);
+        let m = SramArrayModel::artisan_90nm(&g, 2);
+        let e = m.energy(8, 8);
+        assert!((e - (8.0 * 10e-12 + 8.0 * 12e-12)).abs() < 1e-18);
+        assert_eq!(m.energy(0, 0), 0.0);
+    }
+
+    #[test]
+    fn wider_counters_cost_more_area() {
+        let g = Geometry::new(2, 4, 16384, 2048, 64);
+        let a2 = SramArrayModel::artisan_90nm(&g, 2).area_kb();
+        let a3 = SramArrayModel::artisan_90nm(&g, 3).area_kb();
+        assert!(a3 > a2);
+        assert_eq!(a2, 32.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates every evaluation figure of the paper (Figs 6–18) and prints
+//! them as tables with the paper's reference values. Usage:
+//!
+//! ```text
+//! figures [fig06|fig07|...|all] [--csv DIR]
+//! ```
+//!
+//! `--csv DIR` additionally writes one CSV per figure into `DIR`.
+//! `SMARTREFRESH_SCALE` scales the simulated spans (default 1.0).
+
+use smartrefresh_sim::figures::{Evaluation, FigureId};
+use smartrefresh_sim::report::{figure_csv, render_figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    let mut eval = Evaluation::from_env();
+    let selected: Vec<FigureId> = FigureId::ALL
+        .into_iter()
+        .filter(|id| arg == "all" || format!("{id:?}").to_lowercase() == arg.to_lowercase())
+        .collect();
+    assert!(!selected.is_empty(), "unknown figure {arg}");
+    for id in selected {
+        let fig = eval.figure(id).expect("simulation failed");
+        println!("{}", render_figure(&fig));
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id:?}.csv").to_lowercase();
+            std::fs::write(&path, figure_csv(&fig)).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Quick calibration tool: runs a handful of benchmarks on one corpus and
+//! prints baseline-vs-smart numbers. Usage:
+//!
+//! ```text
+//! quicklook [conv2|conv4|s64|s32] [scale] [bench ...]
+//! ```
+
+use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
+use smartrefresh_dram::time::Duration;
+use smartrefresh_energy::DramPowerParams;
+use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smartrefresh_workloads::find;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let corpus = args.first().map(String::as_str).unwrap_or("conv2");
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let default_benches = ["fasta", "gcc", "perl_twolf", "radix", "water-spatial"];
+    let benches: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(String::as_str).collect()
+    } else {
+        default_benches.to_vec()
+    };
+
+    for name in benches {
+        let entry = find(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let (base_cfg, spec) = match corpus {
+            "conv2" => (
+                ExperimentConfig::conventional(
+                    conventional_2gb(),
+                    DramPowerParams::ddr2_2gb(),
+                    PolicyKind::CbrDistributed,
+                ),
+                entry.conventional.clone(),
+            ),
+            "conv4" => (
+                ExperimentConfig::conventional(
+                    conventional_4gb(),
+                    DramPowerParams::ddr2_4gb(),
+                    PolicyKind::CbrDistributed,
+                ),
+                entry.conventional_4gb(),
+            ),
+            "s64" => (
+                ExperimentConfig::stacked(
+                    stacked_3d_64mb(Duration::from_ms(64)),
+                    DramPowerParams::stacked_3d_64mb(),
+                    PolicyKind::CbrDistributed,
+                ),
+                entry.stacked.clone(),
+            ),
+            "s32" => (
+                ExperimentConfig::stacked(
+                    stacked_3d_64mb(Duration::from_ms(32)),
+                    DramPowerParams::stacked_3d_64mb(),
+                    PolicyKind::CbrDistributed,
+                ),
+                entry.stacked.clone(),
+            ),
+            other => panic!("unknown corpus {other}"),
+        };
+        let mut base_cfg = base_cfg.scaled(scale);
+        // The workload's timescale is 64 ms regardless of the module's
+        // refresh interval (matters for the hot 32 ms 3D runs).
+        base_cfg.reference = Duration::from_ms(64);
+        let mut smart_cfg = base_cfg.clone();
+        smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
+        let rb = run_experiment(&base_cfg, &spec).expect("baseline run");
+        let rs = run_experiment(&smart_cfg, &spec).expect("smart run");
+        if std::env::var("QUICKLOOK_DETAIL").is_ok() {
+            println!("  base  {}", rb.energy);
+            println!("  smart {}", rs.energy);
+        }
+        println!(
+            "{name:<16} base {:>11.0}/s smart {:>11.0}/s  red {:>6.2}%  refE {:>6.2}%  totE {:>6.2}%  \
+             share {:>5.2}%  lat {:.1}/{:.1} ns  integ {}/{}",
+            rb.refreshes_per_sec,
+            rs.refreshes_per_sec,
+            (1.0 - rs.refreshes_per_sec / rb.refreshes_per_sec) * 100.0,
+            rs.energy.refresh_savings_vs(&rb.energy) * 100.0,
+            rs.energy.total_savings_vs(&rb.energy) * 100.0,
+            rb.energy.dram.refresh_share() * 100.0,
+            rb.ctrl.avg_latency().as_ns_f64(),
+            rs.ctrl.avg_latency().as_ns_f64(),
+            rb.integrity_ok,
+            rs.integrity_ok,
+        );
+    }
+}

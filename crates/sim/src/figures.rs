@@ -1,0 +1,434 @@
+//! Figure regeneration harness.
+//!
+//! One function per evaluation figure of the paper. Each figure is derived
+//! from a *corpus*: the full benchmark catalog run under both the CBR
+//! baseline and Smart Refresh on one module configuration. Corpora are
+//! computed lazily and cached inside [`Evaluation`], so Figs 6–8 (which
+//! share the 2 GB runs) cost one sweep, not three.
+//!
+//! Paper reference values (baselines and GMEANs) are embedded as constants
+//! so reports can always print paper-vs-measured side by side.
+
+use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
+use smartrefresh_dram::time::Duration;
+use smartrefresh_dram::{DramError, ModuleConfig};
+use smartrefresh_energy::{geometric_mean, mean, DramPowerParams};
+use smartrefresh_workloads::{catalog, Suite, WorkloadSpec};
+
+use crate::experiment::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
+
+/// The evaluation figures of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FigureId {
+    /// Refreshes per second, 2 GB DRAM.
+    Fig06,
+    /// Relative refresh energy savings, 2 GB DRAM.
+    Fig07,
+    /// Relative total energy savings, 2 GB DRAM.
+    Fig08,
+    /// Refreshes per second, 4 GB DRAM.
+    Fig09,
+    /// Relative refresh energy savings, 4 GB DRAM.
+    Fig10,
+    /// Relative total energy savings, 4 GB DRAM.
+    Fig11,
+    /// Refreshes per second, 64 MB 3D DRAM cache @ 64 ms.
+    Fig12,
+    /// Relative refresh energy savings, 3D @ 64 ms.
+    Fig13,
+    /// Relative total energy savings, 3D @ 64 ms.
+    Fig14,
+    /// Refreshes per second, 3D @ 32 ms.
+    Fig15,
+    /// Relative refresh energy savings, 3D @ 32 ms.
+    Fig16,
+    /// Relative total energy savings, 3D @ 32 ms.
+    Fig17,
+    /// Performance improvement, 3D @ 32 ms.
+    Fig18,
+}
+
+impl FigureId {
+    /// All figures in paper order.
+    pub const ALL: [FigureId; 13] = [
+        FigureId::Fig06,
+        FigureId::Fig07,
+        FigureId::Fig08,
+        FigureId::Fig09,
+        FigureId::Fig10,
+        FigureId::Fig11,
+        FigureId::Fig12,
+        FigureId::Fig13,
+        FigureId::Fig14,
+        FigureId::Fig15,
+        FigureId::Fig16,
+        FigureId::Fig17,
+        FigureId::Fig18,
+    ];
+
+    /// The figure's caption in the paper.
+    pub fn title(&self) -> &'static str {
+        match self {
+            FigureId::Fig06 => "Number of Refreshes per second for a 2GB DRAM",
+            FigureId::Fig07 => "Relative Refresh Energy Savings for a 2GB DRAM",
+            FigureId::Fig08 => "Relative Total Energy Savings for a 2GB DRAM",
+            FigureId::Fig09 => "Number of Refreshes for a 4GB DRAM",
+            FigureId::Fig10 => "Relative Refresh Energy Savings for a 4GB DRAM",
+            FigureId::Fig11 => "Relative Total Energy Savings for a 4GB DRAM",
+            FigureId::Fig12 => "Number of Refreshes for a 64MB 3D DRAM Cache (64ms)",
+            FigureId::Fig13 => "Relative Refresh Energy Savings, 64MB 3D DRAM Cache (64ms)",
+            FigureId::Fig14 => "Relative Total Energy Savings, 64MB 3D DRAM Cache (64ms)",
+            FigureId::Fig15 => "Number of Refreshes for a 64MB 3D DRAM Cache (32ms)",
+            FigureId::Fig16 => "Relative Refresh Energy Savings, 64MB 3D DRAM Cache (32ms)",
+            FigureId::Fig17 => "Relative Total Energy Savings, 64MB 3D DRAM Cache (32ms)",
+            FigureId::Fig18 => "Performance improvement, 64MB 3D DRAM Cache (32ms)",
+        }
+    }
+
+    /// The GMEAN the paper reports for this figure (fractions for savings
+    /// figures, refreshes/s for rate figures).
+    pub fn paper_gmean(&self) -> f64 {
+        match self {
+            FigureId::Fig06 => 691_435.0,
+            FigureId::Fig07 => 0.5257,
+            FigureId::Fig08 => 0.1213,
+            FigureId::Fig09 => 2_343_691.0,
+            FigureId::Fig10 => 0.2376,
+            FigureId::Fig11 => 0.0910,
+            FigureId::Fig12 => 795_411.0,
+            FigureId::Fig13 => 0.2191,
+            FigureId::Fig14 => 0.0937,
+            FigureId::Fig15 => 1_724_640.0,
+            FigureId::Fig16 => 0.1579,
+            FigureId::Fig17 => 0.0687,
+            FigureId::Fig18 => 0.0011,
+        }
+    }
+
+    /// The constant baseline the paper marks on rate figures.
+    pub fn paper_baseline(&self) -> Option<f64> {
+        match self {
+            FigureId::Fig06 => Some(2_048_000.0),
+            FigureId::Fig09 => Some(4_096_000.0),
+            FigureId::Fig12 => Some(1_024_000.0),
+            FigureId::Fig15 => Some(2_048_000.0),
+            _ => None,
+        }
+    }
+
+    /// Unit of the per-benchmark value.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            FigureId::Fig06 | FigureId::Fig09 | FigureId::Fig12 | FigureId::Fig15 => {
+                "refreshes/sec"
+            }
+            FigureId::Fig18 => "perf improvement",
+            _ => "savings",
+        }
+    }
+
+    fn corpus(&self) -> CorpusId {
+        match self {
+            FigureId::Fig06 | FigureId::Fig07 | FigureId::Fig08 => CorpusId::Conv2Gb,
+            FigureId::Fig09 | FigureId::Fig10 | FigureId::Fig11 => CorpusId::Conv4Gb,
+            FigureId::Fig12 | FigureId::Fig13 | FigureId::Fig14 => CorpusId::Stacked64Ms,
+            FigureId::Fig15 | FigureId::Fig16 | FigureId::Fig17 | FigureId::Fig18 => {
+                CorpusId::Stacked32Ms
+            }
+        }
+    }
+}
+
+/// One benchmark's bar in a figure.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Suite grouping (the figures' x-axis groups).
+    pub suite: Suite,
+    /// The per-benchmark value (unit depends on the figure).
+    pub value: f64,
+}
+
+/// A regenerated figure: rows plus summary statistics.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Which figure this is.
+    pub id: FigureId,
+    /// Per-benchmark values in catalog order.
+    pub rows: Vec<FigureRow>,
+    /// Geometric mean over benchmarks (the figures' GMEAN line).
+    pub gmean: f64,
+    /// Constant baseline (rate figures only).
+    pub baseline: Option<f64>,
+}
+
+/// The four run corpora behind the thirteen figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusId {
+    /// 2 GB conventional module (Figs 6–8).
+    Conv2Gb,
+    /// 4 GB conventional module (Figs 9–11).
+    Conv4Gb,
+    /// 64 MB 3D DRAM cache, 64 ms retention (Figs 12–14).
+    Stacked64Ms,
+    /// 64 MB 3D DRAM cache, 32 ms retention (Figs 15–18).
+    Stacked32Ms,
+}
+
+/// Baseline + Smart Refresh results for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchPair {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite grouping.
+    pub suite: Suite,
+    /// CBR baseline result.
+    pub baseline: RunResult,
+    /// Smart Refresh result.
+    pub smart: RunResult,
+}
+
+impl BenchPair {
+    /// Fractional reduction in refresh operations.
+    pub fn refresh_reduction(&self) -> f64 {
+        1.0 - self.smart.refreshes_per_sec / self.baseline.refreshes_per_sec
+    }
+}
+
+/// Lazily-evaluated, cached figure corpus runner.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// Time-scale factor applied to warm-up and measurement spans
+    /// (1.0 = the default 2+6 retention intervals).
+    scale: f64,
+    seed: u64,
+    conv2: Option<Vec<BenchPair>>,
+    conv4: Option<Vec<BenchPair>>,
+    s64: Option<Vec<BenchPair>>,
+    s32: Option<Vec<BenchPair>>,
+}
+
+impl Evaluation {
+    /// Creates an evaluation at full scale with the default seed.
+    pub fn new() -> Self {
+        Self::with_scale(1.0)
+    }
+
+    /// Creates an evaluation with warm-up/measurement spans scaled by
+    /// `scale` (useful for quick looks; figures stabilise from ~0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn with_scale(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        Evaluation {
+            scale,
+            seed: 0x5eed,
+            conv2: None,
+            conv4: None,
+            s64: None,
+            s32: None,
+        }
+    }
+
+    /// Reads `SMARTREFRESH_SCALE` from the environment (default 1.0); used
+    /// by the bench harnesses so CI can run them quickly.
+    pub fn from_env() -> Self {
+        let scale = std::env::var("SMARTREFRESH_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        Self::with_scale(scale)
+    }
+
+    fn run_corpus(&self, id: CorpusId) -> Result<Vec<BenchPair>, DramError> {
+        let (module, power, topology): (ModuleConfig, DramPowerParams, Topology) = match id {
+            CorpusId::Conv2Gb => (
+                conventional_2gb(),
+                DramPowerParams::ddr2_2gb(),
+                Topology::Conventional,
+            ),
+            CorpusId::Conv4Gb => (
+                conventional_4gb(),
+                DramPowerParams::ddr2_4gb(),
+                Topology::Conventional,
+            ),
+            CorpusId::Stacked64Ms => (
+                stacked_3d_64mb(Duration::from_ms(64)),
+                DramPowerParams::stacked_3d_64mb(),
+                Topology::Stacked,
+            ),
+            CorpusId::Stacked32Ms => (
+                stacked_3d_64mb(Duration::from_ms(32)),
+                DramPowerParams::stacked_3d_64mb(),
+                Topology::Stacked,
+            ),
+        };
+        let mut out = Vec::new();
+        for entry in catalog() {
+            let spec: WorkloadSpec = match id {
+                CorpusId::Conv2Gb => entry.conventional.clone(),
+                CorpusId::Conv4Gb => entry.conventional_4gb(),
+                CorpusId::Stacked64Ms | CorpusId::Stacked32Ms => entry.stacked.clone(),
+            };
+            let mut base_cfg = match topology {
+                Topology::Conventional => ExperimentConfig::conventional(
+                    module.clone(),
+                    power,
+                    PolicyKind::CbrDistributed,
+                ),
+                Topology::Stacked => {
+                    ExperimentConfig::stacked(module.clone(), power, PolicyKind::CbrDistributed)
+                }
+            }
+            .scaled(self.scale);
+            base_cfg.seed = self.seed;
+            // Workload timescale is fixed at 64 ms regardless of how hot
+            // (fast-refreshing) the module is.
+            base_cfg.reference = Duration::from_ms(64);
+            let mut smart_cfg = base_cfg.clone();
+            smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
+            let baseline = run_experiment(&base_cfg, &spec)?;
+            let smart = run_experiment(&smart_cfg, &spec)?;
+            assert!(
+                baseline.integrity_ok && smart.integrity_ok,
+                "{}: retention violated",
+                spec.name
+            );
+            out.push(BenchPair {
+                name: entry.name(),
+                suite: entry.suite(),
+                baseline,
+                smart,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The cached corpus for `id`, running it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (controller bugs — never expected).
+    pub fn corpus(&mut self, id: CorpusId) -> Result<&[BenchPair], DramError> {
+        let slot = match id {
+            CorpusId::Conv2Gb => &mut self.conv2,
+            CorpusId::Conv4Gb => &mut self.conv4,
+            CorpusId::Stacked64Ms => &mut self.s64,
+            CorpusId::Stacked32Ms => &mut self.s32,
+        };
+        if slot.is_none() {
+            let pairs = match id {
+                CorpusId::Conv2Gb => self.run_corpus(CorpusId::Conv2Gb)?,
+                CorpusId::Conv4Gb => self.run_corpus(CorpusId::Conv4Gb)?,
+                CorpusId::Stacked64Ms => self.run_corpus(CorpusId::Stacked64Ms)?,
+                CorpusId::Stacked32Ms => self.run_corpus(CorpusId::Stacked32Ms)?,
+            };
+            let slot = match id {
+                CorpusId::Conv2Gb => &mut self.conv2,
+                CorpusId::Conv4Gb => &mut self.conv4,
+                CorpusId::Stacked64Ms => &mut self.s64,
+                CorpusId::Stacked32Ms => &mut self.s32,
+            };
+            *slot = Some(pairs);
+        }
+        let slot = match id {
+            CorpusId::Conv2Gb => &self.conv2,
+            CorpusId::Conv4Gb => &self.conv4,
+            CorpusId::Stacked64Ms => &self.s64,
+            CorpusId::Stacked32Ms => &self.s32,
+        };
+        Ok(slot.as_ref().expect("just populated").as_slice())
+    }
+
+    /// Regenerates one figure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the underlying corpus run.
+    pub fn figure(&mut self, id: FigureId) -> Result<Figure, DramError> {
+        let pairs = self.corpus(id.corpus())?;
+        let rows: Vec<FigureRow> = pairs
+            .iter()
+            .map(|p| FigureRow {
+                benchmark: p.name,
+                suite: p.suite,
+                value: figure_value(id, p),
+            })
+            .collect();
+        // Fig 18's values hover around zero (±0.5%), where a geometric mean
+        // is meaningless; report the arithmetic mean for it instead.
+        let summary = if id == FigureId::Fig18 {
+            mean(&rows.iter().map(|r| r.value).collect::<Vec<_>>())
+        } else {
+            let positives: Vec<f64> = rows.iter().map(|r| r.value.max(1e-9)).collect();
+            geometric_mean(&positives)
+        };
+        Ok(Figure {
+            id,
+            gmean: summary,
+            baseline: pairs
+                .first()
+                .filter(|_| id.paper_baseline().is_some())
+                .map(|p| p.baseline.refreshes_per_sec),
+            rows,
+        })
+    }
+}
+
+impl Default for Evaluation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn figure_value(id: FigureId, p: &BenchPair) -> f64 {
+    match id {
+        FigureId::Fig06 | FigureId::Fig09 | FigureId::Fig12 | FigureId::Fig15 => {
+            p.smart.refreshes_per_sec
+        }
+        FigureId::Fig07 | FigureId::Fig10 | FigureId::Fig13 | FigureId::Fig16 => {
+            p.smart.energy.refresh_savings_vs(&p.baseline.energy)
+        }
+        FigureId::Fig08 | FigureId::Fig11 | FigureId::Fig14 | FigureId::Fig17 => {
+            p.smart.energy.total_savings_vs(&p.baseline.energy)
+        }
+        FigureId::Fig18 => {
+            p.baseline.seconds_per_instruction() / p.smart.seconds_per_instruction() - 1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_metadata_is_complete() {
+        for id in FigureId::ALL {
+            assert!(!id.title().is_empty());
+            assert!(id.paper_gmean() > 0.0);
+            assert!(!id.unit().is_empty());
+        }
+        assert_eq!(FigureId::Fig06.paper_baseline(), Some(2_048_000.0));
+        assert_eq!(FigureId::Fig07.paper_baseline(), None);
+    }
+
+    #[test]
+    fn corpus_mapping_groups_by_module() {
+        assert_eq!(FigureId::Fig06.corpus(), CorpusId::Conv2Gb);
+        assert_eq!(FigureId::Fig08.corpus(), CorpusId::Conv2Gb);
+        assert_eq!(FigureId::Fig11.corpus(), CorpusId::Conv4Gb);
+        assert_eq!(FigureId::Fig14.corpus(), CorpusId::Stacked64Ms);
+        assert_eq!(FigureId::Fig18.corpus(), CorpusId::Stacked32Ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        Evaluation::with_scale(0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Event-driven system simulator and experiment harness.
+//!
+//! Wires the substrate crates together — workload generators → (optionally
+//! the 3D stacked cache) → memory controller + refresh policy → DRAM device
+//! → energy models — and regenerates every table and figure of the paper's
+//! evaluation:
+//!
+//! * [`experiment::run_experiment`] — one workload × one module × one policy;
+//! * [`figures::Evaluation`] — the cached four-corpus sweep behind
+//!   Figs 6–18, with the paper's reference values embedded for comparison;
+//! * [`report`] — text tables printed by the bench harness.
+//!
+//! ```no_run
+//! use smartrefresh_sim::figures::{Evaluation, FigureId};
+//! use smartrefresh_sim::report::render_figure;
+//!
+//! let mut eval = Evaluation::with_scale(0.25); // quick look
+//! let fig6 = eval.figure(FigureId::Fig06)?;
+//! println!("{}", render_figure(&fig6));
+//! # Ok::<(), smartrefresh_dram::DramError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod system;
+pub mod thermal;
+
+pub use experiment::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
+pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
+pub use system::MultiChannelSystem;
+pub use thermal::{ThermalModel, ThermalOperatingPoint};

@@ -1,0 +1,146 @@
+//! Text rendering for figures and run results.
+//!
+//! The bench harness prints each regenerated figure as a table with the
+//! paper's reference values alongside, so `cargo bench` output doubles as
+//! the EXPERIMENTS.md evidence.
+
+use std::fmt::Write as _;
+
+use crate::experiment::RunResult;
+use crate::figures::{Figure, FigureId};
+
+/// Renders a figure as an aligned text table with paper-vs-measured summary
+/// lines.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let id = fig.id;
+    let _ = writeln!(out, "=== {:?}: {} ===", id, id.title());
+    if let (Some(measured), Some(paper)) = (fig.baseline, id.paper_baseline()) {
+        let _ = writeln!(
+            out,
+            "Baseline: measured {:.0} /s (paper: {:.0} /s)",
+            measured, paper
+        );
+    }
+    let _ = writeln!(out, "{:<18} {:>28} {:>14}", "benchmark", "suite", id.unit());
+    for r in &fig.rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>28} {:>14}",
+            r.benchmark,
+            r.suite.to_string(),
+            format_value(id, r.value)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "GMEAN: measured {} (paper: {})",
+        format_value(id, fig.gmean),
+        format_value(id, id.paper_gmean())
+    );
+    out
+}
+
+fn format_value(id: FigureId, v: f64) -> String {
+    match id.unit() {
+        "refreshes/sec" => format!("{v:.0}"),
+        _ => format!("{:.2}%", v * 100.0),
+    }
+}
+
+/// Renders a figure as CSV (`benchmark,suite,value,paper_gmean`), suitable
+/// for replotting with external tools.
+pub fn figure_csv(fig: &Figure) -> String {
+    let mut out = String::from("benchmark,suite,value,measured_gmean,paper_gmean\n");
+    for r in &fig.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.benchmark,
+            r.suite,
+            r.value,
+            fig.gmean,
+            fig.id.paper_gmean()
+        );
+    }
+    out
+}
+
+/// Renders a one-line summary of a run (for ablation benches).
+pub fn render_run(r: &RunResult) -> String {
+    format!(
+        "{:<16} {:<9} refreshes/s {:>12.0} | energy {:>9.3} mJ (refresh {:>8.3} mJ) | \
+         avg lat {:>7.1} ns | qhw {} | integrity {}",
+        r.workload,
+        r.policy,
+        r.refreshes_per_sec,
+        r.energy.total_j() * 1e3,
+        r.energy.refresh_mechanism_j() * 1e3,
+        r.ctrl.avg_latency().as_ns_f64(),
+        r.queue_high_water,
+        if r.integrity_ok { "ok" } else { "VIOLATED" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureRow;
+    use smartrefresh_workloads::Suite;
+
+    #[test]
+    fn rendering_includes_paper_reference() {
+        let fig = Figure {
+            id: FigureId::Fig07,
+            rows: vec![FigureRow {
+                benchmark: "gcc",
+                suite: Suite::SpecInt2000,
+                value: 0.25,
+            }],
+            gmean: 0.25,
+            baseline: None,
+        };
+        let s = render_figure(&fig);
+        assert!(s.contains("gcc"));
+        assert!(s.contains("25.00%"));
+        assert!(s.contains("paper: 52.57%"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let fig = Figure {
+            id: FigureId::Fig07,
+            rows: vec![FigureRow {
+                benchmark: "gcc",
+                suite: Suite::SpecInt2000,
+                value: 0.25,
+            }],
+            gmean: 0.25,
+            baseline: None,
+        };
+        let csv = figure_csv(&fig);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "benchmark,suite,value,measured_gmean,paper_gmean"
+        );
+        assert!(lines.next().unwrap().starts_with("gcc,SPECint2000,0.25"));
+    }
+
+    #[test]
+    fn rate_figures_format_as_counts() {
+        let fig = Figure {
+            id: FigureId::Fig06,
+            rows: vec![FigureRow {
+                benchmark: "radix",
+                suite: Suite::Splash2,
+                value: 400_000.0,
+            }],
+            gmean: 400_000.0,
+            baseline: Some(2_048_000.0),
+        };
+        let s = render_figure(&fig);
+        assert!(s.contains("400000"));
+        assert!(s.contains("2048000"));
+    }
+}

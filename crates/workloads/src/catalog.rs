@@ -1,0 +1,474 @@
+//! The benchmark catalog: every program appearing in the paper's figures.
+//!
+//! Each entry carries two calibrated [`WorkloadSpec`]s:
+//!
+//! * `conventional` — the DRAM-level access process for the 2 GB module
+//!   experiments (Figs 6–8). The 4 GB runs (Figs 9–11) reuse these specs
+//!   with coverage scaled by [`FOUR_GB_COVERAGE_FACTOR`]: the same program
+//!   touches the same amount of data, but spread over a module with twice
+//!   the rows (the scaling matches the paper's observed 59.3% → ~40%
+//!   average-reduction shift).
+//! * `stacked` — the L2-miss-level process feeding the 64 MB 3D DRAM cache
+//!   experiments (Figs 12–18).
+//!
+//! Coverage values are the calibration targets derived from the
+//! per-benchmark bars of Figs 6 and 12 (endpoints and averages are stated in
+//! the text: 26%–85.7% reduction, 59.3% average for 2 GB; 4%–42% for the 3D
+//! cache). Locality knobs (`row_hit_frac`, skew, write fraction) are set to
+//! plausible per-suite values; §7.2's observation that two-process runs have
+//! less spatial locality is reflected in their lower `row_hit_frac`.
+//! `EXPERIMENTS.md` records calibration targets vs measured outputs.
+
+use crate::spec::{Suite, WorkloadSpec};
+
+/// Coverage scale factor for the 4 GB module relative to the 2 GB one.
+pub const FOUR_GB_COVERAGE_FACTOR: f64 = 0.675;
+
+/// One benchmark with its per-context calibrations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkEntry {
+    /// Access process calibrated for the conventional 2 GB module.
+    pub conventional: WorkloadSpec,
+    /// Access process calibrated for the 64 MB 3D DRAM cache.
+    pub stacked: WorkloadSpec,
+}
+
+impl BenchmarkEntry {
+    /// Benchmark name (shared by both specs).
+    pub fn name(&self) -> &'static str {
+        self.conventional.name
+    }
+
+    /// Suite grouping (shared by both specs).
+    pub fn suite(&self) -> Suite {
+        self.conventional.suite
+    }
+
+    /// The conventional spec rescaled for the 4 GB module.
+    pub fn conventional_4gb(&self) -> WorkloadSpec {
+        self.conventional
+            .with_coverage_scaled(FOUR_GB_COVERAGE_FACTOR)
+    }
+}
+
+/// Raw calibration row: (name, suite, cov_2gb, cov_3d, row_hit, hot_weight,
+/// write_frac, apki).
+type Row = (&'static str, Suite, f64, f64, f64, f64, f64, f64);
+
+const TABLE: &[Row] = &[
+    // BioBench — streaming genome tools; fasta is the low-reuse outlier
+    // called out in the text (26% reduction conventional, 4% on 3D).
+    (
+        "clustalw",
+        Suite::Biobench,
+        0.68,
+        0.42,
+        0.55,
+        0.45,
+        0.28,
+        9.0,
+    ),
+    ("fasta", Suite::Biobench, 0.27, 0.05, 0.65, 0.60, 0.22, 3.0),
+    ("hmmer", Suite::Biobench, 0.47, 0.16, 0.60, 0.50, 0.25, 5.0),
+    (
+        "mummer",
+        Suite::Biobench,
+        0.72,
+        0.43,
+        0.50,
+        0.40,
+        0.27,
+        10.0,
+    ),
+    ("phylip", Suite::Biobench, 0.56, 0.20, 0.58, 0.50, 0.26, 6.0),
+    ("tiger", Suite::Biobench, 0.61, 0.24, 0.55, 0.45, 0.26, 7.0),
+    // SPLASH-2 — scientific kernels; radix/water sweep large footprints
+    // (the text singles out water-spatial at 85.7% and radix at 79%).
+    ("barnes", Suite::Splash2, 0.63, 0.22, 0.50, 0.45, 0.30, 8.0),
+    (
+        "cholesky",
+        Suite::Splash2,
+        0.56,
+        0.17,
+        0.55,
+        0.50,
+        0.28,
+        6.0,
+    ),
+    ("fft", Suite::Splash2, 0.67, 0.25, 0.45, 0.40, 0.32, 10.0),
+    ("fmm", Suite::Splash2, 0.60, 0.20, 0.52, 0.45, 0.29, 7.0),
+    (
+        "lucontig",
+        Suite::Splash2,
+        0.58,
+        0.19,
+        0.60,
+        0.50,
+        0.30,
+        6.0,
+    ),
+    (
+        "lunoncontig",
+        Suite::Splash2,
+        0.64,
+        0.22,
+        0.45,
+        0.45,
+        0.30,
+        8.0,
+    ),
+    (
+        "ocean-contig",
+        Suite::Splash2,
+        0.73,
+        0.26,
+        0.50,
+        0.40,
+        0.33,
+        11.0,
+    ),
+    ("radix", Suite::Splash2, 0.81, 0.29, 0.40, 0.35, 0.35, 13.0),
+    (
+        "water-nsquared",
+        Suite::Splash2,
+        0.79,
+        0.27,
+        0.48,
+        0.40,
+        0.30,
+        11.0,
+    ),
+    (
+        "water-spatial",
+        Suite::Splash2,
+        0.87,
+        0.30,
+        0.45,
+        0.35,
+        0.30,
+        12.0,
+    ),
+    // SPECint2000 — gcc is the low-savings case called out in the text
+    // (25% refresh-energy savings); perl/twolf the high cases.
+    ("eon", Suite::SpecInt2000, 0.42, 0.13, 0.62, 0.55, 0.26, 3.0),
+    ("gcc", Suite::SpecInt2000, 0.36, 0.12, 0.60, 0.55, 0.28, 3.5),
+    (
+        "parser",
+        Suite::SpecInt2000,
+        0.52,
+        0.17,
+        0.58,
+        0.50,
+        0.27,
+        4.5,
+    ),
+    (
+        "perl",
+        Suite::SpecInt2000,
+        0.70,
+        0.23,
+        0.55,
+        0.45,
+        0.28,
+        6.0,
+    ),
+    (
+        "twolf",
+        Suite::SpecInt2000,
+        0.72,
+        0.25,
+        0.52,
+        0.45,
+        0.27,
+        6.5,
+    ),
+    ("vpr", Suite::SpecInt2000, 0.56, 0.19, 0.56, 0.50, 0.27, 5.0),
+    // Two-process SPECint pairs — larger combined footprints and less
+    // spatial locality (§7.2), hence higher coverage and lower row-hit.
+    (
+        "gcc_parser",
+        Suite::TwoProcess,
+        0.62,
+        0.22,
+        0.40,
+        0.45,
+        0.28,
+        7.0,
+    ),
+    (
+        "gcc_perl",
+        Suite::TwoProcess,
+        0.70,
+        0.26,
+        0.38,
+        0.45,
+        0.28,
+        8.0,
+    ),
+    (
+        "gcc_twolf",
+        Suite::TwoProcess,
+        0.72,
+        0.28,
+        0.38,
+        0.45,
+        0.28,
+        8.5,
+    ),
+    (
+        "parser_perl",
+        Suite::TwoProcess,
+        0.68,
+        0.25,
+        0.40,
+        0.45,
+        0.28,
+        8.0,
+    ),
+    (
+        "parser_twolf",
+        Suite::TwoProcess,
+        0.70,
+        0.26,
+        0.40,
+        0.45,
+        0.27,
+        8.0,
+    ),
+    (
+        "perl_twolf",
+        Suite::TwoProcess,
+        0.78,
+        0.30,
+        0.36,
+        0.40,
+        0.28,
+        9.5,
+    ),
+    (
+        "vpr_gcc",
+        Suite::TwoProcess,
+        0.60,
+        0.20,
+        0.42,
+        0.48,
+        0.28,
+        7.0,
+    ),
+    (
+        "vpr_parser",
+        Suite::TwoProcess,
+        0.64,
+        0.23,
+        0.42,
+        0.48,
+        0.27,
+        7.5,
+    ),
+    (
+        "vpr_perl",
+        Suite::TwoProcess,
+        0.72,
+        0.27,
+        0.38,
+        0.45,
+        0.28,
+        8.5,
+    ),
+    (
+        "vpr_twolf",
+        Suite::TwoProcess,
+        0.71,
+        0.27,
+        0.40,
+        0.45,
+        0.27,
+        8.5,
+    ),
+];
+
+fn build(row: &Row) -> BenchmarkEntry {
+    let &(name, suite, cov2, cov3, row_hit, hot_weight, write_frac, apki) = row;
+    const HOT_FRAC: f64 = 0.2;
+    let conventional = WorkloadSpec {
+        name,
+        suite,
+        coverage: cov2,
+        // Smallest per-row intensity that can reach the target reduction
+        // with a footprint that fits the module (see `calibrate`).
+        intensity: crate::calibrate::intensity_for(
+            cov2,
+            HOT_FRAC,
+            hot_weight,
+            crate::calibrate::DEFAULT_PERIODS,
+        ),
+        row_hit_frac: row_hit,
+        hot_frac: HOT_FRAC,
+        hot_weight,
+        write_frac,
+        apki,
+    };
+    // The 3D cache sees the L2-miss stream: shorter rows (1 KB vs 16 KB)
+    // mean less spatial reuse per row, so the row-hit fraction drops.
+    let stacked = WorkloadSpec {
+        coverage: cov3,
+        intensity: crate::calibrate::intensity_for(
+            cov3,
+            HOT_FRAC,
+            hot_weight,
+            crate::calibrate::DEFAULT_PERIODS,
+        ),
+        row_hit_frac: (row_hit - 0.15).max(0.2),
+        ..conventional.clone()
+    };
+    conventional.validate();
+    stacked.validate();
+    BenchmarkEntry {
+        conventional,
+        stacked,
+    }
+}
+
+/// All benchmarks in the order the figures list them (Biobench, SPLASH-2,
+/// SPECint2000, then the two-process pairs).
+pub fn catalog() -> Vec<BenchmarkEntry> {
+    TABLE.iter().map(build).collect()
+}
+
+/// Looks up a benchmark by name.
+pub fn find(name: &str) -> Option<BenchmarkEntry> {
+    TABLE.iter().find(|r| r.0 == name).map(build)
+}
+
+/// The §4.6 idle-OS workload: the operating system alone touches roughly a
+/// tenth of the rows per interval — enough to keep Smart Refresh enabled and
+/// save ~10% of refresh energy, as the paper reports.
+pub fn idle_os() -> BenchmarkEntry {
+    let conventional = WorkloadSpec {
+        name: "idle-os",
+        suite: Suite::Synthetic,
+        coverage: 0.11,
+        intensity: 1.8,
+        row_hit_frac: 0.5,
+        hot_frac: 0.3,
+        hot_weight: 0.6,
+        write_frac: 0.3,
+        apki: 1.0,
+    };
+    let stacked = WorkloadSpec {
+        coverage: 0.10,
+        ..conventional.clone()
+    };
+    BenchmarkEntry {
+        conventional,
+        stacked,
+    }
+}
+
+/// A cache-resident workload whose DRAM traffic is far below the 1%
+/// watermark: exercises the §4.6 fallback path. (The watermark counts
+/// accesses per interval against the row count, so both the footprint and
+/// the per-row rate must be tiny.)
+pub fn cache_resident() -> BenchmarkEntry {
+    let conventional = WorkloadSpec {
+        name: "cache-resident",
+        suite: Suite::Synthetic,
+        coverage: 0.0005,
+        intensity: 1.0,
+        row_hit_frac: 0.6,
+        hot_frac: 0.5,
+        hot_weight: 0.7,
+        write_frac: 0.3,
+        apki: 0.05,
+    };
+    let stacked = conventional.clone();
+    BenchmarkEntry {
+        conventional,
+        stacked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_figure_benchmarks() {
+        let c = catalog();
+        assert_eq!(c.len(), 32);
+        let names: Vec<&str> = c.iter().map(|e| e.name()).collect();
+        for expected in [
+            "clustalw",
+            "fasta",
+            "water-spatial",
+            "radix",
+            "gcc",
+            "perl_twolf",
+            "vpr_twolf",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for e in catalog() {
+            e.conventional.validate();
+            e.stacked.validate();
+            e.conventional_4gb().validate();
+        }
+        idle_os().conventional.validate();
+        cache_resident().conventional.validate();
+    }
+
+    #[test]
+    fn coverage_endpoints_match_paper_text() {
+        // water-spatial is the 85.7% conventional endpoint; fasta the 26% one.
+        let ws = find("water-spatial").unwrap();
+        let fa = find("fasta").unwrap();
+        assert!(ws.conventional.coverage > 0.85);
+        assert!(fa.conventional.coverage < 0.30);
+        // mummer/clustalw top the 3D chart at ~42%; fasta bottoms at ~4%.
+        assert!(find("mummer").unwrap().stacked.coverage >= 0.42);
+        assert!(fa.stacked.coverage <= 0.06);
+    }
+
+    #[test]
+    fn average_conventional_coverage_near_paper_mean() {
+        let c = catalog();
+        let mean: f64 = c.iter().map(|e| e.conventional.coverage).sum::<f64>() / c.len() as f64;
+        // The paper's average reduction is 59.3%; coverage targets sit a
+        // little above because the effective skip window is slightly shorter
+        // than the interval.
+        assert!((0.55..0.70).contains(&mean), "mean coverage {mean}");
+    }
+
+    #[test]
+    fn pairs_have_less_locality_than_singles() {
+        let pair = find("perl_twolf").unwrap();
+        let single = find("perl").unwrap();
+        assert!(pair.conventional.row_hit_frac < single.conventional.row_hit_frac);
+        assert!(pair.conventional.coverage >= single.conventional.coverage);
+    }
+
+    #[test]
+    fn four_gb_scaling_reduces_coverage() {
+        let e = find("gcc").unwrap();
+        let scaled = e.conventional_4gb();
+        assert!((scaled.coverage - 0.36 * FOUR_GB_COVERAGE_FACTOR).abs() < 1e-12);
+    }
+
+    #[test]
+    fn find_unknown_returns_none() {
+        assert!(find("not-a-benchmark").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = catalog();
+        let mut names: Vec<&str> = c.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+}

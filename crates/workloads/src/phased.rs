@@ -1,0 +1,220 @@
+//! Phased workloads: programs whose working set changes over time.
+//!
+//! §4.6 motivates the auto enable/disable circuitry with *dynamic data
+//! working set behaviour*: a program may run cache-resident for a while
+//! (Smart Refresh should get out of the way) and then stream through memory
+//! (it should re-engage). [`PhasedGenerator`] alternates between two
+//! calibrated access processes on a fixed cadence so the hysteresis can be
+//! exercised against realistic phase changes rather than stationary
+//! extremes.
+
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::Geometry;
+
+use crate::generator::{AccessGenerator, TraceEvent};
+use crate::spec::WorkloadSpec;
+
+/// Alternates between two access processes with a fixed phase length.
+///
+/// Phase A runs during even phases, phase B during odd ones. Each
+/// underlying generator keeps its own footprint and stream; events falling
+/// outside the active generator's phase are simply skipped over, so the
+/// *rate* during each phase is the phase owner's calibrated rate.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_dram::time::Duration;
+/// use smartrefresh_dram::Geometry;
+/// use smartrefresh_workloads::{cache_resident, idle_os, PhasedGenerator};
+///
+/// let g = Geometry::new(1, 4, 256, 32, 64);
+/// let busy = idle_os().conventional;
+/// let quiet = cache_resident().conventional;
+/// let gen = PhasedGenerator::new(
+///     &busy, &quiet, g, Duration::from_ms(64), Duration::from_ms(256), 1,
+/// );
+/// let first = gen.take(10).count();
+/// assert_eq!(first, 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedGenerator {
+    a: AccessGenerator,
+    b: AccessGenerator,
+    phase_len: Duration,
+    pending_a: Option<TraceEvent>,
+    pending_b: Option<TraceEvent>,
+}
+
+impl PhasedGenerator {
+    /// Builds the phased stream: `spec_a` owns even phases, `spec_b` odd
+    /// phases, each `phase_len` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase_len` is zero or either spec fails validation.
+    pub fn new(
+        spec_a: &WorkloadSpec,
+        spec_b: &WorkloadSpec,
+        geometry: Geometry,
+        reference: Duration,
+        phase_len: Duration,
+        seed: u64,
+    ) -> Self {
+        assert!(!phase_len.is_zero(), "phase length must be nonzero");
+        let mut a = AccessGenerator::new(spec_a, geometry, reference, 0, seed);
+        let mut b = AccessGenerator::new(spec_b, geometry, reference, 0, seed.wrapping_add(1));
+        let pending_a = a.next();
+        let pending_b = b.next();
+        PhasedGenerator {
+            a,
+            b,
+            phase_len,
+            pending_a,
+            pending_b,
+        }
+    }
+
+    fn phase_of(&self, t: Instant) -> u64 {
+        t.as_ps() / self.phase_len.as_ps()
+    }
+
+    /// True when `t` falls in an even (`spec_a`) phase.
+    pub fn is_phase_a(&self, t: Instant) -> bool {
+        self.phase_of(t).is_multiple_of(2)
+    }
+}
+
+impl Iterator for PhasedGenerator {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        // Advance each stream past events that fall in the other stream's
+        // phases, then emit the earlier of the two survivors.
+        loop {
+            let a_ok = self.pending_a.map(|e| self.is_phase_a(e.time));
+            if a_ok == Some(false) {
+                self.pending_a = self.a.next();
+                continue;
+            }
+            let b_ok = self.pending_b.map(|e| !self.is_phase_a(e.time));
+            if b_ok == Some(false) {
+                self.pending_b = self.b.next();
+                continue;
+            }
+            break;
+        }
+        match (self.pending_a, self.pending_b) {
+            (Some(ea), Some(eb)) if ea.time <= eb.time => {
+                self.pending_a = self.a.next();
+                Some(ea)
+            }
+            (Some(_), Some(eb)) => {
+                self.pending_b = self.b.next();
+                Some(eb)
+            }
+            (Some(ea), None) => {
+                self.pending_a = self.a.next();
+                Some(ea)
+            }
+            (None, Some(eb)) => {
+                self.pending_b = self.b.next();
+                Some(eb)
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Suite;
+
+    fn spec(name: &'static str, coverage: f64, intensity: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            name,
+            suite: Suite::Synthetic,
+            coverage,
+            intensity,
+            row_hit_frac: 0.5,
+            hot_frac: 0.2,
+            hot_weight: 0.5,
+            write_frac: 0.3,
+            apki: 5.0,
+        }
+    }
+
+    fn geometry() -> Geometry {
+        Geometry::new(1, 4, 256, 16, 64)
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let busy = spec("busy", 0.5, 3.0);
+        let quiet = spec("quiet", 0.01, 2.0);
+        let gen = PhasedGenerator::new(
+            &busy,
+            &quiet,
+            geometry(),
+            Duration::from_ms(64),
+            Duration::from_ms(8),
+            7,
+        );
+        let mut last = Instant::ZERO;
+        for e in gen.take(3000) {
+            assert!(e.time >= last);
+            last = e.time;
+        }
+    }
+
+    #[test]
+    fn phases_alternate_rates() {
+        let busy = spec("busy", 0.5, 3.0);
+        let quiet = spec("quiet", 0.005, 2.0);
+        let phase = Duration::from_ms(8);
+        let gen = PhasedGenerator::new(&busy, &quiet, geometry(), Duration::from_ms(64), phase, 3);
+        // Count events per phase over 8 phases.
+        let mut counts = vec![0u64; 8];
+        for e in gen {
+            let p = (e.time.as_ps() / phase.as_ps()) as usize;
+            if p >= 8 {
+                break;
+            }
+            counts[p] += 1;
+        }
+        for pair in counts.chunks(2) {
+            assert!(
+                pair[0] > pair[1] * 5,
+                "busy phases must dominate: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let busy = spec("busy", 0.3, 3.0);
+        let quiet = spec("quiet", 0.01, 2.0);
+        let make = |seed| {
+            PhasedGenerator::new(
+                &busy,
+                &quiet,
+                geometry(),
+                Duration::from_ms(64),
+                Duration::from_ms(8),
+                seed,
+            )
+            .take(200)
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(make(5), make(5));
+        assert_ne!(make(5), make(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase length")]
+    fn zero_phase_rejected() {
+        let s = spec("s", 0.1, 2.0);
+        PhasedGenerator::new(&s, &s, geometry(), Duration::from_ms(64), Duration::ZERO, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Workload specifications.
+//!
+//! The paper drove its simulator with SPLASH-2, SPECint2000 and BioBench
+//! programs running under Solaris on Simics. Those traces are not available,
+//! and — crucially — the Smart Refresh mechanism only observes the DRAM-level
+//! row access stream. Each benchmark is therefore modelled as a stochastic
+//! row-access process described by a [`WorkloadSpec`]:
+//!
+//! * `coverage` — the fraction of the module's rows that receive at least
+//!   one access per retention interval in steady state. This is the single
+//!   parameter that determines how many periodic refreshes Smart Refresh can
+//!   skip, and it is the per-benchmark calibration knob (derived from the
+//!   per-benchmark bars of Figs 6/9/12/15; see `EXPERIMENTS.md`).
+//! * `intensity` — mean number of *new-row* accesses per footprint row per
+//!   interval; controls how reliably the footprint is re-touched.
+//! * `row_hit_frac` — spatial locality: probability an access reuses the
+//!   current row (a row-buffer hit).
+//! * `hot_frac`/`hot_weight` — temporal skew: `hot_weight` of the non-hit
+//!   accesses land in the first `hot_frac` of the footprint.
+//! * `write_frac` — store fraction.
+//! * `apki` — DRAM accesses per kilo-instruction, used by the Fig 18
+//!   performance model.
+
+use std::fmt;
+
+/// Benchmark suite, used for grouping in reports (the figures group bars by
+/// suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// BioBench bioinformatics workloads.
+    Biobench,
+    /// SPLASH-2 scientific kernels.
+    Splash2,
+    /// SPECint2000.
+    SpecInt2000,
+    /// Two SPECint2000 programs co-scheduled (§6's multi-workload runs).
+    TwoProcess,
+    /// Synthetic/system workloads (idle OS, microbenchmarks).
+    Synthetic,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Biobench => "Biobench",
+            Suite::Splash2 => "SPLASH2",
+            Suite::SpecInt2000 => "SPECint2000",
+            Suite::TwoProcess => "2 Processes (SPECint2000)",
+            Suite::Synthetic => "Synthetic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A calibrated stochastic model of one benchmark's DRAM access behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as it appears in the figures.
+    pub name: &'static str,
+    /// Suite grouping.
+    pub suite: Suite,
+    /// Target fraction of module rows touched per retention interval.
+    pub coverage: f64,
+    /// New-row accesses per footprint row per interval.
+    pub intensity: f64,
+    /// Probability an access stays in the currently open row.
+    pub row_hit_frac: f64,
+    /// Fraction of the footprint forming the hot region.
+    pub hot_frac: f64,
+    /// Probability a new-row access targets the hot region.
+    pub hot_weight: f64,
+    /// Fraction of accesses that are writes.
+    pub write_frac: f64,
+    /// DRAM accesses per kilo-instruction (performance model input).
+    pub apki: f64,
+}
+
+impl WorkloadSpec {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when a fraction is outside `[0, 1]`
+    /// or a positive quantity is not positive.
+    pub fn validate(&self) {
+        assert!(
+            self.coverage > 0.0 && self.coverage <= 1.0,
+            "{}: coverage must be in (0, 1]",
+            self.name
+        );
+        assert!(
+            self.intensity > 0.0,
+            "{}: intensity must be positive",
+            self.name
+        );
+        for (label, v) in [
+            ("row_hit_frac", self.row_hit_frac),
+            ("hot_frac", self.hot_frac),
+            ("hot_weight", self.hot_weight),
+            ("write_frac", self.write_frac),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{}: {label} must be in [0, 1]",
+                self.name
+            );
+        }
+        assert!(
+            self.row_hit_frac < 1.0,
+            "{}: some accesses must open rows",
+            self.name
+        );
+        assert!(self.apki > 0.0, "{}: apki must be positive", self.name);
+    }
+
+    /// Derived: a spec with coverage scaled by `factor` (clamped to `(0,1]`),
+    /// used to derive the 4 GB variants from the 2 GB calibration.
+    pub fn with_coverage_scaled(&self, factor: f64) -> WorkloadSpec {
+        let mut s = self.clone();
+        s.coverage = (s.coverage * factor).clamp(1e-6, 1.0);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            suite: Suite::Synthetic,
+            coverage: 0.5,
+            intensity: 2.5,
+            row_hit_frac: 0.5,
+            hot_frac: 0.2,
+            hot_weight: 0.5,
+            write_frac: 0.3,
+            apki: 5.0,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        base().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn zero_coverage_rejected() {
+        WorkloadSpec {
+            coverage: 0.0,
+            ..base()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "row_hit_frac")]
+    fn out_of_range_fraction_rejected() {
+        WorkloadSpec {
+            row_hit_frac: 1.5,
+            ..base()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn coverage_scaling_clamps() {
+        let s = base().with_coverage_scaled(3.0);
+        assert_eq!(s.coverage, 1.0);
+        let t = base().with_coverage_scaled(0.5);
+        assert_eq!(t.coverage, 0.25);
+    }
+
+    #[test]
+    fn suites_display_like_figure_captions() {
+        assert_eq!(Suite::TwoProcess.to_string(), "2 Processes (SPECint2000)");
+        assert_eq!(Suite::Splash2.to_string(), "SPLASH2");
+    }
+}

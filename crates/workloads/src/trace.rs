@@ -1,0 +1,242 @@
+//! Trace-file support.
+//!
+//! DRAMsim (the paper's memory simulator) could run stand-alone from memory
+//! traces; this module provides the equivalent: a plain-text trace format,
+//! a writer to capture generator output, and a reader that replays a trace
+//! as a [`TraceEvent`] stream so experiments can be driven from recorded or
+//! externally-produced access streams.
+//!
+//! # Format
+//!
+//! One access per line, whitespace-separated:
+//!
+//! ```text
+//! <time-ps> <hex-address> <R|W>
+//! # comments and blank lines are ignored
+//! 1200 0x7f00 R
+//! 2650 0x10040 W
+//! ```
+//!
+//! Timestamps must be non-decreasing.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use smartrefresh_dram::time::Instant;
+
+use crate::generator::TraceEvent;
+
+/// Error produced while parsing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Timestamps went backwards.
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace parse error on line {line}: {reason}")
+            }
+            TraceError::OutOfOrder { line } => {
+                write!(f, "trace timestamps out of order at line {line}")
+            }
+        }
+    }
+}
+
+impl StdError for TraceError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Parses a trace from a reader.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure, malformed lines, or
+/// out-of-order timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_workloads::trace::read_trace;
+///
+/// let text = "# demo\n100 0x40 R\n250 0x80 W\n";
+/// let events = read_trace(text.as_bytes())?;
+/// assert_eq!(events.len(), 2);
+/// assert!(events[1].is_write);
+/// # Ok::<(), smartrefresh_workloads::trace::TraceError>(())
+/// ```
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut events = Vec::new();
+    let mut last = Instant::ZERO;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (time, addr, dir) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(t), Some(a), Some(d)) => (t, a, d),
+            _ => {
+                return Err(TraceError::Parse {
+                    line: line_no,
+                    reason: "expected `<time-ps> <address> <R|W>`".into(),
+                })
+            }
+        };
+        if parts.next().is_some() {
+            return Err(TraceError::Parse {
+                line: line_no,
+                reason: "trailing fields".into(),
+            });
+        }
+        let time_ps: u64 = time.parse().map_err(|_| TraceError::Parse {
+            line: line_no,
+            reason: format!("bad timestamp {time:?}"),
+        })?;
+        let addr = parse_addr(addr).ok_or_else(|| TraceError::Parse {
+            line: line_no,
+            reason: format!("bad address {addr:?}"),
+        })?;
+        let is_write = match dir {
+            "R" | "r" => false,
+            "W" | "w" => true,
+            other => {
+                return Err(TraceError::Parse {
+                    line: line_no,
+                    reason: format!("bad direction {other:?} (expected R or W)"),
+                })
+            }
+        };
+        let t = Instant::from_ps(time_ps);
+        if t < last {
+            return Err(TraceError::OutOfOrder { line: line_no });
+        }
+        last = t;
+        events.push(TraceEvent {
+            time: t,
+            addr,
+            is_write,
+        });
+    }
+    Ok(events)
+}
+
+fn parse_addr(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Writes events in the trace format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, events: &[TraceEvent]) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# smart-refresh trace: <time-ps> <hex-address> <R|W>"
+    )?;
+    for e in events {
+        writeln!(
+            writer,
+            "{} {:#x} {}",
+            e.time.as_ps(),
+            e.addr,
+            if e.is_write { 'W' } else { 'R' }
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_events() {
+        let events = vec![
+            TraceEvent {
+                time: Instant::from_ps(100),
+                addr: 0x40,
+                is_write: false,
+            },
+            TraceEvent {
+                time: Instant::from_ps(220),
+                addr: 0x1000,
+                is_write: true,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# header\n100 0x40 R\n\n# tail\n";
+        assert_eq!(read_trace(text.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn decimal_addresses_accepted() {
+        let events = read_trace("5 64 W\n".as_bytes()).unwrap();
+        assert_eq!(events[0].addr, 64);
+        assert!(events[0].is_write);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let err = read_trace("100 0x40\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+        let err = read_trace("100 0x40 R extra\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { .. }));
+        let err = read_trace("100 0x40 X\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("direction"));
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let err = read_trace("200 0x40 R\n100 0x80 R\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::OutOfOrder { line: 2 }));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(read_trace("abc 0x40 R\n".as_bytes()).is_err());
+        assert!(read_trace("100 0xzz R\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the workload substrate: trace roundtrips,
+//! generator calibration, and merged-stream ordering.
+
+use proptest::prelude::*;
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::Geometry;
+use smartrefresh_workloads::trace::{read_trace, write_trace};
+use smartrefresh_workloads::{AccessGenerator, MergedGenerator, Suite, TraceEvent, WorkloadSpec};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        0.05f64..0.7,
+        2.0f64..5.0,
+        0.0f64..0.8,
+        0.1f64..0.5,
+        0.0f64..0.9,
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(coverage, intensity, row_hit, hot_frac, hot_weight, write_frac)| WorkloadSpec {
+                name: "prop",
+                suite: Suite::Synthetic,
+                coverage,
+                intensity,
+                row_hit_frac: row_hit,
+                hot_frac,
+                hot_weight,
+                write_frac,
+                apki: 5.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trace write/read is the identity for arbitrary event streams.
+    #[test]
+    fn trace_roundtrip(
+        raw in prop::collection::vec((0u64..1_000_000, any::<u64>(), any::<bool>()), 0..100)
+    ) {
+        // Sort times so the stream is valid.
+        let mut times: Vec<u64> = raw.iter().map(|&(t, _, _)| t).collect();
+        times.sort_unstable();
+        let events: Vec<TraceEvent> = raw
+            .iter()
+            .zip(times)
+            .map(|(&(_, addr, w), t)| TraceEvent {
+                time: Instant::from_ps(t),
+                addr,
+                is_write: w,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, events);
+    }
+
+    /// Generators are deterministic, monotone in time, and stay within both
+    /// the module capacity and their calibrated footprint.
+    #[test]
+    fn generator_invariants(spec in arb_spec(), seed in any::<u64>()) {
+        let g = Geometry::new(1, 4, 512, 16, 64);
+        let gen = AccessGenerator::new(&spec, g, Duration::from_ms(64), 0, seed);
+        let f = gen.footprint_rows();
+        prop_assert!(f >= 1 && f <= g.total_rows());
+        let mut last = Instant::ZERO;
+        for e in gen.take(500) {
+            prop_assert!(e.time > last);
+            last = e.time;
+            prop_assert!(e.addr < g.capacity_bytes());
+            prop_assert!(e.addr / g.row_bytes() < f);
+        }
+    }
+
+    /// Merging two generators preserves global time order and both sources'
+    /// events.
+    #[test]
+    fn merged_stream_ordered(seed in any::<u64>()) {
+        let g = Geometry::new(1, 4, 512, 16, 64);
+        let spec = WorkloadSpec {
+            name: "merge",
+            suite: Suite::Synthetic,
+            coverage: 0.1,
+            intensity: 2.5,
+            row_hit_frac: 0.5,
+            hot_frac: 0.2,
+            hot_weight: 0.5,
+            write_frac: 0.3,
+            apki: 5.0,
+        };
+        let a = AccessGenerator::new(&spec, g, Duration::from_ms(64), 0, seed);
+        let fa = a.footprint_rows();
+        let b = AccessGenerator::new(&spec, g, Duration::from_ms(64), fa, seed.wrapping_add(1));
+        let merged: Vec<TraceEvent> = MergedGenerator::new(a, b).take(300).collect();
+        let mut last = Instant::ZERO;
+        let mut from_a = 0;
+        let mut from_b = 0;
+        for e in &merged {
+            prop_assert!(e.time >= last);
+            last = e.time;
+            if e.addr / g.row_bytes() < fa {
+                from_a += 1;
+            } else {
+                from_b += 1;
+            }
+        }
+        prop_assert!(from_a > 0 && from_b > 0, "both processes contribute");
+    }
+}

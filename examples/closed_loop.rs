@@ -1,0 +1,65 @@
+//! Closed-loop execution: an in-order core with L1/L2 caches running a
+//! synthetic program on top of a Smart Refresh memory system — the whole
+//! stack from instructions to DRAM cells in one loop.
+//!
+//! ```text
+//! cargo run --release --example closed_loop
+//! ```
+
+use smart_refresh::core::{CbrDistributed, RefreshPolicy, SmartRefresh, SmartRefreshConfig};
+use smart_refresh::cpu::{Cpu, CpuConfig, ProgramSpec, SyntheticProgram};
+use smart_refresh::ctrl::MemoryController;
+use smart_refresh::dram::time::Duration;
+use smart_refresh::dram::{DramDevice, Geometry, TimingParams};
+
+fn main() {
+    let g = Geometry::new(1, 4, 2048, 128, 64); // 8 MB module
+    let t = TimingParams::ddr2_667().with_retention(Duration::from_ms(2));
+    let instructions = 4_000_000u64;
+    println!(
+        "8 MB module @ 2 ms retention | pointer-chase over 4 MB | {instructions} instructions\n"
+    );
+    println!(
+        "{:<7} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "policy", "ipc", "apki", "dram accs", "refreshes/s", "integrity"
+    );
+    for smart in [false, true] {
+        let policy: Box<dyn RefreshPolicy> = if smart {
+            Box::new(SmartRefresh::new(
+                g,
+                t.retention,
+                SmartRefreshConfig {
+                    hysteresis: None,
+                    ..SmartRefreshConfig::paper_defaults()
+                },
+            ))
+        } else {
+            Box::new(CbrDistributed::new(g, t.retention))
+        };
+        let mc = MemoryController::new(DramDevice::new(g, t), policy);
+        let mut cpu = Cpu::new(CpuConfig::table1_default(), mc);
+        let mut prog = SyntheticProgram::new(ProgramSpec::pointer_chase(4 << 20), 99);
+        cpu.run(&mut prog, instructions).expect("run");
+        let elapsed = cpu.now().as_secs_f64();
+        let dev = cpu.controller().device();
+        println!(
+            "{:<7} {:>8.3} {:>8.1} {:>12} {:>12.0} {:>10}",
+            if smart { "smart" } else { "cbr" },
+            cpu.stats().ipc(),
+            cpu.stats().apki(),
+            cpu.stats().l2_misses + cpu.stats().writebacks,
+            dev.stats().total_refreshes() as f64 / elapsed,
+            if dev.check_integrity(cpu.controller().now()).is_ok() {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+        );
+    }
+    println!(
+        "\nThe DRAM stream here *emerges* from the cache hierarchy — row-buffer\n\
+         behaviour, miss rates and write-backs are consequences of the program,\n\
+         and Smart Refresh still eliminates the periodic refreshes of every row\n\
+         the program keeps warm."
+    );
+}

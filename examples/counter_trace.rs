@@ -1,0 +1,80 @@
+//! Visualises the staggered countdown of Figures 2–4 of the paper: a tiny
+//! DRAM with 2-bit counters hashed into 4 segments, printed tick by tick.
+//!
+//! ```text
+//! cargo run --release --example counter_trace
+//! ```
+//!
+//! The output reproduces the paper's Figure 3 walk: at every tick exactly
+//! one counter per segment is examined (marked), decremented, or — when it
+//! has reached zero — refreshed and reset to the maximum. Accessing a row
+//! (here row 5 halfway through) resets its counter and visibly postpones
+//! its refresh.
+
+use smart_refresh::core::{RefreshAction, RefreshPolicy, SmartRefresh, SmartRefreshConfig};
+use smart_refresh::dram::time::Duration;
+use smart_refresh::dram::{Geometry, RowAddr};
+
+fn main() {
+    // 16 rows, 2-bit counters, 4 segments of 4 rows — small enough to print.
+    let g = Geometry::new(1, 1, 16, 4, 64);
+    let cfg = SmartRefreshConfig {
+        counter_bits: 2,
+        segments: 4,
+        queue_capacity: 4,
+        hysteresis: None,
+    };
+    let retention = Duration::from_ms(64);
+    let mut policy = SmartRefresh::new(g, retention, cfg);
+    let schedule = policy.schedule().clone();
+
+    println!(
+        "16 rows, 2-bit counters, 4 segments | access period {} | tick {}",
+        schedule.access_period(),
+        schedule.tick_interval()
+    );
+    println!(
+        "row:            {}",
+        (0..16).map(|i| format!("{i:>3}")).collect::<String>()
+    );
+
+    let total_ticks = 3 * schedule.ticks_per_period() * 4; // three intervals
+    for tick in 0..total_ticks {
+        let now = schedule.tick_time(tick);
+        // Halfway through, access row 5 — watch its refresh get postponed.
+        if tick == total_ticks / 2 {
+            let row = RowAddr {
+                rank: 0,
+                bank: 0,
+                row: 5,
+            };
+            policy.on_row_opened(row, now);
+            println!(
+                "{:>8}  ACCESS row 5 (counter reset to max)",
+                now.to_string()
+            );
+        }
+        policy.advance(now);
+        let mut refreshed = Vec::new();
+        while let Some(a) = policy.pop_pending() {
+            if let RefreshAction::RasOnly { row, .. } = a {
+                refreshed.push(row.row);
+            }
+        }
+        // Print one line per tick: counter values, with refreshed rows marked.
+        let values: String = policy
+            .counters()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if refreshed.contains(&(i as u32)) {
+                    format!(" *{v}")
+                } else {
+                    format!("  {v}")
+                }
+            })
+            .collect();
+        println!("{:>8}  {values}", now.to_string());
+    }
+    println!("\n'*' marks a row refreshed at that tick (counter wrapped to max).");
+}

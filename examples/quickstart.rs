@@ -1,0 +1,72 @@
+//! Quickstart: build a DRAM module, attach a Smart Refresh memory
+//! controller, drive a small workload, and print what the technique saved.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::configs::conventional_2gb;
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smart_refresh::workloads::find;
+
+fn main() {
+    // The paper's Table 1 module: 2 GB DDR2-667, 64 ms refresh interval.
+    let module = conventional_2gb();
+    println!("module: {}", module.geometry);
+    println!(
+        "baseline refresh rate: {:.0} refreshes/sec",
+        module.baseline_refreshes_per_sec()
+    );
+
+    // Pick a benchmark model from the catalog (gcc from SPECint2000) and
+    // run it under the conventional CBR baseline and under Smart Refresh.
+    let gcc = find("gcc").expect("catalog entry");
+    let base_cfg = ExperimentConfig::conventional(
+        module.clone(),
+        DramPowerParams::ddr2_2gb(),
+        PolicyKind::CbrDistributed,
+    )
+    .scaled(0.5); // half-length run keeps the example snappy
+    let mut smart_cfg = base_cfg.clone();
+    smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
+
+    let baseline = run_experiment(&base_cfg, &gcc.conventional).expect("baseline run");
+    let smart = run_experiment(&smart_cfg, &gcc.conventional).expect("smart run");
+
+    println!("\n=== gcc on 2 GB DDR2 ===");
+    println!(
+        "refreshes/sec: {:.0} -> {:.0}  ({:.1}% eliminated)",
+        baseline.refreshes_per_sec,
+        smart.refreshes_per_sec,
+        (1.0 - smart.refreshes_per_sec / baseline.refreshes_per_sec) * 100.0
+    );
+    println!(
+        "refresh energy savings: {:.1}%",
+        smart.energy.refresh_savings_vs(&baseline.energy) * 100.0
+    );
+    println!(
+        "total DRAM energy savings: {:.1}%",
+        smart.energy.total_savings_vs(&baseline.energy) * 100.0
+    );
+    println!(
+        "data integrity: baseline {} / smart {}",
+        ok(baseline.integrity_ok),
+        ok(smart.integrity_ok)
+    );
+    println!(
+        "pending refresh queue peak occupancy: {} (bound: {})",
+        smart.queue_high_water,
+        SmartRefreshConfig::paper_defaults().queue_capacity
+    );
+    assert!(smart.integrity_ok, "Smart Refresh must never lose data");
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "VIOLATED"
+    }
+}

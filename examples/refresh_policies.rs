@@ -1,0 +1,52 @@
+//! Compares every refresh policy in the workspace on the same module and
+//! workload: burst, distributed CBR, distributed RAS-only, Smart Refresh,
+//! and (to show the retention checker works) no refresh at all.
+//!
+//! ```text
+//! cargo run --release --example refresh_policies
+//! ```
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::configs::conventional_2gb;
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smart_refresh::workloads::find;
+
+fn main() {
+    let module = conventional_2gb();
+    let spec = find("twolf").expect("catalog entry").conventional;
+    println!("module: {} | workload: {}", module.geometry, spec.name);
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "policy", "refreshes/s", "refresh mJ", "total mJ", "lat ns", "integrity"
+    );
+
+    let policies = [
+        PolicyKind::Burst,
+        PolicyKind::CbrDistributed,
+        PolicyKind::RasOnlyDistributed,
+        PolicyKind::Smart(SmartRefreshConfig::paper_defaults()),
+        PolicyKind::NoRefresh,
+    ];
+    for policy in policies {
+        let cfg =
+            ExperimentConfig::conventional(module.clone(), DramPowerParams::ddr2_2gb(), policy)
+                .scaled(0.5);
+        let r = run_experiment(&cfg, &spec).expect("run");
+        println!(
+            "{:<10} {:>14.0} {:>12.2} {:>12.2} {:>10.1} {:>10}",
+            r.policy,
+            r.refreshes_per_sec,
+            r.energy.refresh_mechanism_j() * 1e3,
+            r.energy.total_j() * 1e3,
+            r.ctrl.avg_latency().as_ns_f64(),
+            if r.integrity_ok { "ok" } else { "VIOLATED" }
+        );
+    }
+    println!(
+        "\nNotes: burst/CBR/RAS-only all sweep every row once per interval \
+         (same rate, different energy); Smart Refresh eliminates the \
+         refreshes of recently-accessed rows; no-refresh demonstrates that \
+         the retention checker catches data loss."
+    );
+}

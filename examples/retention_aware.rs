@@ -1,0 +1,79 @@
+//! The §8 orthogonality story as a runnable example: Smart Refresh stacked
+//! on a RAPID-style variable-retention profile.
+//!
+//! ```text
+//! cargo run --release --example retention_aware
+//! ```
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::time::Duration;
+use smart_refresh::dram::{Geometry, ModuleConfig, RetentionProfile, TimingParams};
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smart_refresh::workloads::{Suite, WorkloadSpec};
+
+fn main() {
+    let module = ModuleConfig {
+        name: "example",
+        geometry: Geometry::new(1, 4, 1024, 32, 64), // 4096 rows
+        timing: TimingParams::ddr2_667().with_retention(Duration::from_ms(16)),
+    };
+    let seed = 7u64;
+    let profile = RetentionProfile::rapid_like(module.geometry.total_rows(), seed);
+    println!(
+        "4096 rows; measured retention bins give an ideal refresh fraction of {:.1}%\n",
+        profile.ideal_refresh_fraction() * 100.0
+    );
+
+    let spec = WorkloadSpec {
+        name: "example",
+        suite: Suite::Synthetic,
+        coverage: 0.4,
+        intensity: 3.0,
+        row_hit_frac: 0.5,
+        hot_frac: 0.2,
+        hot_weight: 0.5,
+        write_frac: 0.3,
+        apki: 5.0,
+    };
+    let smart_cfg = SmartRefreshConfig {
+        hysteresis: None,
+        ..SmartRefreshConfig::paper_defaults()
+    };
+
+    println!("{:<18} {:>14} {:>12}", "policy", "refreshes/s", "vs CBR");
+    let mut cbr_rate = 0.0;
+    for policy in [
+        PolicyKind::CbrDistributed,
+        PolicyKind::Smart(smart_cfg),
+        PolicyKind::RetentionAware { profile_seed: seed },
+        PolicyKind::SmartRetentionAware {
+            cfg: smart_cfg,
+            profile_seed: seed,
+        },
+    ] {
+        let mut cfg =
+            ExperimentConfig::conventional(module.clone(), DramPowerParams::ddr2_2gb(), policy);
+        // Cover the slowest retention bin's full 8-interval period.
+        cfg.warmup = module.timing.retention * 16;
+        cfg.measure = module.timing.retention * 16;
+        let r = run_experiment(&cfg, &spec).expect("run");
+        assert!(r.integrity_ok, "{} violated a retention deadline", r.policy);
+        if r.policy == "cbr" {
+            cbr_rate = r.refreshes_per_sec;
+        }
+        println!(
+            "{:<18} {:>14.0} {:>11.1}%",
+            r.policy,
+            r.refreshes_per_sec,
+            (1.0 - r.refreshes_per_sec / cbr_rate) * 100.0
+        );
+    }
+    println!(
+        "\nAccess-driven skipping (Smart Refresh) and retention-driven rate\n\
+         reduction (RAPID-style) remove *different* refreshes, so stacking\n\
+         them — per-row counters strided by each row's measured retention —\n\
+         beats either alone, exactly as §8 argues. Integrity is checked\n\
+         against each row's true (variable) deadline throughout."
+    );
+}

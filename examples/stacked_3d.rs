@@ -1,0 +1,70 @@
+//! The 3D die-stacked DRAM cache experiment (§4.5, §7.2): a 64 MB
+//! direct-mapped DRAM L3 cache bonded on top of the processor, evaluated at
+//! the nominal 64 ms refresh interval and at the 32 ms interval forced by
+//! the stack's >85 °C operating temperature.
+//!
+//! ```text
+//! cargo run --release --example stacked_3d
+//! ```
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::configs::stacked_3d_64mb;
+use smart_refresh::dram::time::Duration;
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smart_refresh::workloads::find;
+
+fn main() {
+    let spec = find("mummer").expect("catalog entry").stacked;
+    println!(
+        "workload: {} (L2-miss stream into the 3D cache)\n",
+        spec.name
+    );
+
+    for retention_ms in [64u64, 32] {
+        let module = stacked_3d_64mb(Duration::from_ms(retention_ms));
+        let mut base_cfg = ExperimentConfig::stacked(
+            module.clone(),
+            DramPowerParams::stacked_3d_64mb(),
+            PolicyKind::CbrDistributed,
+        )
+        .scaled(0.5);
+        // The program's timescale does not change when the stack runs hot.
+        base_cfg.reference = Duration::from_ms(64);
+        let mut smart_cfg = base_cfg.clone();
+        smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
+
+        let baseline = run_experiment(&base_cfg, &spec).expect("baseline");
+        let smart = run_experiment(&smart_cfg, &spec).expect("smart");
+
+        println!("=== 64 MB 3D DRAM cache @ {retention_ms} ms refresh ===");
+        println!(
+            "  baseline: {:>10.0} refreshes/s | refresh share of energy {:>5.1}%",
+            baseline.refreshes_per_sec,
+            baseline.energy.dram.refresh_share() * 100.0
+        );
+        println!(
+            "  smart:    {:>10.0} refreshes/s ({:.1}% eliminated)",
+            smart.refreshes_per_sec,
+            (1.0 - smart.refreshes_per_sec / baseline.refreshes_per_sec) * 100.0
+        );
+        println!(
+            "  refresh energy savings {:>5.1}% | total energy savings {:>5.1}%",
+            smart.energy.refresh_savings_vs(&baseline.energy) * 100.0,
+            smart.energy.total_savings_vs(&baseline.energy) * 100.0
+        );
+        println!(
+            "  main-memory accesses behind the cache: {} (working set fits the stack)",
+            smart.memory_behind_cache
+        );
+        println!(
+            "  integrity: {}\n",
+            if smart.integrity_ok { "ok" } else { "VIOLATED" }
+        );
+    }
+    println!(
+        "Doubling the refresh rate (64 -> 32 ms) doubles the baseline refresh \
+         traffic; with the access stream unchanged, relatively fewer refreshes \
+         can be eliminated — the paper's Figs 12-17 trend."
+    );
+}

@@ -1,0 +1,299 @@
+//! `smart-refresh` — command-line interface to the reproduction.
+//!
+//! ```text
+//! smart-refresh figures [figNN|all]
+//! smart-refresh run --workload <name> --module <2gb|4gb|3d64|3d32> --policy <cbr|ras|burst|smart|none> [--scale S]
+//! smart-refresh record --workload <name> --module <...> --seconds <S> --out <file>
+//! smart-refresh replay --trace <file> --module <...> --policy <...>
+//! smart-refresh list
+//! smart-refresh info
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::configs::{
+    conventional_2gb, conventional_4gb, stacked_3d_64mb, ModuleConfig,
+};
+use smart_refresh::dram::time::{Duration, Instant};
+use smart_refresh::energy::sram::area_overhead_kb;
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::figures::{Evaluation, FigureId};
+use smart_refresh::sim::report::{render_figure, render_run};
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind, Topology};
+use smart_refresh::workloads::trace::{read_trace, write_trace};
+use smart_refresh::workloads::{catalog, find, AccessGenerator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let result = match cmd {
+        "figures" => cmd_figures(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "record" => cmd_record(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "list" => cmd_list(),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command {other:?}; try `smart-refresh help`"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "smart-refresh — reproduction of Smart Refresh (MICRO 2007)\n\
+         \n\
+         USAGE:\n\
+         \u{20}  smart-refresh figures [figNN|all]        regenerate evaluation figures\n\
+         \u{20}  smart-refresh run --workload W --module M --policy P [--scale S] [--seed N]\n\
+         \u{20}  smart-refresh sweep --workload W --module M [--scale S]   counter/segment sweep\n\
+         \u{20}  smart-refresh record --workload W --module M --seconds S --out FILE\n\
+         \u{20}  smart-refresh replay --trace FILE --module M --policy P [--scale S]\n\
+         \u{20}  smart-refresh list                       list catalog workloads\n\
+         \u{20}  smart-refresh info                       module configs & counter areas\n\
+         \n\
+         MODULES:  2gb | 4gb | 3d64 | 3d32\n\
+         POLICIES: cbr | ras | burst | smart | none\n\
+         ENV:      SMARTREFRESH_SCALE scales figure simulation spans"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_module(name: &str) -> Result<(ModuleConfig, DramPowerParams, Topology), String> {
+    match name {
+        "2gb" => Ok((
+            conventional_2gb(),
+            DramPowerParams::ddr2_2gb(),
+            Topology::Conventional,
+        )),
+        "4gb" => Ok((
+            conventional_4gb(),
+            DramPowerParams::ddr2_4gb(),
+            Topology::Conventional,
+        )),
+        "3d64" => Ok((
+            stacked_3d_64mb(Duration::from_ms(64)),
+            DramPowerParams::stacked_3d_64mb(),
+            Topology::Stacked,
+        )),
+        "3d32" => Ok((
+            stacked_3d_64mb(Duration::from_ms(32)),
+            DramPowerParams::stacked_3d_64mb(),
+            Topology::Stacked,
+        )),
+        other => Err(format!("unknown module {other:?} (2gb|4gb|3d64|3d32)")),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    match name {
+        "cbr" => Ok(PolicyKind::CbrDistributed),
+        "ras" => Ok(PolicyKind::RasOnlyDistributed),
+        "burst" => Ok(PolicyKind::Burst),
+        "smart" => Ok(PolicyKind::Smart(SmartRefreshConfig::paper_defaults())),
+        "none" => Ok(PolicyKind::NoRefresh),
+        other => Err(format!(
+            "unknown policy {other:?} (cbr|ras|burst|smart|none)"
+        )),
+    }
+}
+
+fn build_config(args: &[String]) -> Result<(ExperimentConfig, &'static str), String> {
+    let module_name = flag(args, "--module").unwrap_or_else(|| "2gb".into());
+    let policy_name = flag(args, "--policy").unwrap_or_else(|| "smart".into());
+    let scale: f64 = flag(args, "--scale")
+        .map(|s| s.parse().map_err(|_| format!("bad --scale {s:?}")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .transpose()?
+        .unwrap_or(0x5eed);
+    let (module, power, topology) = parse_module(&module_name)?;
+    let policy = parse_policy(&policy_name)?;
+    let mut cfg = match topology {
+        Topology::Conventional => ExperimentConfig::conventional(module, power, policy),
+        Topology::Stacked => ExperimentConfig::stacked(module, power, policy),
+    }
+    .scaled(scale);
+    cfg.seed = seed;
+    cfg.reference = Duration::from_ms(64);
+    let module_static: &'static str = match module_name.as_str() {
+        "2gb" => "2gb",
+        "4gb" => "4gb",
+        "3d64" => "3d64",
+        _ => "3d32",
+    };
+    Ok((cfg, module_static))
+}
+
+fn lookup_spec(
+    args: &[String],
+    cfg_topology: Topology,
+) -> Result<smart_refresh::workloads::WorkloadSpec, String> {
+    let name = flag(args, "--workload").ok_or("missing --workload")?;
+    let entry = find(&name).ok_or_else(|| format!("unknown workload {name:?}; see `list`"))?;
+    Ok(match cfg_topology {
+        Topology::Conventional => entry.conventional,
+        Topology::Stacked => entry.stacked,
+    })
+}
+
+fn cmd_figures(args: &[String]) -> Result<(), String> {
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let mut eval = Evaluation::from_env();
+    let mut matched = false;
+    for id in FigureId::ALL {
+        if which == "all" || format!("{id:?}").to_lowercase() == which.to_lowercase() {
+            matched = true;
+            let fig = eval.figure(id).map_err(|e| e.to_string())?;
+            println!("{}", render_figure(&fig));
+        }
+    }
+    if !matched {
+        return Err(format!("unknown figure {which:?} (fig06..fig18 or all)"));
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (cfg, module_name) = build_config(args)?;
+    let spec = lookup_spec(args, cfg.topology)?;
+    let r = run_experiment(&cfg, &spec).map_err(|e| e.to_string())?;
+    println!("module {module_name} | {}", render_run(&r));
+    println!("{}", r.energy);
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (base_cfg, module_name) = build_config(args)?;
+    let spec = lookup_spec(args, base_cfg.topology)?;
+    let baseline = {
+        let mut c = base_cfg.clone();
+        c.policy = PolicyKind::CbrDistributed;
+        run_experiment(&c, &spec).map_err(|e| e.to_string())?
+    };
+    println!(
+        "sweep of Smart Refresh configurations | module {module_name} | workload {}",
+        spec.name
+    );
+    println!(
+        "{:>5} {:>9} {:>12} {:>11} {:>11} {:>8}",
+        "bits", "segments", "refreshes/s", "reduction", "totE save", "queue"
+    );
+    for bits in [2u32, 3, 4] {
+        for segments in [4u32, 8, 16] {
+            let mut c = base_cfg.clone();
+            c.policy = PolicyKind::Smart(SmartRefreshConfig {
+                counter_bits: bits,
+                segments,
+                queue_capacity: segments as usize,
+                hysteresis: None,
+            });
+            let r = run_experiment(&c, &spec).map_err(|e| e.to_string())?;
+            if !r.integrity_ok {
+                return Err(format!(
+                    "bits={bits} segments={segments}: retention violated"
+                ));
+            }
+            println!(
+                "{bits:>5} {segments:>9} {:>12.0} {:>10.1}% {:>10.1}% {:>8}",
+                r.refreshes_per_sec,
+                (1.0 - r.refreshes_per_sec / baseline.refreshes_per_sec) * 100.0,
+                r.energy.total_savings_vs(&baseline.energy) * 100.0,
+                r.queue_high_water
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let (cfg, _) = build_config(args)?;
+    let spec = lookup_spec(args, cfg.topology)?;
+    let seconds: f64 = flag(args, "--seconds")
+        .map(|s| s.parse().map_err(|_| format!("bad --seconds {s:?}")))
+        .transpose()?
+        .unwrap_or(0.064);
+    let path = flag(args, "--out").ok_or("missing --out")?;
+    let horizon = Instant::ZERO + Duration::from_ps((seconds * 1e12) as u64);
+    let gen = AccessGenerator::new(&spec, cfg.module.geometry, cfg.reference, 0, cfg.seed);
+    let events: Vec<_> = gen.take_while(|e| e.time <= horizon).collect();
+    let file = File::create(&path).map_err(|e| e.to_string())?;
+    write_trace(BufWriter::new(file), &events).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} events ({seconds}s of {}) to {path}",
+        events.len(),
+        spec.name
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let (cfg, module_name) = build_config(args)?;
+    let path = flag(args, "--trace").ok_or("missing --trace")?;
+    let file = File::open(&path).map_err(|e| e.to_string())?;
+    let events = read_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
+    println!("replaying {} events from {path}", events.len());
+    let r = smart_refresh::sim::experiment::run_experiment_with_events(&cfg, events, "trace", 5.0)
+        .map_err(|e| e.to_string())?;
+    println!("module {module_name} | {}", render_run(&r));
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<18} {:>28} {:>8} {:>8}",
+        "workload", "suite", "cov-2gb", "cov-3d"
+    );
+    for e in catalog() {
+        println!(
+            "{:<18} {:>28} {:>8.2} {:>8.2}",
+            e.name(),
+            e.suite().to_string(),
+            e.conventional.coverage,
+            e.stacked.coverage
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    for cfg in [
+        conventional_2gb(),
+        conventional_4gb(),
+        stacked_3d_64mb(Duration::from_ms(64)),
+        stacked_3d_64mb(Duration::from_ms(32)),
+    ] {
+        println!(
+            "{:<10} {} | refresh {} | baseline {:.0}/s | counters (3-bit) {:.0} KB",
+            cfg.name,
+            cfg.geometry,
+            cfg.timing.retention,
+            cfg.baseline_refreshes_per_sec(),
+            area_overhead_kb(cfg.geometry.total_rows(), 3)
+        );
+    }
+    Ok(())
+}

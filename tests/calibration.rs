@@ -1,0 +1,155 @@
+//! Validates the calibration theory against the simulator: the run-length
+//! expiry model in `workloads::calibrate` predicts the refresh reduction a
+//! workload achieves, and the full simulation must land on that prediction
+//! across the parameter grid. This is what makes the per-benchmark coverage
+//! targets trustworthy: calibration sets inputs, the mechanism produces the
+//! outputs, and the two agree.
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::time::Duration;
+use smart_refresh::dram::{Geometry, ModuleConfig, TimingParams};
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smart_refresh::workloads::{Suite, WorkloadSpec};
+
+fn module() -> ModuleConfig {
+    ModuleConfig {
+        name: "calibration",
+        geometry: Geometry::new(1, 4, 256, 16, 64), // 1024 rows
+        timing: TimingParams::ddr2_667().with_retention(Duration::from_ms(8)),
+    }
+}
+
+fn spec(coverage: f64, intensity: f64, row_hit: f64, hot_weight: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "calibration",
+        suite: Suite::Synthetic,
+        coverage,
+        intensity,
+        row_hit_frac: row_hit,
+        hot_frac: 0.2,
+        hot_weight,
+        write_frac: 0.3,
+        apki: 5.0,
+    }
+}
+
+fn measured_reduction(spec: &WorkloadSpec) -> f64 {
+    let base_cfg = ExperimentConfig::conventional(
+        module(),
+        DramPowerParams::ddr2_2gb(),
+        PolicyKind::CbrDistributed,
+    );
+    let mut smart_cfg = base_cfg.clone();
+    smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig {
+        counter_bits: 3,
+        segments: 8,
+        queue_capacity: 8,
+        hysteresis: None,
+    });
+    let base = run_experiment(&base_cfg, spec).expect("baseline");
+    let smart = run_experiment(&smart_cfg, spec).expect("smart");
+    assert!(smart.integrity_ok);
+    1.0 - smart.refreshes_per_sec / base.refreshes_per_sec
+}
+
+#[test]
+fn reduction_lands_on_target_across_coverages() {
+    for coverage in [0.15f64, 0.35, 0.55] {
+        let s = spec(coverage, 3.0, 0.5, 0.5);
+        let measured = measured_reduction(&s);
+        assert!(
+            (measured - coverage).abs() < 0.07,
+            "coverage {coverage}: measured {measured}"
+        );
+    }
+}
+
+#[test]
+fn reduction_is_insensitive_to_locality_knobs() {
+    // The calibration folds row-hit fraction and hot/cold skew into the
+    // footprint and rate; the achieved reduction must stay on target as
+    // those knobs move.
+    let target = 0.4;
+    for (row_hit, hot_weight) in [(0.3, 0.4), (0.5, 0.5), (0.7, 0.6)] {
+        let s = spec(target, 3.0, row_hit, hot_weight);
+        let measured = measured_reduction(&s);
+        assert!(
+            (measured - target).abs() < 0.08,
+            "row_hit {row_hit}, hot_weight {hot_weight}: measured {measured}"
+        );
+    }
+}
+
+#[test]
+fn reduction_is_insensitive_to_intensity_choice() {
+    // Higher per-row intensity means a smaller footprint with stronger
+    // per-row skipping; the product must stay at the target.
+    let target = 0.3;
+    for intensity in [2.0f64, 3.5, 5.0] {
+        let s = spec(target, intensity, 0.5, 0.5);
+        let measured = measured_reduction(&s);
+        assert!(
+            (measured - target).abs() < 0.07,
+            "intensity {intensity}: measured {measured}"
+        );
+    }
+}
+
+#[test]
+fn expected_skip_matches_isolated_row_simulation() {
+    // The run-length formula itself, against the engine: a single row with a
+    // Poisson access stream must skip the predicted fraction of refreshes.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use smart_refresh::core::{RefreshPolicy, SmartRefresh};
+    use smart_refresh::dram::time::Instant;
+    use smart_refresh::dram::RowAddr;
+    use smart_refresh::workloads::calibrate::run_length_skip;
+
+    let g = Geometry::new(1, 1, 8, 4, 64);
+    let retention = Duration::from_ms(8);
+    for rate_per_interval in [1.0f64, 2.0, 4.0] {
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let mut p = SmartRefresh::new(g, retention, cfg);
+        let mut rng = StdRng::seed_from_u64(rate_per_interval as u64);
+        let hot = RowAddr {
+            rank: 0,
+            bank: 0,
+            row: 3,
+        };
+        let intervals = 400u64;
+        let horizon = retention * intervals;
+        let mean_gap = retention.as_ps() as f64 / rate_per_interval;
+        let mut now = Instant::ZERO;
+        let mut hot_refreshes = 0u64;
+        loop {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let gap = Duration::from_ps((-u.ln() * mean_gap).max(1.0) as u64);
+            now += gap;
+            if now > Instant::ZERO + horizon {
+                break;
+            }
+            p.on_row_opened(hot, now);
+            p.advance(now);
+            while let Some(a) = p.pop_pending() {
+                if let smart_refresh::core::RefreshAction::RasOnly { row, .. } = a {
+                    if row == hot {
+                        hot_refreshes += 1;
+                    }
+                }
+            }
+        }
+        let measured_skip = 1.0 - hot_refreshes as f64 / intervals as f64;
+        let predicted = run_length_skip(rate_per_interval, 8);
+        assert!(
+            (measured_skip - predicted).abs() < 0.08,
+            "rate {rate_per_interval}: measured {measured_skip}, predicted {predicted}"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `smart-refresh` command-line interface, driving
+//! the real binary via `CARGO_BIN_EXE_smart-refresh`.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smart-refresh"))
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = bin().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in [
+        "figures", "run", "sweep", "record", "replay", "list", "info",
+    ] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn info_prints_paper_configurations() {
+    let out = bin().arg("info").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2048000/s"), "2 GB baseline rate");
+    assert!(text.contains("48 KB"), "§4.7 counter area");
+}
+
+#[test]
+fn list_prints_the_whole_catalog() {
+    let out = bin().arg("list").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["clustalw", "water-spatial", "vpr_twolf"] {
+        assert!(text.contains(name), "catalog missing {name}");
+    }
+}
+
+#[test]
+fn run_rejects_unknown_workload() {
+    let out = bin()
+        .args(["run", "--workload", "nope", "--module", "2gb"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn run_rejects_unknown_module() {
+    let out = bin()
+        .args(["run", "--workload", "gcc", "--module", "9gb"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown module"));
+}
+
+#[test]
+fn record_and_replay_roundtrip() {
+    let path = std::env::temp_dir().join("smart-refresh-cli-test.trace");
+    let path_s = path.to_str().expect("utf8 path");
+    let rec = bin()
+        .args([
+            "record",
+            "--workload",
+            "fasta",
+            "--module",
+            "2gb",
+            "--seconds",
+            "0.002",
+            "--out",
+            path_s,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    assert!(String::from_utf8_lossy(&rec.stdout).contains("wrote"));
+
+    let rep = bin()
+        .args([
+            "replay", "--trace", path_s, "--module", "2gb", "--policy", "cbr", "--scale", "0.005",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        rep.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rep.stderr)
+    );
+    let text = String::from_utf8_lossy(&rep.stdout);
+    assert!(text.contains("replaying"));
+    assert!(text.contains("integrity ok"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_reports_missing_trace() {
+    let out = bin()
+        .args(["replay", "--trace", "/nonexistent.trace", "--module", "2gb"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,81 @@
+//! Smoke tests of the figure harness on the real paper configurations at a
+//! tiny time scale: the goal is wiring correctness (baselines exact,
+//! integrity preserved, overheads charged), not converged statistics.
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::configs::{conventional_2gb, stacked_3d_64mb};
+use smart_refresh::dram::time::Duration;
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smart_refresh::workloads::find;
+
+const TINY: f64 = 0.02; // ~10 ms of the 2 GB module: wiring check only
+
+#[test]
+fn conventional_2gb_baseline_rate_is_exact() {
+    let cfg = ExperimentConfig::conventional(
+        conventional_2gb(),
+        DramPowerParams::ddr2_2gb(),
+        PolicyKind::CbrDistributed,
+    )
+    .scaled(TINY);
+    let spec = find("gcc").unwrap().conventional;
+    let r = run_experiment(&cfg, &spec).unwrap();
+    assert!(
+        (r.refreshes_per_sec / 2_048_000.0 - 1.0).abs() < 0.01,
+        "baseline rate {}",
+        r.refreshes_per_sec
+    );
+    assert!(r.integrity_ok);
+    assert_eq!(r.energy.counter_sram_j, 0.0, "baseline has no counter cost");
+}
+
+#[test]
+fn smart_on_2gb_keeps_integrity_and_charges_overheads() {
+    let mut cfg = ExperimentConfig::conventional(
+        conventional_2gb(),
+        DramPowerParams::ddr2_2gb(),
+        PolicyKind::Smart(SmartRefreshConfig::paper_defaults()),
+    )
+    .scaled(TINY);
+    cfg.warmup = Duration::from_ms(70); // at least one full interval
+    let spec = find("radix").unwrap().conventional;
+    let r = run_experiment(&cfg, &spec).unwrap();
+    assert!(r.integrity_ok);
+    assert!(r.energy.counter_sram_j > 0.0);
+    assert!(r.queue_high_water <= 8);
+}
+
+#[test]
+fn stacked_3d_pipeline_works_end_to_end() {
+    let module = stacked_3d_64mb(Duration::from_ms(32));
+    let mut cfg = ExperimentConfig::stacked(
+        module,
+        DramPowerParams::stacked_3d_64mb(),
+        PolicyKind::Smart(SmartRefreshConfig::paper_defaults()),
+    )
+    .scaled(0.05);
+    cfg.reference = Duration::from_ms(64);
+    let spec = find("mummer").unwrap().stacked;
+    let r = run_experiment(&cfg, &spec).unwrap();
+    assert!(r.integrity_ok);
+    assert!(r.ctrl.transactions > 0);
+    // At this tiny scale the cache is still warming (compulsory misses), so
+    // only the structural bound holds: every main-memory access stems from
+    // a stacked-cache lookup. The full-length runs (EXPERIMENTS.md) show
+    // the fits-in-cache behaviour the paper reports.
+    assert!(r.memory_behind_cache <= r.ctrl.transactions);
+}
+
+#[test]
+fn powerdown_residency_is_reported() {
+    let cfg = ExperimentConfig::conventional(
+        conventional_2gb(),
+        DramPowerParams::ddr2_2gb(),
+        PolicyKind::CbrDistributed,
+    )
+    .scaled(TINY);
+    let spec = find("fasta").unwrap().conventional;
+    let r = run_experiment(&cfg, &spec).unwrap();
+    assert!(r.ctrl.powerdown_time <= r.span);
+}

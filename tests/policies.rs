@@ -1,0 +1,128 @@
+//! Integration tests across policies: every refresh policy except
+//! `NoRefresh` preserves data; refresh counts and energy ordering match the
+//! §3 discussion (CBR cheapest per refresh, RAS-only pays the bus, Smart
+//! eliminates operations).
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::time::Duration;
+use smart_refresh::dram::{Geometry, ModuleConfig, TimingParams};
+use smart_refresh::energy::DramPowerParams;
+use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
+use smart_refresh::workloads::{Suite, WorkloadSpec};
+
+fn mini_module() -> ModuleConfig {
+    ModuleConfig {
+        name: "mini",
+        geometry: Geometry::new(1, 4, 128, 16, 64), // 512 rows
+        timing: TimingParams::ddr2_667().with_retention(Duration::from_ms(8)),
+    }
+}
+
+fn spec(coverage: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "integration",
+        suite: Suite::Synthetic,
+        coverage,
+        intensity: 3.0,
+        row_hit_frac: 0.5,
+        hot_frac: 0.2,
+        hot_weight: 0.5,
+        write_frac: 0.3,
+        apki: 5.0,
+    }
+}
+
+fn run(policy: PolicyKind, coverage: f64) -> smart_refresh::sim::RunResult {
+    let cfg = ExperimentConfig::conventional(mini_module(), DramPowerParams::ddr2_2gb(), policy);
+    run_experiment(&cfg, &spec(coverage)).expect("run")
+}
+
+fn smart_kind() -> PolicyKind {
+    PolicyKind::Smart(SmartRefreshConfig {
+        counter_bits: 3,
+        segments: 4,
+        queue_capacity: 4,
+        hysteresis: None,
+    })
+}
+
+#[test]
+fn all_refreshing_policies_preserve_data() {
+    for policy in [
+        PolicyKind::Burst,
+        PolicyKind::CbrDistributed,
+        PolicyKind::RasOnlyDistributed,
+        smart_kind(),
+    ] {
+        let r = run(policy, 0.4);
+        assert!(r.integrity_ok, "{} lost data", r.policy);
+    }
+}
+
+#[test]
+fn no_refresh_loses_data() {
+    let r = run(PolicyKind::NoRefresh, 0.02);
+    assert!(!r.integrity_ok);
+    assert_eq!(r.refreshes_per_sec, 0.0);
+}
+
+#[test]
+fn periodic_policies_share_the_same_rate() {
+    let burst = run(PolicyKind::Burst, 0.3);
+    let cbr = run(PolicyKind::CbrDistributed, 0.3);
+    let ras = run(PolicyKind::RasOnlyDistributed, 0.3);
+    let expected = mini_module().baseline_refreshes_per_sec();
+    for r in [&burst, &cbr, &ras] {
+        assert!(
+            (r.refreshes_per_sec / expected - 1.0).abs() < 0.02,
+            "{}: {} vs {}",
+            r.policy,
+            r.refreshes_per_sec,
+            expected
+        );
+    }
+}
+
+#[test]
+fn ras_only_costs_more_than_cbr() {
+    let cbr = run(PolicyKind::CbrDistributed, 0.3);
+    let ras = run(PolicyKind::RasOnlyDistributed, 0.3);
+    // Same refresh count, but RAS-only pays address-bus energy (§3).
+    assert!(ras.energy.refresh_bus_j > 0.0);
+    assert_eq!(cbr.energy.refresh_bus_j, 0.0);
+    assert!(ras.energy.refresh_mechanism_j() > cbr.energy.refresh_mechanism_j());
+}
+
+#[test]
+fn smart_beats_cbr_despite_ras_only_overhead() {
+    // The paper's headline claim: Smart Refresh on RAS-only still undercuts
+    // the lower-power CBR baseline.
+    let cbr = run(PolicyKind::CbrDistributed, 0.6);
+    let smart = run(smart_kind(), 0.6);
+    assert!(smart.refreshes_per_sec < cbr.refreshes_per_sec * 0.6);
+    assert!(smart.energy.refresh_savings_vs(&cbr.energy) > 0.3);
+    assert!(smart.energy.total_savings_vs(&cbr.energy) > 0.0);
+}
+
+#[test]
+fn reduction_tracks_coverage_target_across_levels() {
+    let base = run(PolicyKind::CbrDistributed, 0.3);
+    for target in [0.2f64, 0.4, 0.6] {
+        let smart = run(smart_kind(), target);
+        let reduction = 1.0 - smart.refreshes_per_sec / base.refreshes_per_sec;
+        assert!(
+            (reduction - target).abs() < 0.10,
+            "target {target}, measured {reduction}"
+        );
+    }
+}
+
+#[test]
+fn burst_queue_peaks_at_full_sweep_size() {
+    let burst = run(PolicyKind::Burst, 0.3);
+    // Burst queues the entire row population at once — the §4.2 motivation
+    // for staggering.
+    assert!(burst.queue_high_water >= 512);
+    let smart = run(smart_kind(), 0.3);
+    assert!(smart.queue_high_water <= 4);
+}
