@@ -5,11 +5,10 @@
 //! keeps counters for its own rows, and an asymmetric traffic split lets
 //! hot channels skip refreshes while idle channels sweep periodically.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smartrefresh_bench::mini_module;
 use smartrefresh_core::SmartRefreshConfig;
 use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::Rng;
 use smartrefresh_sim::system::MultiChannelSystem;
 use smartrefresh_sim::PolicyKind;
 
@@ -27,11 +26,11 @@ fn main() {
     // Skewed traffic: 70% of accesses to channel 0, 20% to 1, 10% to 2,
     // nothing to 3. Each access picks a random row block within its channel.
     let horizon = Instant::ZERO + module.timing.retention * 8;
-    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let mut rng = Rng::seed_from_u64(0xCAFE);
     let mut now = Instant::ZERO;
     while now < horizon {
         now += Duration::from_ns(rng.gen_range(200..2_000));
-        let r: f64 = rng.gen();
+        let r: f64 = rng.gen_f64();
         let channel = if r < 0.7 {
             0u64
         } else if r < 0.9 {

@@ -9,7 +9,6 @@
 
 use smartrefresh_bench::mini_module;
 use smartrefresh_core::{HysteresisConfig, SmartRefreshConfig};
-use smartrefresh_dram::time::Duration;
 use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::experiment::run_experiment_with_events;
 use smartrefresh_sim::{ExperimentConfig, PolicyKind};

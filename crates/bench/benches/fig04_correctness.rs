@@ -3,12 +3,10 @@
 //! worst observed staleness of any row — it must never exceed the retention
 //! deadline.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smartrefresh_core::{SmartRefresh, SmartRefreshConfig};
 use smartrefresh_ctrl::{MemTransaction, MemoryController};
 use smartrefresh_dram::time::{Duration, Instant};
-use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
+use smartrefresh_dram::{DramDevice, Geometry, Rng, TimingParams};
 
 fn main() {
     let g = Geometry::new(1, 4, 256, 32, 64); // 1024 rows
@@ -29,7 +27,7 @@ fn main() {
         };
         let policy = SmartRefresh::new(g, retention, cfg);
         let mut mc = MemoryController::new(DramDevice::new(g, t), policy);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut now = Instant::ZERO;
         let mut max_staleness = Duration::ZERO;
         let mut accesses = 0u64;

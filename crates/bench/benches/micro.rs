@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the hot components: the counter array and
-//! stagger walk (executed millions of times per simulated second), the
-//! pending queue, the DRAM command layer, the workload generator, and the
+//! Micro-benchmarks of the hot components: the counter array and stagger
+//! walk (executed millions of times per simulated second), the pending
+//! queue, the DRAM command layer, the workload generator, and the
 //! end-to-end controller access path.
+//!
+//! A self-contained `harness = false` timing loop (no external benchmark
+//! framework, so the workspace builds offline): each benchmark is warmed
+//! up, then timed over enough iterations to produce a stable ns/op figure.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant as WallClock;
+
 use smartrefresh_core::{
     CounterArray, PendingRefreshQueue, RefreshPolicy, SmartRefresh, SmartRefreshConfig,
     StaggerSchedule,
@@ -13,73 +18,78 @@ use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, Geometry, RowAddr, TimingParams};
 use smartrefresh_workloads::{find, AccessGenerator};
 
-fn bench_counter_array(c: &mut Criterion) {
-    let mut g = c.benchmark_group("counter_array");
-    g.throughput(Throughput::Elements(1));
+/// Times `op` over `iters` iterations (after `iters / 10` warm-up calls)
+/// and prints mean ns/op and op/s for `name`.
+fn bench<F: FnMut()>(name: &str, iters: u64, mut op: F) {
+    for _ in 0..iters / 10 {
+        op();
+    }
+    let start = WallClock::now();
+    for _ in 0..iters {
+        op();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    println!(
+        "{name:<36} {ns_per_op:>10.1} ns/op  {:>12.0} op/s",
+        1e9 / ns_per_op
+    );
+}
+
+fn bench_counter_array() {
     let mut array = CounterArray::new(131_072, 3);
     let mut i = 0u64;
-    g.bench_function("decrement", |b| {
-        b.iter(|| {
-            i = (i + 1) % 131_072;
-            array.decrement(std::hint::black_box(i))
-        })
+    bench("counter_array/decrement", 2_000_000, || {
+        i = (i + 1) % 131_072;
+        std::hint::black_box(array.decrement(std::hint::black_box(i)));
     });
-    g.bench_function("reset", |b| {
-        b.iter(|| {
-            i = (i + 1) % 131_072;
-            array.reset(std::hint::black_box(i));
-        })
+    let mut i = 0u64;
+    bench("counter_array/reset", 2_000_000, || {
+        i = (i + 1) % 131_072;
+        array.reset(std::hint::black_box(i));
     });
-    g.finish();
 }
 
-fn bench_stagger(c: &mut Criterion) {
+fn bench_stagger() {
     let schedule = StaggerSchedule::new(131_072, 8, 3, Duration::from_ms(64));
     let mut tick = 0u64;
-    c.bench_function("stagger/indices_at_tick", |b| {
-        b.iter(|| {
-            tick += 1;
+    bench("stagger/indices_at_tick", 1_000_000, || {
+        tick += 1;
+        std::hint::black_box(
             schedule
                 .indices_at_tick(std::hint::black_box(tick))
-                .sum::<u64>()
-        })
+                .sum::<u64>(),
+        );
     });
 }
 
-fn bench_queue(c: &mut Criterion) {
-    c.bench_function("pending_queue/push_pop_8", |b| {
-        b.iter_batched(
-            || PendingRefreshQueue::new(8),
-            |mut q| {
-                for i in 0..8u32 {
-                    q.push(
-                        RowAddr {
-                            rank: 0,
-                            bank: 0,
-                            row: i,
-                        },
-                        Instant::ZERO,
-                    )
-                    .unwrap();
-                }
-                while q.pop().is_some() {}
-                q
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_queue() {
+    bench("pending_queue/push_pop_8", 500_000, || {
+        let mut q = PendingRefreshQueue::new(8);
+        for i in 0..8u32 {
+            q.push(
+                RowAddr {
+                    rank: 0,
+                    bank: 0,
+                    row: i,
+                },
+                Instant::ZERO,
+            )
+            .unwrap();
+        }
+        while q.pop().is_some() {}
+        std::hint::black_box(&q);
     });
 }
 
-fn bench_device(c: &mut Criterion) {
+fn bench_device() {
     let geometry = Geometry::new(2, 4, 16384, 2048, 64);
     let timing = TimingParams::ddr2_667();
-    let mut g = c.benchmark_group("device");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("refresh_ras_only", |b| {
+    {
         let mut dev = DramDevice::new(geometry, timing);
         let mut now = Instant::ZERO;
         let mut row = 0u32;
-        b.iter(|| {
+        bench("device/refresh_ras_only", 500_000, || {
             row = (row + 1) % 16384;
             let out = dev
                 .refresh_ras_only(
@@ -92,13 +102,13 @@ fn bench_device(c: &mut Criterion) {
                 )
                 .unwrap();
             now = out.bank_ready_at;
-        })
-    });
-    g.bench_function("activate_read_precharge", |b| {
+        });
+    }
+    {
         let mut dev = DramDevice::new(geometry, timing);
         let mut now = Instant::ZERO;
         let mut row = 0u32;
-        b.iter(|| {
+        bench("device/activate_read_precharge", 500_000, || {
             row = (row + 1) % 16384;
             let addr = RowAddr {
                 rank: 0,
@@ -110,22 +120,20 @@ fn bench_device(c: &mut Criterion) {
             let pre_at = dev.bank(0, 0).earliest_precharge();
             let out = dev.precharge(0, 0, pre_at).unwrap();
             now = out.bank_ready_at + Duration::from_ns(1);
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_generator(c: &mut Criterion) {
+fn bench_generator() {
     let entry = find("gcc").expect("catalog");
     let geometry = Geometry::new(2, 4, 16384, 2048, 64);
     let mut gen = AccessGenerator::new(&entry.conventional, geometry, Duration::from_ms(64), 0, 1);
-    let mut g = c.benchmark_group("workload");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("generate_access", |b| b.iter(|| gen.next().unwrap()));
-    g.finish();
+    bench("workload/generate_access", 1_000_000, || {
+        std::hint::black_box(gen.next().unwrap());
+    });
 }
 
-fn bench_smart_policy_tick(c: &mut Criterion) {
+fn bench_smart_policy_tick() {
     let geometry = Geometry::new(2, 4, 16384, 2048, 64);
     let mut policy = SmartRefresh::new(
         geometry,
@@ -137,19 +145,14 @@ fn bench_smart_policy_tick(c: &mut Criterion) {
     );
     let tick = policy.schedule().tick_interval();
     let mut now = Instant::ZERO;
-    let mut g = c.benchmark_group("smart_policy");
-    g.throughput(Throughput::Elements(8)); // 8 counters per tick
-    g.bench_function("process_tick", |b| {
-        b.iter(|| {
-            now += tick;
-            policy.advance(now);
-            while policy.pop_pending().is_some() {}
-        })
+    bench("smart_policy/process_tick", 500_000, || {
+        now += tick;
+        policy.advance(now);
+        while policy.pop_pending().is_some() {}
     });
-    g.finish();
 }
 
-fn bench_controller_access(c: &mut Criterion) {
+fn bench_controller_access() {
     let geometry = Geometry::new(2, 4, 16384, 2048, 64);
     let timing = TimingParams::ddr2_667();
     let policy = SmartRefresh::new(
@@ -163,30 +166,26 @@ fn bench_controller_access(c: &mut Criterion) {
     let mut mc = MemoryController::new(DramDevice::new(geometry, timing), policy);
     let entry = find("gcc").expect("catalog");
     let mut gen = AccessGenerator::new(&entry.conventional, geometry, Duration::from_ms(64), 0, 1);
-    let mut g = c.benchmark_group("controller");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("end_to_end_access", |b| {
-        b.iter(|| {
-            let e = gen.next().unwrap();
+    bench("controller/end_to_end_access", 200_000, || {
+        let e = gen.next().unwrap();
+        std::hint::black_box(
             mc.access(MemTransaction {
                 addr: e.addr,
                 is_write: e.is_write,
                 arrival: e.time,
             })
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_counter_array,
-    bench_stagger,
-    bench_queue,
-    bench_device,
-    bench_generator,
-    bench_smart_policy_tick,
-    bench_controller_access
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<36} {:>13}  {:>14}", "benchmark", "mean", "throughput");
+    bench_counter_array();
+    bench_stagger();
+    bench_queue();
+    bench_device();
+    bench_generator();
+    bench_smart_policy_tick();
+    bench_controller_access();
+}

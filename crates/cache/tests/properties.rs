@@ -1,9 +1,10 @@
-//! Property-based tests of the cache substrate against a reference model.
+//! Property tests of the cache substrate against a reference model, with
+//! access streams drawn from the in-repo seeded [`Rng`].
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use smartrefresh_cache::{SetAssocCache, StackedDramCache};
+use smartrefresh_dram::rng::Rng;
 
 /// A trivially-correct reference cache: per-set vectors ordered by recency.
 struct ModelCache {
@@ -46,64 +47,85 @@ impl ModelCache {
     }
 }
 
-proptest! {
-    /// The LRU set-associative cache agrees with the reference model on
-    /// every access outcome and every writeback, for arbitrary streams.
-    #[test]
-    fn cache_matches_reference_model(
-        ways in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
-        accesses in prop::collection::vec((0u64..2048, any::<bool>()), 1..400)
-    ) {
-        let capacity = 64 * 16; // 16 lines
-        let mut dut = SetAssocCache::new(capacity, ways, 64);
-        let mut model = ModelCache::new(capacity, ways, 64);
-        for (block, is_write) in accesses {
-            let addr = block * 64 + (block % 64); // arbitrary offset in line
-            let got = dut.access(addr, is_write);
-            let (hit, wb) = model.access(addr, is_write);
-            prop_assert_eq!(got.hit, hit, "hit mismatch at {:#x}", addr);
-            prop_assert_eq!(got.writeback, wb, "writeback mismatch at {:#x}", addr);
-            prop_assert_eq!(got.fill.is_some(), !hit);
+/// The LRU set-associative cache agrees with the reference model on
+/// every access outcome and every writeback, for arbitrary streams.
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0001);
+    for &ways in &[1usize, 2, 4, 8, 16] {
+        for _ in 0..8 {
+            let capacity = 64 * 16; // 16 lines
+            let mut dut = SetAssocCache::new(capacity, ways, 64);
+            let mut model = ModelCache::new(capacity, ways, 64);
+            let n = rng.gen_range(1usize..400);
+            for _ in 0..n {
+                let block = rng.gen_range(0u64..2048);
+                let is_write = rng.gen_bool(0.5);
+                let addr = block * 64 + (block % 64); // arbitrary offset in line
+                let got = dut.access(addr, is_write);
+                let (hit, wb) = model.access(addr, is_write);
+                assert_eq!(got.hit, hit, "hit mismatch at {addr:#x} ({ways} ways)");
+                assert_eq!(
+                    got.writeback, wb,
+                    "writeback mismatch at {addr:#x} ({ways} ways)"
+                );
+                assert_eq!(got.fill.is_some(), !hit);
+            }
         }
     }
+}
 
-    /// probe() never disturbs state: interleaving probes changes nothing.
-    #[test]
-    fn probe_is_pure(accesses in prop::collection::vec(0u64..256, 1..100)) {
+/// probe() never disturbs state: interleaving probes changes nothing.
+#[test]
+fn probe_is_pure() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0002);
+    for _ in 0..16 {
         let mut a = SetAssocCache::new(1024, 2, 64);
         let mut b = SetAssocCache::new(1024, 2, 64);
-        for &block in &accesses {
+        let n = rng.gen_range(1usize..100);
+        for _ in 0..n {
+            let block = rng.gen_range(0u64..256);
             b.probe(block * 64);
             b.probe((block + 7) * 64);
             let ra = a.access(block * 64, false);
             let rb = b.access(block * 64, false);
-            prop_assert_eq!(ra.hit, rb.hit);
+            assert_eq!(ra.hit, rb.hit);
         }
     }
+}
 
-    /// The stacked cache's slot mapping is stable and within capacity, and a
-    /// hit to the same line always lands on the same stacked address.
-    #[test]
-    fn stacked_slots_are_stable(addrs in prop::collection::vec(any::<u64>(), 1..100)) {
+/// The stacked cache's slot mapping is stable and within capacity, and a
+/// hit to the same line always lands on the same stacked address.
+#[test]
+fn stacked_slots_are_stable() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0003);
+    for _ in 0..16 {
         let mut l3 = StackedDramCache::new(1 << 20);
-        for &addr in &addrs {
+        let n = rng.gen_range(1usize..100);
+        for _ in 0..n {
+            let addr = rng.next_u64();
             let t1 = l3.access(addr, false);
             let t2 = l3.access(addr, false);
-            prop_assert!(t1.stacked_addr < 1 << 20);
-            prop_assert_eq!(t1.stacked_addr, t2.stacked_addr);
-            prop_assert_eq!(t2.memory_fill, None, "second access must hit");
+            assert!(t1.stacked_addr < 1 << 20);
+            assert_eq!(t1.stacked_addr, t2.stacked_addr);
+            assert_eq!(t2.memory_fill, None, "second access must hit");
         }
     }
+}
 
-    /// Cache statistics are internally consistent.
-    #[test]
-    fn stats_add_up(accesses in prop::collection::vec((0u64..512, any::<bool>()), 1..200)) {
+/// Cache statistics are internally consistent.
+#[test]
+fn stats_add_up() {
+    let mut rng = Rng::seed_from_u64(0xcac4_0004);
+    for _ in 0..16 {
         let mut c = SetAssocCache::new(2048, 4, 64);
-        for (block, w) in accesses {
-            c.access(block * 64, w);
+        let n = rng.gen_range(1usize..200);
+        for _ in 0..n {
+            let block = rng.gen_range(0u64..512);
+            c.access(block * 64, rng.gen_bool(0.5));
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert!(s.writebacks <= s.misses, "writebacks only on misses");
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert!(s.writebacks <= s.misses, "writebacks only on misses");
     }
 }

@@ -98,9 +98,37 @@ impl ActivityMonitor {
         }
     }
 
+    /// Like [`ActivityMonitor::new`], but the first decision window starts
+    /// at `now` instead of time zero — for circuitry armed mid-run (e.g. a
+    /// degradation handler installing hysteresis on the fly).
+    pub fn starting_at(
+        cfg: HysteresisConfig,
+        window: Duration,
+        total_rows: u64,
+        now: Instant,
+    ) -> Self {
+        let mut m = Self::new(cfg, window, total_rows);
+        m.window_end = now + window;
+        m
+    }
+
     /// The current mode.
     pub fn mode(&self) -> PolicyMode {
         self.mode
+    }
+
+    /// Forces the mode to [`PolicyMode::FallbackCbr`] immediately — the
+    /// graceful-degradation path, as opposed to the watermark decision of
+    /// [`roll_to`](ActivityMonitor::roll_to). The window's access count is
+    /// cleared, so re-arming requires a full window above the high
+    /// watermark: the normal hysteresis re-enable path.
+    pub fn force_fallback(&mut self, now: Instant) {
+        self.roll_to(now);
+        if self.mode != PolicyMode::FallbackCbr {
+            self.mode = PolicyMode::FallbackCbr;
+            self.switches += 1;
+        }
+        self.accesses_in_window = 0;
     }
 
     /// Number of mode switches so far.
@@ -204,6 +232,49 @@ mod tests {
         // fallback, later ones keep it there.
         assert_eq!(m.roll_to(ms(200)), PolicyMode::FallbackCbr);
         assert_eq!(m.switches(), 1);
+    }
+
+    #[test]
+    fn forced_fallback_switches_and_rearms_via_watermark() {
+        let mut m = monitor();
+        // Keep the window busy so the watermark decision alone would stay
+        // Smart, then force fallback.
+        for _ in 0..30 {
+            m.record_access(ms(1));
+        }
+        m.force_fallback(ms(2));
+        assert_eq!(m.mode(), PolicyMode::FallbackCbr);
+        assert_eq!(m.switches(), 1);
+        // The pre-fault accesses were cleared: an idle remainder of the
+        // window keeps it in fallback.
+        assert_eq!(m.roll_to(ms(64)), PolicyMode::FallbackCbr);
+        // A busy window above the high watermark re-arms.
+        for _ in 0..25 {
+            m.record_access(ms(65));
+        }
+        assert_eq!(m.roll_to(ms(128)), PolicyMode::Smart);
+        assert_eq!(m.switches(), 2);
+    }
+
+    #[test]
+    fn forcing_while_already_fallen_back_is_idempotent() {
+        let mut m = monitor();
+        m.force_fallback(ms(1));
+        m.force_fallback(ms(2));
+        assert_eq!(m.switches(), 1);
+    }
+
+    #[test]
+    fn starting_at_offsets_the_first_window() {
+        let mut m = ActivityMonitor::starting_at(
+            HysteresisConfig::paper_defaults(),
+            Duration::from_ms(64),
+            1000,
+            ms(100),
+        );
+        // The first boundary is at 164 ms, not 64 ms.
+        assert_eq!(m.roll_to(ms(150)), PolicyMode::Smart);
+        assert_eq!(m.roll_to(ms(164)), PolicyMode::FallbackCbr);
     }
 
     #[test]

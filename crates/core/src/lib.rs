@@ -57,7 +57,7 @@ pub mod stagger;
 pub use baselines::{BurstRefresh, CbrDistributed, NoRefresh, RasOnlyDistributed};
 pub use counter::CounterArray;
 pub use hysteresis::{ActivityMonitor, HysteresisConfig, PolicyMode};
-pub use policy::{RefreshAction, RefreshPolicy, SramTraffic};
+pub use policy::{DegradationEvent, DegradeCause, RefreshAction, RefreshPolicy, SramTraffic};
 pub use queue::{PendingRefresh, PendingRefreshQueue, QueueOverflow};
 pub use retention_aware::RetentionAwareDistributed;
 pub use smart::{SmartRefresh, SmartRefreshConfig, SmartRefreshStats};

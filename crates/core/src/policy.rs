@@ -52,6 +52,48 @@ pub struct SramTraffic {
     pub writes: u64,
 }
 
+/// Why a policy was asked to degrade to its safe fallback mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// The §5 pending refresh queue overflowed — the dispatch contract was
+    /// violated, so the smart machinery can no longer be trusted to drain.
+    QueueOverflow,
+    /// A fault injector perturbed the refresh dispatch path (dropped,
+    /// delayed, or stalled refreshes).
+    FaultInjection,
+    /// The surrounding system requested degradation for an external reason.
+    External,
+}
+
+impl std::fmt::Display for DegradeCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeCause::QueueOverflow => write!(f, "queue-overflow"),
+            DegradeCause::FaultInjection => write!(f, "fault-injection"),
+            DegradeCause::External => write!(f, "external"),
+        }
+    }
+}
+
+/// One logged graceful-degradation episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// What triggered the degradation.
+    pub cause: DegradeCause,
+    /// When the policy entered its fallback mode.
+    pub at: Instant,
+    /// When the policy re-armed (via its hysteresis path), or `None` while
+    /// the episode is still open.
+    pub recovered_at: Option<Instant>,
+}
+
+impl DegradationEvent {
+    /// The episode's duration, if it has ended.
+    pub fn duration(&self) -> Option<smartrefresh_dram::time::Duration> {
+        self.recovered_at.map(|r| r.since(self.at))
+    }
+}
+
 /// A DRAM refresh policy.
 ///
 /// The controller drives a policy with this contract:
@@ -106,6 +148,17 @@ pub trait RefreshPolicy {
     fn in_fallback(&self) -> bool {
         false
     }
+
+    /// Asks the policy to degrade gracefully to its safe fallback mode
+    /// (Smart Refresh: the phase-preserving CBR sweep). Policies without a
+    /// fallback ignore the request — they are already their own safe mode.
+    fn degrade(&mut self, _cause: DegradeCause, _now: Instant) {}
+
+    /// Every degradation episode logged so far (empty for policies without
+    /// a fallback mode).
+    fn degradation_events(&self) -> &[DegradationEvent] {
+        &[]
+    }
 }
 
 impl<P: RefreshPolicy + ?Sized> RefreshPolicy for Box<P> {
@@ -147,6 +200,14 @@ impl<P: RefreshPolicy + ?Sized> RefreshPolicy for Box<P> {
 
     fn in_fallback(&self) -> bool {
         (**self).in_fallback()
+    }
+
+    fn degrade(&mut self, cause: DegradeCause, now: Instant) {
+        (**self).degrade(cause, now);
+    }
+
+    fn degradation_events(&self) -> &[DegradationEvent] {
+        (**self).degradation_events()
     }
 }
 

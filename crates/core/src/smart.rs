@@ -38,7 +38,7 @@ use smartrefresh_dram::profile::RetentionProfile;
 
 use crate::counter::CounterArray;
 use crate::hysteresis::{ActivityMonitor, HysteresisConfig, PolicyMode};
-use crate::policy::{RefreshAction, RefreshPolicy, SramTraffic};
+use crate::policy::{DegradationEvent, DegradeCause, RefreshAction, RefreshPolicy, SramTraffic};
 use crate::queue::PendingRefreshQueue;
 use crate::stagger::StaggerSchedule;
 
@@ -122,6 +122,7 @@ pub struct SmartRefreshStats {
 pub struct SmartRefresh {
     geometry: Geometry,
     cfg: SmartRefreshConfig,
+    retention: Duration,
     counters: CounterArray,
     schedule: StaggerSchedule,
     next_tick: u64,
@@ -129,6 +130,10 @@ pub struct SmartRefresh {
     spill: VecDeque<RefreshAction>,
     sram: SramTraffic,
     monitor: Option<ActivityMonitor>,
+    /// Graceful-degradation log: forced falls back to the CBR sweep, with
+    /// cause and (once re-armed) duration.
+    degradations: Vec<DegradationEvent>,
+    last_mode: PolicyMode,
     /// Per-row countdown strides for the retention-aware combination (§8):
     /// a row with stride `2^m` has its counter examined every `2^m`-th walk
     /// visit, stretching its refresh deadline to `retention << m`.
@@ -158,6 +163,7 @@ impl SmartRefresh {
         SmartRefresh {
             geometry,
             cfg,
+            retention,
             counters: CounterArray::new(total, cfg.counter_bits),
             schedule,
             next_tick: 0,
@@ -165,6 +171,8 @@ impl SmartRefresh {
             spill: VecDeque::new(),
             sram: SramTraffic::default(),
             monitor,
+            degradations: Vec::new(),
+            last_mode: PolicyMode::Smart,
             strides: None,
             stats: SmartRefreshStats::default(),
         }
@@ -223,9 +231,57 @@ impl SmartRefresh {
         &self.counters
     }
 
+    /// Enters the graceful-degradation path: forces the §4.6 fallback (the
+    /// phase-preserving CBR sweep keeps every row alive) and opens a logged
+    /// episode. If the engine was built without hysteresis, the circuitry is
+    /// armed on the fly with the paper's watermarks so the normal re-enable
+    /// path still applies. A no-op while an episode is already open.
+    fn enter_degraded(&mut self, cause: DegradeCause, now: Instant) {
+        if self
+            .degradations
+            .last()
+            .is_some_and(|e| e.recovered_at.is_none())
+        {
+            return;
+        }
+        if self.monitor.is_none() {
+            self.monitor = Some(ActivityMonitor::starting_at(
+                HysteresisConfig::paper_defaults(),
+                self.retention,
+                self.geometry.total_rows(),
+                now,
+            ));
+        }
+        if let Some(m) = &mut self.monitor {
+            m.force_fallback(now);
+        }
+        self.last_mode = PolicyMode::FallbackCbr;
+        self.degradations.push(DegradationEvent {
+            cause,
+            at: now,
+            recovered_at: None,
+        });
+    }
+
+    /// Closes the open degradation episode when the hysteresis path has
+    /// switched the engine back to smart mode.
+    fn note_mode(&mut self, mode: PolicyMode, now: Instant) {
+        if self.last_mode == PolicyMode::FallbackCbr && mode == PolicyMode::Smart {
+            if let Some(e) = self
+                .degradations
+                .last_mut()
+                .filter(|e| e.recovered_at.is_none())
+            {
+                e.recovered_at = Some(now);
+            }
+        }
+        self.last_mode = mode;
+    }
+
     fn reset_on_access(&mut self, row: RowAddr, now: Instant) {
         if let Some(m) = &mut self.monitor {
-            m.roll_to(now);
+            let mode = m.roll_to(now);
+            self.note_mode(mode, now);
         }
         let smart = self.mode() == PolicyMode::Smart;
         if smart {
@@ -245,6 +301,7 @@ impl SmartRefresh {
             Some(m) => m.roll_to(now),
             None => PolicyMode::Smart,
         };
+        self.note_mode(mode, now);
         let charged = mode == PolicyMode::Smart;
         let rps = self.schedule.rows_per_segment();
         let offset = tick % rps;
@@ -282,9 +339,12 @@ impl SmartRefresh {
                 };
                 if self.queue.push(row, now).is_err() {
                     // §5 argues this cannot happen when the controller drains
-                    // between ticks; spill rather than drop so data is safe.
+                    // between ticks; spill rather than drop so data is safe,
+                    // and degrade to the CBR sweep since the dispatch
+                    // contract is evidently broken.
                     self.stats.queue_overflows += 1;
                     self.spill.push_back(action);
+                    self.enter_degraded(DegradeCause::QueueOverflow, now);
                 }
             } else {
                 self.counters.decrement(idx);
@@ -360,6 +420,14 @@ impl RefreshPolicy for SmartRefresh {
 
     fn in_fallback(&self) -> bool {
         self.mode() == PolicyMode::FallbackCbr
+    }
+
+    fn degrade(&mut self, cause: DegradeCause, now: Instant) {
+        self.enter_degraded(cause, now);
+    }
+
+    fn degradation_events(&self) -> &[DegradationEvent] {
+        &self.degradations
     }
 }
 
@@ -643,5 +711,91 @@ mod tests {
     fn next_wakeup_tracks_tick_schedule() {
         let p = engine(false);
         assert_eq!(p.next_wakeup(), Some(p.schedule().tick_time(0)));
+    }
+
+    #[test]
+    fn forced_overflow_degrades_to_fallback_and_logs() {
+        // One-entry queue, never drained: the second zero-counter in a tick
+        // overflows, which must spill (data safety), degrade to the CBR
+        // sweep, and open a logged episode.
+        let cfg = SmartRefreshConfig {
+            counter_bits: 2,
+            segments: 4,
+            queue_capacity: 1,
+            hysteresis: None,
+        };
+        let mut p = SmartRefresh::new(geometry(), Duration::from_ms(64), cfg);
+        // Advance a whole interval without draining: counters hit zero in
+        // groups of `segments` per tick.
+        p.advance(ms(64));
+        assert!(p.stats().queue_overflows > 0);
+        assert!(p.in_fallback(), "overflow must degrade to the CBR sweep");
+        let events = p.degradation_events();
+        assert_eq!(events.len(), 1, "one open episode, not one per overflow");
+        assert_eq!(events[0].cause, DegradeCause::QueueOverflow);
+        assert!(events[0].recovered_at.is_none());
+        // All requested refreshes are still deliverable (queue + spill).
+        let total = drain(&mut p).len();
+        assert_eq!(total as u64, p.stats().refreshes_requested);
+    }
+
+    #[test]
+    fn degraded_engine_rearms_via_hysteresis_and_closes_episode() {
+        let mut p = engine(true);
+        // Stay busy so the engine is in smart mode, then degrade externally.
+        for i in 0..5u64 {
+            p.on_row_opened(
+                RowAddr {
+                    rank: 0,
+                    bank: 0,
+                    row: (i % 16) as u32,
+                },
+                ms(i),
+            );
+        }
+        p.degrade(DegradeCause::FaultInjection, ms(5));
+        assert!(p.in_fallback());
+        // A busy following window re-arms via the normal watermark path
+        // (32 rows: >2% means at least one access per window). Drain after
+        // every advance like the controller does, so the fallback sweep
+        // cannot re-overflow the queue.
+        for i in 0..120u64 {
+            p.on_row_opened(
+                RowAddr {
+                    rank: 0,
+                    bank: 0,
+                    row: (i % 16) as u32,
+                },
+                ms(6 + i),
+            );
+            p.advance(ms(6 + i));
+            drain(&mut p);
+        }
+        p.advance(ms(130));
+        drain(&mut p);
+        assert!(!p.in_fallback(), "hysteresis must re-arm the engine");
+        let e = p.degradation_events()[0];
+        assert_eq!(e.cause, DegradeCause::FaultInjection);
+        let recovered = e.recovered_at.expect("episode closed");
+        assert!(recovered > e.at);
+        assert_eq!(e.duration(), Some(recovered.since(e.at)));
+    }
+
+    #[test]
+    fn degrade_installs_hysteresis_when_absent() {
+        let mut p = engine(false);
+        assert!(p.degradation_events().is_empty());
+        p.degrade(DegradeCause::External, ms(1));
+        assert!(p.in_fallback());
+        assert_eq!(p.degradation_events().len(), 1);
+        // Fallback still refreshes: a full interval yields every row.
+        let mut count = 0usize;
+        let mut t = Duration::from_ms(1);
+        while t <= Duration::from_ms(66) {
+            p.advance(Instant::ZERO + t);
+            count += drain(&mut p).len();
+            t += Duration::from_us(250);
+        }
+        assert_eq!(count, 32, "the CBR sweep keeps every row alive");
     }
 }

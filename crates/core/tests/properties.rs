@@ -1,103 +1,122 @@
-//! Property-based tests of the Smart Refresh engine invariants, exercised
+//! Property tests of the Smart Refresh engine invariants, exercised
 //! directly against the policy (the whole-system properties live in the
 //! workspace-level `tests/correctness.rs`).
+//!
+//! Cases are drawn from the in-repo seeded [`Rng`], so every run checks the
+//! same inputs: deterministic, hermetic, and reproducible from the seed.
 
-use proptest::prelude::*;
 use smartrefresh_core::{
     CounterArray, RefreshAction, RefreshPolicy, SmartRefresh, SmartRefreshConfig, StaggerSchedule,
 };
+use smartrefresh_dram::rng::Rng;
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{Geometry, RowAddr};
 
-proptest! {
-    /// The stagger schedule examines every counter exactly once per access
-    /// period, for arbitrary row counts and segment counts.
-    #[test]
-    fn stagger_examines_each_counter_once_per_period(
-        total in 1u64..500,
-        segments in 1u32..=16,
-        bits in 1u32..=4,
-    ) {
+/// The stagger schedule examines every counter exactly once per access
+/// period, for arbitrary row counts and segment counts.
+#[test]
+fn stagger_examines_each_counter_once_per_period() {
+    let mut rng = Rng::seed_from_u64(0x5741_6701);
+    for case in 0..48 {
+        let total = rng.gen_range(1u64..500);
+        let segments = rng.gen_range(1u32..17);
+        let bits = rng.gen_range(1u32..5);
         let s = StaggerSchedule::new(total, segments, bits, Duration::from_ms(64));
         let mut counts = vec![0u32; total as usize];
         for tick in 0..s.ticks_per_period() {
             for idx in s.indices_at_tick(tick) {
-                prop_assert!(idx < total);
+                assert!(idx < total, "case {case}: index {idx} out of range");
                 counts[idx as usize] += 1;
             }
         }
-        prop_assert!(counts.iter().all(|&c| c == 1), "coverage {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == 1),
+            "case {case} (total {total}, segments {segments}, bits {bits}): coverage {counts:?}"
+        );
     }
+}
 
-    /// At most `segments` counters are examined per tick.
-    #[test]
-    fn stagger_bounds_per_tick_work(
-        total in 1u64..500,
-        segments in 1u32..=16,
-        tick in 0u64..10_000,
-    ) {
+/// At most `segments` counters are examined per tick, and at least one.
+#[test]
+fn stagger_bounds_per_tick_work() {
+    let mut rng = Rng::seed_from_u64(0x5741_6702);
+    for case in 0..64 {
+        let total = rng.gen_range(1u64..500);
+        let segments = rng.gen_range(1u32..17);
+        let tick = rng.gen_range(0u64..10_000);
         let s = StaggerSchedule::new(total, segments, 3, Duration::from_ms(64));
         let n = s.indices_at_tick(tick).count();
-        prop_assert!(n <= segments as usize);
-        prop_assert!(n >= 1);
+        assert!(
+            n <= segments as usize && n >= 1,
+            "case {case}: {n} examinations with {segments} segments"
+        );
     }
+}
 
-    /// Counter arrays never exceed their width and saturate at zero.
-    #[test]
-    fn counters_respect_width(
-        bits in 1u32..=8,
-        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200),
-    ) {
+/// Counter arrays never exceed their width and saturate at zero.
+#[test]
+fn counters_respect_width() {
+    let mut rng = Rng::seed_from_u64(0x5741_6703);
+    for _ in 0..32 {
+        let bits = rng.gen_range(1u32..9);
         let mut a = CounterArray::new(64, bits);
-        for (idx, reset) in ops {
-            if reset {
+        let ops = rng.gen_range(1usize..200);
+        for _ in 0..ops {
+            let idx = rng.gen_range(0u64..64);
+            if rng.gen_bool(0.5) {
                 a.reset(idx);
             } else {
                 a.decrement(idx);
             }
-            prop_assert!(a.get(idx) <= a.max_value());
+            assert!(a.get(idx) <= a.max_value());
         }
     }
+}
 
-    /// An idle engine emits each row exactly once per interval regardless of
-    /// the (bits, segments) configuration — the distributed-refresh
-    /// degeneration the §4.2 staggering relies on.
-    #[test]
-    fn idle_emission_is_one_per_row_per_interval(
-        bits in 2u32..=4,
-        segments in 2u32..=8,
-    ) {
-        let g = Geometry::new(1, 2, 16, 4, 64); // 32 rows
-        let retention = Duration::from_ms(8);
-        let cfg = SmartRefreshConfig {
-            counter_bits: bits,
-            segments,
-            queue_capacity: segments as usize,
-            hysteresis: None,
-        };
-        let mut p = SmartRefresh::new(g, retention, cfg);
-        let mut per_row = vec![0u32; 32];
-        let intervals = 3u64;
-        let mut t = Duration::ZERO;
-        while t <= retention * intervals {
-            p.advance(Instant::ZERO + t);
-            while let Some(a) = p.pop_pending() {
-                if let RefreshAction::RasOnly { row, .. } = a {
-                    per_row[g.flatten(row) as usize] += 1;
+/// An idle engine emits each row exactly once per interval regardless of
+/// the (bits, segments) configuration — the distributed-refresh
+/// degeneration the §4.2 staggering relies on.
+#[test]
+fn idle_emission_is_one_per_row_per_interval() {
+    for bits in 2u32..=4 {
+        for segments in [2u32, 3, 5, 8] {
+            let g = Geometry::new(1, 2, 16, 4, 64); // 32 rows
+            let retention = Duration::from_ms(8);
+            let cfg = SmartRefreshConfig {
+                counter_bits: bits,
+                segments,
+                queue_capacity: segments as usize,
+                hysteresis: None,
+            };
+            let mut p = SmartRefresh::new(g, retention, cfg);
+            let mut per_row = vec![0u32; 32];
+            let intervals = 3u64;
+            let mut t = Duration::ZERO;
+            while t <= retention * intervals {
+                p.advance(Instant::ZERO + t);
+                while let Some(a) = p.pop_pending() {
+                    if let RefreshAction::RasOnly { row, .. } = a {
+                        per_row[g.flatten(row) as usize] += 1;
+                    }
                 }
+                t += Duration::from_us(25);
             }
-            t += Duration::from_us(25);
+            assert!(
+                per_row.iter().all(|&c| c == intervals as u32),
+                "bits {bits} segments {segments}: per-row counts {per_row:?}"
+            );
         }
-        prop_assert!(
-            per_row.iter().all(|&c| c == intervals as u32),
-            "per-row counts {per_row:?}"
-        );
     }
+}
 
-    /// Rows being accessed are never refreshed while the accesses continue
-    /// faster than the counter period.
-    #[test]
-    fn hammered_rows_never_refresh(row in 0u32..16, bits in 2u32..=3) {
+/// Rows being accessed are never refreshed while the accesses continue
+/// faster than the counter period.
+#[test]
+fn hammered_rows_never_refresh() {
+    let mut rng = Rng::seed_from_u64(0x5741_6704);
+    for _ in 0..12 {
+        let row = rng.gen_range(0u32..16);
+        let bits = rng.gen_range(2u32..4);
         let g = Geometry::new(1, 1, 16, 4, 64);
         let retention = Duration::from_ms(8);
         let cfg = SmartRefreshConfig {
@@ -107,20 +126,32 @@ proptest! {
             hysteresis: None,
         };
         let mut p = SmartRefresh::new(g, retention, cfg);
-        let hot = RowAddr { rank: 0, bank: 0, row };
+        let hot = RowAddr {
+            rank: 0,
+            bank: 0,
+            row,
+        };
         let period = retention.div_by(1 << bits);
         let mut refreshed = false;
         let mut t = Duration::ZERO;
         while t <= retention * 4 {
             p.on_row_opened(hot, Instant::ZERO + t);
-            p.advance(Instant::ZERO + t);
-            while let Some(a) = p.pop_pending() {
-                if let RefreshAction::RasOnly { row: r, .. } = a {
-                    refreshed |= r == hot;
+            // Drain at every wakeup — the §5 dispatch contract. Advancing
+            // multiple ticks without draining would overflow the queue and
+            // (correctly) degrade the engine to the fallback sweep.
+            while let Some(w) = p.next_wakeup() {
+                if w > Instant::ZERO + t {
+                    break;
+                }
+                p.advance(w);
+                while let Some(a) = p.pop_pending() {
+                    if let RefreshAction::RasOnly { row: r, .. } = a {
+                        refreshed |= r == hot;
+                    }
                 }
             }
             t += period.div_by(2); // touch twice per counter period
         }
-        prop_assert!(!refreshed);
+        assert!(!refreshed, "row {row} bits {bits} was refreshed while hot");
     }
 }

@@ -9,9 +9,8 @@
 
 use smartrefresh_cache::SetAssocCache;
 use smartrefresh_core::RefreshPolicy;
-use smartrefresh_ctrl::{MemTransaction, MemoryController};
+use smartrefresh_ctrl::{MemTransaction, MemoryController, SimError};
 use smartrefresh_dram::time::{Duration, Instant};
-use smartrefresh_dram::DramError;
 
 use crate::program::SyntheticProgram;
 
@@ -137,12 +136,12 @@ impl<P: RefreshPolicy> Cpu<P> {
     ///
     /// # Errors
     ///
-    /// Propagates [`DramError`] from the memory system.
+    /// Propagates [`SimError`] from the memory system.
     pub fn run(
         &mut self,
         program: &mut SyntheticProgram,
         instructions: u64,
-    ) -> Result<(), DramError> {
+    ) -> Result<(), SimError> {
         for _ in 0..instructions {
             self.stats.instructions += 1;
             let mut cycles = self.config.base_cpi;
@@ -158,7 +157,7 @@ impl<P: RefreshPolicy> Cpu<P> {
     }
 
     /// Returns the extra stall cycles for one memory reference.
-    fn access_memory(&mut self, addr: u64, is_write: bool) -> Result<f64, DramError> {
+    fn access_memory(&mut self, addr: u64, is_write: bool) -> Result<f64, SimError> {
         let l1 = self.l1.access(addr, is_write);
         if l1.hit {
             return Ok(self.config.l1_hit_cycles);

@@ -23,7 +23,7 @@
 //! let mut prog = SyntheticProgram::new(ProgramSpec::streaming(1 << 20), 7);
 //! cpu.run(&mut prog, 10_000)?;
 //! assert!(cpu.stats().ipc() > 0.0);
-//! # Ok::<(), smartrefresh_dram::DramError>(())
+//! # Ok::<(), smartrefresh_ctrl::SimError>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -8,8 +8,7 @@
 //! behaviour, miss rates, and write-back traffic all *emerge* rather than
 //! being parameterised directly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smartrefresh_dram::rng::Rng;
 
 /// A memory reference produced by the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +103,7 @@ impl ProgramSpec {
 #[derive(Debug, Clone)]
 pub struct SyntheticProgram {
     spec: ProgramSpec,
-    rng: StdRng,
+    rng: Rng,
     /// Heap base virtual address (stack sits below it).
     heap_base: u64,
     last_heap_line: u64,
@@ -123,7 +122,7 @@ impl SyntheticProgram {
         SyntheticProgram {
             heap_base: spec.stack_bytes,
             spec,
-            rng: StdRng::seed_from_u64(seed ^ 0xc0ffee),
+            rng: Rng::seed_from_u64(seed ^ 0xc0ffee),
             last_heap_line: 0,
             heap_lines,
         }

@@ -16,10 +16,12 @@
 //! is *opened* and again when the page is *closed* (whether by a demand
 //! conflict or by a refresh that had to close an open page first).
 
-use smartrefresh_core::{RefreshAction, RefreshPolicy};
+use smartrefresh_core::{DegradeCause, RefreshAction, RefreshPolicy};
 use smartrefresh_dram::time::{Duration, Instant};
-use smartrefresh_dram::{DramDevice, DramError, RowAddr};
+use smartrefresh_dram::{DramDevice, RowAddr};
+use smartrefresh_faults::{FaultInjector, Perturbation};
 
+use crate::error::SimError;
 use crate::stats::{ControllerStats, RowBufferOutcome};
 use crate::transaction::MemTransaction;
 
@@ -82,7 +84,7 @@ pub struct AccessResult {
 ///
 /// let r = mc.access(MemTransaction::read(0, Instant::ZERO))?;
 /// assert!(r.completed_at > Instant::ZERO);
-/// # Ok::<(), smartrefresh_dram::DramError>(())
+/// # Ok::<(), smartrefresh_ctrl::SimError>(())
 /// ```
 #[derive(Debug)]
 pub struct MemoryController<P: RefreshPolicy> {
@@ -103,6 +105,8 @@ pub struct MemoryController<P: RefreshPolicy> {
     last_cmd_end: Instant,
     /// Per-bank time of last demand use, for the idle-close policy.
     last_use: Vec<Instant>,
+    /// Optional fault injector consulted on the refresh-dispatch path.
+    faults: Option<FaultInjector>,
 }
 
 impl<P: RefreshPolicy> MemoryController<P> {
@@ -120,6 +124,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
             powerdown: Some(PowerDownConfig::default()),
             last_cmd_end: Instant::ZERO,
             last_use: vec![Instant::ZERO; banks],
+            faults: None,
         }
     }
 
@@ -127,6 +132,26 @@ impl<P: RefreshPolicy> MemoryController<P> {
     pub fn with_powerdown(mut self, cfg: Option<PowerDownConfig>) -> Self {
         self.powerdown = cfg;
         self
+    }
+
+    /// Installs a fault injector. Static faults — weak-cell deadline
+    /// tightening and thermal retention derating — are applied to the
+    /// device's retention tracker immediately, so the always-on invariant
+    /// checks see the perturbed deadlines while the refresh policy
+    /// deliberately does not. Dispatch-path faults (drop / delay / stall)
+    /// are consulted at every refresh dispatch; any perturbation asks the
+    /// policy to degrade to its safe fallback mode.
+    pub fn with_fault_injector(mut self, mut injector: FaultInjector) -> Self {
+        let geometry = *self.device.geometry();
+        let now = self.now;
+        injector.apply_static_faults(self.device.retention_mut(), &geometry, now);
+        self.faults = Some(injector);
+        self
+    }
+
+    /// The installed fault injector, if any (its event log and stats).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
     }
 
     /// Credits the idle gap before a command issued at `start` and advances
@@ -180,9 +205,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
     ///
     /// # Errors
     ///
-    /// Propagates [`DramError`] on an illegal command, which indicates a
-    /// scheduling bug rather than a recoverable condition.
-    pub fn advance_to(&mut self, t: Instant) -> Result<(), DramError> {
+    /// Returns [`SimError::Protocol`] on an illegal command, which indicates
+    /// a scheduling bug rather than a recoverable condition.
+    pub fn advance_to(&mut self, t: Instant) -> Result<(), SimError> {
         while let Some(wake) = self.policy.next_wakeup() {
             if wake > t {
                 break;
@@ -197,7 +222,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
     }
 
     /// Closes any open page whose bank has been idle past the timeout.
-    fn close_idle_pages(&mut self, now: Instant) -> Result<(), DramError> {
+    fn close_idle_pages(&mut self, now: Instant) -> Result<(), SimError> {
         let Some(timeout) = self.page_close_timeout else {
             return Ok(());
         };
@@ -217,7 +242,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
             if pre_at > now {
                 continue;
             }
-            self.device.precharge(rank, bank, pre_at)?;
+            self.device.precharge(rank, bank, pre_at).map_err(|e| {
+                SimError::protocol("precharge", rank, bank, Some(open_row), pre_at, e)
+            })?;
             let end = self.device.bank(rank, bank).busy_until();
             self.note_command(pre_at, end);
             self.policy.on_row_closed(
@@ -232,19 +259,58 @@ impl<P: RefreshPolicy> MemoryController<P> {
         Ok(())
     }
 
-    fn dispatch_refreshes(&mut self, now: Instant) -> Result<(), DramError> {
+    fn dispatch_refreshes(&mut self, now: Instant) -> Result<(), SimError> {
+        if let Some(inj) = &mut self.faults {
+            if inj.dispatch_stalled(now) {
+                // Dispatch is suspended: pending refreshes stay queued, the
+                // §5 queue fills, and the policy's overflow path degrades it
+                // to the fallback sweep.
+                return Ok(());
+            }
+        }
         while let Some(action) = self.policy.pop_pending() {
             let (rank, bank) = action.target_bank();
-            let issue_at = now.max(self.device.bank(rank, bank).busy_until());
+            let mut issue_at = now.max(self.device.bank(rank, bank).busy_until());
+            if let RefreshAction::RasOnly { row, .. } = action {
+                if let Some(inj) = &mut self.faults {
+                    match inj.perturb_refresh(row, now) {
+                        Perturbation::Pass => {}
+                        Perturbation::Drop => {
+                            // Never issued; the retention tracker will flag
+                            // the row as late on its next restore or in the
+                            // end-of-run violation scan.
+                            self.stats.refreshes_dropped += 1;
+                            self.policy.degrade(DegradeCause::FaultInjection, now);
+                            continue;
+                        }
+                        Perturbation::Delay(by) => {
+                            self.stats.refreshes_delayed += 1;
+                            issue_at += by;
+                            self.policy.degrade(DegradeCause::FaultInjection, now);
+                        }
+                    }
+                }
+            }
             // If the bank holds an open page the refresh will close it; the
             // policy must see the close so the row's counter resets (§4.1).
             let closing = self.device.bank(rank, bank).open_row();
             match action {
                 RefreshAction::Cbr { .. } => {
-                    self.device.refresh_cbr(rank, bank, issue_at)?;
+                    self.device.refresh_cbr(rank, bank, issue_at).map_err(|e| {
+                        SimError::protocol("refresh (CBR)", rank, bank, None, issue_at, e)
+                    })?;
                 }
                 RefreshAction::RasOnly { row, charge_bus } => {
-                    self.device.refresh_ras_only(row, issue_at)?;
+                    self.device.refresh_ras_only(row, issue_at).map_err(|e| {
+                        SimError::protocol(
+                            "refresh (RAS-only)",
+                            rank,
+                            bank,
+                            Some(row.row),
+                            issue_at,
+                            e,
+                        )
+                    })?;
                     if charge_bus {
                         self.stats.bus_charged_refreshes += 1;
                     }
@@ -275,9 +341,11 @@ impl<P: RefreshPolicy> MemoryController<P> {
     ///
     /// # Errors
     ///
-    /// Propagates [`DramError`] on an illegal command sequence (a controller
-    /// bug, not a workload condition).
-    pub fn access(&mut self, tx: MemTransaction) -> Result<AccessResult, DramError> {
+    /// Returns [`SimError::Protocol`] on an illegal command sequence and
+    /// [`SimError::StateInconsistency`] when the controller's row-buffer
+    /// bookkeeping contradicts the device (both controller bugs, not
+    /// workload conditions).
+    pub fn access(&mut self, tx: MemTransaction) -> Result<AccessResult, SimError> {
         self.advance_to(tx.arrival)?;
         let decoded = self.device.geometry().decode(tx.addr);
         let target = decoded.row_addr;
@@ -295,8 +363,17 @@ impl<P: RefreshPolicy> MemoryController<P> {
         if let RowBufferOutcome::Conflict = outcome {
             let b = self.device.bank(rank, bank);
             let pre_at = t.max(b.earliest_precharge());
-            let closed_row = b.open_row().expect("conflict implies open row");
-            self.device.precharge(rank, bank, pre_at)?;
+            let Some(closed_row) = b.open_row() else {
+                return Err(SimError::StateInconsistency {
+                    what: "row-buffer conflict recorded against a bank with no open row",
+                    rank,
+                    bank,
+                    at: pre_at,
+                });
+            };
+            self.device.precharge(rank, bank, pre_at).map_err(|e| {
+                SimError::protocol("precharge", rank, bank, Some(closed_row), pre_at, e)
+            })?;
             self.policy.on_row_closed(
                 RowAddr {
                     rank,
@@ -310,14 +387,21 @@ impl<P: RefreshPolicy> MemoryController<P> {
         if outcome != RowBufferOutcome::Hit {
             // Respect the rank's tRRD/tFAW activation window.
             t = t.max(self.device.earliest_activate(rank));
-            let act = self.device.activate(target, t)?;
+            let act = self
+                .device
+                .activate(target, t)
+                .map_err(|e| SimError::protocol("activate", rank, bank, Some(target.row), t, e))?;
             self.policy.on_row_opened(target, t);
             t = act.bank_ready_at;
         }
         let out = if tx.is_write {
-            self.device.write(target, decoded.column, t)?
+            self.device
+                .write(target, decoded.column, t)
+                .map_err(|e| SimError::protocol("write", rank, bank, Some(target.row), t, e))?
         } else {
-            self.device.read(target, decoded.column, t)?
+            self.device
+                .read(target, decoded.column, t)
+                .map_err(|e| SimError::protocol("read", rank, bank, Some(target.row), t, e))?
         };
         // A row-buffer hit also rewrites the cells through the sense amps;
         // the paper resets the counter on any access to an open row.
@@ -330,8 +414,17 @@ impl<P: RefreshPolicy> MemoryController<P> {
             // Auto-precharge: close the row at the earliest legal instant.
             let b = self.device.bank(rank, bank);
             let pre_at = out.bank_ready_at.max(b.earliest_precharge());
-            let closed_row = b.open_row().expect("row open after access");
-            self.device.precharge(rank, bank, pre_at)?;
+            let Some(closed_row) = b.open_row() else {
+                return Err(SimError::StateInconsistency {
+                    what: "auto-precharge found no open row after a completed access",
+                    rank,
+                    bank,
+                    at: pre_at,
+                });
+            };
+            self.device.precharge(rank, bank, pre_at).map_err(|e| {
+                SimError::protocol("precharge", rank, bank, Some(closed_row), pre_at, e)
+            })?;
             self.policy.on_row_closed(
                 RowAddr {
                     rank,
@@ -355,8 +448,8 @@ impl<P: RefreshPolicy> MemoryController<P> {
     ///
     /// # Errors
     ///
-    /// Propagates [`DramError`] like [`MemoryController::advance_to`].
-    pub fn finish(mut self, t: Instant) -> Result<(DramDevice, P, ControllerStats), DramError> {
+    /// Propagates [`SimError`] like [`MemoryController::advance_to`].
+    pub fn finish(mut self, t: Instant) -> Result<(DramDevice, P, ControllerStats), SimError> {
         self.advance_to(t)?;
         Ok((self.device, self.policy, self.stats))
     }
@@ -613,6 +706,127 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(mc.stats().powerdown_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn dropped_refresh_is_flagged_by_retention_tracker() {
+        use smartrefresh_faults::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 8,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        let injector = FaultInjector::new().with_spec(FaultSpec::always(
+            FaultSite::exact(0, 0, 5),
+            FaultKind::DropRefresh,
+        ));
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), policy).with_fault_injector(injector);
+        mc.advance_to(ms(130)).unwrap();
+        // The injection happened and was counted on both sides.
+        assert!(mc.stats().refreshes_dropped >= 1);
+        assert!(mc.fault_injector().unwrap().stats().refreshes_dropped >= 1);
+        // The policy degraded to its fallback, attributing the fault.
+        let events = mc.policy().degradation_events();
+        assert!(!events.is_empty(), "perturbation must log a degradation");
+        assert_eq!(
+            events[0].cause,
+            smartrefresh_core::DegradeCause::FaultInjection
+        );
+        // Detection: the starved row fails the retention check — the
+        // injected fault is never silent.
+        assert!(mc.device().check_integrity(ms(130)).is_err());
+    }
+
+    #[test]
+    fn delayed_refreshes_are_counted_and_still_issued() {
+        use smartrefresh_faults::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 8,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        let injector = FaultInjector::new().with_spec(FaultSpec::always(
+            FaultSite::ANY,
+            FaultKind::DelayRefresh {
+                delay: Duration::from_ns(100),
+            },
+        ));
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), policy).with_fault_injector(injector);
+        mc.advance_to(ms(70)).unwrap();
+        assert!(mc.stats().refreshes_delayed >= 1);
+        // Delayed, not dropped: the refreshes still reached the device.
+        assert!(mc.device().stats().ras_only_refreshes >= 1);
+        assert!(
+            mc.policy().in_fallback(),
+            "perturbation degrades the policy"
+        );
+    }
+
+    #[test]
+    fn stalled_dispatch_overflows_queue_and_degrades() {
+        use smartrefresh_faults::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 2,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        // Dispatch is suspended across the whole first retention interval,
+        // so the tiny queue must overflow when the idle rows expire.
+        let injector = FaultInjector::new().with_spec(FaultSpec::windowed(
+            FaultSite::ANY,
+            Instant::ZERO,
+            ms(70),
+            FaultKind::StallDispatch,
+        ));
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), policy).with_fault_injector(injector);
+        mc.advance_to(ms(140)).unwrap();
+        assert!(mc.fault_injector().unwrap().stats().dispatches_stalled >= 1);
+        let events = mc.policy().degradation_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.cause == smartrefresh_core::DegradeCause::QueueOverflow),
+            "stalled dispatch must force a queue-overflow degradation: {events:?}"
+        );
+    }
+
+    #[test]
+    fn weak_cell_fault_applies_at_injector_install() {
+        use smartrefresh_faults::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let injector = FaultInjector::new().with_spec(FaultSpec::always(
+            FaultSite::exact(0, 1, 3),
+            FaultKind::WeakCell {
+                deadline: Duration::from_ms(1),
+            },
+        ));
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention))
+                .with_fault_injector(injector);
+        assert_eq!(mc.fault_injector().unwrap().stats().weak_rows_applied, 1);
+        // The CBR sweep restores the weak row far past its tightened 1 ms
+        // deadline; the tracker's inline check reports the late window.
+        mc.advance_to(ms(64)).unwrap();
+        assert!(
+            !mc.device().retention().late_restores().is_empty(),
+            "a weak row restored on the 64 ms schedule must be flagged late"
+        );
     }
 
     #[test]

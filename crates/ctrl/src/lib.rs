@@ -21,15 +21,17 @@
 //! mc.access(MemTransaction::read(4096, Instant::ZERO))?;
 //! mc.advance_to(Instant::ZERO + Duration::from_ms(64))?;
 //! assert!(mc.device().check_integrity(mc.now()).is_ok());
-//! # Ok::<(), smartrefresh_dram::DramError>(())
+//! # Ok::<(), smartrefresh_ctrl::SimError>(())
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod error;
 pub mod stats;
 pub mod transaction;
 
 pub use controller::{AccessResult, MemoryController, PagePolicy, PowerDownConfig};
+pub use error::SimError;
 pub use stats::{ControllerStats, RowBufferOutcome};
 pub use transaction::MemTransaction;

@@ -33,6 +33,11 @@ pub struct ControllerStats {
     /// Refreshes that drove an explicit row address over the external bus
     /// (charged bus energy by the energy model).
     pub bus_charged_refreshes: u64,
+    /// Refreshes suppressed by an installed fault injector (never issued to
+    /// the device; the retention tracker is expected to flag the row).
+    pub refreshes_dropped: u64,
+    /// Refreshes postponed by an installed fault injector.
+    pub refreshes_delayed: u64,
     /// Accumulated time the module could sit in precharge power-down: idle
     /// gaps between commands, net of entry/exit overheads. The energy model
     /// bills these at the power-down rate instead of full standby.
@@ -78,6 +83,8 @@ impl ControllerStats {
             max_latency: self.max_latency,
             refreshes_issued: self.refreshes_issued - earlier.refreshes_issued,
             bus_charged_refreshes: self.bus_charged_refreshes - earlier.bus_charged_refreshes,
+            refreshes_dropped: self.refreshes_dropped - earlier.refreshes_dropped,
+            refreshes_delayed: self.refreshes_delayed - earlier.refreshes_delayed,
             powerdown_time: self.powerdown_time - earlier.powerdown_time,
         }
     }

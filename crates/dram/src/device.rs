@@ -103,6 +103,14 @@ impl DramDevice {
         &self.retention
     }
 
+    /// Mutable retention-tracker access, for fault injection: tightening a
+    /// row's deadline (weak cell / VRT) or scaling all deadlines with
+    /// temperature. The tracker still *checks* the perturbed deadlines; the
+    /// refresh policy is deliberately not told.
+    pub fn retention_mut(&mut self) -> &mut RetentionTracker {
+        &mut self.retention
+    }
+
     /// Installs a per-row retention profile so integrity checks validate
     /// against each row's true (variable) deadline instead of the worst
     /// case. Used by the retention-aware experiments.

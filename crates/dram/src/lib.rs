@@ -40,6 +40,7 @@ pub mod geometry;
 pub mod profile;
 pub mod rank;
 pub mod retention;
+pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timing;
@@ -50,5 +51,6 @@ pub use error::DramError;
 pub use geometry::{DecodedAddr, Geometry, RowAddr};
 pub use profile::RetentionProfile;
 pub use retention::RetentionTracker;
+pub use rng::Rng;
 pub use stats::OpStats;
 pub use timing::TimingParams;

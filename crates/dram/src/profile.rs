@@ -12,8 +12,7 @@
 //! be applied on top; the `smartrefresh-core` crate implements that
 //! combination and the `abl_retention_aware` bench demonstrates it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Per-row retention multipliers: row `i` retains data for
 /// `base_retention << multiplier_log2(i)`.
@@ -71,10 +70,10 @@ impl RetentionProfile {
             bins.iter().all(|&(m, _)| m <= 7),
             "multiplier beyond 128x base retention is not meaningful"
         );
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e7e_1234_abcd_0001);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x7e7e_1234_abcd_0001);
         let multipliers_log2 = (0..total_rows)
             .map(|_| {
-                let mut x: f64 = rng.gen();
+                let mut x: f64 = rng.gen_f64();
                 for &(m, f) in bins {
                     if x < f {
                         return m;

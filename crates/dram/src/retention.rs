@@ -42,6 +42,24 @@ pub struct RetentionTracker {
     interval_hist: Vec<u64>,
     hist_bucket: Duration,
     restores: u64,
+    /// Restores that arrived *after* the row's deadline — each one is a
+    /// data-loss window that actually happened (the row sat decayed until
+    /// this restore rewrote it). Detected inline, O(1) per restore.
+    late_restores: Vec<LateRestore>,
+}
+
+/// One detected data-loss window: a restore that arrived after the row's
+/// retention deadline had already passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LateRestore {
+    /// Flat row index of the decayed row.
+    pub flat_index: u64,
+    /// The deadline the row was required to meet.
+    pub deadline: Duration,
+    /// The interval actually observed (`> deadline`).
+    pub interval: Duration,
+    /// When the late restore happened (end of the data-loss window).
+    pub at: Instant,
 }
 
 /// Summary statistics over observed inter-restore intervals.
@@ -71,6 +89,7 @@ impl RetentionTracker {
             interval_hist: vec![0; buckets],
             hist_bucket: Duration::from_ms(1),
             restores: 0,
+            late_restores: Vec::new(),
         }
     }
 
@@ -109,6 +128,48 @@ impl RetentionTracker {
         }
     }
 
+    /// Overrides one row's deadline, e.g. to model a weak cell or a VRT
+    /// episode discovered (or injected) mid-run. Unlike [`apply_profile`],
+    /// which only lengthens deadlines, this accepts any nonzero value —
+    /// including ones *tighter* than the base retention.
+    ///
+    /// [`apply_profile`]: RetentionTracker::apply_profile
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_index` is out of range or `deadline` is zero.
+    pub fn set_row_deadline(&mut self, flat_index: u64, deadline: Duration) {
+        assert!(!deadline.is_zero(), "row deadline must be nonzero");
+        assert!(
+            (flat_index as usize) < self.last_restore.len(),
+            "row {flat_index} out of range"
+        );
+        let per_row = self
+            .per_row
+            .get_or_insert_with(|| vec![self.retention; self.last_restore.len()]);
+        per_row[flat_index as usize] = deadline;
+    }
+
+    /// Uniformly scales every row's deadline by `factor` (e.g. thermal
+    /// derating: retention halves per ~10 °C above the rated temperature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scale_deadlines(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive, got {factor}"
+        );
+        let scale = |d: Duration| Duration::from_ps(((d.as_ps() as f64 * factor) as u64).max(1));
+        self.retention = scale(self.retention);
+        if let Some(per_row) = &mut self.per_row {
+            for d in per_row.iter_mut() {
+                *d = scale(*d);
+            }
+        }
+    }
+
     /// Number of rows tracked.
     pub fn len(&self) -> usize {
         self.last_restore.len()
@@ -138,7 +199,25 @@ impl RetentionTracker {
         let bucket = (interval.as_ps() / self.hist_bucket.as_ps()) as usize;
         let top = self.interval_hist.len() - 1;
         self.interval_hist[bucket.min(top)] += 1;
+        let deadline = self.row_deadline(flat_index);
+        if interval > deadline {
+            self.late_restores.push(LateRestore {
+                flat_index,
+                deadline,
+                interval,
+                at: now,
+            });
+        }
         Some(interval)
+    }
+
+    /// Every data-loss window detected so far: restores that arrived after
+    /// their row's deadline. Combined with [`violations`] (rows *currently*
+    /// overdue), no decayed row can ever go unreported.
+    ///
+    /// [`violations`]: RetentionTracker::violations
+    pub fn late_restores(&self) -> &[LateRestore] {
+        &self.late_restores
     }
 
     /// The last restore instant for a row.
@@ -276,6 +355,53 @@ mod tests {
             "optimality {}",
             s.optimality
         );
+    }
+
+    #[test]
+    fn tightened_deadline_flags_weak_row() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        t.set_row_deadline(3, Duration::from_ms(16));
+        let now = Instant::ZERO + Duration::from_ms(32);
+        // Only the weak row has decayed; the rest are within the base deadline.
+        assert_eq!(t.violations(now), vec![3]);
+        // Restoring it now records the data-loss window.
+        t.restore(3, now);
+        assert_eq!(t.late_restores().len(), 1);
+        let late = t.late_restores()[0];
+        assert_eq!(late.flat_index, 3);
+        assert_eq!(late.deadline, Duration::from_ms(16));
+        assert_eq!(late.interval, Duration::from_ms(32));
+        assert_eq!(late.at, now);
+    }
+
+    #[test]
+    fn on_time_restores_record_no_late_windows() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        let mut now = Instant::ZERO;
+        for _ in 0..4 {
+            now += Duration::from_ms(60);
+            for i in 0..8 {
+                t.restore(i, now);
+            }
+        }
+        assert!(t.late_restores().is_empty());
+    }
+
+    #[test]
+    fn scale_deadlines_applies_thermal_derating() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        t.set_row_deadline(0, Duration::from_ms(32));
+        t.scale_deadlines(0.5);
+        assert_eq!(t.retention(), Duration::from_ms(32));
+        assert_eq!(t.row_deadline(0), Duration::from_ms(16));
+        assert_eq!(t.row_deadline(1), Duration::from_ms(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_row_deadline_checks_bounds() {
+        let mut t = RetentionTracker::new(&small(), Duration::from_ms(64));
+        t.set_row_deadline(999, Duration::from_ms(1));
     }
 
     #[test]

@@ -1,49 +1,53 @@
-//! Property-based tests of the energy models: linearity, monotonicity, and
-//! accounting identities that every figure implicitly relies on.
+//! Property tests of the energy models: linearity, monotonicity, and
+//! accounting identities that every figure implicitly relies on. Inputs
+//! come from the in-repo seeded [`Rng`] for hermetic determinism.
 
-use proptest::prelude::*;
+use smartrefresh_dram::rng::Rng;
 use smartrefresh_dram::time::Duration;
 use smartrefresh_dram::{Geometry, OpStats};
 use smartrefresh_energy::{
     geometric_mean, savings, BusEnergyModel, DramPowerParams, SramArrayModel,
 };
 
-fn arb_ops() -> impl Strategy<Value = OpStats> {
-    (
-        0u64..10_000,
-        0u64..10_000,
-        0u64..10_000,
-        0u64..10_000,
-        0u64..10_000,
-        0u64..10_000,
-    )
-        .prop_map(|(a, r, w, p, c, ro)| OpStats {
-            activates: a,
-            reads: r,
-            writes: w,
-            precharges: p,
-            cbr_refreshes: c,
-            ras_only_refreshes: ro,
-            refreshes_closing_open_page: (c + ro) / 3,
-        })
+fn sample_ops(rng: &mut Rng) -> OpStats {
+    let c = rng.gen_range(0u64..10_000);
+    let ro = rng.gen_range(0u64..10_000);
+    OpStats {
+        activates: rng.gen_range(0u64..10_000),
+        reads: rng.gen_range(0u64..10_000),
+        writes: rng.gen_range(0u64..10_000),
+        precharges: rng.gen_range(0u64..10_000),
+        cbr_refreshes: c,
+        ras_only_refreshes: ro,
+        refreshes_closing_open_page: (c + ro) / 3,
+    }
 }
 
-proptest! {
-    /// Total energy equals the sum of its components for arbitrary inputs.
-    #[test]
-    fn dram_energy_components_sum(ops in arb_ops(), span_us in 1u64..10_000, open_us in 0u64..5_000) {
+/// Total energy equals the sum of its components for arbitrary inputs.
+#[test]
+fn dram_energy_components_sum() {
+    let mut rng = Rng::seed_from_u64(0xe4e6_0001);
+    for _ in 0..64 {
+        let ops = sample_ops(&mut rng);
+        let span_us = rng.gen_range(1u64..10_000);
+        let open_us = rng.gen_range(0u64..5_000);
         let p = DramPowerParams::ddr2_2gb();
         let span = Duration::from_us(span_us);
         let open = Duration::from_us(open_us.min(span_us));
         let e = p.energy(&ops, span, open, ops.ras_only_refreshes);
         let sum = e.background_j + e.activate_precharge_j + e.read_write_j + e.refresh_j;
-        prop_assert!((e.total_j() - sum).abs() <= 1e-12 * sum.max(1.0));
-        prop_assert!(e.total_j() >= 0.0);
+        assert!((e.total_j() - sum).abs() <= 1e-12 * sum.max(1.0));
+        assert!(e.total_j() >= 0.0);
     }
+}
 
-    /// Energy is monotone: doing strictly more operations never costs less.
-    #[test]
-    fn dram_energy_monotone_in_ops(ops in arb_ops(), extra in 1u64..1000) {
+/// Energy is monotone: doing strictly more operations never costs less.
+#[test]
+fn dram_energy_monotone_in_ops() {
+    let mut rng = Rng::seed_from_u64(0xe4e6_0002);
+    for _ in 0..64 {
+        let ops = sample_ops(&mut rng);
+        let extra = rng.gen_range(1u64..1000);
         let p = DramPowerParams::ddr2_2gb();
         let span = Duration::from_ms(10);
         let base = p.energy(&ops, span, Duration::ZERO, 0).total_j();
@@ -51,54 +55,73 @@ proptest! {
         more.reads += extra;
         more.cbr_refreshes += extra;
         let bigger = p.energy(&more, span, Duration::ZERO, 0).total_j();
-        prop_assert!(bigger > base);
+        assert!(bigger > base);
     }
+}
 
-    /// Power-down billing never increases background energy, and billing the
-    /// whole span at power-down equals the power-down rate exactly.
-    #[test]
-    fn powerdown_reduces_background(span_us in 1u64..10_000, pd_frac in 0.0f64..1.0) {
+/// Power-down billing never increases background energy, and billing the
+/// whole span at power-down equals the power-down rate exactly.
+#[test]
+fn powerdown_reduces_background() {
+    let mut rng = Rng::seed_from_u64(0xe4e6_0003);
+    for _ in 0..64 {
+        let span_us = rng.gen_range(1u64..10_000);
+        let pd_frac = rng.gen_f64();
         let p = DramPowerParams::ddr2_2gb();
         let span = Duration::from_us(span_us);
         let pd = Duration::from_ps((span.as_ps() as f64 * pd_frac) as u64);
         let awake = p.energy(&OpStats::new(), span, Duration::ZERO, 0);
-        let rested =
-            p.energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, pd);
-        prop_assert!(rested.background_j <= awake.background_j + 1e-15);
+        let rested = p.energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, pd);
+        assert!(rested.background_j <= awake.background_j + 1e-15);
         let full = p.energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, span);
-        prop_assert!((full.background_j - p.p_powerdown * span.as_secs_f64()).abs() < 1e-12);
+        assert!((full.background_j - p.p_powerdown * span.as_secs_f64()).abs() < 1e-12);
     }
+}
 
-    /// Bus energy is exactly linear in both width and access count.
-    #[test]
-    fn bus_energy_linear(width in 1u32..64, n in 0u64..1_000_000, modules in 1u32..4) {
+/// Bus energy is exactly linear in both width and access count.
+#[test]
+fn bus_energy_linear() {
+    let mut rng = Rng::seed_from_u64(0xe4e6_0004);
+    for _ in 0..64 {
+        let width = rng.gen_range(1u32..64);
+        let n = rng.gen_range(0u64..1_000_000);
+        let modules = rng.gen_range(1u32..4);
         let bus = BusEnergyModel::table3(modules);
         let e = bus.energy(width, n);
-        prop_assert!((e - bus.energy_per_transfer(width) * n as f64).abs() < 1e-12);
-        prop_assert!((bus.energy(width * 2, n) - 2.0 * e).abs() < 1e-9 * e.max(1.0));
+        assert!((e - bus.energy_per_transfer(width) * n as f64).abs() < 1e-12);
+        assert!((bus.energy(width * 2, n) - 2.0 * e).abs() < 1e-9 * e.max(1.0));
     }
+}
 
-    /// SRAM area formula scales linearly with rows and bits.
-    #[test]
-    fn sram_area_scales(rows_log2 in 4u32..16, bits in 1u32..8) {
-        let g1 = Geometry::new(1, 1, 1 << rows_log2, 4, 64);
-        let g2 = Geometry::new(1, 2, 1 << rows_log2, 4, 64);
-        let a1 = SramArrayModel::artisan_90nm(&g1, bits).area_kb();
-        let a2 = SramArrayModel::artisan_90nm(&g2, bits).area_kb();
-        prop_assert!((a2 - 2.0 * a1).abs() < 1e-9);
-        let wider = SramArrayModel::artisan_90nm(&g1, bits + 1).area_kb();
-        prop_assert!(wider > a1);
+/// SRAM area formula scales linearly with rows and bits.
+#[test]
+fn sram_area_scales() {
+    for rows_log2 in 4u32..16 {
+        for bits in 1u32..8 {
+            let g1 = Geometry::new(1, 1, 1 << rows_log2, 4, 64);
+            let g2 = Geometry::new(1, 2, 1 << rows_log2, 4, 64);
+            let a1 = SramArrayModel::artisan_90nm(&g1, bits).area_kb();
+            let a2 = SramArrayModel::artisan_90nm(&g2, bits).area_kb();
+            assert!((a2 - 2.0 * a1).abs() < 1e-9);
+            let wider = SramArrayModel::artisan_90nm(&g1, bits + 1).area_kb();
+            assert!(wider > a1);
+        }
     }
+}
 
-    /// savings() and geometric_mean() satisfy their defining identities.
-    #[test]
-    fn summary_stats_identities(vals in prop::collection::vec(0.01f64..10.0, 1..32)) {
+/// savings() and geometric_mean() satisfy their defining identities.
+#[test]
+fn summary_stats_identities() {
+    let mut rng = Rng::seed_from_u64(0xe4e6_0005);
+    for _ in 0..32 {
+        let n = rng.gen_range(1usize..32);
+        let vals: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01f64..10.0)).collect();
         let g = geometric_mean(&vals);
         let log_mean: f64 = vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64;
-        prop_assert!((g.ln() - log_mean).abs() < 1e-9);
+        assert!((g.ln() - log_mean).abs() < 1e-9);
         for &v in &vals {
-            prop_assert!((savings(v, v)).abs() < 1e-12);
-            prop_assert!((savings(0.0, v) - 1.0).abs() < 1e-12);
+            assert!((savings(v, v)).abs() < 1e-12);
+            assert!((savings(0.0, v) - 1.0).abs() < 1e-12);
         }
     }
 }

@@ -1,0 +1,497 @@
+//! The seeded fault injector.
+//!
+//! A [`FaultInjector`] holds a list of [`FaultSpec`]s — each a fault kind, a
+//! `(rank, bank, row)` site pattern, and an activation window — plus a log
+//! of every injection it performed. The memory controller consults it on
+//! the refresh dispatch path ([`FaultInjector::perturb_refresh`] and
+//! [`FaultInjector::dispatch_stalled`]); static faults (weak cells, thermal
+//! derating) are applied once to the device's retention tracker via
+//! [`FaultInjector::apply_static_faults`].
+
+use smartrefresh_dram::rng::Rng;
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::{Geometry, RetentionTracker, RowAddr};
+
+use crate::temperature::ThermalDerating;
+
+/// A `(rank, bank, row)` pattern; `None` components are wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSite {
+    /// Rank to match, or any rank.
+    pub rank: Option<u32>,
+    /// Bank to match, or any bank.
+    pub bank: Option<u32>,
+    /// Row to match, or any row.
+    pub row: Option<u32>,
+}
+
+impl FaultSite {
+    /// Matches every row of the module.
+    pub const ANY: FaultSite = FaultSite {
+        rank: None,
+        bank: None,
+        row: None,
+    };
+
+    /// A site matching exactly one row.
+    pub fn exact(rank: u32, bank: u32, row: u32) -> Self {
+        FaultSite {
+            rank: Some(rank),
+            bank: Some(bank),
+            row: Some(row),
+        }
+    }
+
+    /// Whether `addr` matches this pattern.
+    pub fn matches(&self, addr: RowAddr) -> bool {
+        self.rank.is_none_or(|r| r == addr.rank)
+            && self.bank.is_none_or(|b| b == addr.bank)
+            && self.row.is_none_or(|w| w == addr.row)
+    }
+}
+
+/// What a fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site's rows are weak cells: their true retention deadline is
+    /// `deadline`, tighter than the rated worst case. Applied statically to
+    /// the retention tracker; the refresh policy is deliberately not told.
+    WeakCell {
+        /// The true (tightened) retention deadline of the weak rows.
+        deadline: Duration,
+    },
+    /// RAS-only refreshes dispatched to the site are silently lost.
+    DropRefresh,
+    /// RAS-only refreshes dispatched to the site are postponed by `delay`.
+    DelayRefresh {
+        /// How long each matching dispatch is postponed.
+        delay: Duration,
+    },
+    /// While active, refresh dispatch is suspended entirely, so pending
+    /// requests pile up in the §5 queue (the queue-pressure fault).
+    StallDispatch,
+}
+
+/// One fault: a kind, where it applies, and when it is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which rows the fault applies to.
+    pub site: FaultSite,
+    /// Activation window start (inclusive).
+    pub from: Instant,
+    /// Activation window end (exclusive); [`FaultSpec::FOREVER`] = no end.
+    pub until: Instant,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Sentinel "never deactivates" window end.
+    pub const FOREVER: Instant = Instant::from_ps(u64::MAX);
+
+    /// A fault active for the whole run.
+    pub fn always(site: FaultSite, kind: FaultKind) -> Self {
+        FaultSpec {
+            site,
+            from: Instant::ZERO,
+            until: Self::FOREVER,
+            kind,
+        }
+    }
+
+    /// A fault active in `[from, until)`.
+    pub fn windowed(site: FaultSite, from: Instant, until: Instant, kind: FaultKind) -> Self {
+        assert!(from < until, "empty activation window");
+        FaultSpec {
+            site,
+            from,
+            until,
+            kind,
+        }
+    }
+
+    /// Whether the fault is active at `now`.
+    pub fn active_at(&self, now: Instant) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// The controller's verdict for one refresh dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// No active fault matched; dispatch normally.
+    Pass,
+    /// The refresh is lost; do not issue it.
+    Drop,
+    /// Issue the refresh, but this much later.
+    Delay(Duration),
+}
+
+/// What kind of injection a [`FaultEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEventKind {
+    /// A RAS-only refresh was dropped.
+    DroppedRefresh,
+    /// A RAS-only refresh was postponed.
+    DelayedRefresh {
+        /// By how much.
+        by: Duration,
+    },
+    /// Refresh dispatch entered a stall window.
+    DispatchStalled,
+    /// A row's retention deadline was tightened (weak cell / VRT).
+    WeakCellApplied {
+        /// The tightened deadline.
+        deadline: Duration,
+    },
+    /// All deadlines were scaled for temperature.
+    RetentionScaled {
+        /// The applied scale factor.
+        factor: f64,
+    },
+}
+
+/// One recorded injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the injection happened (simulation time).
+    pub at: Instant,
+    /// The affected row, when the fault targets a single row.
+    pub row: Option<RowAddr>,
+    /// What was injected.
+    pub kind: FaultEventKind,
+}
+
+/// Aggregate injection counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Refreshes dropped on the dispatch path.
+    pub refreshes_dropped: u64,
+    /// Refreshes delayed on the dispatch path.
+    pub refreshes_delayed: u64,
+    /// Dispatch attempts suppressed by an active stall window.
+    pub dispatches_stalled: u64,
+    /// Rows whose deadline was tightened by a weak-cell fault.
+    pub weak_rows_applied: u64,
+}
+
+/// Deterministic, seeded fault injector.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_dram::time::{Duration, Instant};
+/// use smartrefresh_dram::RowAddr;
+/// use smartrefresh_faults::{FaultInjector, FaultKind, FaultSite, FaultSpec, Perturbation};
+///
+/// let mut inj = FaultInjector::new().with_spec(FaultSpec::always(
+///     FaultSite::exact(0, 0, 7),
+///     FaultKind::DropRefresh,
+/// ));
+/// let hit = RowAddr { rank: 0, bank: 0, row: 7 };
+/// let miss = RowAddr { rank: 0, bank: 0, row: 8 };
+/// assert_eq!(inj.perturb_refresh(hit, Instant::ZERO), Perturbation::Drop);
+/// assert_eq!(inj.perturb_refresh(miss, Instant::ZERO), Perturbation::Pass);
+/// assert_eq!(inj.stats().refreshes_dropped, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    specs: Vec<FaultSpec>,
+    temperature_c: Option<f64>,
+    derating: ThermalDerating,
+    events: Vec<FaultEvent>,
+    stats: FaultStats,
+    in_stall: bool,
+}
+
+impl FaultInjector {
+    /// An injector with no faults (every query passes).
+    pub fn new() -> Self {
+        FaultInjector {
+            derating: ThermalDerating::default(),
+            ..FaultInjector::default()
+        }
+    }
+
+    /// Adds one fault spec.
+    pub fn with_spec(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Sets the operating temperature; [`apply_static_faults`] will scale
+    /// every retention deadline by the derating curve.
+    ///
+    /// [`apply_static_faults`]: FaultInjector::apply_static_faults
+    pub fn with_temperature(mut self, temp_c: f64) -> Self {
+        self.temperature_c = Some(temp_c);
+        self
+    }
+
+    /// Adds `count` weak-cell faults at seed-determined distinct rows, each
+    /// with the given tightened `deadline`. Deterministic for a fixed seed.
+    pub fn with_random_weak_cells(
+        mut self,
+        geometry: &Geometry,
+        seed: u64,
+        count: usize,
+        deadline: Duration,
+    ) -> Self {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xfa17_0000_0000_0001);
+        let total = geometry.total_rows();
+        assert!(
+            (count as u64) <= total,
+            "more weak cells ({count}) than rows ({total})"
+        );
+        let mut chosen = Vec::with_capacity(count);
+        while chosen.len() < count {
+            let flat = rng.gen_range(0..total);
+            if !chosen.contains(&flat) {
+                chosen.push(flat);
+                let addr = geometry.unflatten(flat);
+                self.specs.push(FaultSpec::always(
+                    FaultSite::exact(addr.rank, addr.bank, addr.row),
+                    FaultKind::WeakCell { deadline },
+                ));
+            }
+        }
+        self
+    }
+
+    /// The configured fault specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Every injection performed so far, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Aggregate injection counters.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Applies the static faults — weak-cell deadline tightening and thermal
+    /// derating — to a device's retention tracker. Call once after building
+    /// the device (weak cells exist from power-up) or at the instant a VRT
+    /// episode begins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker does not cover `geometry`'s rows.
+    pub fn apply_static_faults(
+        &mut self,
+        tracker: &mut RetentionTracker,
+        geometry: &Geometry,
+        now: Instant,
+    ) {
+        assert_eq!(
+            tracker.len() as u64,
+            geometry.total_rows(),
+            "tracker does not match geometry"
+        );
+        if let Some(temp) = self.temperature_c {
+            let factor = self.derating.scale(temp);
+            if factor < 1.0 {
+                tracker.scale_deadlines(factor);
+                self.events.push(FaultEvent {
+                    at: now,
+                    row: None,
+                    kind: FaultEventKind::RetentionScaled { factor },
+                });
+            }
+        }
+        for spec in &self.specs {
+            let FaultKind::WeakCell { deadline } = spec.kind else {
+                continue;
+            };
+            for addr in geometry.iter_rows() {
+                if spec.site.matches(addr) {
+                    tracker.set_row_deadline(geometry.flatten(addr), deadline);
+                    self.stats.weak_rows_applied += 1;
+                    self.events.push(FaultEvent {
+                        at: now,
+                        row: Some(addr),
+                        kind: FaultEventKind::WeakCellApplied { deadline },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Whether refresh dispatch is suspended at `now` (an active
+    /// [`FaultKind::StallDispatch`] window). Records the stall on entry.
+    pub fn dispatch_stalled(&mut self, now: Instant) -> bool {
+        let stalled = self
+            .specs
+            .iter()
+            .any(|s| matches!(s.kind, FaultKind::StallDispatch) && s.active_at(now));
+        if stalled {
+            self.stats.dispatches_stalled += 1;
+            if !self.in_stall {
+                self.events.push(FaultEvent {
+                    at: now,
+                    row: None,
+                    kind: FaultEventKind::DispatchStalled,
+                });
+            }
+        }
+        self.in_stall = stalled;
+        stalled
+    }
+
+    /// The dispatch-path hook: the first active drop/delay fault matching
+    /// `row` decides the refresh's fate. Records the injection.
+    pub fn perturb_refresh(&mut self, row: RowAddr, now: Instant) -> Perturbation {
+        for spec in &self.specs {
+            if !spec.active_at(now) || !spec.site.matches(row) {
+                continue;
+            }
+            match spec.kind {
+                FaultKind::DropRefresh => {
+                    self.stats.refreshes_dropped += 1;
+                    self.events.push(FaultEvent {
+                        at: now,
+                        row: Some(row),
+                        kind: FaultEventKind::DroppedRefresh,
+                    });
+                    return Perturbation::Drop;
+                }
+                FaultKind::DelayRefresh { delay } => {
+                    self.stats.refreshes_delayed += 1;
+                    self.events.push(FaultEvent {
+                        at: now,
+                        row: Some(row),
+                        kind: FaultEventKind::DelayedRefresh { by: delay },
+                    });
+                    return Perturbation::Delay(delay);
+                }
+                FaultKind::WeakCell { .. } | FaultKind::StallDispatch => {}
+            }
+        }
+        Perturbation::Pass
+    }
+
+    /// True when any drop, delay, or stall spec exists (the injector can
+    /// perturb the dispatch path at all).
+    pub fn perturbs_dispatch(&self) -> bool {
+        self.specs.iter().any(|s| {
+            matches!(
+                s.kind,
+                FaultKind::DropRefresh | FaultKind::DelayRefresh { .. } | FaultKind::StallDispatch
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(rank: u32, bank: u32, row: u32) -> RowAddr {
+        RowAddr { rank, bank, row }
+    }
+
+    #[test]
+    fn wildcard_sites_match_by_component() {
+        let bank_wide = FaultSite {
+            rank: Some(0),
+            bank: Some(1),
+            row: None,
+        };
+        assert!(bank_wide.matches(row(0, 1, 5)));
+        assert!(bank_wide.matches(row(0, 1, 99)));
+        assert!(!bank_wide.matches(row(0, 2, 5)));
+        assert!(FaultSite::ANY.matches(row(3, 2, 1)));
+    }
+
+    #[test]
+    fn activation_window_gates_injection() {
+        let w0 = Instant::ZERO + Duration::from_ms(10);
+        let w1 = Instant::ZERO + Duration::from_ms(20);
+        let mut inj = FaultInjector::new().with_spec(FaultSpec::windowed(
+            FaultSite::ANY,
+            w0,
+            w1,
+            FaultKind::DropRefresh,
+        ));
+        let r = row(0, 0, 0);
+        assert_eq!(inj.perturb_refresh(r, Instant::ZERO), Perturbation::Pass);
+        assert_eq!(inj.perturb_refresh(r, w0), Perturbation::Drop);
+        assert_eq!(inj.perturb_refresh(r, w1), Perturbation::Pass);
+        assert_eq!(inj.stats().refreshes_dropped, 1);
+        assert_eq!(inj.events().len(), 1);
+    }
+
+    #[test]
+    fn delay_faults_report_their_postponement() {
+        let mut inj = FaultInjector::new().with_spec(FaultSpec::always(
+            FaultSite::exact(0, 0, 3),
+            FaultKind::DelayRefresh {
+                delay: Duration::from_ms(2),
+            },
+        ));
+        assert_eq!(
+            inj.perturb_refresh(row(0, 0, 3), Instant::ZERO),
+            Perturbation::Delay(Duration::from_ms(2))
+        );
+        assert_eq!(inj.stats().refreshes_delayed, 1);
+    }
+
+    #[test]
+    fn stall_windows_suspend_dispatch_and_log_once() {
+        let w0 = Instant::ZERO + Duration::from_ms(1);
+        let w1 = Instant::ZERO + Duration::from_ms(2);
+        let mut inj = FaultInjector::new().with_spec(FaultSpec::windowed(
+            FaultSite::ANY,
+            w0,
+            w1,
+            FaultKind::StallDispatch,
+        ));
+        assert!(!inj.dispatch_stalled(Instant::ZERO));
+        assert!(inj.dispatch_stalled(w0));
+        assert!(inj.dispatch_stalled(w0 + Duration::from_us(1)));
+        assert!(!inj.dispatch_stalled(w1));
+        // Two suppressed dispatches, one logged stall edge.
+        assert_eq!(inj.stats().dispatches_stalled, 2);
+        assert_eq!(inj.events().len(), 1);
+    }
+
+    #[test]
+    fn random_weak_cells_are_deterministic_and_distinct() {
+        let g = Geometry::new(1, 2, 32, 4, 64);
+        let pick = |seed| {
+            let mut inj =
+                FaultInjector::new().with_random_weak_cells(&g, seed, 8, Duration::from_ms(16));
+            let mut t = RetentionTracker::new(&g, Duration::from_ms(64));
+            inj.apply_static_faults(&mut t, &g, Instant::ZERO);
+            let rows: Vec<u64> = (0..g.total_rows())
+                .filter(|&i| t.row_deadline(i) == Duration::from_ms(16))
+                .collect();
+            (rows, inj.stats().weak_rows_applied)
+        };
+        let (a, na) = pick(1);
+        let (b, nb) = pick(1);
+        let (c, _) = pick(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(na, 8);
+        assert_eq!(nb, 8);
+        assert_eq!(a.len(), 8, "weak rows must be distinct");
+    }
+
+    #[test]
+    fn temperature_scaling_tightens_every_deadline() {
+        let g = Geometry::new(1, 1, 8, 4, 64);
+        let mut inj = FaultInjector::new().with_temperature(95.0);
+        let mut t = RetentionTracker::new(&g, Duration::from_ms(64));
+        inj.apply_static_faults(&mut t, &g, Instant::ZERO);
+        assert_eq!(t.retention(), Duration::from_ms(32));
+        assert!(matches!(
+            inj.events()[0].kind,
+            FaultEventKind::RetentionScaled { .. }
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic fault injection for the Smart Refresh reproduction.
+//!
+//! The paper's §4.3 correctness argument ("a refresh is never late, for any
+//! access pattern") and the §5 queue bound are *claims about the design*;
+//! this crate exists to attack them. A seeded [`FaultInjector`] perturbs the
+//! system in the ways real DRAM fails:
+//!
+//! * **weak cells / VRT** — individual rows whose true retention is shorter
+//!   than the rated worst case (the RAIDR/retrospective failure mode),
+//!   modelled by tightening `RetentionTracker` per-row deadlines;
+//! * **thermal derating** — retention shrinks with temperature (roughly
+//!   halving per 10 °C above the rated point), scaling every deadline;
+//! * **dropped / delayed refreshes** — the dispatch path loses or postpones
+//!   individual RAS-only refreshes;
+//! * **dispatch stalls** — refresh dispatch is suspended outright, forcing
+//!   pending-queue pressure until the §5 bound breaks.
+//!
+//! Every fault site is addressable by `(rank, bank, row)` (with wildcards)
+//! and an activation window, and every injection is recorded, so a campaign
+//! can assert mutation-test style that the retention invariant checker
+//! caught each one.
+
+#![warn(missing_docs)]
+
+pub mod injector;
+pub mod temperature;
+
+pub use injector::{
+    FaultEvent, FaultEventKind, FaultInjector, FaultKind, FaultSite, FaultSpec, FaultStats,
+    Perturbation,
+};
+pub use temperature::{retention_scale, ThermalDerating};

@@ -1,0 +1,89 @@
+//! Temperature-dependent retention derating.
+//!
+//! DRAM cell leakage is exponential in temperature: retention roughly halves
+//! for every ~10 °C above the rated point. JEDEC encodes the coarse version
+//! of this as the 2x refresh-rate requirement in the extended temperature
+//! range (85–95 °C); the paper's 3D die-stacked configurations bake the same
+//! physics in by rating the stacked module at 32 ms instead of 64 ms. This
+//! module provides the continuous form so a fault campaign can sweep
+//! temperature and scale every retention deadline accordingly.
+
+/// Default rated temperature (°C) at which the datasheet retention holds.
+pub const RATED_TEMP_C: f64 = 85.0;
+
+/// Default temperature step (°C) over which retention halves.
+pub const HALVING_STEP_C: f64 = 10.0;
+
+/// The factor to scale retention deadlines by at `temp_c`, using the default
+/// rating: 1.0 at or below 85 °C, 0.5 at 95 °C, 0.25 at 105 °C.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_faults::retention_scale;
+///
+/// assert_eq!(retention_scale(25.0), 1.0); // below rating: no derating
+/// assert!((retention_scale(95.0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn retention_scale(temp_c: f64) -> f64 {
+    ThermalDerating::default().scale(temp_c)
+}
+
+/// A configurable retention-vs-temperature model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalDerating {
+    /// Temperature (°C) at which the rated retention holds.
+    pub rated_c: f64,
+    /// Temperature step (°C) over which retention halves.
+    pub halving_c: f64,
+}
+
+impl Default for ThermalDerating {
+    fn default() -> Self {
+        ThermalDerating {
+            rated_c: RATED_TEMP_C,
+            halving_c: HALVING_STEP_C,
+        }
+    }
+}
+
+impl ThermalDerating {
+    /// The retention scale factor at `temp_c`: `2^-((T - rated) / halving)`
+    /// above the rated point, 1.0 at or below it.
+    pub fn scale(&self, temp_c: f64) -> f64 {
+        if temp_c <= self.rated_c {
+            1.0
+        } else {
+            0.5f64.powf((temp_c - self.rated_c) / self.halving_c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_derating_at_or_below_rating() {
+        assert_eq!(retention_scale(85.0), 1.0);
+        assert_eq!(retention_scale(-40.0), 1.0);
+    }
+
+    #[test]
+    fn halves_per_step_above_rating() {
+        assert!((retention_scale(95.0) - 0.5).abs() < 1e-12);
+        assert!((retention_scale(105.0) - 0.25).abs() < 1e-12);
+        // Continuous in between.
+        let s90 = retention_scale(90.0);
+        assert!(s90 < 1.0 && s90 > 0.5);
+    }
+
+    #[test]
+    fn custom_model_shifts_the_curve() {
+        let hot_rated = ThermalDerating {
+            rated_c: 45.0,
+            halving_c: 10.0,
+        };
+        assert!((hot_rated.scale(55.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -11,10 +11,10 @@ use smartrefresh_core::{
     BurstRefresh, CbrDistributed, NoRefresh, RasOnlyDistributed, RefreshPolicy,
     RetentionAwareDistributed, SmartRefresh, SmartRefreshConfig,
 };
-use smartrefresh_ctrl::{ControllerStats, MemTransaction, MemoryController, PagePolicy};
+use smartrefresh_ctrl::{ControllerStats, MemTransaction, MemoryController, PagePolicy, SimError};
 use smartrefresh_dram::profile::RetentionProfile;
 use smartrefresh_dram::time::{Duration, Instant};
-use smartrefresh_dram::{DramDevice, DramError, ModuleConfig, OpStats};
+use smartrefresh_dram::{DramDevice, ModuleConfig, OpStats};
 use smartrefresh_energy::{BusEnergyModel, DramPowerParams, EnergyBreakdown, SramArrayModel};
 use smartrefresh_workloads::{AccessGenerator, TraceEvent, WorkloadSpec};
 
@@ -245,13 +245,13 @@ impl RunResult {
 ///
 /// # Errors
 ///
-/// Propagates [`DramError`] if the controller issues an illegal command —
+/// Propagates [`SimError`] if the controller issues an illegal command —
 /// a bug in the harness, not a workload property.
 ///
 /// # Panics
 ///
 /// Panics if the configuration's spans are not positive.
-pub fn run_experiment(cfg: &ExperimentConfig, spec: &WorkloadSpec) -> Result<RunResult, DramError> {
+pub fn run_experiment(cfg: &ExperimentConfig, spec: &WorkloadSpec) -> Result<RunResult, SimError> {
     let workload_geometry = cfg.workload_geometry.unwrap_or(cfg.module.geometry);
     let gen = AccessGenerator::new(spec, workload_geometry, cfg.reference, 0, cfg.seed);
     run_experiment_with_events(cfg, gen, spec.name, spec.apki)
@@ -264,7 +264,7 @@ pub fn run_experiment(cfg: &ExperimentConfig, spec: &WorkloadSpec) -> Result<Run
 ///
 /// # Errors
 ///
-/// Propagates [`DramError`] like [`run_experiment`].
+/// Propagates [`SimError`] like [`run_experiment`].
 ///
 /// # Panics
 ///
@@ -274,7 +274,7 @@ pub fn run_experiment_with_events<I>(
     events: I,
     workload_name: &'static str,
     apki: f64,
-) -> Result<RunResult, DramError>
+) -> Result<RunResult, SimError>
 where
     I: IntoIterator<Item = TraceEvent>,
 {

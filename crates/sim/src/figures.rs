@@ -10,9 +10,10 @@
 //! so reports can always print paper-vs-measured side by side.
 
 use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_ctrl::SimError;
 use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
 use smartrefresh_dram::time::Duration;
-use smartrefresh_dram::{DramError, ModuleConfig};
+use smartrefresh_dram::ModuleConfig;
 use smartrefresh_energy::{geometric_mean, mean, DramPowerParams};
 use smartrefresh_workloads::{catalog, Suite, WorkloadSpec};
 
@@ -244,7 +245,7 @@ impl Evaluation {
         Self::with_scale(scale)
     }
 
-    fn run_corpus(&self, id: CorpusId) -> Result<Vec<BenchPair>, DramError> {
+    fn run_corpus(&self, id: CorpusId) -> Result<Vec<BenchPair>, SimError> {
         let (module, power, topology): (ModuleConfig, DramPowerParams, Topology) = match id {
             CorpusId::Conv2Gb => (
                 conventional_2gb(),
@@ -313,7 +314,7 @@ impl Evaluation {
     /// # Errors
     ///
     /// Propagates simulator errors (controller bugs — never expected).
-    pub fn corpus(&mut self, id: CorpusId) -> Result<&[BenchPair], DramError> {
+    pub fn corpus(&mut self, id: CorpusId) -> Result<&[BenchPair], SimError> {
         let slot = match id {
             CorpusId::Conv2Gb => &mut self.conv2,
             CorpusId::Conv4Gb => &mut self.conv4,
@@ -349,7 +350,7 @@ impl Evaluation {
     /// # Errors
     ///
     /// Propagates simulator errors from the underlying corpus run.
-    pub fn figure(&mut self, id: FigureId) -> Result<Figure, DramError> {
+    pub fn figure(&mut self, id: FigureId) -> Result<Figure, SimError> {
         let pairs = self.corpus(id.corpus())?;
         let rows: Vec<FigureRow> = pairs
             .iter()

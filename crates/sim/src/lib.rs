@@ -8,6 +8,8 @@
 //! * [`experiment::run_experiment`] — one workload × one module × one policy;
 //! * [`figures::Evaluation`] — the cached four-corpus sweep behind
 //!   Figs 6–18, with the paper's reference values embedded for comparison;
+//! * [`faults::run_campaign`] — the fault-injection campaign that attacks
+//!   the §4.3/§5 guarantees and checks detection + graceful degradation;
 //! * [`report`] — text tables printed by the bench harness.
 //!
 //! ```no_run
@@ -17,18 +19,23 @@
 //! let mut eval = Evaluation::with_scale(0.25); // quick look
 //! let fig6 = eval.figure(FigureId::Fig06)?;
 //! println!("{}", render_figure(&fig6));
-//! # Ok::<(), smartrefresh_dram::DramError>(())
+//! # Ok::<(), smartrefresh_ctrl::SimError>(())
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod faults;
 pub mod figures;
 pub mod report;
 pub mod system;
 pub mod thermal;
 
 pub use experiment::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
+pub use faults::{
+    run_campaign, run_scenario, standard_campaign, CampaignConfig, CampaignResult, Expectation,
+    FaultScenario, ScenarioOutcome,
+};
 pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
 pub use system::MultiChannelSystem;
 pub use thermal::{ThermalModel, ThermalOperatingPoint};

@@ -7,6 +7,7 @@
 use std::fmt::Write as _;
 
 use crate::experiment::RunResult;
+use crate::faults::{CampaignResult, Expectation};
 use crate::figures::{Figure, FigureId};
 
 /// Renders a figure as an aligned text table with paper-vs-measured summary
@@ -63,6 +64,62 @@ pub fn figure_csv(fig: &Figure) -> String {
             fig.id.paper_gmean()
         );
     }
+    out
+}
+
+/// Renders a fault campaign as an aligned text table: what each scenario
+/// injected, how the system reacted, and whether the expectation held.
+pub fn render_campaign(c: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Fault-injection campaign ===");
+    let _ = writeln!(
+        out,
+        "{:<18} {:<22} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9} {:>7}",
+        "scenario",
+        "expectation",
+        "dropped",
+        "delayed",
+        "degr",
+        "late",
+        "viol",
+        "fallback",
+        "holds"
+    );
+    for o in &c.outcomes {
+        let expectation = match o.expectation {
+            Expectation::Detection => "detection",
+            Expectation::SafeDegradation => "safe-degradation",
+            Expectation::DegradedAndDetected => "degraded+detected",
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:<22} {:>7} {:>7} {:>6} {:>6} {:>6} {:>9} {:>7}",
+            o.name,
+            expectation,
+            o.refreshes_dropped,
+            o.refreshes_delayed,
+            o.degradations.len(),
+            o.late_restores,
+            o.end_violations,
+            if o.in_fallback {
+                "yes"
+            } else if o.recovered {
+                "re-armed"
+            } else {
+                "no"
+            },
+            if o.holds() { "ok" } else { "FAILED" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Campaign verdict: {}",
+        if c.all_hold() {
+            "every injected fault was detected or safely degraded"
+        } else {
+            "SILENT FAILURE — an injection escaped detection"
+        }
+    );
     out
 }
 

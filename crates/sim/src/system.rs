@@ -8,9 +8,11 @@
 //! and checks that the composition preserves every per-channel guarantee.
 
 use smartrefresh_core::RefreshPolicy;
-use smartrefresh_ctrl::{AccessResult, ControllerStats, MemTransaction, MemoryController};
+use smartrefresh_ctrl::{
+    AccessResult, ControllerStats, MemTransaction, MemoryController, SimError,
+};
 use smartrefresh_dram::time::Instant;
-use smartrefresh_dram::{DramDevice, DramError, ModuleConfig, OpStats};
+use smartrefresh_dram::{DramDevice, ModuleConfig, OpStats};
 
 use crate::experiment::PolicyKind;
 
@@ -34,7 +36,7 @@ use crate::experiment::PolicyKind;
 /// sys.access(0, false, Instant::ZERO)?;      // channel 0
 /// sys.access(4096, false, Instant::ZERO)?;   // channel 1
 /// assert_eq!(sys.channels(), 2);
-/// # Ok::<(), smartrefresh_dram::DramError>(())
+/// # Ok::<(), smartrefresh_ctrl::SimError>(())
 /// ```
 pub struct MultiChannelSystem {
     controllers: Vec<MemoryController<Box<dyn RefreshPolicy>>>,
@@ -107,13 +109,13 @@ impl MultiChannelSystem {
     ///
     /// # Errors
     ///
-    /// Propagates [`DramError`] from the owning channel.
+    /// Propagates [`SimError`] from the owning channel.
     pub fn access(
         &mut self,
         addr: u64,
         is_write: bool,
         arrival: Instant,
-    ) -> Result<AccessResult, DramError> {
+    ) -> Result<AccessResult, SimError> {
         let (channel, local) = self.route(addr);
         self.controllers[channel].access(MemTransaction {
             addr: local,
@@ -126,8 +128,8 @@ impl MultiChannelSystem {
     ///
     /// # Errors
     ///
-    /// Propagates [`DramError`] from any channel.
-    pub fn advance_to(&mut self, t: Instant) -> Result<(), DramError> {
+    /// Propagates [`SimError`] from any channel.
+    pub fn advance_to(&mut self, t: Instant) -> Result<(), SimError> {
         for c in &mut self.controllers {
             c.advance_to(t)?;
         }

@@ -22,8 +22,7 @@
 //! `(rank, bank, row)` (the geometry maps consecutive row-sized blocks to
 //! successive banks), starting at a configurable base row.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smartrefresh_dram::rng::Rng;
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::Geometry;
 
@@ -65,7 +64,7 @@ pub struct TraceEvent {
 #[derive(Debug, Clone)]
 pub struct AccessGenerator {
     geometry: Geometry,
-    rng: StdRng,
+    rng: Rng,
     /// Footprint size in rows.
     footprint_rows: u64,
     /// First footprint row (flat row-block index into the address space).
@@ -130,7 +129,7 @@ impl AccessGenerator {
         }
         AccessGenerator {
             geometry,
-            rng: StdRng::seed_from_u64(seed ^ hash),
+            rng: Rng::seed_from_u64(seed ^ hash),
             footprint_rows,
             base_row,
             hot_rows,

@@ -1,83 +1,80 @@
-//! Property-based tests of the workload substrate: trace roundtrips,
-//! generator calibration, and merged-stream ordering.
+//! Property tests of the workload substrate: trace roundtrips, generator
+//! calibration, and merged-stream ordering. Cases come from the in-repo
+//! seeded [`Rng`], keeping the suite deterministic and hermetic.
 
-use proptest::prelude::*;
+use smartrefresh_dram::rng::Rng;
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::Geometry;
 use smartrefresh_workloads::trace::{read_trace, write_trace};
 use smartrefresh_workloads::{AccessGenerator, MergedGenerator, Suite, TraceEvent, WorkloadSpec};
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        0.05f64..0.7,
-        2.0f64..5.0,
-        0.0f64..0.8,
-        0.1f64..0.5,
-        0.0f64..0.9,
-        0.0f64..1.0,
-    )
-        .prop_map(
-            |(coverage, intensity, row_hit, hot_frac, hot_weight, write_frac)| WorkloadSpec {
-                name: "prop",
-                suite: Suite::Synthetic,
-                coverage,
-                intensity,
-                row_hit_frac: row_hit,
-                hot_frac,
-                hot_weight,
-                write_frac,
-                apki: 5.0,
-            },
-        )
+fn sample_spec(rng: &mut Rng) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "prop",
+        suite: Suite::Synthetic,
+        coverage: rng.gen_range(0.05f64..0.7),
+        intensity: rng.gen_range(2.0f64..5.0),
+        row_hit_frac: rng.gen_range(0.0f64..0.8),
+        hot_frac: rng.gen_range(0.1f64..0.5),
+        hot_weight: rng.gen_range(0.0f64..0.9),
+        write_frac: rng.gen_range(0.0f64..1.0),
+        apki: 5.0,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Trace write/read is the identity for arbitrary event streams.
-    #[test]
-    fn trace_roundtrip(
-        raw in prop::collection::vec((0u64..1_000_000, any::<u64>(), any::<bool>()), 0..100)
-    ) {
+/// Trace write/read is the identity for arbitrary event streams.
+#[test]
+fn trace_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x304d_0001);
+    for _ in 0..64 {
+        let n = rng.gen_range(0usize..100);
         // Sort times so the stream is valid.
-        let mut times: Vec<u64> = raw.iter().map(|&(t, _, _)| t).collect();
+        let mut times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
         times.sort_unstable();
-        let events: Vec<TraceEvent> = raw
-            .iter()
-            .zip(times)
-            .map(|(&(_, addr, w), t)| TraceEvent {
+        let events: Vec<TraceEvent> = times
+            .into_iter()
+            .map(|t| TraceEvent {
                 time: Instant::from_ps(t),
-                addr,
-                is_write: w,
+                addr: rng.next_u64(),
+                is_write: rng.gen_bool(0.5),
             })
             .collect();
         let mut buf = Vec::new();
         write_trace(&mut buf, &events).unwrap();
         let parsed = read_trace(buf.as_slice()).unwrap();
-        prop_assert_eq!(parsed, events);
+        assert_eq!(parsed, events);
     }
+}
 
-    /// Generators are deterministic, monotone in time, and stay within both
-    /// the module capacity and their calibrated footprint.
-    #[test]
-    fn generator_invariants(spec in arb_spec(), seed in any::<u64>()) {
+/// Generators are deterministic, monotone in time, and stay within both
+/// the module capacity and their calibrated footprint.
+#[test]
+fn generator_invariants() {
+    let mut rng = Rng::seed_from_u64(0x304d_0002);
+    for _ in 0..48 {
+        let spec = sample_spec(&mut rng);
+        let seed = rng.next_u64();
         let g = Geometry::new(1, 4, 512, 16, 64);
         let gen = AccessGenerator::new(&spec, g, Duration::from_ms(64), 0, seed);
         let f = gen.footprint_rows();
-        prop_assert!(f >= 1 && f <= g.total_rows());
+        assert!(f >= 1 && f <= g.total_rows());
         let mut last = Instant::ZERO;
         for e in gen.take(500) {
-            prop_assert!(e.time > last);
+            assert!(e.time > last);
             last = e.time;
-            prop_assert!(e.addr < g.capacity_bytes());
-            prop_assert!(e.addr / g.row_bytes() < f);
+            assert!(e.addr < g.capacity_bytes());
+            assert!(e.addr / g.row_bytes() < f);
         }
     }
+}
 
-    /// Merging two generators preserves global time order and both sources'
-    /// events.
-    #[test]
-    fn merged_stream_ordered(seed in any::<u64>()) {
+/// Merging two generators preserves global time order and both sources'
+/// events.
+#[test]
+fn merged_stream_ordered() {
+    let mut rng = Rng::seed_from_u64(0x304d_0003);
+    for _ in 0..24 {
+        let seed = rng.next_u64();
         let g = Geometry::new(1, 4, 512, 16, 64);
         let spec = WorkloadSpec {
             name: "merge",
@@ -98,7 +95,7 @@ proptest! {
         let mut from_a = 0;
         let mut from_b = 0;
         for e in &merged {
-            prop_assert!(e.time >= last);
+            assert!(e.time >= last);
             last = e.time;
             if e.addr / g.row_bytes() < fa {
                 from_a += 1;
@@ -106,6 +103,9 @@ proptest! {
                 from_b += 1;
             }
         }
-        prop_assert!(from_a > 0 && from_b > 0, "both processes contribute");
+        assert!(
+            from_a > 0 && from_b > 0,
+            "both processes contribute (seed {seed})"
+        );
     }
 }

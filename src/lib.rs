@@ -18,6 +18,7 @@
 //! | [`energy`] | `smartrefresh-energy` | DRAM power, counter-SRAM and Table 3 bus-energy models |
 //! | [`core`] | `smartrefresh-core` | the technique: counters, staggering, pending queue, hysteresis, baselines |
 //! | [`ctrl`] | `smartrefresh-ctrl` | open-page memory controller with refresh arbitration |
+//! | [`faults`] | `smartrefresh-faults` | seeded fault injector: weak cells, VRT, thermal derating, lost refreshes |
 //! | [`cache`] | `smartrefresh-cache` | L2 and the 3D die-stacked DRAM L3 cache |
 //! | [`cpu`] | `smartrefresh-cpu` | closed-loop in-order core with L1/L2 (the Simics+Ruby stand-in) |
 //! | [`workloads`] | `smartrefresh-workloads` | calibrated benchmark models (SPLASH-2 / SPECint2000 / BioBench) |
@@ -41,7 +42,7 @@
 //! mc.access(MemTransaction::read(0x4000, Instant::ZERO))?;
 //! mc.advance_to(Instant::ZERO + Duration::from_ms(64))?;
 //! assert!(mc.device().check_integrity(mc.now()).is_ok());
-//! # Ok::<(), smart_refresh::dram::DramError>(())
+//! # Ok::<(), smart_refresh::ctrl::SimError>(())
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
@@ -55,5 +56,6 @@ pub use smartrefresh_cpu as cpu;
 pub use smartrefresh_ctrl as ctrl;
 pub use smartrefresh_dram as dram;
 pub use smartrefresh_energy as energy;
+pub use smartrefresh_faults as faults;
 pub use smartrefresh_sim as sim;
 pub use smartrefresh_workloads as workloads;

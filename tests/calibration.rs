@@ -100,9 +100,8 @@ fn reduction_is_insensitive_to_intensity_choice() {
 fn expected_skip_matches_isolated_row_simulation() {
     // The run-length formula itself, against the engine: a single row with a
     // Poisson access stream must skip the predicted fraction of refreshes.
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use smart_refresh::core::{RefreshPolicy, SmartRefresh};
+    use smart_refresh::dram::rng::Rng;
     use smart_refresh::dram::time::Instant;
     use smart_refresh::dram::RowAddr;
     use smart_refresh::workloads::calibrate::run_length_skip;
@@ -117,7 +116,7 @@ fn expected_skip_matches_isolated_row_simulation() {
             hysteresis: None,
         };
         let mut p = SmartRefresh::new(g, retention, cfg);
-        let mut rng = StdRng::seed_from_u64(rate_per_interval as u64);
+        let mut rng = Rng::seed_from_u64(rate_per_interval as u64);
         let hot = RowAddr {
             rank: 0,
             bank: 0,
@@ -135,15 +134,23 @@ fn expected_skip_matches_isolated_row_simulation() {
             if now > Instant::ZERO + horizon {
                 break;
             }
-            p.on_row_opened(hot, now);
-            p.advance(now);
-            while let Some(a) = p.pop_pending() {
-                if let smart_refresh::core::RefreshAction::RasOnly { row, .. } = a {
-                    if row == hot {
-                        hot_refreshes += 1;
+            // Drain at every wakeup — the §5 dispatch contract. Jumping a
+            // whole Poisson gap in one advance() would overflow the queue
+            // and (correctly) degrade the engine to the fallback sweep.
+            while let Some(w) = p.next_wakeup() {
+                if w > now {
+                    break;
+                }
+                p.advance(w);
+                while let Some(a) = p.pop_pending() {
+                    if let smart_refresh::core::RefreshAction::RasOnly { row, .. } = a {
+                        if row == hot {
+                            hot_refreshes += 1;
+                        }
                     }
                 }
             }
+            p.on_row_opened(hot, now);
         }
         let measured_skip = 1.0 - hot_refreshes as f64 / intervals as f64;
         let predicted = run_length_skip(rate_per_interval, 8);

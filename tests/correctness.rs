@@ -1,10 +1,11 @@
 //! Cross-crate correctness properties: the §4.3 guarantee (no row ever
 //! exceeds its retention deadline under Smart Refresh, for arbitrary access
-//! patterns) and the §5 queue bound, machine-checked with proptest.
+//! patterns) and the §5 queue bound, machine-checked over seeded random
+//! access patterns from the in-repo [`Rng`].
 
-use proptest::prelude::*;
 use smart_refresh::core::{RefreshPolicy, SmartRefresh, SmartRefreshConfig};
 use smart_refresh::ctrl::{MemTransaction, MemoryController};
+use smart_refresh::dram::rng::Rng;
 use smart_refresh::dram::time::{Duration, Instant};
 use smart_refresh::dram::{DramDevice, Geometry, TimingParams};
 
@@ -31,65 +32,87 @@ fn smart_controller(bits: u32, segments: u32) -> MemoryController<SmartRefresh> 
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// §4.3: for arbitrary access patterns, every row's charge is restored
-    /// within the retention deadline at every point of the run.
-    #[test]
-    fn smart_refresh_never_violates_retention(
-        bits in 2u32..=4,
-        // Accesses as (gap in 100 us steps, row block, write?) triples.
-        pattern in prop::collection::vec((0u64..20, 0u64..64, any::<bool>()), 1..120)
-    ) {
+/// §4.3: for arbitrary access patterns, every row's charge is restored
+/// within the retention deadline at every point of the run.
+#[test]
+fn smart_refresh_never_violates_retention() {
+    let mut rng = Rng::seed_from_u64(0xc022_0001);
+    for case in 0..16 {
+        let bits = rng.gen_range(2u32..5);
         let mut mc = smart_controller(bits, 4);
         let g = mini_geometry();
         let mut now = Instant::ZERO;
-        for (gap, block, is_write) in pattern {
+        // Accesses as (gap in 100 us steps, row block, write?) triples.
+        let n = rng.gen_range(1usize..120);
+        for _ in 0..n {
+            let gap = rng.gen_range(0u64..20);
+            let block = rng.gen_range(0u64..64);
+            let is_write = rng.gen_bool(0.5);
             now += Duration::from_us(100) * gap;
             let addr = block * g.row_bytes() + 8;
-            let tx = MemTransaction { addr, is_write, arrival: now };
+            let tx = MemTransaction {
+                addr,
+                is_write,
+                arrival: now,
+            };
             mc.access(tx).unwrap();
             // Integrity must hold *continuously*, not just at the end.
-            prop_assert!(mc.device().check_integrity(mc.now()).is_ok());
+            assert!(
+                mc.device().check_integrity(mc.now()).is_ok(),
+                "case {case} (bits {bits}): violation mid-run"
+            );
         }
         // Let three more full intervals elapse with no accesses at all.
         let end = now + Duration::from_ms(12);
         mc.advance_to(end).unwrap();
-        prop_assert!(mc.device().check_integrity(end).is_ok());
+        assert!(
+            mc.device().check_integrity(end).is_ok(),
+            "case {case} (bits {bits}): violation after quiescence"
+        );
     }
+}
 
-    /// §5: the pending refresh queue never grows beyond the segment count
-    /// when the controller drains it at every tick.
-    #[test]
-    fn pending_queue_stays_within_segments(
-        segments in 2u32..=8,
-        pattern in prop::collection::vec((0u64..10, 0u64..64), 1..100)
-    ) {
+/// §5: the pending refresh queue never grows beyond the segment count
+/// when the controller drains it at every tick.
+#[test]
+fn pending_queue_stays_within_segments() {
+    let mut rng = Rng::seed_from_u64(0xc022_0002);
+    for _ in 0..16 {
+        let segments = rng.gen_range(2u32..9);
         let mut mc = smart_controller(3, segments);
         let g = mini_geometry();
         let mut now = Instant::ZERO;
-        for (gap, block) in pattern {
+        let n = rng.gen_range(1usize..100);
+        for _ in 0..n {
+            let gap = rng.gen_range(0u64..10);
+            let block = rng.gen_range(0u64..64);
             now += Duration::from_us(50) * gap;
-            mc.access(MemTransaction::read(block * g.row_bytes(), now)).unwrap();
+            mc.access(MemTransaction::read(block * g.row_bytes(), now))
+                .unwrap();
         }
         mc.advance_to(now + Duration::from_ms(10)).unwrap();
-        prop_assert!(mc.policy().queue_high_water() <= segments as usize,
-            "high water {} with {} segments", mc.policy().queue_high_water(), segments);
-        prop_assert_eq!(mc.policy().stats().queue_overflows, 0);
+        assert!(
+            mc.policy().queue_high_water() <= segments as usize,
+            "high water {} with {} segments",
+            mc.policy().queue_high_water(),
+            segments
+        );
+        assert_eq!(mc.policy().stats().queue_overflows, 0);
     }
+}
 
-    /// Idle modules are refreshed exactly once per row per interval — Smart
-    /// Refresh never does *worse* than the periodic baseline.
-    #[test]
-    fn idle_refresh_rate_matches_baseline(bits in 2u32..=4) {
+/// Idle modules are refreshed exactly once per row per interval — Smart
+/// Refresh never does *worse* than the periodic baseline.
+#[test]
+fn idle_refresh_rate_matches_baseline() {
+    for bits in 2u32..=4 {
         let mut mc = smart_controller(bits, 4);
         let intervals = 4u64;
         let end = Instant::ZERO + Duration::from_ms(4) * intervals;
         mc.advance_to(end).unwrap();
         let per_interval = mc.device().stats().ras_only_refreshes / intervals;
-        prop_assert_eq!(per_interval, 64, "one refresh per row per interval");
-        prop_assert!(mc.device().check_integrity(end).is_ok());
+        assert_eq!(per_interval, 64, "one refresh per row per interval");
+        assert!(mc.device().check_integrity(end).is_ok());
     }
 }
 
