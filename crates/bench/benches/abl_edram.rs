@@ -57,6 +57,7 @@ fn main() {
             reference: Duration::from_ms(4),
             page_policy: smartrefresh_ctrl::PagePolicy::Open,
             workload_geometry: None,
+            ecc: None,
         };
         let r = run_experiment(&cfg, &spec).expect("run");
         assert!(r.integrity_ok);

@@ -63,6 +63,14 @@ pub enum DegradeCause {
     FaultInjection,
     /// The surrounding system requested degradation for an external reason.
     External,
+    /// ECC detected an uncorrectable (multi-bit) error: the row's data can
+    /// no longer be trusted, so refresh falls back to the conservative
+    /// all-rows CBR sweep while the system handles the loss.
+    EccUncorrectable,
+    /// The retention watchdog saw a row's corrected-error rate cross its
+    /// leaky-bucket threshold repeatedly — the row is decaying faster than
+    /// the refresh schedule assumes, so the smart machinery stands down.
+    RetentionWatchdog,
 }
 
 impl std::fmt::Display for DegradeCause {
@@ -71,6 +79,8 @@ impl std::fmt::Display for DegradeCause {
             DegradeCause::QueueOverflow => write!(f, "queue-overflow"),
             DegradeCause::FaultInjection => write!(f, "fault-injection"),
             DegradeCause::External => write!(f, "external"),
+            DegradeCause::EccUncorrectable => write!(f, "ecc-uncorrectable"),
+            DegradeCause::RetentionWatchdog => write!(f, "retention-watchdog"),
         }
     }
 }
@@ -118,6 +128,17 @@ pub trait RefreshPolicy {
 
     /// A row was closed (PRECHARGE writes the page back) at `now`.
     fn on_row_closed(&mut self, row: RowAddr, now: Instant);
+
+    /// A patrol scrub read the row back, corrected it if needed, and
+    /// restored its charge at `now`. A scrub refreshes the row as a side
+    /// effect, so the default forwards to [`on_row_closed`]: the row's
+    /// time-out counter resets and Smart Refresh skips the now-redundant
+    /// refresh. Policies that distinguish scrubs may override.
+    ///
+    /// [`on_row_closed`]: RefreshPolicy::on_row_closed
+    fn on_row_scrubbed(&mut self, row: RowAddr, now: Instant) {
+        self.on_row_closed(row, now);
+    }
 
     /// The next instant at which the policy has internal work to do, or
     /// `None` for policies with no schedule (e.g. no-refresh).
@@ -172,6 +193,10 @@ impl<P: RefreshPolicy + ?Sized> RefreshPolicy for Box<P> {
 
     fn on_row_closed(&mut self, row: RowAddr, now: Instant) {
         (**self).on_row_closed(row, now);
+    }
+
+    fn on_row_scrubbed(&mut self, row: RowAddr, now: Instant) {
+        (**self).on_row_scrubbed(row, now);
     }
 
     fn next_wakeup(&self) -> Option<Instant> {

@@ -164,7 +164,9 @@ impl<P: RefreshPolicy> Cpu<P> {
         }
         self.stats.l1_misses += 1;
         // L1 victims are absorbed by the inclusive L2 model (no traffic).
-        let fill = l1.fill.expect("miss produces fill");
+        let fill = l1.fill.ok_or(SimError::Internal {
+            what: "L1 miss produced no fill address",
+        })?;
         let l2 = self.l2.access(fill, is_write);
         if l2.hit {
             return Ok(self.config.l2_hit_cycles);

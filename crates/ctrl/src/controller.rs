@@ -19,11 +19,14 @@
 use smartrefresh_core::{DegradeCause, RefreshAction, RefreshPolicy};
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, RowAddr};
+use smartrefresh_ecc::Decode;
 use smartrefresh_faults::{FaultInjector, Perturbation};
 
+use crate::ecc::{EccConfig, EccLayer};
 use crate::error::SimError;
 use crate::stats::{ControllerStats, RowBufferOutcome};
 use crate::transaction::MemTransaction;
+use crate::watchdog::RetentionWatchdog;
 
 /// Power-down bookkeeping: DDR2 modules drop CKE between commands and burn
 /// a fraction of standby power. Idle gaps longer than `min_gap` are credited
@@ -107,6 +110,8 @@ pub struct MemoryController<P: RefreshPolicy> {
     last_use: Vec<Instant>,
     /// Optional fault injector consulted on the refresh-dispatch path.
     faults: Option<FaultInjector>,
+    /// Optional ECC path: SECDED decode on reads, patrol scrub, watchdog.
+    ecc: Option<EccLayer>,
 }
 
 impl<P: RefreshPolicy> MemoryController<P> {
@@ -125,6 +130,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
             last_cmd_end: Instant::ZERO,
             last_use: vec![Instant::ZERO; banks],
             faults: None,
+            ecc: None,
         }
     }
 
@@ -146,12 +152,51 @@ impl<P: RefreshPolicy> MemoryController<P> {
         let now = self.now;
         injector.apply_static_faults(self.device.retention_mut(), &geometry, now);
         self.faults = Some(injector);
+        self.seed_injected_flips();
+        self
+    }
+
+    /// Installs the ECC path: SECDED decode/correct on every demand read,
+    /// plus (per the config) a deadline-order patrol scrubber and a CE-rate
+    /// retention watchdog. Any [`FaultKind::BitFlip`] specs in an installed
+    /// fault injector are materialized into the error state immediately
+    /// (latent faults exist from power-up), regardless of builder order.
+    ///
+    /// [`FaultKind::BitFlip`]: smartrefresh_faults::FaultKind::BitFlip
+    pub fn with_ecc(mut self, cfg: EccConfig) -> Self {
+        self.ecc = Some(EccLayer::new(&cfg));
+        self.seed_injected_flips();
         self
     }
 
     /// The installed fault injector, if any (its event log and stats).
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.faults.as_ref()
+    }
+
+    /// The retention watchdog, when the ECC path has one (its violation
+    /// log and bucket state).
+    pub fn watchdog(&self) -> Option<&RetentionWatchdog> {
+        self.ecc.as_ref().and_then(|l| l.watchdog.as_ref())
+    }
+
+    /// Materializes the fault injector's `BitFlip` specs into the ECC
+    /// error state. Idempotent; a no-op until both are installed.
+    fn seed_injected_flips(&mut self) {
+        let geometry = *self.device.geometry();
+        let now = self.now;
+        let (Some(layer), Some(inj)) = (self.ecc.as_mut(), self.faults.as_mut()) else {
+            return;
+        };
+        if layer.flips_seeded {
+            return;
+        }
+        layer.flips_seeded = true;
+        for (addr, bits) in inj.apply_bit_flips(&geometry, now) {
+            layer
+                .memory
+                .inject_flips(geometry.flatten(addr), u32::from(bits));
+        }
     }
 
     /// Credits the idle gap before a command issued at `start` and advances
@@ -215,10 +260,173 @@ impl<P: RefreshPolicy> MemoryController<P> {
             self.close_idle_pages(wake)?;
             self.policy.advance(wake);
             self.dispatch_refreshes(wake)?;
+            self.run_patrol(wake)?;
         }
         self.close_idle_pages(t)?;
+        self.run_patrol(t)?;
         self.now = self.now.max(t);
         Ok(())
+    }
+
+    /// Processes every patrol scrub slot and watchdog epoch due by `t`.
+    fn run_patrol(&mut self, t: Instant) -> Result<(), SimError> {
+        if self.ecc.is_none() {
+            return Ok(());
+        }
+        // Scrub slots: one deadline-order victim per slot.
+        while let Some(slot) = self
+            .ecc
+            .as_ref()
+            .and_then(|l| l.scrubber.as_ref())
+            .map(|s| s.next_slot())
+            .filter(|s| *s <= t)
+        {
+            let victim = self
+                .ecc
+                .as_ref()
+                .and_then(|l| l.scrubber.as_ref())
+                .and_then(|s| s.pick_victim(self.device.retention()));
+            if let Some(flat) = victim {
+                self.scrub_one(flat, slot)?;
+                self.stats.scrubs_issued += 1;
+            }
+            if let Some(s) = self.ecc.as_mut().and_then(|l| l.scrubber.as_mut()) {
+                s.advance_past(slot);
+            }
+        }
+        // Watchdog epochs: audit CE buckets, force-scrub flagged rows,
+        // escalate when violations persist.
+        while let Some(epoch) = self
+            .ecc
+            .as_ref()
+            .and_then(|l| l.watchdog.as_ref())
+            .map(|w| w.next_epoch())
+            .filter(|e| *e <= t)
+        {
+            self.materialize_late_flips();
+            let flagged = self
+                .ecc
+                .as_mut()
+                .and_then(|l| l.watchdog.as_mut())
+                .map(|w| w.audit(epoch))
+                .unwrap_or_default();
+            for flat in flagged {
+                self.scrub_one(flat, epoch)?;
+                self.stats.forced_scrubs += 1;
+            }
+            let escalate = self
+                .ecc
+                .as_ref()
+                .and_then(|l| l.watchdog.as_ref())
+                .is_some_and(|w| w.should_escalate());
+            if escalate {
+                self.policy.degrade(DegradeCause::RetentionWatchdog, epoch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Scrubs one row: a RAS-cycle read that restores the row's charge
+    /// (occupying the bank like a RAS-only refresh), resets its time-out
+    /// counter via the policy, and runs the SECDED check. A UE found by a
+    /// scrub is counted and escalated but does not fail the run — no
+    /// requester consumed the poisoned data.
+    fn scrub_one(&mut self, flat: u64, at: Instant) -> Result<(), SimError> {
+        let geometry = *self.device.geometry();
+        let addr = geometry.unflatten(flat);
+        let bank_state = self.device.bank(addr.rank, addr.bank);
+        let issue_at = at.max(bank_state.busy_until());
+        let closing = bank_state.open_row();
+        self.device.scrub_row(addr, issue_at).map_err(|e| {
+            SimError::protocol("scrub", addr.rank, addr.bank, Some(addr.row), issue_at, e)
+        })?;
+        if let Some(closed_row) = closing {
+            self.policy.on_row_closed(
+                RowAddr {
+                    rank: addr.rank,
+                    bank: addr.bank,
+                    row: closed_row,
+                },
+                issue_at,
+            );
+        }
+        // The scrub restored the row's charge, so its time-out counter
+        // resets and Smart Refresh skips the now-redundant refresh.
+        self.policy.on_row_scrubbed(addr, issue_at);
+        let end = self.device.bank(addr.rank, addr.bank).busy_until();
+        self.note_command(issue_at, end);
+        self.ecc_check(flat, addr, end, false)
+    }
+
+    /// Folds any new retention-tracker late restores into the ECC error
+    /// state: a row restored past its deadline decays its weakest word —
+    /// one flip when restored within twice the deadline (the canonical
+    /// weak-cell case, correctable), two beyond that (uncorrectable).
+    /// Restores within the configured guard past the deadline are
+    /// scheduling jitter, not decay, and materialize nothing.
+    fn materialize_late_flips(&mut self) {
+        let Some(layer) = self.ecc.as_mut() else {
+            return;
+        };
+        let lates = self.device.retention().late_restores();
+        for late in &lates[layer.late_seen..] {
+            if late.interval <= late.deadline + layer.guard {
+                continue;
+            }
+            let bits = if late.interval > late.deadline * 2 {
+                2
+            } else {
+                1
+            };
+            layer.memory.inject_flips(late.flat_index, bits);
+        }
+        layer.late_seen = lates.len();
+    }
+
+    /// Runs the SECDED decode for a row after a read or scrub. A CE is
+    /// corrected, written back (clearing the flip mask) and reported to
+    /// the watchdog; a UE is counted once per row and degrades the policy.
+    /// Only a *demand* read errors on a UE — the requester consumed lost
+    /// data; a scrub-detected UE is contained.
+    fn ecc_check(
+        &mut self,
+        flat: u64,
+        addr: RowAddr,
+        now: Instant,
+        demand: bool,
+    ) -> Result<(), SimError> {
+        self.materialize_late_flips();
+        let Some(layer) = self.ecc.as_mut() else {
+            return Ok(());
+        };
+        match layer.memory.read(flat) {
+            Decode::Clean { .. } => Ok(()),
+            Decode::Corrected { .. } => {
+                // Corrected data is written back with fresh check bits.
+                layer.memory.clear(flat);
+                self.stats.ce_corrected += 1;
+                if let Some(wd) = layer.watchdog.as_mut() {
+                    wd.record_ce(flat);
+                }
+                Ok(())
+            }
+            Decode::Uncorrectable => {
+                if layer.ue_rows.insert(flat) {
+                    self.stats.ue_detected += 1;
+                    self.policy.degrade(DegradeCause::EccUncorrectable, now);
+                }
+                if demand {
+                    Err(SimError::Uncorrectable {
+                        rank: addr.rank,
+                        bank: addr.bank,
+                        row: addr.row,
+                        at: now,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
     }
 
     /// Closes any open page whose bank has been idle past the timeout.
@@ -403,6 +611,12 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 .read(target, decoded.column, t)
                 .map_err(|e| SimError::protocol("read", rank, bank, Some(target.row), t, e))?
         };
+        if !tx.is_write {
+            // Read data passes through the SECDED decoder on its way to
+            // the requester; an uncorrectable word fails the transaction.
+            let flat = self.device.geometry().flatten(target);
+            self.ecc_check(flat, target, out.completed_at, true)?;
+        }
         // A row-buffer hit also rewrites the cells through the sense amps;
         // the paper resets the counter on any access to an open row.
         if outcome == RowBufferOutcome::Hit {

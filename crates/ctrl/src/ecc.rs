@@ -1,0 +1,95 @@
+//! ECC configuration and the controller's ECC-path state.
+//!
+//! [`EccConfig`] is the user-facing knob bundle: installing it on a
+//! [`MemoryController`](crate::MemoryController) via
+//! [`with_ecc`](crate::MemoryController::with_ecc) turns on SECDED
+//! decode/correct on every demand read, and optionally a patrol scrubber
+//! ([`ScrubConfig`](crate::scrub::ScrubConfig)) and a retention watchdog
+//! ([`WatchdogConfig`](crate::watchdog::WatchdogConfig)).
+
+use std::collections::BTreeSet;
+
+use smartrefresh_dram::time::Duration;
+use smartrefresh_ecc::EccMemory;
+
+use crate::scrub::{PatrolScrubber, ScrubConfig};
+use crate::watchdog::{RetentionWatchdog, WatchdogConfig};
+
+/// Configuration for the controller's ECC path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccConfig {
+    /// Seed for the deterministic flip-position stream.
+    pub seed: u64,
+    /// Patrol scrub schedule; `None` disables background scrubbing (ECC
+    /// then only acts on demand reads).
+    pub scrub: Option<ScrubConfig>,
+    /// Retention watchdog parameters; `None` disables the CE-rate audit.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Scheduling-jitter tolerance: a restore within `guard` past the
+    /// deadline does not materialize a bit flip. Refresh sweeps routinely
+    /// land a bank-occupancy delay (tens of ns) past the exact deadline;
+    /// real cells do not decay on a cliff edge. Mirrors the fault
+    /// campaign's guard interval.
+    pub guard: Duration,
+}
+
+impl EccConfig {
+    /// ECC decode on demand reads only — no scrubber, no watchdog, and a
+    /// 10 µs jitter guard.
+    pub fn new(seed: u64) -> Self {
+        EccConfig {
+            seed,
+            scrub: None,
+            watchdog: None,
+            guard: Duration::from_us(10),
+        }
+    }
+
+    /// Enables the patrol scrubber.
+    pub fn with_scrub(mut self, cfg: ScrubConfig) -> Self {
+        self.scrub = Some(cfg);
+        self
+    }
+
+    /// Enables the retention watchdog.
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+}
+
+/// The controller's live ECC state: error words, scrub clock, watchdog,
+/// and the bookkeeping tying them to the fault subsystem.
+#[derive(Debug, Clone)]
+pub(crate) struct EccLayer {
+    /// Per-row representative codewords and their flip masks.
+    pub(crate) memory: EccMemory,
+    /// Patrol slot clock, when scrubbing is enabled.
+    pub(crate) scrubber: Option<PatrolScrubber>,
+    /// CE-rate watchdog, when enabled.
+    pub(crate) watchdog: Option<RetentionWatchdog>,
+    /// How many retention-tracker late restores have already been
+    /// materialized as bit flips.
+    pub(crate) late_seen: usize,
+    /// Rows already reported as uncorrectable (each UE row is counted and
+    /// escalated once, however many times it is re-read).
+    pub(crate) ue_rows: BTreeSet<u64>,
+    /// Whether the fault injector's `BitFlip` specs have been applied.
+    pub(crate) flips_seeded: bool,
+    /// Jitter tolerance for late-restore flip materialization.
+    pub(crate) guard: Duration,
+}
+
+impl EccLayer {
+    pub(crate) fn new(cfg: &EccConfig) -> Self {
+        EccLayer {
+            memory: EccMemory::new(cfg.seed),
+            scrubber: cfg.scrub.map(PatrolScrubber::new),
+            watchdog: cfg.watchdog.map(RetentionWatchdog::new),
+            late_seen: 0,
+            ue_rows: BTreeSet::new(),
+            flips_seeded: false,
+            guard: cfg.guard,
+        }
+    }
+}

@@ -70,6 +70,25 @@ pub enum SimError {
         /// When the check ran.
         at: Instant,
     },
+    /// A demand read hit a multi-bit error SECDED could detect but not
+    /// correct — the data returned to the requester is lost.
+    Uncorrectable {
+        /// Rank of the poisoned row.
+        rank: u32,
+        /// Bank of the poisoned row.
+        bank: u32,
+        /// Row whose data is unrecoverable.
+        row: u32,
+        /// When the read detected it.
+        at: Instant,
+    },
+    /// A simulator-internal invariant failed outside the controller (a
+    /// condition the code previously `expect`ed on). Always a simulator
+    /// bug, never a workload condition.
+    Internal {
+        /// What invariant was violated.
+        what: &'static str,
+    },
 }
 
 impl SimError {
@@ -134,6 +153,18 @@ impl fmt::Display for SimError {
                 f,
                 "retention violated on channel {channel}: {rows} row(s) decayed by {at}"
             ),
+            SimError::Uncorrectable {
+                rank,
+                bank,
+                row,
+                at,
+            } => write!(
+                f,
+                "uncorrectable ECC error at r{rank}b{bank} row {row} ({at})"
+            ),
+            SimError::Internal { what } => {
+                write!(f, "internal simulator invariant violated: {what}")
+            }
         }
     }
 }

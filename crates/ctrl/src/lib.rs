@@ -27,11 +27,17 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod ecc;
 pub mod error;
+pub mod scrub;
 pub mod stats;
 pub mod transaction;
+pub mod watchdog;
 
 pub use controller::{AccessResult, MemoryController, PagePolicy, PowerDownConfig};
+pub use ecc::EccConfig;
 pub use error::SimError;
+pub use scrub::{PatrolScrubber, ScrubConfig};
 pub use stats::{ControllerStats, RowBufferOutcome};
 pub use transaction::MemTransaction;
+pub use watchdog::{RetentionWatchdog, WatchdogConfig, WatchdogViolation};

@@ -1,0 +1,135 @@
+//! Patrol scrub scheduling.
+//!
+//! A patrol scrubber walks DRAM rows in the background: each *slot* it
+//! reads one row in a RAS cycle (occupying the bank exactly like a
+//! RAS-only refresh, per `dram::timing`), runs the data through the SECDED
+//! decoder, writes back a corrected word on a CE, and — because the RAS
+//! cycle restored the row's charge — lets the refresh policy reset the
+//! row's time-out counter via
+//! [`RefreshPolicy::on_row_scrubbed`](smartrefresh_core::RefreshPolicy::on_row_scrubbed),
+//! so Smart Refresh skips the now-redundant refresh.
+//!
+//! Victims are picked in *deadline order*: the row whose retention
+//! deadline expires soonest (`last_restore + row_deadline`) is scrubbed
+//! first. This makes the scrubber chase exactly the rows the refresh
+//! schedule is about to service, which maximises the counter-reset savings
+//! and reaches weak (tight-deadline) rows before they decay further.
+
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::RetentionTracker;
+
+/// Patrol scrub schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubConfig {
+    /// Time between scrub slots; one row is scrubbed per slot.
+    pub interval: Duration,
+}
+
+impl ScrubConfig {
+    /// A schedule covering every row of the module once per `window`
+    /// (interval = `window / total_rows`). Covering once per retention
+    /// interval makes the scrubber shadow the refresh schedule; longer
+    /// windows trade coverage for bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_rows` is zero.
+    pub fn covering(window: Duration, total_rows: u64) -> Self {
+        assert!(total_rows > 0, "cannot scrub a module with no rows");
+        ScrubConfig {
+            interval: window.div_by(total_rows),
+        }
+    }
+}
+
+/// Slot clock for the patrol walk: tracks when the next scrub is due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatrolScrubber {
+    cfg: ScrubConfig,
+    next_slot: Instant,
+}
+
+impl PatrolScrubber {
+    /// Creates a scrubber whose first slot falls one interval after time
+    /// zero.
+    pub fn new(cfg: ScrubConfig) -> Self {
+        PatrolScrubber {
+            cfg,
+            next_slot: Instant::ZERO + cfg.interval,
+        }
+    }
+
+    /// The schedule parameters.
+    pub fn config(&self) -> ScrubConfig {
+        self.cfg
+    }
+
+    /// When the next scrub slot is due.
+    pub fn next_slot(&self) -> Instant {
+        self.next_slot
+    }
+
+    /// Consumes the slot at `slot`, scheduling the next one an interval
+    /// later (skipping any backlog if the controller fell behind).
+    pub fn advance_past(&mut self, slot: Instant) {
+        while self.next_slot <= slot {
+            self.next_slot += self.cfg.interval;
+        }
+    }
+
+    /// Picks the scrub victim in deadline order: the flat row index whose
+    /// retention deadline (`last_restore + row_deadline`) expires soonest.
+    /// Ties break toward the lower index. `None` for an empty tracker.
+    pub fn pick_victim(&self, tracker: &RetentionTracker) -> Option<u64> {
+        let mut best: Option<(Instant, u64)> = None;
+        for flat in 0..tracker.len() as u64 {
+            let deadline = tracker.last_restore(flat) + tracker.row_deadline(flat);
+            if best.is_none_or(|(d, _)| deadline < d) {
+                best = Some((deadline, flat));
+            }
+        }
+        best.map(|(_, flat)| flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartrefresh_dram::Geometry;
+
+    #[test]
+    fn covering_divides_the_window() {
+        let cfg = ScrubConfig::covering(Duration::from_ms(64), 1024);
+        assert_eq!(cfg.interval, Duration::from_ms(64).div_by(1024));
+    }
+
+    #[test]
+    fn slots_tick_by_interval_and_skip_backlog() {
+        let mut s = PatrolScrubber::new(ScrubConfig {
+            interval: Duration::from_us(10),
+        });
+        assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(10));
+        s.advance_past(s.next_slot());
+        assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(20));
+        // Falling behind by several slots does not queue a burst.
+        s.advance_past(Instant::ZERO + Duration::from_us(55));
+        assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(60));
+    }
+
+    #[test]
+    fn victim_is_the_earliest_deadline() {
+        let g = Geometry::new(1, 1, 8, 4, 64);
+        let mut tracker = RetentionTracker::new(&g, Duration::from_ms(64));
+        // All rows restored at t=0 with equal deadlines: row 0 wins the tie.
+        let s = PatrolScrubber::new(ScrubConfig {
+            interval: Duration::from_us(1),
+        });
+        assert_eq!(s.pick_victim(&tracker), Some(0));
+        // Tighten row 5's deadline: it becomes the victim.
+        tracker.set_row_deadline(5, Duration::from_ms(4));
+        assert_eq!(s.pick_victim(&tracker), Some(5));
+        // Restore row 5 recently enough and row 0 leads again.
+        tracker.restore(5, Instant::ZERO + Duration::from_ms(61));
+        assert_eq!(s.pick_victim(&tracker), Some(0));
+    }
+}

@@ -42,6 +42,14 @@ pub struct ControllerStats {
     /// gaps between commands, net of entry/exit overheads. The energy model
     /// bills these at the power-down rate instead of full standby.
     pub powerdown_time: Duration,
+    /// Patrol scrubs issued from the deadline-order walk.
+    pub scrubs_issued: u64,
+    /// Scrubs forced out of deadline order by a watchdog violation.
+    pub forced_scrubs: u64,
+    /// Corrected (single-bit) ECC errors: detected, repaired, written back.
+    pub ce_corrected: u64,
+    /// Uncorrectable (multi-bit) ECC errors detected, one per poisoned row.
+    pub ue_detected: u64,
 }
 
 impl ControllerStats {
@@ -86,6 +94,10 @@ impl ControllerStats {
             refreshes_dropped: self.refreshes_dropped - earlier.refreshes_dropped,
             refreshes_delayed: self.refreshes_delayed - earlier.refreshes_delayed,
             powerdown_time: self.powerdown_time - earlier.powerdown_time,
+            scrubs_issued: self.scrubs_issued - earlier.scrubs_issued,
+            forced_scrubs: self.forced_scrubs - earlier.forced_scrubs,
+            ce_corrected: self.ce_corrected - earlier.ce_corrected,
+            ue_detected: self.ue_detected - earlier.ue_detected,
         }
     }
 

@@ -407,6 +407,27 @@ impl DramDevice {
         Ok(outcome)
     }
 
+    /// Patrol-scrub of one row: the row is read in a RAS cycle (occupying
+    /// the bank exactly like a RAS-only refresh, closing any open page
+    /// first) and its charge is restored. The ECC check/correction itself
+    /// happens in the controller; the device only models the bank timing
+    /// and the retention restore. Counted in [`OpStats::scrubs`], *not* in
+    /// [`OpStats::total_refreshes`], so refresh-rate figures stay
+    /// comparable and scrub overhead is charged separately.
+    ///
+    /// [`OpStats::scrubs`]: crate::stats::OpStats
+    /// [`OpStats::total_refreshes`]: crate::stats::OpStats::total_refreshes
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankBusy`] or [`DramError::AddressOutOfRange`].
+    pub fn scrub_row(&mut self, addr: RowAddr, now: Instant) -> Result<OpOutcome, DramError> {
+        self.check_addr(addr)?;
+        let outcome = self.refresh_common(addr.rank, addr.bank, addr.row, now)?;
+        self.stats.scrubs += 1;
+        Ok(outcome)
+    }
+
     /// Verifies that no row has exceeded the retention deadline as of `now`.
     ///
     /// # Errors
@@ -527,6 +548,18 @@ mod tests {
         assert!(d.bank(0, 0).is_precharged());
         // Occupies trp + trfc instead of just trfc.
         assert_eq!(out.bank_ready_at, t + d.timing().trp + d.timing().trfc);
+    }
+
+    #[test]
+    fn scrub_restores_retention_and_counts_separately() {
+        let mut d = dev();
+        let t = Instant::ZERO + Duration::from_ms(60);
+        let out = d.scrub_row(row(0, 3), t).unwrap();
+        assert_eq!(out.bank_ready_at, t + d.timing().trfc);
+        assert_eq!(d.stats().scrubs, 1);
+        assert_eq!(d.stats().total_refreshes(), 0, "scrubs are not refreshes");
+        let flat = d.geometry().flatten(row(0, 3));
+        assert_eq!(d.retention().last_restore(flat), out.completed_at);
     }
 
     #[test]

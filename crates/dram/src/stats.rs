@@ -21,6 +21,9 @@ pub struct OpStats {
     /// Refreshes that found the bank with an open page and had to close it
     /// first (costs extra energy, §7.1).
     pub refreshes_closing_open_page: u64,
+    /// Patrol-scrub reads (each restores the row like a RAS-only refresh,
+    /// but is accounted separately so scrub overhead stays visible).
+    pub scrubs: u64,
 }
 
 impl OpStats {
@@ -51,6 +54,7 @@ impl OpStats {
             ras_only_refreshes: self.ras_only_refreshes - earlier.ras_only_refreshes,
             refreshes_closing_open_page: self.refreshes_closing_open_page
                 - earlier.refreshes_closing_open_page,
+            scrubs: self.scrubs - earlier.scrubs,
         }
     }
 }

@@ -1,0 +1,35 @@
+//! (72,64) SECDED ECC for the Smart Refresh reproduction.
+//!
+//! Table 1 of the paper configures a 72-bit data bus — 64 data bits plus
+//! 8 ECC check bits — and `smartrefresh_dram::Geometry` already carves the
+//! check bits out of the capacity calculation. This crate models what those
+//! 8 bits actually *do*: a single-error-correct / double-error-detect
+//! Hamming code over each 64-bit word, which is what lets a real memory
+//! controller survive the weak-cell and retention faults that
+//! `smartrefresh-faults` injects.
+//!
+//! * [`secded`] — the codec: [`secded::encode`] produces the 72-bit
+//!   codeword, [`secded::decode`] classifies a possibly corrupted word as
+//!   clean, correctable (CE) or uncorrectable (UE);
+//! * [`state`] — [`state::EccMemory`], the per-row error state the memory
+//!   controller reads through: each row is represented by one codeword and
+//!   a fault-accumulated flip mask.
+//!
+//! ```
+//! use smartrefresh_ecc::secded::{decode, encode, Decode};
+//!
+//! let word = encode(0xDEAD_BEEF_0123_4567);
+//! assert_eq!(decode(word), Decode::Clean { data: 0xDEAD_BEEF_0123_4567 });
+//! // Any single flipped bit is corrected...
+//! assert!(matches!(decode(word ^ (1 << 37)), Decode::Corrected { data: 0xDEAD_BEEF_0123_4567, .. }));
+//! // ...and any double flip is flagged rather than silently miscorrected.
+//! assert_eq!(decode(word ^ (1 << 37) ^ (1 << 5)), Decode::Uncorrectable);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod secded;
+pub mod state;
+
+pub use secded::{decode, encode, Decode, CODE_BITS, DATA_BITS};
+pub use state::EccMemory;

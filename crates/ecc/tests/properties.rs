@@ -1,0 +1,59 @@
+//! Seeded property tests for the SECDED codec (in-repo PRNG, no external
+//! property-testing crate — the build must stay hermetic).
+
+use smartrefresh_dram::rng::Rng;
+use smartrefresh_ecc::{decode, encode, Decode, CODE_BITS};
+
+const WORDS: usize = 64;
+
+#[test]
+fn secded_corrects_every_single_flip_on_random_words() {
+    let mut rng = Rng::seed_from_u64(0x5ec_ded1);
+    for _ in 0..WORDS {
+        let data = rng.next_u64();
+        let word = encode(data);
+        for bit in 0..CODE_BITS {
+            match decode(word ^ (1 << bit)) {
+                Decode::Corrected { data: d, bit: b } => {
+                    assert_eq!(d, data, "payload mangled: word {data:#x}, flip {bit}");
+                    assert_eq!(b, bit, "wrong bit identified: word {data:#x}, flip {bit}");
+                }
+                other => panic!("word {data:#x} flip {bit} decoded as {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn secded_flags_every_double_flip_on_random_words() {
+    let mut rng = Rng::seed_from_u64(0x5ec_ded2);
+    for _ in 0..WORDS {
+        let data = rng.next_u64();
+        let word = encode(data);
+        // Exhausting all C(72,2) pairs for every word is slow in debug
+        // builds; sample pairs uniformly instead, plus the boundary pairs.
+        let mut pairs: Vec<(u32, u32)> = vec![(0, 1), (0, 71), (70, 71)];
+        for _ in 0..256 {
+            let a = rng.gen_range(0u32..CODE_BITS);
+            let b = rng.gen_range(0u32..CODE_BITS - 1);
+            let b = if b >= a { b + 1 } else { b };
+            pairs.push((a, b));
+        }
+        for (a, b) in pairs {
+            assert_eq!(
+                decode(word ^ (1 << a) ^ (1 << b)),
+                Decode::Uncorrectable,
+                "word {data:#x}: double flip ({a},{b}) not flagged"
+            );
+        }
+    }
+}
+
+#[test]
+fn secded_roundtrips_random_words() {
+    let mut rng = Rng::seed_from_u64(0x5ec_ded3);
+    for _ in 0..4096 {
+        let data = rng.next_u64();
+        assert_eq!(decode(encode(data)), Decode::Clean { data });
+    }
+}

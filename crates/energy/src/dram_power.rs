@@ -262,6 +262,7 @@ mod tests {
             cbr_refreshes: 7,
             ras_only_refreshes: 3,
             refreshes_closing_open_page: 2,
+            scrubs: 0,
         };
         let e = p.energy(
             &o,

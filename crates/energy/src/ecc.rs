@@ -1,0 +1,65 @@
+//! ECC logic energy model.
+//!
+//! The SECDED path adds two controller-side costs on top of the DRAM
+//! array energy: the syndrome decode XOR tree exercised on every read
+//! (demand or scrub), and the correction + write-back cycle on every
+//! corrected error. Both are small CMOS-logic costs — a 72-bit decode
+//! tree is a few hundred gates — but the same honesty rule that charges
+//! Smart Refresh for its counter SRAM (§4.7) applies: scrubbing only
+//! "saves" refresh energy net of what the ECC machinery spends.
+
+/// Per-operation energy of the SECDED encode/decode logic.
+///
+/// # Examples
+///
+/// ```
+/// use smartrefresh_energy::EccLogicModel;
+///
+/// let m = EccLogicModel::hamming_72_64();
+/// // A thousand clean decodes cost well under a counter-SRAM read each.
+/// assert!(m.energy(1_000, 0) < 1_000.0 * 10e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccLogicModel {
+    /// Energy per codeword decode (syndrome + parity check), joules.
+    pub decode_energy_j: f64,
+    /// Energy per correction (bit repair + write-back staging), joules.
+    pub correct_energy_j: f64,
+}
+
+impl EccLogicModel {
+    /// Defaults for a (72,64) extended-Hamming decoder in the same 90 nm
+    /// class as the counter array: ~3 pJ per decode, ~40 pJ per
+    /// correction (the correction includes staging the repaired word for
+    /// write-back).
+    pub fn hamming_72_64() -> Self {
+        EccLogicModel {
+            decode_energy_j: 3e-12,
+            correct_energy_j: 40e-12,
+        }
+    }
+
+    /// Energy in joules for a batch of decodes and corrections.
+    pub fn energy(&self, decodes: u64, corrections: u64) -> f64 {
+        decodes as f64 * self.decode_energy_j + corrections as f64 * self.correct_energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_linear() {
+        let m = EccLogicModel::hamming_72_64();
+        let e = m.energy(100, 3);
+        assert!((e - (100.0 * 3e-12 + 3.0 * 40e-12)).abs() < 1e-18);
+        assert_eq!(m.energy(0, 0), 0.0);
+    }
+
+    #[test]
+    fn correction_costs_more_than_decode() {
+        let m = EccLogicModel::hamming_72_64();
+        assert!(m.correct_energy_j > m.decode_energy_j);
+    }
+}

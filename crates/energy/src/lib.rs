@@ -35,9 +35,11 @@
 pub mod breakdown;
 pub mod bus;
 pub mod dram_power;
+pub mod ecc;
 pub mod sram;
 
 pub use breakdown::{geometric_mean, mean, savings, EnergyBreakdown};
 pub use bus::BusEnergyModel;
 pub use dram_power::{DramEnergy, DramPowerParams};
+pub use ecc::EccLogicModel;
 pub use sram::SramArrayModel;

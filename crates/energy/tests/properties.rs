@@ -20,6 +20,7 @@ fn sample_ops(rng: &mut Rng) -> OpStats {
         cbr_refreshes: c,
         ras_only_refreshes: ro,
         refreshes_closing_open_page: (c + ro) / 3,
+        scrubs: 0,
     }
 }
 

@@ -70,6 +70,14 @@ pub enum FaultKind {
     /// While active, refresh dispatch is suspended entirely, so pending
     /// requests pile up in the §5 queue (the queue-pressure fault).
     StallDispatch,
+    /// The site's rows come up with this many bits flipped in their stored
+    /// data (a hard/latent fault rather than a retention fault). Applied
+    /// once via [`FaultInjector::apply_bit_flips`]; one flip is correctable
+    /// by SECDED, two force an uncorrectable error.
+    BitFlip {
+        /// How many distinct bits to flip in each matching row's word.
+        bits: u8,
+    },
 }
 
 /// One fault: a kind, where it applies, and when it is active.
@@ -149,6 +157,11 @@ pub enum FaultEventKind {
         /// The applied scale factor.
         factor: f64,
     },
+    /// Bit flips were seeded into a row's stored data.
+    BitFlipsSeeded {
+        /// How many bits were flipped.
+        bits: u8,
+    },
 }
 
 /// One recorded injection.
@@ -173,6 +186,8 @@ pub struct FaultStats {
     pub dispatches_stalled: u64,
     /// Rows whose deadline was tightened by a weak-cell fault.
     pub weak_rows_applied: u64,
+    /// Rows seeded with bit flips by a [`FaultKind::BitFlip`] fault.
+    pub rows_bit_flipped: u64,
 }
 
 /// Deterministic, seeded fault injector.
@@ -321,6 +336,35 @@ impl FaultInjector {
         }
     }
 
+    /// Enumerates the rows every [`FaultKind::BitFlip`] spec targets,
+    /// recording the injections, and returns `(row, bits)` pairs for the
+    /// caller to materialize in its ECC error state. Like
+    /// [`apply_static_faults`], call once after building the device: the
+    /// flips exist from power-up (latent faults), so the spec's activation
+    /// window is ignored.
+    ///
+    /// [`apply_static_faults`]: FaultInjector::apply_static_faults
+    pub fn apply_bit_flips(&mut self, geometry: &Geometry, now: Instant) -> Vec<(RowAddr, u8)> {
+        let mut out = Vec::new();
+        for spec in &self.specs {
+            let FaultKind::BitFlip { bits } = spec.kind else {
+                continue;
+            };
+            for addr in geometry.iter_rows() {
+                if spec.site.matches(addr) {
+                    self.stats.rows_bit_flipped += 1;
+                    self.events.push(FaultEvent {
+                        at: now,
+                        row: Some(addr),
+                        kind: FaultEventKind::BitFlipsSeeded { bits },
+                    });
+                    out.push((addr, bits));
+                }
+            }
+        }
+        out
+    }
+
     /// Whether refresh dispatch is suspended at `now` (an active
     /// [`FaultKind::StallDispatch`] window). Records the stall on entry.
     pub fn dispatch_stalled(&mut self, now: Instant) -> bool {
@@ -368,7 +412,9 @@ impl FaultInjector {
                     });
                     return Perturbation::Delay(delay);
                 }
-                FaultKind::WeakCell { .. } | FaultKind::StallDispatch => {}
+                FaultKind::WeakCell { .. }
+                | FaultKind::StallDispatch
+                | FaultKind::BitFlip { .. } => {}
             }
         }
         Perturbation::Pass
@@ -480,6 +526,30 @@ mod tests {
         assert_eq!(na, 8);
         assert_eq!(nb, 8);
         assert_eq!(a.len(), 8, "weak rows must be distinct");
+    }
+
+    #[test]
+    fn bit_flip_specs_enumerate_matching_rows() {
+        let g = Geometry::new(1, 2, 8, 4, 64);
+        let mut inj = FaultInjector::new()
+            .with_spec(FaultSpec::always(
+                FaultSite::exact(0, 1, 3),
+                FaultKind::BitFlip { bits: 2 },
+            ))
+            .with_spec(FaultSpec::always(
+                FaultSite::exact(0, 0, 5),
+                FaultKind::BitFlip { bits: 1 },
+            ));
+        let sites = inj.apply_bit_flips(&g, Instant::ZERO);
+        assert_eq!(sites, vec![(row(0, 1, 3), 2), (row(0, 0, 5), 1)]);
+        assert_eq!(inj.stats().rows_bit_flipped, 2);
+        assert_eq!(inj.events().len(), 2);
+        // Bit-flip specs never perturb the dispatch path.
+        assert_eq!(
+            inj.perturb_refresh(row(0, 1, 3), Instant::ZERO),
+            Perturbation::Pass
+        );
+        assert!(!inj.perturbs_dispatch());
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! `--csv DIR` additionally writes one CSV per figure into `DIR`.
 //! `SMARTREFRESH_SCALE` scales the simulated spans (default 1.0).
 
+use std::process::ExitCode;
+
 use smartrefresh_sim::figures::{Evaluation, FigureId};
 use smartrefresh_sim::report::{figure_csv, render_figure};
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let arg = args
         .iter()
@@ -24,21 +26,37 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create csv dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let mut eval = Evaluation::from_env();
     let selected: Vec<FigureId> = FigureId::ALL
         .into_iter()
         .filter(|id| arg == "all" || format!("{id:?}").to_lowercase() == arg.to_lowercase())
         .collect();
-    assert!(!selected.is_empty(), "unknown figure {arg}");
+    if selected.is_empty() {
+        eprintln!("unknown figure {arg}");
+        return ExitCode::FAILURE;
+    }
     for id in selected {
-        let fig = eval.figure(id).expect("simulation failed");
+        let fig = match eval.figure(id) {
+            Ok(fig) => fig,
+            Err(e) => {
+                eprintln!("simulation failed for {id:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         println!("{}", render_figure(&fig));
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{id:?}.csv").to_lowercase();
-            std::fs::write(&path, figure_csv(&fig)).expect("write csv");
+            if let Err(e) = std::fs::write(&path, figure_csv(&fig)) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
             eprintln!("wrote {path}");
         }
     }
+    ExitCode::SUCCESS
 }

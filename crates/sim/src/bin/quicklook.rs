@@ -5,6 +5,8 @@
 //! quicklook [conv2|conv4|s64|s32] [scale] [bench ...]
 //! ```
 
+use std::process::ExitCode;
+
 use smartrefresh_core::SmartRefreshConfig;
 use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
 use smartrefresh_dram::time::Duration;
@@ -12,7 +14,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::find;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let corpus = args.first().map(String::as_str).unwrap_or("conv2");
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
@@ -24,7 +26,10 @@ fn main() {
     };
 
     for name in benches {
-        let entry = find(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let Some(entry) = find(name) else {
+            eprintln!("unknown benchmark {name}");
+            return ExitCode::FAILURE;
+        };
         let (base_cfg, spec) = match corpus {
             "conv2" => (
                 ExperimentConfig::conventional(
@@ -58,7 +63,10 @@ fn main() {
                 ),
                 entry.stacked.clone(),
             ),
-            other => panic!("unknown corpus {other}"),
+            other => {
+                eprintln!("unknown corpus {other}");
+                return ExitCode::FAILURE;
+            }
         };
         let mut base_cfg = base_cfg.scaled(scale);
         // The workload's timescale is 64 ms regardless of the module's
@@ -66,8 +74,16 @@ fn main() {
         base_cfg.reference = Duration::from_ms(64);
         let mut smart_cfg = base_cfg.clone();
         smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
-        let rb = run_experiment(&base_cfg, &spec).expect("baseline run");
-        let rs = run_experiment(&smart_cfg, &spec).expect("smart run");
+        let (rb, rs) = match (
+            run_experiment(&base_cfg, &spec),
+            run_experiment(&smart_cfg, &spec),
+        ) {
+            (Ok(rb), Ok(rs)) => (rb, rs),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{name}: run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if std::env::var("QUICKLOOK_DETAIL").is_ok() {
             println!("  base  {}", rb.energy);
             println!("  smart {}", rs.energy);
@@ -87,4 +103,5 @@ fn main() {
             rs.integrity_ok,
         );
     }
+    ExitCode::SUCCESS
 }

@@ -11,11 +11,15 @@ use smartrefresh_core::{
     BurstRefresh, CbrDistributed, NoRefresh, RasOnlyDistributed, RefreshPolicy,
     RetentionAwareDistributed, SmartRefresh, SmartRefreshConfig,
 };
-use smartrefresh_ctrl::{ControllerStats, MemTransaction, MemoryController, PagePolicy, SimError};
+use smartrefresh_ctrl::{
+    ControllerStats, EccConfig, MemTransaction, MemoryController, PagePolicy, SimError,
+};
 use smartrefresh_dram::profile::RetentionProfile;
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, ModuleConfig, OpStats};
-use smartrefresh_energy::{BusEnergyModel, DramPowerParams, EnergyBreakdown, SramArrayModel};
+use smartrefresh_energy::{
+    BusEnergyModel, DramPowerParams, EccLogicModel, EnergyBreakdown, SramArrayModel,
+};
 use smartrefresh_workloads::{AccessGenerator, TraceEvent, WorkloadSpec};
 
 /// Which refresh policy to run.
@@ -145,6 +149,10 @@ pub struct ExperimentConfig {
     /// from the module under test (e.g. the same program stream driven into
     /// a half-size 32 MB stack). `None` uses the module's own geometry.
     pub workload_geometry: Option<smartrefresh_dram::Geometry>,
+    /// ECC / patrol-scrub / watchdog configuration. `None` (the default)
+    /// runs without the ECC layer; figures are unchanged. When set, scrub
+    /// DRAM energy and ECC logic energy appear in the breakdown.
+    pub ecc: Option<EccConfig>,
 }
 
 impl ExperimentConfig {
@@ -164,6 +172,7 @@ impl ExperimentConfig {
             reference: retention,
             page_policy: PagePolicy::Open,
             workload_geometry: None,
+            ecc: None,
         }
     }
 
@@ -183,6 +192,7 @@ impl ExperimentConfig {
             reference: retention,
             page_policy: PagePolicy::Open,
             workload_geometry: None,
+            ecc: None,
         }
     }
 
@@ -291,6 +301,9 @@ where
     }
     let policy = cfg.policy.build(module);
     let mut mc = MemoryController::new(device, policy).with_page_policy(cfg.page_policy);
+    if let Some(ecc) = cfg.ecc {
+        mc = mc.with_ecc(ecc);
+    }
     let mut l3 = match cfg.topology {
         Topology::Conventional => None,
         Topology::Stacked => Some(StackedDramCache::new(module.geometry.capacity_bytes())),
@@ -374,6 +387,14 @@ where
     let counter_sram_j = counters.energy(sram_ops.0, sram_ops.1);
     let row_bits = 32 - (module.geometry.rows() - 1).leading_zeros();
     let refresh_bus_j = cfg.bus.energy(row_bits, ctrl.bus_charged_refreshes);
+    // A patrol scrub occupies the bank like a RAS-cycle refresh; the ECC
+    // decoder fires once per column read and once per scrub.
+    let scrub_j = ops.scrubs as f64 * cfg.power.e_refresh_row;
+    let ecc_logic_j = if cfg.ecc.is_some() {
+        EccLogicModel::hamming_72_64().energy(ops.reads + ops.scrubs, ctrl.ce_corrected)
+    } else {
+        0.0
+    };
 
     Ok(RunResult {
         workload: workload_name,
@@ -383,6 +404,8 @@ where
             dram: dram_energy,
             counter_sram_j,
             refresh_bus_j,
+            scrub_j,
+            ecc_logic_j,
         },
         ops,
         ctrl,

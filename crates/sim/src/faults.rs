@@ -159,7 +159,7 @@ impl CampaignResult {
 
 /// Physical byte address of column 0 of `row` under [`Geometry::decode`]'s
 /// column → bank → rank → row interleave.
-fn addr_of(g: &Geometry, row: RowAddr) -> u64 {
+pub(crate) fn addr_of(g: &Geometry, row: RowAddr) -> u64 {
     let blocks = (u64::from(row.row) * u64::from(g.ranks()) + u64::from(row.rank))
         * u64::from(g.banks())
         + u64::from(row.bank);
@@ -303,7 +303,9 @@ pub fn run_scenario(
         .filter(|flat| !late.contains(flat) && !violations.contains(flat))
         .map(|&flat| g.unflatten(flat))
         .collect();
-    let injector = mc.fault_injector().expect("installed above");
+    let injector = mc.fault_injector().ok_or(SimError::Internal {
+        what: "fault injector missing after installation",
+    })?;
     let events = mc.policy().degradation_events();
     Ok(ScenarioOutcome {
         name: scenario.name,

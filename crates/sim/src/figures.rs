@@ -342,7 +342,9 @@ impl Evaluation {
             CorpusId::Stacked64Ms => &self.s64,
             CorpusId::Stacked32Ms => &self.s32,
         };
-        Ok(slot.as_ref().expect("just populated").as_slice())
+        slot.as_ref().map(Vec::as_slice).ok_or(SimError::Internal {
+            what: "figure corpus cache slot empty after population",
+        })
     }
 
     /// Regenerates one figure.

@@ -10,6 +10,9 @@
 //!   Figs 6–18, with the paper's reference values embedded for comparison;
 //! * [`faults::run_campaign`] — the fault-injection campaign that attacks
 //!   the §4.3/§5 guarantees and checks detection + graceful degradation;
+//! * [`scrub::run_scrub_campaign`] — the recovery campaign: SECDED ECC,
+//!   patrol scrubbing, and the retention watchdog correcting what the
+//!   fault campaign only detects;
 //! * [`report`] — text tables printed by the bench harness.
 //!
 //! ```no_run
@@ -28,6 +31,7 @@ pub mod experiment;
 pub mod faults;
 pub mod figures;
 pub mod report;
+pub mod scrub;
 pub mod system;
 pub mod thermal;
 
@@ -37,5 +41,9 @@ pub use faults::{
     FaultScenario, ScenarioOutcome,
 };
 pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
+pub use scrub::{
+    run_scrub_campaign, run_scrub_scenario, scrub_savings, standard_scrub_campaign,
+    ScrubCampaignResult, ScrubExpectation, ScrubOutcome, ScrubSavings, ScrubScenario,
+};
 pub use system::MultiChannelSystem;
 pub use thermal::{ThermalModel, ThermalOperatingPoint};

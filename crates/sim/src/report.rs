@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use crate::experiment::RunResult;
 use crate::faults::{CampaignResult, Expectation};
 use crate::figures::{Figure, FigureId};
+use crate::scrub::{ScrubCampaignResult, ScrubExpectation};
 
 /// Renders a figure as an aligned text table with paper-vs-measured summary
 /// lines.
@@ -118,6 +119,61 @@ pub fn render_campaign(c: &CampaignResult) -> String {
             "every injected fault was detected or safely degraded"
         } else {
             "SILENT FAILURE — an injection escaped detection"
+        }
+    );
+    out
+}
+
+/// Renders the scrub-effectiveness campaign as an aligned table plus the
+/// counter-reset savings lines and a verdict.
+pub fn render_scrub_campaign(c: &ScrubCampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Scrub-effectiveness campaign ===");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<22} {:>5} {:>5} {:>7} {:>7} {:>6} {:>6} {:>7}",
+        "scenario", "expectation", "CE", "UE", "scrubs", "forced", "wd", "degr", "holds"
+    );
+    for o in &c.outcomes {
+        let expectation = match o.expectation {
+            ScrubExpectation::CorrectsLatentFlips { .. } => "corrects-latent",
+            ScrubExpectation::EscalatesUncorrectable => "escalates-ue",
+            ScrubExpectation::WatchdogIntervenes => "watchdog-intervenes",
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:<22} {:>5} {:>5} {:>7} {:>7} {:>6} {:>6} {:>7}",
+            o.name,
+            expectation,
+            o.ce_corrected,
+            o.ue_detected,
+            o.scrubs_issued,
+            o.forced_scrubs,
+            o.watchdog_violations,
+            o.degradations.len(),
+            if o.holds() { "ok" } else { "FAILED" },
+        );
+    }
+    let s = &c.savings;
+    let _ = writeln!(
+        out,
+        "Counter reset: {} refreshes without scrub -> {} with ({} scrubs); \
+         refresh energy saved {:.3} mJ, scrub energy spent {:.3} mJ, net {:+.3} mJ [{}]",
+        s.refreshes_no_scrub,
+        s.refreshes_with_scrub,
+        s.scrubs,
+        s.refresh_j_saved() * 1e3,
+        s.scrub_j * 1e3,
+        s.net_j() * 1e3,
+        if s.holds() { "ok" } else { "FAILED" },
+    );
+    let _ = writeln!(
+        out,
+        "Campaign verdict: {}",
+        if c.all_hold() {
+            "every injected error was corrected or safely escalated"
+        } else {
+            "RECOVERY FAILURE — an error was not corrected or escalated"
         }
     );
     out

@@ -4,11 +4,15 @@
 //! fallback sweep.
 //!
 //! Run with: `cargo run --example faults`
+//!
+//! Exits nonzero when any scenario fails, so CI can gate on it.
+
+use std::process::ExitCode;
 
 use smart_refresh::sim::faults::{run_campaign, CampaignConfig};
 use smart_refresh::sim::report::render_campaign;
 
-fn main() {
+fn main() -> ExitCode {
     let cfg = CampaignConfig::quick(0xfa17);
     println!(
         "module {} ({} rows, retention {}), horizon {}, one access per {}\n",
@@ -18,10 +22,18 @@ fn main() {
         cfg.horizon,
         cfg.access_gap,
     );
-    let result = run_campaign(&cfg).expect("campaign must not hit protocol errors");
+    let result = match run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fault campaign aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("{}", render_campaign(&result));
-    assert!(
-        result.all_hold(),
-        "campaign failed: an injected fault escaped detection"
-    );
+    if result.all_hold() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fault campaign failed: an injected fault escaped detection");
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,41 @@
+//! Scrub-effectiveness campaign: show that the SECDED + patrol-scrub +
+//! watchdog stack *recovers* from the errors the fault campaign only
+//! detects — latent flips corrected by the patrol walk, double flips
+//! escalated as UEs, CE storms caught by the watchdog, and refreshes
+//! displaced by the counter-reset rule.
+//!
+//! Run with: `cargo run --example scrub`
+//!
+//! Exits nonzero when any scenario fails, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use smart_refresh::sim::report::render_scrub_campaign;
+use smart_refresh::sim::scrub::run_scrub_campaign;
+use smart_refresh::sim::CampaignConfig;
+
+fn main() -> ExitCode {
+    let cfg = CampaignConfig::quick(0x5c2b);
+    println!(
+        "module {} ({} rows, retention {}), horizon {}, one access per {}\n",
+        cfg.module.name,
+        cfg.module.geometry.total_rows(),
+        cfg.module.timing.retention,
+        cfg.horizon,
+        cfg.access_gap,
+    );
+    let result = match run_scrub_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scrub campaign aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", render_scrub_campaign(&result));
+    if result.all_hold() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scrub campaign failed: an error was not corrected or escalated");
+        ExitCode::FAILURE
+    }
+}

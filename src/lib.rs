@@ -17,8 +17,9 @@
 //! | [`dram`] | `smartrefresh-dram` | DDR2 device model, timing, retention checking, Table 1–2 configs |
 //! | [`energy`] | `smartrefresh-energy` | DRAM power, counter-SRAM and Table 3 bus-energy models |
 //! | [`core`] | `smartrefresh-core` | the technique: counters, staggering, pending queue, hysteresis, baselines |
-//! | [`ctrl`] | `smartrefresh-ctrl` | open-page memory controller with refresh arbitration |
-//! | [`faults`] | `smartrefresh-faults` | seeded fault injector: weak cells, VRT, thermal derating, lost refreshes |
+//! | [`ctrl`] | `smartrefresh-ctrl` | open-page memory controller with refresh arbitration, patrol scrub & retention watchdog |
+//! | [`ecc`] | `smartrefresh-ecc` | (72,64) SECDED Hamming code and per-row error state |
+//! | [`faults`] | `smartrefresh-faults` | seeded fault injector: weak cells, bit flips, thermal derating, lost refreshes |
 //! | [`cache`] | `smartrefresh-cache` | L2 and the 3D die-stacked DRAM L3 cache |
 //! | [`cpu`] | `smartrefresh-cpu` | closed-loop in-order core with L1/L2 (the Simics+Ruby stand-in) |
 //! | [`workloads`] | `smartrefresh-workloads` | calibrated benchmark models (SPLASH-2 / SPECint2000 / BioBench) |
@@ -55,6 +56,7 @@ pub use smartrefresh_core as core;
 pub use smartrefresh_cpu as cpu;
 pub use smartrefresh_ctrl as ctrl;
 pub use smartrefresh_dram as dram;
+pub use smartrefresh_ecc as ecc;
 pub use smartrefresh_energy as energy;
 pub use smartrefresh_faults as faults;
 pub use smartrefresh_sim as sim;
