@@ -21,7 +21,8 @@ fn main() {
             hysteresis: None,
             ..SmartRefreshConfig::paper_defaults()
         })
-    });
+    })
+    .expect("valid channel/interleave configuration");
 
     // Skewed traffic: 70% of accesses to channel 0, 20% to 1, 10% to 2,
     // nothing to 3. Each access picks a random row block within its channel.

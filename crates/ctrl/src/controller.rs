@@ -358,6 +358,78 @@ impl<P: RefreshPolicy> MemoryController<P> {
         self.ecc_check(flat, addr, end, false)
     }
 
+    /// Issues one patrol scrub of the row with flat index `flat` at `at`,
+    /// on behalf of an external (system-level) scrub scheduler. All
+    /// refresh work due by `at` is processed first, then the scrub runs
+    /// like an internally scheduled one: a RAS cycle restoring the row's
+    /// charge, the policy's time-out counter reset via
+    /// [`on_row_scrubbed`](smartrefresh_core::RefreshPolicy::on_row_scrubbed),
+    /// and the SECDED check (a scrub-detected UE is contained, not thrown).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for an out-of-range `flat`; otherwise
+    /// propagates like [`MemoryController::advance_to`].
+    pub fn issue_scrub(&mut self, flat: u64, at: Instant) -> Result<(), SimError> {
+        self.external_scrub(flat, at, false)
+    }
+
+    /// Like [`issue_scrub`](MemoryController::issue_scrub) but counted as
+    /// a *forced* scrub — one a watchdog ordered out of patrol order.
+    ///
+    /// # Errors
+    ///
+    /// As [`issue_scrub`](MemoryController::issue_scrub).
+    pub fn issue_forced_scrub(&mut self, flat: u64, at: Instant) -> Result<(), SimError> {
+        self.external_scrub(flat, at, true)
+    }
+
+    fn external_scrub(&mut self, flat: u64, at: Instant, forced: bool) -> Result<(), SimError> {
+        if flat >= self.device.geometry().total_rows() {
+            return Err(SimError::Config {
+                what: "scrub target row index out of range",
+            });
+        }
+        self.advance_to(at)?;
+        self.scrub_one(flat, at)?;
+        if forced {
+            self.stats.forced_scrubs += 1;
+        } else {
+            self.stats.scrubs_issued += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether scrubbing the row with flat index `flat` right now would
+    /// have to close an open page on its bank first (the interference a
+    /// scrub-aware scheduler avoids by preferring precharged banks).
+    pub fn scrub_would_close_page(&self, flat: u64) -> bool {
+        let addr = self.device.geometry().unflatten(flat);
+        self.device.bank(addr.rank, addr.bank).open_row().is_some()
+    }
+
+    /// Drains the corrected-error export log: the flat indices of rows
+    /// whose CEs were corrected since the last drain, in detection order
+    /// (duplicates preserved — the CE *rate* is the signal). Empty unless
+    /// the ECC config enabled [`EccConfig::with_ce_export`]. This is the
+    /// feed a shared cross-channel retention watchdog audits.
+    ///
+    /// [`EccConfig::with_ce_export`]: crate::EccConfig::with_ce_export
+    pub fn drain_ce_rows(&mut self) -> Vec<u64> {
+        self.ecc
+            .as_mut()
+            .and_then(|l| l.ce_log.as_mut())
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Asks the refresh policy to degrade to its safe fallback mode, on
+    /// behalf of an external escalation authority (a shared watchdog that
+    /// audits several channels). Policies without a fallback ignore it.
+    pub fn degrade_policy(&mut self, cause: DegradeCause, now: Instant) {
+        self.policy.degrade(cause, now);
+    }
+
     /// Folds any new retention-tracker late restores into the ECC error
     /// state: a row restored past its deadline decays its weakest word —
     /// one flip when restored within twice the deadline (the canonical
@@ -407,6 +479,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 self.stats.ce_corrected += 1;
                 if let Some(wd) = layer.watchdog.as_mut() {
                     wd.record_ce(flat);
+                }
+                if let Some(log) = layer.ce_log.as_mut() {
+                    log.push(flat);
                 }
                 Ok(())
             }
@@ -1041,6 +1116,100 @@ mod tests {
             !mc.device().retention().late_restores().is_empty(),
             "a weak row restored on the 64 ms schedule must be flagged late"
         );
+    }
+
+    #[test]
+    fn external_scrub_resets_counter_and_counts() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        let mut mc = MemoryController::new(DramDevice::new(g, t), policy);
+        mc.issue_scrub(5, ms(1)).unwrap();
+        mc.issue_forced_scrub(6, ms(2)).unwrap();
+        assert_eq!(mc.stats().scrubs_issued, 1);
+        assert_eq!(mc.stats().forced_scrubs, 1);
+        assert_eq!(mc.device().stats().scrubs, 2);
+        // The scrub restored the rows' charge through the policy hook
+        // (on_row_scrubbed forwards to the counter-reset path).
+        assert!(mc.policy().stats().access_resets >= 2);
+        // Out-of-range targets are a config error, not a panic.
+        assert!(matches!(
+            mc.issue_scrub(1 << 40, ms(3)),
+            Err(SimError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn scrub_would_close_page_tracks_bank_state() {
+        let mut mc = cbr_controller();
+        let g = *mc.device().geometry();
+        assert!(!mc.scrub_would_close_page(0), "banks start precharged");
+        mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        // Row 0 of bank 0 is now open: any row of that bank is costly,
+        // rows of the other bank are not.
+        assert!(mc.scrub_would_close_page(0));
+        let other_bank = g.unflatten(u64::from(g.rows())); // bank 1, row 0
+        assert_eq!(other_bank.bank, 1);
+        assert!(!mc.scrub_would_close_page(u64::from(g.rows())));
+    }
+
+    #[test]
+    fn ce_export_drains_and_clears() {
+        use smartrefresh_faults::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let injector = FaultInjector::new().with_spec(FaultSpec::always(
+            FaultSite::exact(0, 0, 0),
+            FaultKind::BitFlip { bits: 1 },
+        ));
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention))
+                .with_fault_injector(injector)
+                .with_ecc(crate::EccConfig::new(7).with_ce_export());
+        mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        assert_eq!(mc.stats().ce_corrected, 1);
+        assert_eq!(mc.drain_ce_rows(), vec![0]);
+        assert!(mc.drain_ce_rows().is_empty(), "drain clears the log");
+    }
+
+    #[test]
+    fn without_export_the_ce_log_stays_empty() {
+        use smartrefresh_faults::{FaultInjector, FaultKind, FaultSite, FaultSpec};
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let injector = FaultInjector::new().with_spec(FaultSpec::always(
+            FaultSite::exact(0, 0, 0),
+            FaultKind::BitFlip { bits: 1 },
+        ));
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention))
+                .with_fault_injector(injector)
+                .with_ecc(crate::EccConfig::new(7));
+        mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        assert_eq!(mc.stats().ce_corrected, 1);
+        assert!(mc.drain_ce_rows().is_empty());
+    }
+
+    #[test]
+    fn degrade_policy_forwards_to_the_policy() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 4,
+            hysteresis: None,
+        };
+        let policy = SmartRefresh::new(g, t.retention, cfg);
+        let mut mc = MemoryController::new(DramDevice::new(g, t), policy);
+        mc.degrade_policy(DegradeCause::RetentionWatchdog, ms(1));
+        assert!(mc.policy().in_fallback());
     }
 
     #[test]

@@ -4,8 +4,7 @@
 //! [`MemoryController`](crate::MemoryController) via
 //! [`with_ecc`](crate::MemoryController::with_ecc) turns on SECDED
 //! decode/correct on every demand read, and optionally a patrol scrubber
-//! ([`ScrubConfig`](crate::scrub::ScrubConfig)) and a retention watchdog
-//! ([`WatchdogConfig`](crate::watchdog::WatchdogConfig)).
+//! ([`ScrubConfig`]) and a retention watchdog ([`WatchdogConfig`]).
 
 use std::collections::BTreeSet;
 
@@ -31,6 +30,13 @@ pub struct EccConfig {
     /// real cells do not decay on a cliff edge. Mirrors the fault
     /// campaign's guard interval.
     pub guard: Duration,
+    /// When set, every corrected error is also appended to an exportable
+    /// log the owner drains via
+    /// [`drain_ce_rows`](crate::MemoryController::drain_ce_rows) — the
+    /// feed a *shared* cross-channel retention watchdog audits instead of
+    /// (or in addition to) this controller's own. Off by default: without
+    /// a consumer the log would grow without bound.
+    pub export_ces: bool,
 }
 
 impl EccConfig {
@@ -42,6 +48,7 @@ impl EccConfig {
             scrub: None,
             watchdog: None,
             guard: Duration::from_us(10),
+            export_ces: false,
         }
     }
 
@@ -54,6 +61,12 @@ impl EccConfig {
     /// Enables the retention watchdog.
     pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
         self.watchdog = Some(cfg);
+        self
+    }
+
+    /// Enables the corrected-error export log for a shared watchdog.
+    pub fn with_ce_export(mut self) -> Self {
+        self.export_ces = true;
         self
     }
 }
@@ -78,6 +91,9 @@ pub(crate) struct EccLayer {
     pub(crate) flips_seeded: bool,
     /// Jitter tolerance for late-restore flip materialization.
     pub(crate) guard: Duration,
+    /// Flat rows with corrected errors since the last drain, kept only
+    /// when the config enabled CE export ([`None`] = export disabled).
+    pub(crate) ce_log: Option<Vec<u64>>,
 }
 
 impl EccLayer {
@@ -90,6 +106,7 @@ impl EccLayer {
             ue_rows: BTreeSet::new(),
             flips_seeded: false,
             guard: cfg.guard,
+            ce_log: cfg.export_ces.then(Vec::new),
         }
     }
 }

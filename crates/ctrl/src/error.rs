@@ -89,6 +89,15 @@ pub enum SimError {
         /// What invariant was violated.
         what: &'static str,
     },
+    /// A constructor or builder was handed parameters that violate a
+    /// documented invariant (zero channels, a non-power-of-two interleave,
+    /// a zero scrub interval). Always a caller error, reported instead of
+    /// panicking so sweeps over generated configurations can skip the bad
+    /// point and continue.
+    Config {
+        /// Which invariant the parameters violate.
+        what: &'static str,
+    },
 }
 
 impl SimError {
@@ -164,6 +173,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Internal { what } => {
                 write!(f, "internal simulator invariant violated: {what}")
+            }
+            SimError::Config { what } => {
+                write!(f, "invalid configuration: {what}")
             }
         }
     }

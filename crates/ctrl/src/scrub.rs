@@ -53,15 +53,42 @@ impl PatrolScrubber {
     /// Creates a scrubber whose first slot falls one interval after time
     /// zero.
     pub fn new(cfg: ScrubConfig) -> Self {
+        Self::starting_at(cfg, Instant::ZERO + cfg.interval)
+    }
+
+    /// Creates a scrubber whose first slot falls at `first_slot`. A
+    /// system-level scheduler uses this to stagger the per-channel patrol
+    /// phases so the channels' scrub slots interleave instead of landing
+    /// on every channel at the same instants.
+    pub fn starting_at(cfg: ScrubConfig, first_slot: Instant) -> Self {
         PatrolScrubber {
             cfg,
-            next_slot: Instant::ZERO + cfg.interval,
+            next_slot: first_slot,
         }
     }
 
     /// The schedule parameters.
     pub fn config(&self) -> ScrubConfig {
         self.cfg
+    }
+
+    /// Replaces the slot interval from the next slot onward. The pending
+    /// slot keeps its time (an already-promised slot is never revoked);
+    /// only the spacing of the slots after it changes. This is the hook an
+    /// adaptive scrub-rate controller drives from the observed CE rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`](crate::SimError::Config) for a zero
+    /// interval, which would stall the slot clock.
+    pub fn set_interval(&mut self, interval: Duration) -> Result<(), crate::SimError> {
+        if interval == Duration::ZERO {
+            return Err(crate::SimError::Config {
+                what: "scrub interval must be non-zero",
+            });
+        }
+        self.cfg.interval = interval;
+        Ok(())
     }
 
     /// When the next scrub slot is due.
@@ -114,6 +141,28 @@ mod tests {
         // Falling behind by several slots does not queue a burst.
         s.advance_past(Instant::ZERO + Duration::from_us(55));
         assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(60));
+    }
+
+    #[test]
+    fn staggered_start_and_interval_changes() {
+        let cfg = ScrubConfig {
+            interval: Duration::from_us(10),
+        };
+        // A staggered scrubber keeps its phase offset across slots.
+        let mut s = PatrolScrubber::starting_at(cfg, Instant::ZERO + Duration::from_us(13));
+        assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(13));
+        s.advance_past(s.next_slot());
+        assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(23));
+        // Changing the interval keeps the promised slot, respacing later ones.
+        s.set_interval(Duration::from_us(40)).unwrap();
+        assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(23));
+        s.advance_past(s.next_slot());
+        assert_eq!(s.next_slot(), Instant::ZERO + Duration::from_us(63));
+        // A zero interval is rejected rather than stalling the clock.
+        assert!(matches!(
+            s.set_interval(Duration::ZERO),
+            Err(crate::SimError::Config { .. })
+        ));
     }
 
     #[test]

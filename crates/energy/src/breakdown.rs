@@ -78,6 +78,43 @@ impl fmt::Display for EnergyBreakdown {
     }
 }
 
+/// Per-channel attribution of patrol-scrub DRAM energy.
+///
+/// A multi-channel maintenance scheduler spends scrub energy unevenly: an
+/// adaptive interval and watchdog-forced scrubs concentrate slots on the
+/// channels that are actually faulting. This breaks the system-wide
+/// `scrub_j` lump of [`EnergyBreakdown`] down by channel so campaign
+/// reports can show *where* the scrub budget went. Each scrub is priced
+/// like one RAS-cycle row refresh
+/// ([`DramPowerParams::e_refresh_row`](crate::DramPowerParams)), the same
+/// rate the savings pairing uses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChannelScrubEnergy {
+    /// Scrub energy spent on each channel, joules, indexed by channel.
+    pub per_channel_j: Vec<f64>,
+}
+
+impl ChannelScrubEnergy {
+    /// Prices `scrubs[i]` scrub operations on channel `i` at
+    /// `e_refresh_row` joules each.
+    pub fn from_counts(scrubs: &[u64], e_refresh_row: f64) -> Self {
+        ChannelScrubEnergy {
+            per_channel_j: scrubs.iter().map(|&n| n as f64 * e_refresh_row).collect(),
+        }
+    }
+
+    /// Scrub energy of one channel, joules.
+    pub fn channel_j(&self, i: usize) -> f64 {
+        self.per_channel_j[i]
+    }
+
+    /// System-wide scrub energy, joules — the value that belongs in
+    /// [`EnergyBreakdown::scrub_j`].
+    pub fn total_j(&self) -> f64 {
+        self.per_channel_j.iter().sum()
+    }
+}
+
 /// Fractional savings of `value` relative to `baseline` (`1 - value/baseline`).
 /// Returns 0 for a zero baseline.
 pub fn savings(value: f64, baseline: f64) -> f64 {
@@ -176,6 +213,20 @@ mod tests {
     #[should_panic(expected = "positive values")]
     fn gmean_rejects_nonpositive() {
         geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn channel_scrub_energy_attributes_per_channel() {
+        let e = ChannelScrubEnergy::from_counts(&[100, 0, 50], 2e-9);
+        assert!((e.channel_j(0) - 200e-9).abs() < 1e-15);
+        assert_eq!(e.channel_j(1), 0.0);
+        assert!((e.total_j() - 300e-9).abs() < 1e-15);
+        // The total is what EnergyBreakdown charges as scrub_j.
+        let bd = EnergyBreakdown {
+            scrub_j: e.total_j(),
+            ..EnergyBreakdown::default()
+        };
+        assert_eq!(bd.refresh_mechanism_j(), e.total_j());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod dram_power;
 pub mod ecc;
 pub mod sram;
 
-pub use breakdown::{geometric_mean, mean, savings, EnergyBreakdown};
+pub use breakdown::{geometric_mean, mean, savings, ChannelScrubEnergy, EnergyBreakdown};
 pub use bus::BusEnergyModel;
 pub use dram_power::{DramEnergy, DramPowerParams};
 pub use ecc::EccLogicModel;

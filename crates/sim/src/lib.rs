@@ -13,6 +13,10 @@
 //! * [`scrub::run_scrub_campaign`] — the recovery campaign: SECDED ECC,
 //!   patrol scrubbing, and the retention watchdog correcting what the
 //!   fault campaign only detects;
+//! * [`scheduler::MaintenanceScheduler`] — the system-level maintenance
+//!   scheduler co-ordinating scrubs and refreshes across the channels of a
+//!   [`system::MultiChannelSystem`], with a CE-rate-adaptive scrub
+//!   interval; evaluated by [`coschedule::run_coschedule_campaign`];
 //! * [`report`] — text tables printed by the bench harness.
 //!
 //! ```no_run
@@ -27,20 +31,27 @@
 
 #![warn(missing_docs)]
 
+pub mod coschedule;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
 pub mod report;
+pub mod scheduler;
 pub mod scrub;
 pub mod system;
 pub mod thermal;
 
+pub use coschedule::{
+    run_coschedule_campaign, run_coschedule_setup, CoscheduleCampaignResult, CoscheduleConfig,
+    CoscheduleOutcome, Load, Setup,
+};
 pub use experiment::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
 pub use faults::{
     run_campaign, run_scenario, standard_campaign, CampaignConfig, CampaignResult, Expectation,
     FaultScenario, ScenarioOutcome,
 };
 pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
+pub use scheduler::{AdaptiveScrubConfig, MaintenanceScheduler, SchedulerConfig, SchedulerStats};
 pub use scrub::{
     run_scrub_campaign, run_scrub_scenario, scrub_savings, standard_scrub_campaign,
     ScrubCampaignResult, ScrubExpectation, ScrubOutcome, ScrubSavings, ScrubScenario,

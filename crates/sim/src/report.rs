@@ -6,6 +6,7 @@
 
 use std::fmt::Write as _;
 
+use crate::coschedule::{CoscheduleCampaignResult, CoscheduleOutcome, Load, Setup};
 use crate::experiment::RunResult;
 use crate::faults::{CampaignResult, Expectation};
 use crate::figures::{Figure, FigureId};
@@ -174,6 +175,89 @@ pub fn render_scrub_campaign(c: &ScrubCampaignResult) -> String {
             "every injected error was corrected or safely escalated"
         } else {
             "RECOVERY FAILURE — an error was not corrected or escalated"
+        }
+    );
+    out
+}
+
+/// Renders the co-scheduling campaign: the four setup × load runs side by
+/// side, the adaptive-interval endpoints, and the verdict.
+pub fn render_coschedule(c: &CoscheduleCampaignResult) -> String {
+    let mut out = String::new();
+    let covering_us = c.covering_interval.as_secs_f64() * 1e6;
+    let _ = writeln!(out, "=== Scrub/refresh co-scheduling campaign ===");
+    let _ = writeln!(
+        out,
+        "covering interval {covering_us:.2} us; weak rows (storm, ch0): {:?}",
+        c.weak_rows
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>7} {:>7} {:>8} {:>8} {:>7} {:>9} {:>6} {:>6} {:>10} {:>10}",
+        "run",
+        "scrubs",
+        "forced",
+        "deferred",
+        "closures",
+        "missed",
+        "CE",
+        "UE",
+        "decay",
+        "interval",
+        "scrub mJ"
+    );
+    let row = |out: &mut String, o: &CoscheduleOutcome| {
+        let name = format!(
+            "{}-{}",
+            match o.setup {
+                Setup::Uncoordinated => "uncoordinated",
+                Setup::Coscheduled => "coscheduled",
+            },
+            match o.load {
+                Load::Clean => "clean",
+                Load::Storm => "storm",
+            }
+        );
+        let _ = writeln!(
+            out,
+            "{:<20} {:>7} {:>7} {:>8} {:>8} {:>7} {:>9} {:>6} {:>6} {:>9.1}x {:>10.4}",
+            name,
+            o.scrubs.iter().sum::<u64>(),
+            o.forced_scrubs,
+            o.deferred_scrubs,
+            o.closures,
+            o.missed_deadlines,
+            o.ce_corrected,
+            o.ue_detected,
+            o.end_violations.len(),
+            o.final_interval.as_secs_f64() / c.covering_interval.as_secs_f64(),
+            o.scrub_energy.total_j() * 1e3,
+        );
+    };
+    row(&mut out, &c.uncoordinated_clean);
+    row(&mut out, &c.coscheduled_clean);
+    row(&mut out, &c.uncoordinated_storm);
+    row(&mut out, &c.coscheduled_storm);
+    let _ = writeln!(
+        out,
+        "Per-channel scrub energy (coscheduled-storm): {}",
+        c.coscheduled_storm
+            .scrub_energy
+            .per_channel_j
+            .iter()
+            .enumerate()
+            .map(|(i, j)| format!("ch{i} {:.4} mJ", j * 1e3))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "Campaign verdict: {}",
+        if c.all_hold() {
+            "co-scheduling kept every coverage promise, cut page closures, \
+             and the interval adapted both ways"
+        } else {
+            "CO-SCHEDULING FAILURE — a coverage, interference, or adaptation clause failed"
         }
     );
     out

@@ -9,10 +9,11 @@
 
 use smartrefresh_core::RefreshPolicy;
 use smartrefresh_ctrl::{
-    AccessResult, ControllerStats, MemTransaction, MemoryController, SimError,
+    AccessResult, ControllerStats, EccConfig, MemTransaction, MemoryController, SimError,
 };
-use smartrefresh_dram::time::Instant;
+use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, ModuleConfig, OpStats};
+use smartrefresh_faults::FaultInjector;
 
 use crate::experiment::PolicyKind;
 
@@ -32,7 +33,7 @@ use crate::experiment::PolicyKind;
 ///
 /// let mut sys = MultiChannelSystem::new(conventional_2gb(), 2, 4096, || {
 ///     PolicyKind::CbrDistributed
-/// });
+/// })?;
 /// sys.access(0, false, Instant::ZERO)?;      // channel 0
 /// sys.access(4096, false, Instant::ZERO)?;   // channel 1
 /// assert_eq!(sys.channels(), 2);
@@ -57,24 +58,35 @@ impl MultiChannelSystem {
     /// produced by `policy_of` (called once per channel, so policies can be
     /// independently seeded).
     ///
-    /// # Panics
+    /// # Invariants
     ///
-    /// Panics if `channels` is zero or `interleave_bytes` is not a power of
-    /// two.
+    /// `channels` must be nonzero (an address space needs at least one
+    /// home) and `interleave_bytes` must be a power of two (the routing
+    /// arithmetic squeezes the channel bits out of the block index, which
+    /// is only a bijection for power-of-two block sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when either invariant is violated.
     pub fn new<F>(
         module: ModuleConfig,
         channels: u32,
         interleave_bytes: u64,
         mut policy_of: F,
-    ) -> Self
+    ) -> Result<Self, SimError>
     where
         F: FnMut() -> PolicyKind,
     {
-        assert!(channels > 0, "need at least one channel");
-        assert!(
-            interleave_bytes.is_power_of_two(),
-            "interleave must be a power of two"
-        );
+        if channels == 0 {
+            return Err(SimError::Config {
+                what: "a multi-channel system needs at least one channel",
+            });
+        }
+        if !interleave_bytes.is_power_of_two() {
+            return Err(SimError::Config {
+                what: "the channel interleave must be a power of two bytes",
+            });
+        }
         let controllers = (0..channels)
             .map(|_| {
                 let device = DramDevice::new(module.geometry, module.timing);
@@ -82,15 +94,68 @@ impl MultiChannelSystem {
                 MemoryController::new(device, policy)
             })
             .collect();
-        MultiChannelSystem {
+        Ok(MultiChannelSystem {
             controllers,
             interleave_bytes,
-        }
+        })
+    }
+
+    /// Installs an ECC path on every channel; `ecc_of` is called with each
+    /// channel index so seeds (and scrub/watchdog wiring) can differ per
+    /// channel. A system whose scrubbing is owned by a shared scheduler
+    /// typically installs decode-only configs with
+    /// [`EccConfig::with_ce_export`] here and leaves the per-channel
+    /// scrubbers and watchdogs off.
+    pub fn with_ecc<F>(mut self, mut ecc_of: F) -> Self
+    where
+        F: FnMut(usize) -> EccConfig,
+    {
+        self.controllers = self
+            .controllers
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.with_ecc(ecc_of(i)))
+            .collect();
+        self
+    }
+
+    /// Installs fault injectors per channel; `injector_of` is called with
+    /// each channel index and may return `None` to leave a channel clean.
+    pub fn with_fault_injectors<F>(mut self, mut injector_of: F) -> Self
+    where
+        F: FnMut(usize) -> Option<FaultInjector>,
+    {
+        self.controllers = self
+            .controllers
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| match injector_of(i) {
+                Some(inj) => c.with_fault_injector(inj),
+                None => c,
+            })
+            .collect();
+        self
+    }
+
+    /// Overrides every channel's idle page-close timeout (`None` disables
+    /// idle closes, leaving pages open until a conflict or refresh).
+    pub fn with_page_close_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.controllers = self
+            .controllers
+            .into_iter()
+            .map(|c| c.with_page_close_timeout(timeout))
+            .collect();
+        self
     }
 
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.controllers.len()
+    }
+
+    /// Rows per channel (every channel is built from the same module).
+    pub fn rows_per_channel(&self) -> u64 {
+        self.controllers[0].device().geometry().total_rows()
     }
 
     /// The channel an address routes to and its channel-local address.
@@ -103,6 +168,16 @@ impl MultiChannelSystem {
             channel,
             local_block * self.interleave_bytes + addr % self.interleave_bytes,
         )
+    }
+
+    /// The inverse of [`route`](MultiChannelSystem::route): the global
+    /// address that maps to channel-local address `local` on `channel`.
+    /// Together they witness that the interleave is a bijection — every
+    /// global address has exactly one `(channel, local)` home and back.
+    pub fn global_addr(&self, channel: usize, local: u64) -> u64 {
+        let n = self.controllers.len() as u64;
+        let local_block = local / self.interleave_bytes;
+        (local_block * n + channel as u64) * self.interleave_bytes + local % self.interleave_bytes
     }
 
     /// Issues one access through the interleave.
@@ -139,6 +214,13 @@ impl MultiChannelSystem {
     /// Per-channel controller access (stats, device, policy).
     pub fn channel(&self, i: usize) -> &MemoryController<Box<dyn RefreshPolicy>> {
         &self.controllers[i]
+    }
+
+    /// Mutable per-channel controller access — the hook a system-level
+    /// maintenance scheduler uses to advance one channel to a scrub slot
+    /// and issue the scrub, without touching the other channels.
+    pub fn channel_mut(&mut self, i: usize) -> &mut MemoryController<Box<dyn RefreshPolicy>> {
+        &mut self.controllers[i]
     }
 
     /// Sum of the channels' DRAM operation counters.
@@ -217,7 +299,7 @@ mod tests {
 
     #[test]
     fn routing_is_dense_and_balanced() {
-        let sys = MultiChannelSystem::new(mini(), 4, 4096, || PolicyKind::CbrDistributed);
+        let sys = MultiChannelSystem::new(mini(), 4, 4096, || PolicyKind::CbrDistributed).unwrap();
         let mut per_channel = vec![Vec::new(); 4];
         for block in 0..64u64 {
             let (c, local) = sys.route(block * 4096);
@@ -234,15 +316,17 @@ mod tests {
 
     #[test]
     fn route_preserves_offset_within_block() {
-        let sys = MultiChannelSystem::new(mini(), 2, 4096, || PolicyKind::CbrDistributed);
+        let sys = MultiChannelSystem::new(mini(), 2, 4096, || PolicyKind::CbrDistributed).unwrap();
         let (c1, l1) = sys.route(4096 + 123);
         assert_eq!(c1, 1);
         assert_eq!(l1 % 4096, 123);
+        assert_eq!(sys.global_addr(c1, l1), 4096 + 123);
     }
 
     #[test]
     fn each_channel_refreshes_independently() {
-        let mut sys = MultiChannelSystem::new(mini(), 2, 4096, || PolicyKind::CbrDistributed);
+        let mut sys =
+            MultiChannelSystem::new(mini(), 2, 4096, || PolicyKind::CbrDistributed).unwrap();
         let t = Instant::ZERO + Duration::from_ms(8);
         sys.advance_to(t).unwrap();
         // Each channel sweeps its own 128 rows once per interval.
@@ -255,7 +339,7 @@ mod tests {
 
     #[test]
     fn smart_refresh_composes_across_channels() {
-        let mut sys = MultiChannelSystem::new(mini(), 2, 4096, smart_kind);
+        let mut sys = MultiChannelSystem::new(mini(), 2, 4096, smart_kind).unwrap();
         // Hammer addresses that land on channel 0 only.
         let mut now = Instant::ZERO;
         for step in 0..3200u64 {
@@ -272,8 +356,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn bad_interleave_rejected() {
-        MultiChannelSystem::new(mini(), 2, 3000, || PolicyKind::CbrDistributed);
+    fn bad_configs_are_errors_not_panics() {
+        assert!(matches!(
+            MultiChannelSystem::new(mini(), 2, 3000, || PolicyKind::CbrDistributed),
+            Err(SimError::Config { .. })
+        ));
+        assert!(matches!(
+            MultiChannelSystem::new(mini(), 0, 4096, || PolicyKind::CbrDistributed),
+            Err(SimError::Config { .. })
+        ));
     }
 }

@@ -1,0 +1,42 @@
+//! Scrub/refresh co-scheduling campaign: show that one system-level
+//! maintenance scheduler beats per-channel autonomy — staggered patrol
+//! phases, fewer open pages closed by maintenance, a shared cross-channel
+//! watchdog, and a scrub interval that adapts to the corrected-error rate
+//! in both directions.
+//!
+//! Run with: `cargo run --example coschedule`
+//!
+//! Exits nonzero when any verdict fails, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use smart_refresh::sim::coschedule::{run_coschedule_campaign, CoscheduleConfig};
+use smart_refresh::sim::report::render_coschedule;
+
+fn main() -> ExitCode {
+    let cfg = CoscheduleConfig::quick(0xC05C);
+    println!(
+        "module {} ({} channels x {} rows, retention {}), {} epochs\n",
+        cfg.module.name,
+        cfg.channels,
+        cfg.module.geometry.total_rows(),
+        cfg.module.timing.retention,
+        cfg.epochs,
+    );
+    let result = match run_coschedule_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("co-scheduling campaign aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", render_coschedule(&result));
+    if result.all_hold() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "co-scheduling campaign failed: a coverage, interference, or adaptation clause failed"
+        );
+        ExitCode::FAILURE
+    }
+}
