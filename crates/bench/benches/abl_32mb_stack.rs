@@ -12,7 +12,7 @@ use smartrefresh_energy::{geometric_mean, DramPowerParams};
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::catalog;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale: f64 = std::env::var("SMARTREFRESH_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -43,7 +43,7 @@ fn main() {
             let entry = catalog()
                 .into_iter()
                 .find(|e| e.name() == name)
-                .expect("catalog entry");
+                .ok_or("no catalog entry")?;
             let mut base_cfg = ExperimentConfig::stacked(
                 module.clone(),
                 DramPowerParams::stacked_3d_64mb(),
@@ -56,8 +56,8 @@ fn main() {
             base_cfg.workload_geometry = Some(stacked_3d_64mb(Duration::from_ms(64)).geometry);
             let mut smart_cfg = base_cfg.clone();
             smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
-            let baseline = run_experiment(&base_cfg, &entry.stacked).expect("baseline");
-            let smart = run_experiment(&smart_cfg, &entry.stacked).expect("smart");
+            let baseline = run_experiment(&base_cfg, &entry.stacked)?;
+            let smart = run_experiment(&smart_cfg, &entry.stacked)?;
             assert!(smart.integrity_ok);
             let reduction = 1.0 - smart.refreshes_per_sec / baseline.refreshes_per_sec;
             reductions.push(reduction.max(1e-9));
@@ -78,4 +78,5 @@ fn main() {
          larger fraction of it — at the cost of more main-memory traffic behind\n\
          the cache."
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module();
     let spec = WorkloadSpec {
         name: "baseline-bench",
@@ -38,7 +38,7 @@ fn main() {
     ] {
         let cfg =
             ExperimentConfig::conventional(module.clone(), DramPowerParams::ddr2_2gb(), policy);
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok);
         if r.policy == "cbr" {
             cbr_mech = r.energy.refresh_mechanism_j();
@@ -64,4 +64,5 @@ fn main() {
          Refresh accepts that premium and still undercuts CBR by eliminating\n\
          the operations themselves — the comparison the paper sets up in §3."
     );
+    Ok(())
 }

@@ -19,7 +19,11 @@ struct Outcome {
     apki: f64,
 }
 
-fn run(spec: &ProgramSpec, smart: bool, instructions: u64) -> Outcome {
+fn run(
+    spec: &ProgramSpec,
+    smart: bool,
+    instructions: u64,
+) -> Result<Outcome, Box<dyn std::error::Error>> {
     // An 8 MB module with a 2 ms retention keeps several full refresh
     // intervals inside even the shortest run, so the measured rates are
     // steady-state rather than power-up transient.
@@ -45,23 +49,20 @@ fn run(spec: &ProgramSpec, smart: bool, instructions: u64) -> Outcome {
         Cpu::new(CpuConfig::table1_default(), mc)
     };
     let mut prog = SyntheticProgram::new(spec.clone(), 0xBEEF);
-    cpu.run(&mut prog, instructions).unwrap();
-    assert!(
-        cpu.controller()
-            .device()
-            .check_integrity(cpu.controller().now())
-            .is_ok(),
-        "retention violated under closed-loop execution"
-    );
+    cpu.run(&mut prog, instructions)?;
+    cpu.controller()
+        .device()
+        .check_integrity(cpu.controller().now())
+        .map_err(|_| "retention violated under closed-loop execution")?;
     let elapsed = cpu.now().as_secs_f64();
-    Outcome {
+    Ok(Outcome {
         refreshes_per_sec: cpu.controller().device().stats().total_refreshes() as f64 / elapsed,
         ipc: cpu.stats().ipc(),
         apki: cpu.stats().apki(),
-    }
+    })
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instructions: u64 = std::env::var("SMARTREFRESH_SCALE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
@@ -79,8 +80,8 @@ fn main() {
         ProgramSpec::streaming(4 << 20),
         ProgramSpec::cache_resident(),
     ] {
-        let base = run(&spec, false, instructions);
-        let smart = run(&spec, true, instructions);
+        let base = run(&spec, false, instructions)?;
+        let smart = run(&spec, true, instructions)?;
         for (label, o) in [("cbr", &base), ("smart", &smart)] {
             println!(
                 "{:<16} {:<7} {:>12.0} {:>8.3} {:>8.1}",
@@ -104,4 +105,5 @@ fn main() {
          emerges from the cache hierarchy, and IPC never degrades — the Fig 18\n\
          conclusion reproduced without the analytic CPI model."
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@
 
 use smartrefresh_sim::coschedule::{run_coschedule_setup, CoscheduleConfig, Load, Setup};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Extension: co-scheduled vs uncoordinated maintenance (clean load) ===");
     println!(
         "{:>8} {:>14} {:>16} {:>16} {:>14} {:>12} {:>10}",
@@ -21,7 +21,7 @@ fn main() {
         cfg.channels = channels;
         let covering = cfg.covering().interval.as_secs_f64();
         for setup in [Setup::Uncoordinated, Setup::Coscheduled] {
-            let o = run_coschedule_setup(&cfg, setup, Load::Clean).expect("clean run");
+            let o = run_coschedule_setup(&cfg, setup, Load::Clean)?;
             assert_eq!(o.missed_deadlines, 0, "coverage must hold at every size");
             assert!(o.end_violations.is_empty(), "retention must hold");
             println!(
@@ -46,4 +46,5 @@ fn main() {
          to the refresh sweep, so the interference win needs real\n\
          multi-channel slack to show up."
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module();
     let spec = WorkloadSpec {
         name: "width-bench",
@@ -32,8 +32,7 @@ fn main() {
             PolicyKind::CbrDistributed,
         ),
         &spec,
-    )
-    .expect("baseline");
+    )?;
 
     println!("=== Ablation: counter width ===");
     println!(
@@ -51,7 +50,7 @@ fn main() {
                 hysteresis: None,
             }),
         );
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok, "{bits}-bit counters lost data");
         println!(
             "{bits:>5} {:>11.1}% {:>11.1}% {:>11.1}% {:>12.1}",
@@ -62,4 +61,5 @@ fn main() {
         );
     }
     println!("\nPaper: optimality = (1 - 1/2^bits); 3-bit chosen for all simulations.");
+    Ok(())
 }

@@ -14,7 +14,7 @@ use smartrefresh_energy::{BusEnergyModel, DramPowerParams};
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind, Topology};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = edram_16mb();
     let spec = WorkloadSpec {
         name: "edram-bench",
@@ -59,7 +59,7 @@ fn main() {
             workload_geometry: None,
             ecc: None,
         };
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok);
         println!(
             "{:<8} refreshes/s {:>12.0} | refresh share {:>5.1}% | total {:>8.3} mJ",
@@ -71,7 +71,7 @@ fn main() {
         match policy {
             PolicyKind::CbrDistributed => base = Some(r),
             _ => {
-                let b = base.as_ref().expect("baseline first");
+                let b = base.as_ref().ok_or("baseline first")?;
                 println!(
                     "\nsmart vs CBR on eDRAM: {:.1}% fewer refreshes, {:.1}% refresh-energy \
                      savings, {:.1}% total savings",
@@ -87,4 +87,5 @@ fn main() {
          DIMM's ~30-45%, so every eliminated refresh counts roughly double —\n\
          the environment the paper's eDRAM citations motivate."
     );
+    Ok(())
 }

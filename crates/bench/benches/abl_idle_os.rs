@@ -13,7 +13,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{cache_resident, idle_os};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = conventional_2gb();
     let scale: f64 = std::env::var("SMARTREFRESH_SCALE")
         .ok()
@@ -38,8 +38,8 @@ fn main() {
             hysteresis: Some(HysteresisConfig::paper_defaults()),
             ..SmartRefreshConfig::paper_defaults()
         });
-        let baseline = run_experiment(&base_cfg, &spec).expect("baseline");
-        let smart = run_experiment(&smart_cfg, &spec).expect("smart");
+        let baseline = run_experiment(&base_cfg, &spec)?;
+        let smart = run_experiment(&smart_cfg, &spec)?;
         println!(
             "{:<16} {:>10} {:>11.2}% {:>11.2}% {:>10}",
             spec.name,
@@ -62,4 +62,5 @@ fn main() {
         "\nPaper: ~10% refresh-energy savings for the idle OS; autonomous\n\
          fallback to CBR below 1% activity with no detectable energy loss."
     );
+    Ok(())
 }

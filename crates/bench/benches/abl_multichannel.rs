@@ -12,7 +12,7 @@ use smartrefresh_dram::Rng;
 use smartrefresh_sim::system::MultiChannelSystem;
 use smartrefresh_sim::PolicyKind;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module(); // 4096 rows per channel, 16 ms retention
     let channels = 4u32;
     let interleave = 4096u64;
@@ -21,8 +21,7 @@ fn main() {
             hysteresis: None,
             ..SmartRefreshConfig::paper_defaults()
         })
-    })
-    .expect("valid channel/interleave configuration");
+    })?;
 
     // Skewed traffic: 70% of accesses to channel 0, 20% to 1, 10% to 2,
     // nothing to 3. Each access picks a random row block within its channel.
@@ -44,9 +43,9 @@ fn main() {
         let block = rng.gen_range(0..2048u64);
         let offset = rng.gen_range(0..16u64) * 256; // 16 rows per 4 KB block
         let addr = (block * u64::from(channels) + channel) * interleave + offset;
-        sys.access(addr, rng.gen_bool(0.3), now).expect("access");
+        sys.access(addr, rng.gen_bool(0.3), now)?;
     }
-    sys.advance_to(horizon).expect("advance");
+    sys.advance_to(horizon)?;
     assert!(sys.check_integrity(horizon).is_ok());
 
     println!("=== Extension: 4-channel system with skewed traffic (70/20/10/0) ===");
@@ -72,4 +71,5 @@ fn main() {
          the full periodic rate — counters, staggering and the queue bound all\n\
          hold per channel with no cross-channel coupling."
     );
+    Ok(())
 }

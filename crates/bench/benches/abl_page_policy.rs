@@ -13,7 +13,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module();
     let spec = WorkloadSpec {
         name: "page-bench",
@@ -44,7 +44,7 @@ fn main() {
             let mut cfg =
                 ExperimentConfig::conventional(module.clone(), DramPowerParams::ddr2_2gb(), policy);
             cfg.page_policy = page;
-            let r = run_experiment(&cfg, &spec).expect("run");
+            let r = run_experiment(&cfg, &spec)?;
             assert!(r.integrity_ok);
             if r.policy == "cbr" {
                 base_rate = r.refreshes_per_sec;
@@ -65,12 +65,12 @@ fn main() {
     let open_red = reductions
         .iter()
         .find(|(p, _)| *p == PagePolicy::Open)
-        .expect("open run")
+        .ok_or("no open-page result")?
         .1;
     let closed_red = reductions
         .iter()
         .find(|(p, _)| *p == PagePolicy::Closed)
-        .expect("closed run")
+        .ok_or("no closed-page result")?
         .1;
     println!(
         "\nSmart Refresh reduction: {:.1}% (open page) vs {:.1}% (closed page) —\n\
@@ -81,4 +81,5 @@ fn main() {
         closed_red * 100.0
     );
     assert!((open_red - closed_red).abs() < 0.05);
+    Ok(())
 }

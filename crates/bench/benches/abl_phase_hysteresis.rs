@@ -28,7 +28,7 @@ fn spec(name: &'static str, coverage: f64, intensity: f64) -> WorkloadSpec {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module(); // 4096 rows, 16 ms retention
     let busy = spec("busy-phase", 0.30, 3.0);
     // Far below the 1% access watermark.
@@ -72,7 +72,7 @@ fn main() {
         );
         let horizon = cfg.warmup + cfg.measure;
         let bounded = events.take_while(move |e| e.time.as_ps() <= horizon.as_ps());
-        let r = run_experiment_with_events(&cfg, bounded, "phased", 3.0).expect("run");
+        let r = run_experiment_with_events(&cfg, bounded, "phased", 3.0)?;
         assert!(
             r.integrity_ok,
             "{}: retention violated across phase changes",
@@ -99,4 +99,5 @@ fn main() {
         smart.energy.total_savings_vs(&base.energy) * 100.0
     );
     assert!(smart.refreshes_per_sec < base.refreshes_per_sec);
+    Ok(())
 }

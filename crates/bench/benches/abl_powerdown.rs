@@ -13,7 +13,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::idle_os;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = conventional_2gb();
     let spec = idle_os().conventional;
     let scale: f64 = std::env::var("SMARTREFRESH_SCALE")
@@ -34,7 +34,7 @@ fn main() {
         let cfg =
             ExperimentConfig::conventional(module.clone(), DramPowerParams::ddr2_2gb(), policy)
                 .scaled(scale);
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok);
         let residency = r.ctrl.powerdown_time.as_secs_f64() / r.span.as_secs_f64();
         println!(
@@ -62,4 +62,5 @@ fn main() {
         smart_res * 100.0,
         smart.energy.total_savings_vs(&base.energy) * 100.0
     );
+    Ok(())
 }

@@ -21,7 +21,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module();
     let seed = 0xA11CE;
     let spec = WorkloadSpec {
@@ -70,13 +70,13 @@ fn main() {
         // steady state: warm up for one slow period, measure two.
         cfg.warmup = module.timing.retention * 16;
         cfg.measure = module.timing.retention * 16;
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok, "{} violated variable retention", r.policy);
         if r.policy == "cbr" {
             cbr_rate = r.refreshes_per_sec;
             cbr_energy = Some(r.energy);
         }
-        let cbr_e = cbr_energy.as_ref().expect("cbr first");
+        let cbr_e = cbr_energy.as_ref().ok_or("cbr first")?;
         println!(
             "{:<16} {:>14.0} {:>11.1}% {:>11.1}% {:>10}",
             r.policy,
@@ -99,4 +99,5 @@ fn main() {
         (1.0 - smart / cbr_rate) * 100.0,
         (1.0 - ra / cbr_rate) * 100.0
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module();
     let spec = WorkloadSpec {
         name: "segments-bench",
@@ -36,8 +36,7 @@ fn main() {
             PolicyKind::CbrDistributed,
         ),
         &spec,
-    )
-    .expect("baseline");
+    )?;
     for segments in [2u32, 4, 8, 16] {
         let cfg = ExperimentConfig::conventional(
             module.clone(),
@@ -49,7 +48,7 @@ fn main() {
                 hysteresis: None,
             }),
         );
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         println!(
             "{segments:>9} {:>10} {:>12} {:>11.1}% {:>12}",
             segments,
@@ -65,4 +64,5 @@ fn main() {
          never-overflows argument), and the segment count does not change\n\
          *what* is refreshed — only how the work is spread in time."
     );
+    Ok(())
 }

@@ -13,7 +13,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module();
     let total_rows = module.geometry.total_rows() as u32;
     let spec = WorkloadSpec {
@@ -47,7 +47,7 @@ fn main() {
                 hysteresis: None,
             }),
         );
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         println!(
             "{label:<28} {:>14} {:>12}",
             r.queue_high_water,
@@ -59,4 +59,5 @@ fn main() {
          paper warns about in Fig 2: hundreds of refreshes queue behind one\n\
          tick, while the staggered walk keeps the backlog at the segment count."
     );
+    Ok(())
 }

@@ -16,14 +16,28 @@ use smartrefresh_sim::thermal::{ThermalModel, THRESHOLD_C};
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::find;
 
-fn power_w(policy: PolicyKind, retention: Duration) -> f64 {
+fn try_power_w(policy: PolicyKind, retention: Duration) -> Result<f64, Box<dyn std::error::Error>> {
     let module = stacked_3d_64mb(retention);
     let mut cfg = ExperimentConfig::stacked(module, DramPowerParams::stacked_3d_64mb(), policy);
     cfg.reference = Duration::from_ms(64);
-    let spec = find("twolf").expect("catalog entry").stacked;
-    let r = run_experiment(&cfg, &spec).expect("run");
-    assert!(r.integrity_ok);
-    r.energy.total_j() / r.span.as_secs_f64()
+    let spec = find("twolf").ok_or("no catalog entry for twolf")?.stacked;
+    let r = run_experiment(&cfg, &spec)?;
+    if !r.integrity_ok {
+        return Err("retention violated in thermal fixed-point run".into());
+    }
+    Ok(r.energy.total_j() / r.span.as_secs_f64())
+}
+
+/// Infallible wrapper for [`ThermalModel::settle`]'s `f64` closure; a
+/// failed run aborts the bench with a nonzero exit instead of a panic.
+fn power_w(policy: PolicyKind, retention: Duration) -> f64 {
+    match try_power_w(policy, retention) {
+        Ok(w) => w,
+        Err(err) => {
+            eprintln!("thermal-feedback bench run failed: {err}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {

@@ -9,7 +9,7 @@ use smartrefresh_ctrl::{MemTransaction, MemoryController};
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, Geometry, TimingParams};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = Geometry::new(1, 1, 8, 8, 64); // the paper's 8-row illustration
     let t = TimingParams::ddr2_667().with_retention(Duration::from_ms(8));
     let cfg = SmartRefreshConfig {
@@ -29,11 +29,10 @@ fn main() {
     for i in 0..(8 * rounds) {
         let row = i % 8;
         let now = Instant::ZERO + slot * i;
-        mc.access(MemTransaction::read(row * g.row_bytes(), now))
-            .unwrap();
+        mc.access(MemTransaction::read(row * g.row_bytes(), now))?;
     }
     let end = Instant::ZERO + slot * (8 * rounds);
-    mc.advance_to(end).unwrap();
+    mc.advance_to(end)?;
 
     let refreshes = mc.device().stats().total_refreshes();
     // Periodic baseline: one refresh per row per 8 ms interval.
@@ -53,4 +52,5 @@ fn main() {
         refreshes <= baseline / 4,
         "best case should eliminate the vast majority of refreshes"
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@ use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smartrefresh_workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = mini_module();
     let spec = WorkloadSpec {
         name: "stagger-bench",
@@ -44,7 +44,7 @@ fn main() {
     ] {
         let cfg =
             ExperimentConfig::conventional(module.clone(), DramPowerParams::ddr2_2gb(), policy);
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         println!(
             "{label:<22} {:>18} {:>14}",
             r.queue_high_water,
@@ -56,4 +56,5 @@ fn main() {
          most N = 8 refreshes are ever outstanding — the paper's queue bound —\n\
          while burst refresh queues the entire row population."
     );
+    Ok(())
 }

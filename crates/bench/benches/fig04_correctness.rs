@@ -8,7 +8,7 @@ use smartrefresh_ctrl::{MemTransaction, MemoryController};
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, Geometry, Rng, TimingParams};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = Geometry::new(1, 4, 256, 32, 64); // 1024 rows
     let retention = Duration::from_ms(8);
     let t = TimingParams::ddr2_667().with_retention(retention);
@@ -35,12 +35,11 @@ fn main() {
         while now < horizon {
             now += Duration::from_ns(rng.gen_range(100..200_000));
             let row = rng.gen_range(0..1024u64);
-            mc.access(MemTransaction::read(row * g.row_bytes(), now))
-                .unwrap();
+            mc.access(MemTransaction::read(row * g.row_bytes(), now))?;
             accesses += 1;
             max_staleness = max_staleness.max(mc.device().retention().max_staleness(mc.now()));
         }
-        mc.advance_to(horizon).unwrap();
+        mc.advance_to(horizon)?;
         max_staleness = max_staleness.max(mc.device().retention().max_staleness(horizon));
         let ok = max_staleness <= retention;
         println!(
@@ -54,4 +53,5 @@ fn main() {
         "\nEvery row met its {retention} deadline on every pattern — the Fig 4 guarantee.",
         retention = retention
     );
+    Ok(())
 }

@@ -2,6 +2,6 @@
 //! Run with `cargo bench -p smartrefresh-bench --bench fig07_refresh_energy_2gb`;
 //! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
 
-fn main() {
-    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig07);
+fn main() -> Result<(), smartrefresh_ctrl::SimError> {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig07)
 }

@@ -2,6 +2,6 @@
 //! Run with `cargo bench -p smartrefresh-bench --bench fig17_total_energy_3d32`;
 //! set `SMARTREFRESH_SCALE` (default 1.0) to shorten the simulated spans.
 
-fn main() {
-    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig17);
+fn main() -> Result<(), smartrefresh_ctrl::SimError> {
+    smartrefresh_bench::run_figure(smartrefresh_sim::figures::FigureId::Fig17)
 }

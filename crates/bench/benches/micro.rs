@@ -18,6 +18,30 @@ use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, Geometry, RowAddr, TimingParams};
 use smartrefresh_workloads::{find, AccessGenerator};
 
+/// Unwraps a bench-step result without panicking machinery: a failure
+/// aborts the harness with a nonzero exit (the ops run inside `FnMut()`
+/// timing closures, so `?` cannot propagate out).
+fn must<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("micro bench step `{what}` failed: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Option counterpart of [`must`].
+fn must_some<T>(o: Option<T>, what: &str) -> T {
+    match o {
+        Some(v) => v,
+        None => {
+            eprintln!("micro bench step `{what}` produced nothing");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Times `op` over `iters` iterations (after `iters / 10` warm-up calls)
 /// and prints mean ns/op and op/s for `name`.
 fn bench<F: FnMut()>(name: &str, iters: u64, mut op: F) {
@@ -67,15 +91,17 @@ fn bench_queue() {
     bench("pending_queue/push_pop_8", 500_000, || {
         let mut q = PendingRefreshQueue::new(8);
         for i in 0..8u32 {
-            q.push(
-                RowAddr {
-                    rank: 0,
-                    bank: 0,
-                    row: i,
-                },
-                Instant::ZERO,
-            )
-            .unwrap();
+            must(
+                q.push(
+                    RowAddr {
+                        rank: 0,
+                        bank: 0,
+                        row: i,
+                    },
+                    Instant::ZERO,
+                ),
+                "pending_queue push",
+            );
         }
         while q.pop().is_some() {}
         std::hint::black_box(&q);
@@ -91,16 +117,17 @@ fn bench_device() {
         let mut row = 0u32;
         bench("device/refresh_ras_only", 500_000, || {
             row = (row + 1) % 16384;
-            let out = dev
-                .refresh_ras_only(
+            let out = must(
+                dev.refresh_ras_only(
                     RowAddr {
                         rank: 0,
                         bank: (row % 4),
                         row,
                     },
                     now,
-                )
-                .unwrap();
+                ),
+                "refresh_ras_only",
+            );
             now = out.bank_ready_at;
         });
     }
@@ -115,21 +142,21 @@ fn bench_device() {
                 bank: 0,
                 row,
             };
-            let act = dev.activate(addr, now).unwrap();
-            dev.read(addr, 0, act.bank_ready_at).unwrap();
+            let act = must(dev.activate(addr, now), "activate");
+            must(dev.read(addr, 0, act.bank_ready_at), "read");
             let pre_at = dev.bank(0, 0).earliest_precharge();
-            let out = dev.precharge(0, 0, pre_at).unwrap();
+            let out = must(dev.precharge(0, 0, pre_at), "precharge");
             now = out.bank_ready_at + Duration::from_ns(1);
         });
     }
 }
 
 fn bench_generator() {
-    let entry = find("gcc").expect("catalog");
+    let entry = must_some(find("gcc"), "gcc catalog entry");
     let geometry = Geometry::new(2, 4, 16384, 2048, 64);
     let mut gen = AccessGenerator::new(&entry.conventional, geometry, Duration::from_ms(64), 0, 1);
     bench("workload/generate_access", 1_000_000, || {
-        std::hint::black_box(gen.next().unwrap());
+        std::hint::black_box(must_some(gen.next(), "generated access"));
     });
 }
 
@@ -164,18 +191,18 @@ fn bench_controller_access() {
         },
     );
     let mut mc = MemoryController::new(DramDevice::new(geometry, timing), policy);
-    let entry = find("gcc").expect("catalog");
+    let entry = must_some(find("gcc"), "gcc catalog entry");
     let mut gen = AccessGenerator::new(&entry.conventional, geometry, Duration::from_ms(64), 0, 1);
     bench("controller/end_to_end_access", 200_000, || {
-        let e = gen.next().unwrap();
-        std::hint::black_box(
+        let e = must_some(gen.next(), "generated access");
+        std::hint::black_box(must(
             mc.access(MemTransaction {
                 addr: e.addr,
                 is_write: e.is_write,
                 arrival: e.time,
-            })
-            .unwrap(),
-        );
+            }),
+            "controller access",
+        ));
     });
 }
 

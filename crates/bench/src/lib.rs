@@ -13,10 +13,16 @@ use smartrefresh_sim::figures::{Evaluation, FigureId};
 use smartrefresh_sim::report::render_figure;
 
 /// Runs one figure end-to-end and prints it. Used by every `fig*` bench.
-pub fn run_figure(id: FigureId) {
+///
+/// # Errors
+///
+/// Propagates the simulation's [`SimError`](smartrefresh_ctrl::SimError)
+/// when the figure cannot be produced.
+pub fn run_figure(id: FigureId) -> Result<(), smartrefresh_ctrl::SimError> {
     let mut eval = Evaluation::from_env();
-    let fig = eval.figure(id).expect("simulation failed");
+    let fig = eval.figure(id)?;
     println!("{}", render_figure(&fig));
+    Ok(())
 }
 
 /// Standard mini-module used by ablation benches: large enough to show the

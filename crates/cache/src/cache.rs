@@ -148,16 +148,19 @@ impl SetAssocCache {
             }
         }
 
-        // Miss: pick invalid way or LRU victim.
-        let victim = slots
-            .clone()
-            .find(|&i| self.tags[i].is_none())
-            .unwrap_or_else(|| {
-                slots
-                    .clone()
-                    .min_by_key(|&i| self.stamps[i])
-                    .expect("nonzero ways")
-            });
+        // Miss: pick the first invalid way, else the LRU way. The slot
+        // range is never empty (`new` rejects zero ways), so the scan
+        // always lands on something.
+        let mut victim = slots.start;
+        for i in slots {
+            if self.tags[i].is_none() {
+                victim = i;
+                break;
+            }
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
         let writeback = match (self.tags[victim], self.dirty[victim]) {
             (Some(old_tag), true) => Some(self.rebuild_addr(old_tag, set)),
             _ => None,

@@ -19,8 +19,6 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod cache;
 pub mod hierarchy;
 pub mod stats;

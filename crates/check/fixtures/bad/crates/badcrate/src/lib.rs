@@ -1,0 +1,40 @@
+//! A deliberately non-conformant library: every construct the conformance
+//! lint must flag (and a few it must not) sits here at a pinned line.
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+pub fn banned_tokens(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = Some(a).expect("present");
+    if b > 3 {
+        panic!("boom");
+    }
+    todo!()
+}
+
+pub fn not_flagged() -> &'static str {
+    // A banned token inside a string literal must NOT be flagged, and
+    // neither must this comment: .unwrap() panic! std::time
+    ".unwrap()"
+}
+
+pub fn wall_clock() -> Duration {
+    std::time::Duration::from_secs(1)
+}
+
+pub fn near_misses(x: Option<u32>, r: Result<u32, u32>) -> u32 {
+    // unwrap_or / expect_err share a prefix with banned tokens but are
+    // fine; the identifier-boundary check must not fire on them.
+    x.unwrap_or(0) + r.clone().expect_err("fine") + r.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region() {
+        // Panic tokens inside #[cfg(test)] must NOT be flagged.
+        Some(1u32).unwrap();
+        None::<u32>.expect("test-only");
+    }
+}

@@ -1,0 +1,708 @@
+//! Hermetic conformance lint for the Smart Refresh workspace.
+//!
+//! This crate is the static half of the in-repo conformance suite (the
+//! dynamic half is the DDR2/Smart-Refresh protocol sanitizer in
+//! `smartrefresh-dram::protocol`). It is a dependency-free, token-level
+//! scanner over the workspace sources and manifests that enforces the
+//! repo's hermeticity rules:
+//!
+//! * **`panic-free`** — library, example, and bench code must not contain
+//!   `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, or `unimplemented!`;
+//!   fallible paths route through `SimError` instead. Test code
+//!   (`tests/` trees and `#[cfg(test)]` regions) is exempt.
+//! * **`deterministic`** — crate library code must not reach for ambient
+//!   nondeterminism (`std::time`, `SystemTime`, `Instant::now`,
+//!   `thread_rng`, `rand::`, `getrandom`); the only randomness source is
+//!   the in-repo seeded xoshiro PRNG, and the only clock is the simulated
+//!   one.
+//! * **`workspace-lints`** — lint policy lives in one place: the root
+//!   manifest's `[workspace.lints.rust]` table (with `missing_docs`
+//!   warned and `unsafe_code` forbidden), inherited by every crate via
+//!   `[lints] workspace = true`. Per-crate-root attribute copies are
+//!   flagged so the policy cannot drift.
+//! * **`exhaustive-variants`** — every `FaultKind` and `DegradeCause`
+//!   variant must be named (non-wildcard) somewhere in the sim layer's
+//!   non-test code, so campaign reporting can never silently ignore a
+//!   newly added fault class.
+//!
+//! The scanner blanks comments, string literals, and character literals
+//! (preserving line structure) before matching tokens, so prose and
+//! string data never trip a rule, and `#[cfg(test)]`-gated regions are
+//! erased by brace matching. Everything is implemented on `std` alone —
+//! no external parser, no network, no toolchain plugins.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, pointing at a workspace-relative file and line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (always `/`-separated) of the offending file.
+    pub file: String,
+    /// 1-based line number of the finding.
+    pub line: usize,
+    /// Stable kebab-case rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule identifier for the banned-panic-token rule.
+pub const RULE_PANIC_FREE: &str = "panic-free";
+/// Rule identifier for the ambient-nondeterminism rule.
+pub const RULE_DETERMINISTIC: &str = "deterministic";
+/// Rule identifier for the workspace-lint-consolidation rule.
+pub const RULE_WORKSPACE_LINTS: &str = "workspace-lints";
+/// Rule identifier for the fault/degrade variant exhaustiveness rule.
+pub const RULE_EXHAUSTIVE_VARIANTS: &str = "exhaustive-variants";
+
+/// Tokens banned by [`RULE_PANIC_FREE`]. The `bool` asks for an
+/// identifier boundary on the left of the match.
+const PANIC_TOKENS: &[(&str, bool)] = &[
+    (".unwrap()", false),
+    (".expect(", false),
+    ("panic!", true),
+    ("todo!", true),
+    ("unimplemented!", true),
+];
+
+/// Tokens banned by [`RULE_DETERMINISTIC`] in crate library code.
+const DET_TOKENS: &[(&str, bool)] = &[
+    ("std::time", true),
+    ("SystemTime", true),
+    ("Instant::now", true),
+    ("thread_rng", true),
+    ("rand::", true),
+    ("getrandom", true),
+];
+
+/// Directory names that are never scanned (test trees, lint fixtures,
+/// build output, VCS metadata).
+const SKIPPED_DIRS: &[&str] = &["tests", "fixtures", "target", ".git"];
+
+/// Run every lint rule over the workspace rooted at `root`.
+///
+/// Returns the findings sorted by `(file, line, rule)` so output is
+/// stable across filesystems and runs. I/O failures (unreadable files,
+/// vanishing directories) surface as `Err`, not as diagnostics.
+pub fn run_lint(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let sources = collect_rust_sources(root)?;
+    for src in &sources {
+        lint_source(root, src, &mut diags)?;
+    }
+    check_manifests(root, &mut diags)?;
+    check_exhaustive_variants(root, &mut diags)?;
+    diags.sort();
+    Ok(diags)
+}
+
+/// Walk `root` collecting every `.rs` file, skipping [`SKIPPED_DIRS`].
+fn collect_rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => continue,
+            Err(err) => return Err(err),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIPPED_DIRS.iter().any(|d| *d == name) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The workspace-relative, `/`-separated display path for `path`.
+fn rel_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// Is `rel` (workspace-relative, `/`-separated) in the panic-token scope?
+///
+/// Covered: `src/`, `examples/`, `crates/<name>/src/`,
+/// `crates/<name>/benches/`, `crates/<name>/examples/`.
+fn in_panic_scope(rel: &str) -> bool {
+    if rel.starts_with("src/") || rel.starts_with("examples/") {
+        return true;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.len() >= 3 && parts[0] == "crates" && matches!(parts[2], "src" | "benches" | "examples")
+}
+
+/// Is `rel` in the nondeterminism scope? Only crate library code: `src/`
+/// and `crates/<name>/src/`. Benches may legitimately consult a wall
+/// clock to report host-side throughput; library code may not.
+fn in_det_scope(rel: &str) -> bool {
+    if rel.starts_with("src/") {
+        return true;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src"
+}
+
+/// Scan one source file for panic and nondeterminism tokens.
+fn lint_source(root: &Path, path: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
+    let rel = rel_display(root, path);
+    let panic_scope = in_panic_scope(&rel);
+    let det_scope = in_det_scope(&rel);
+    if !panic_scope && !det_scope {
+        return Ok(());
+    }
+    let text = fs::read_to_string(path)?;
+    let scrubbed = strip_cfg_test(&blank_source(&text));
+    for (idx, line) in scrubbed.lines().enumerate() {
+        if panic_scope {
+            for &(tok, left) in PANIC_TOKENS {
+                if has_token(line, tok, left) {
+                    diags.push(Diagnostic {
+                        file: rel.clone(),
+                        line: idx + 1,
+                        rule: RULE_PANIC_FREE,
+                        message: format!(
+                            "banned token `{tok}` — route fallible paths through SimError \
+                             (tests and #[cfg(test)] regions are exempt)"
+                        ),
+                    });
+                }
+            }
+        }
+        if det_scope {
+            for &(tok, left) in DET_TOKENS {
+                if has_token(line, tok, left) {
+                    diags.push(Diagnostic {
+                        file: rel.clone(),
+                        line: idx + 1,
+                        rule: RULE_DETERMINISTIC,
+                        message: format!(
+                            "ambient nondeterminism `{tok}` — library code must use the \
+                             simulated clock and the in-repo seeded PRNG"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Does `line` contain `tok`, honouring an identifier boundary on the
+/// left when `left_boundary` is set?
+fn has_token(line: &str, tok: &str, left_boundary: bool) -> bool {
+    let mut from = 0;
+    while let Some(off) = line[from..].find(tok) {
+        let at = from + off;
+        if !left_boundary {
+            return true;
+        }
+        let boundary = at == 0
+            || line[..at]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        from = at + tok.len();
+    }
+    false
+}
+
+/// Replace comments, string literals, and character literals with spaces,
+/// preserving newlines so line numbers survive.
+pub fn blank_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    // Last byte emitted verbatim; used to decide whether `r"`/`b"` starts
+    // a (raw/byte) string literal or terminates an ordinary identifier.
+    let mut prev = b' ';
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            out.extend_from_slice(b"  ");
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            prev = b' ';
+            continue;
+        }
+        // Raw (and raw-byte) strings: r"..."  r#"..."#  br#"..."#
+        if (c == b'r' || c == b'b') && !is_ident_byte(prev) {
+            let mut j = i;
+            if b[j] == b'b' && b.get(j + 1) == Some(&b'r') {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut hashes = 0usize;
+                let mut k = j + 1;
+                while b.get(k) == Some(&b'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if b.get(k) == Some(&b'"') {
+                    // Blank from i through the closing quote+hashes.
+                    let close: Vec<u8> = {
+                        let mut v = vec![b'"'];
+                        v.extend(std::iter::repeat_n(b'#', hashes));
+                        v
+                    };
+                    let mut m = k + 1;
+                    while m < b.len() && !b[m..].starts_with(&close) {
+                        m += 1;
+                    }
+                    let end = (m + close.len()).min(b.len());
+                    for &byte in &b[i..end] {
+                        out.push(if byte == b'\n' { b'\n' } else { b' ' });
+                    }
+                    i = end;
+                    prev = b' ';
+                    continue;
+                }
+            }
+        }
+        // Ordinary (and byte) strings.
+        if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"') && !is_ident_byte(prev)) {
+            if c == b'b' {
+                out.push(b' ');
+                i += 1;
+            }
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            prev = b' ';
+            continue;
+        }
+        // Character literal vs lifetime: '\n' or 'x' is a literal; 'a in
+        // a generic position is a lifetime and passes through untouched.
+        if c == b'\'' {
+            if b.get(i + 1) == Some(&b'\\') {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                prev = b' ';
+                continue;
+            }
+            if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                out.extend_from_slice(b"   ");
+                i += 3;
+                prev = b' ';
+                continue;
+            }
+        }
+        out.push(c);
+        prev = c;
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank every `#[cfg(test)]`-gated item (attribute through the matching
+/// close brace, or through `;` for brace-less items), preserving
+/// newlines. Expects comment/string-blanked input.
+pub fn strip_cfg_test(src: &str) -> String {
+    const MARKER: &str = "#[cfg(test)]";
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for (start, _) in src.match_indices(MARKER) {
+        let b = src.as_bytes();
+        let mut i = start + MARKER.len();
+        // Find the first `{` or `;` after the attribute (skipping any
+        // further attributes and the item header).
+        let mut end = None;
+        while i < b.len() {
+            match b[i] {
+                b'{' => {
+                    let mut depth = 1usize;
+                    let mut j = i + 1;
+                    while j < b.len() && depth > 0 {
+                        match b[j] {
+                            b'{' => depth += 1,
+                            b'}' => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = Some(j);
+                    break;
+                }
+                b';' => {
+                    end = Some(i + 1);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        if let Some(end) = end {
+            ranges.push((start, end));
+        }
+    }
+    let mut out: Vec<u8> = src.as_bytes().to_vec();
+    for (start, end) in ranges {
+        for byte in out.iter_mut().take(end).skip(start) {
+            if *byte != b'\n' {
+                *byte = b' ';
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Lines of the TOML table `[header]`, as `(1-based line, text)` pairs,
+/// plus the header's own line. `None` when the table is absent.
+fn toml_section<'a>(toml: &'a str, header: &str) -> Option<(usize, Vec<(usize, &'a str)>)> {
+    let needle = format!("[{header}]");
+    let mut lines = toml.lines().enumerate();
+    let header_line = loop {
+        let (idx, line) = lines.next()?;
+        if line.trim() == needle {
+            break idx + 1;
+        }
+    };
+    let mut body = Vec::new();
+    for (idx, line) in lines {
+        if line.trim_start().starts_with('[') {
+            break;
+        }
+        body.push((idx + 1, line));
+    }
+    Some((header_line, body))
+}
+
+/// Does the section body set `key` to `value` (whitespace-insensitive)?
+fn section_sets(body: &[(usize, &str)], key: &str, value: &str) -> bool {
+    body.iter().any(|(_, line)| {
+        let mut parts = line.splitn(2, '=');
+        match (parts.next(), parts.next()) {
+            (Some(k), Some(v)) => k.trim() == key && v.trim() == value,
+            _ => false,
+        }
+    })
+}
+
+/// Enforce [`RULE_WORKSPACE_LINTS`]: consolidated lint policy in the root
+/// manifest, inherited (not copied) by every crate.
+fn check_manifests(root: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
+    let root_manifest = root.join("Cargo.toml");
+    match fs::read_to_string(&root_manifest) {
+        Ok(toml) => match toml_section(&toml, "workspace.lints.rust") {
+            Some((line, body)) => {
+                if !body
+                    .iter()
+                    .any(|(_, l)| l.split('=').next().map(str::trim) == Some("missing_docs"))
+                {
+                    diags.push(Diagnostic {
+                        file: "Cargo.toml".to_owned(),
+                        line,
+                        rule: RULE_WORKSPACE_LINTS,
+                        message: "[workspace.lints.rust] must set `missing_docs`".to_owned(),
+                    });
+                }
+                if !section_sets(&body, "unsafe_code", "\"forbid\"") {
+                    diags.push(Diagnostic {
+                        file: "Cargo.toml".to_owned(),
+                        line,
+                        rule: RULE_WORKSPACE_LINTS,
+                        message: "[workspace.lints.rust] must set `unsafe_code = \"forbid\"`"
+                            .to_owned(),
+                    });
+                }
+            }
+            None => diags.push(Diagnostic {
+                file: "Cargo.toml".to_owned(),
+                line: 1,
+                rule: RULE_WORKSPACE_LINTS,
+                message: "workspace manifest is missing a [workspace.lints.rust] table".to_owned(),
+            }),
+        },
+        Err(err) if err.kind() == io::ErrorKind::NotFound => diags.push(Diagnostic {
+            file: "Cargo.toml".to_owned(),
+            line: 1,
+            rule: RULE_WORKSPACE_LINTS,
+            message: "workspace root has no Cargo.toml".to_owned(),
+        }),
+        Err(err) => return Err(err),
+    }
+
+    // Every crate manifest must inherit the workspace lint table.
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let manifest = entry.path().join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push(manifest);
+            }
+        }
+    }
+    manifests.sort();
+    for manifest in manifests {
+        let toml = match fs::read_to_string(&manifest) {
+            Ok(t) => t,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => continue,
+            Err(err) => return Err(err),
+        };
+        // Root manifests without a [package] table (pure virtual
+        // workspaces) have nothing to inherit into.
+        if toml_section(&toml, "package").is_none() {
+            continue;
+        }
+        let rel = rel_display(root, &manifest);
+        match toml_section(&toml, "lints") {
+            Some((line, body)) => {
+                if !section_sets(&body, "workspace", "true") {
+                    diags.push(Diagnostic {
+                        file: rel,
+                        line,
+                        rule: RULE_WORKSPACE_LINTS,
+                        message: "[lints] must set `workspace = true`".to_owned(),
+                    });
+                }
+            }
+            None => diags.push(Diagnostic {
+                file: rel,
+                line: 1,
+                rule: RULE_WORKSPACE_LINTS,
+                message: "crate manifest must inherit lints via `[lints] workspace = true`"
+                    .to_owned(),
+            }),
+        }
+    }
+
+    // Crate roots must not carry per-file copies of the consolidated
+    // policy — drift hides there.
+    let mut roots = vec![root.join("src/lib.rs"), root.join("src/main.rs")];
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            roots.push(entry.path().join("src/lib.rs"));
+            roots.push(entry.path().join("src/main.rs"));
+        }
+    }
+    roots.sort();
+    for path in roots {
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => continue,
+            Err(err) => return Err(err),
+        };
+        let blanked = blank_source(&text);
+        for attr in ["#![warn(missing_docs)]", "#![forbid(unsafe_code)]"] {
+            for (idx, line) in blanked.lines().enumerate() {
+                if line.contains(attr) {
+                    diags.push(Diagnostic {
+                        file: rel_display(root, &path),
+                        line: idx + 1,
+                        rule: RULE_WORKSPACE_LINTS,
+                        message: format!(
+                            "`{attr}` duplicates the [workspace.lints] policy — remove the \
+                             per-crate copy"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse the variant names of `pub enum <name>` from blanked source.
+/// Returns the 1-based line of the `enum` keyword and the names.
+pub fn parse_enum_variants(blanked: &str, name: &str) -> Option<(usize, Vec<String>)> {
+    let needle = format!("pub enum {name}");
+    let mut pos = None;
+    let mut from = 0;
+    while let Some(off) = blanked[from..].find(&needle) {
+        let at = from + off;
+        let after = blanked[at + needle.len()..].chars().next();
+        if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+            pos = Some(at);
+            break;
+        }
+        from = at + needle.len();
+    }
+    let at = pos?;
+    let line = blanked[..at].matches('\n').count() + 1;
+    let open = at + blanked[at..].find('{')?;
+    let body = &blanked[open + 1..];
+    let mut depth = 0usize;
+    let mut chunk = String::new();
+    let mut chunks = Vec::new();
+    for c in body.chars() {
+        match c {
+            '{' | '(' | '[' => {
+                depth += 1;
+                chunk.push(c);
+            }
+            '}' | ')' | ']' => {
+                if c == '}' && depth == 0 {
+                    break;
+                }
+                depth = depth.saturating_sub(1);
+                chunk.push(c);
+            }
+            ',' if depth == 0 => {
+                chunks.push(std::mem::take(&mut chunk));
+            }
+            _ => chunk.push(c),
+        }
+    }
+    if !chunk.trim().is_empty() {
+        chunks.push(chunk);
+    }
+    let mut variants = Vec::new();
+    for chunk in chunks {
+        let mut rest = chunk.trim_start();
+        // Skip attributes (doc comments are already blanked away).
+        while rest.starts_with('#') {
+            match rest.find(']') {
+                Some(end) => rest = rest[end + 1..].trim_start(),
+                None => break,
+            }
+        }
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            variants.push(ident);
+        }
+    }
+    Some((line, variants))
+}
+
+/// Enforce [`RULE_EXHAUSTIVE_VARIANTS`]: every `FaultKind` and
+/// `DegradeCause` variant is named in the sim layer's non-test code.
+fn check_exhaustive_variants(root: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
+    let sim_src = root.join("crates/sim/src");
+    if !sim_src.is_dir() {
+        return Ok(());
+    }
+    let mut haystack = String::new();
+    for path in collect_rust_sources(&sim_src)? {
+        let text = fs::read_to_string(&path)?;
+        haystack.push_str(&strip_cfg_test(&blank_source(&text)));
+        haystack.push('\n');
+    }
+    let targets = [
+        ("crates/faults/src/injector.rs", "FaultKind"),
+        ("crates/core/src/policy.rs", "DegradeCause"),
+    ];
+    for (rel, enum_name) in targets {
+        let path = root.join(rel);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => continue,
+            Err(err) => return Err(err),
+        };
+        let blanked = blank_source(&text);
+        let Some((line, variants)) = parse_enum_variants(&blanked, enum_name) else {
+            diags.push(Diagnostic {
+                file: rel.to_owned(),
+                line: 1,
+                rule: RULE_EXHAUSTIVE_VARIANTS,
+                message: format!("could not locate `pub enum {enum_name}`"),
+            });
+            continue;
+        };
+        for variant in variants {
+            let pattern = format!("{enum_name}::{variant}");
+            let named = haystack.match_indices(&pattern).any(|(at, _)| {
+                haystack[at + pattern.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+            });
+            if !named {
+                diags.push(Diagnostic {
+                    file: rel.to_owned(),
+                    line,
+                    rule: RULE_EXHAUSTIVE_VARIANTS,
+                    message: format!(
+                        "variant `{pattern}` is never named in crates/sim/src non-test code — \
+                         extend the sim-layer reporting match"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}

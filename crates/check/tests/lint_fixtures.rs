@@ -1,0 +1,103 @@
+//! Pins the conformance lint's diagnostics over the in-repo fixture tree:
+//! every rule fires at a known file and line, the output order is stable,
+//! and the deliberate near-misses (strings, comments, `#[cfg(test)]`
+//! regions, `unwrap_or`/`expect_err`) stay silent.
+
+use std::path::Path;
+
+use smartrefresh_check::{blank_source, parse_enum_variants, run_lint, strip_cfg_test};
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/bad"))
+}
+
+#[test]
+fn bad_fixture_tree_produces_exactly_the_pinned_diagnostics() {
+    let diags = run_lint(fixture_root()).expect("fixture tree is readable");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    let expected = [
+        "Cargo.toml:1: [workspace-lints] workspace manifest is missing a \
+         [workspace.lints.rust] table",
+        "crates/badcrate/Cargo.toml:1: [workspace-lints] crate manifest must inherit lints \
+         via `[lints] workspace = true`",
+        "crates/badcrate/src/lib.rs:3: [workspace-lints] `#![warn(missing_docs)]` duplicates \
+         the [workspace.lints] policy — remove the per-crate copy",
+        "crates/badcrate/src/lib.rs:5: [deterministic] ambient nondeterminism `std::time` — \
+         library code must use the simulated clock and the in-repo seeded PRNG",
+        "crates/badcrate/src/lib.rs:8: [panic-free] banned token `.unwrap()` — route fallible \
+         paths through SimError (tests and #[cfg(test)] regions are exempt)",
+        "crates/badcrate/src/lib.rs:9: [panic-free] banned token `.expect(` — route fallible \
+         paths through SimError (tests and #[cfg(test)] regions are exempt)",
+        "crates/badcrate/src/lib.rs:11: [panic-free] banned token `panic!` — route fallible \
+         paths through SimError (tests and #[cfg(test)] regions are exempt)",
+        "crates/badcrate/src/lib.rs:13: [panic-free] banned token `todo!` — route fallible \
+         paths through SimError (tests and #[cfg(test)] regions are exempt)",
+        "crates/badcrate/src/lib.rs:23: [deterministic] ambient nondeterminism `std::time` — \
+         library code must use the simulated clock and the in-repo seeded PRNG",
+    ];
+    assert_eq!(
+        rendered, expected,
+        "diagnostics drifted from the pinned set"
+    );
+}
+
+#[test]
+fn lint_is_deterministic_across_runs() {
+    let a = run_lint(fixture_root()).expect("first run");
+    let b = run_lint(fixture_root()).expect("second run");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The repo must always pass its own lint — the same gate CI enforces.
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let diags = run_lint(root).expect("workspace is readable");
+    assert!(
+        diags.is_empty(),
+        "workspace lint regressions:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn blanking_erases_strings_and_comments_but_keeps_lines() {
+    let src = "let a = \"panic!\"; // .unwrap()\nlet b = 'x';\n/* todo!\n*/ let c = 1;\n";
+    let blanked = blank_source(src);
+    assert_eq!(blanked.lines().count(), src.lines().count());
+    assert!(!blanked.contains("panic!"));
+    assert!(!blanked.contains(".unwrap()"));
+    assert!(!blanked.contains("todo!"));
+    assert!(blanked.contains("let a ="));
+    assert!(blanked.contains("let c = 1;"));
+}
+
+#[test]
+fn raw_strings_and_lifetimes_survive_blanking() {
+    let src = "fn f<'a>(s: &'a str) -> &'a str { s }\nlet r = r#\"panic!\"#;\n";
+    let blanked = blank_source(src);
+    assert!(blanked.contains("fn f<'a>(s: &'a str)"));
+    assert!(!blanked.contains("panic!"));
+}
+
+#[test]
+fn cfg_test_regions_are_erased_with_line_structure_intact() {
+    let src = "fn keep() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_keep() {}\n";
+    let stripped = strip_cfg_test(&blank_source(src));
+    assert_eq!(stripped.lines().count(), src.lines().count());
+    assert!(stripped.contains("fn keep()"));
+    assert!(stripped.contains("fn also_keep()"));
+    assert!(!stripped.contains(".unwrap()"));
+}
+
+#[test]
+fn enum_variant_parsing_handles_payloads_and_attributes() {
+    let src = "/// doc\npub enum Kind {\n    /// a\n    Plain,\n    #[allow(dead_code)]\n    Tuple(u32, u64),\n    Fields { a: u32, b: Vec<(u8, u8)> },\n}\n";
+    let (line, variants) = parse_enum_variants(&blank_source(src), "Kind").expect("enum is found");
+    assert_eq!(line, 2);
+    assert_eq!(variants, ["Plain", "Tuple", "Fields"]);
+}

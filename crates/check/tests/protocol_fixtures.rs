@@ -1,0 +1,281 @@
+//! Negative fixtures for the protocol sanitizer: one deliberately violated
+//! command stream per [`RuleId`], driven straight into a [`ProtocolChecker`]
+//! so each rule's trigger condition is pinned independently of the device.
+//!
+//! Every fixture is engineered so that *only* the rule under test fires
+//! (the lone exception, tRC, is documented at its test), which guards
+//! against both missed violations and false-positive cross-talk between
+//! rules.
+
+use smartrefresh_dram::time::{Duration, Instant};
+use smartrefresh_dram::{
+    Geometry, ProtocolChecker, RefreshClass, RetentionTracker, RowAddr, RuleId, TimingParams,
+};
+
+/// Small module: 1 rank x 8 banks x 64 rows (tFAW needs >= 5 banks; 64
+/// rows keeps tREFI = retention / 64 = 1 ms for the deferral fixture).
+fn setup() -> (ProtocolChecker, Geometry, TimingParams) {
+    let geometry = Geometry::new(1, 8, 64, 1024, 64);
+    let timing = TimingParams::ddr2_667();
+    (ProtocolChecker::new(geometry, timing), geometry, timing)
+}
+
+fn addr(bank: u32, row: u32) -> RowAddr {
+    RowAddr { rank: 0, bank, row }
+}
+
+fn ns(n: u64) -> Duration {
+    Duration::from_ns(n)
+}
+
+fn rules(checker: &ProtocolChecker) -> Vec<RuleId> {
+    checker.violations().iter().map(|v| v.rule).collect()
+}
+
+/// Asserts the checker flagged the fixture, and flagged nothing *but* the
+/// rule under test.
+fn assert_only(checker: &ProtocolChecker, rule: RuleId) {
+    let seen = rules(checker);
+    assert!(
+        !seen.is_empty(),
+        "fixture for {rule:?} was not caught by the sanitizer"
+    );
+    assert!(
+        seen.iter().all(|r| *r == rule),
+        "fixture for {rule:?} produced cross-talk violations: {seen:?}"
+    );
+}
+
+#[test]
+fn trcd_column_access_before_activate_settles() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    // One tick short of tRCD: both the busy-horizon check and the
+    // explicit activate-to-column check attribute this to tRCD.
+    c.observe_column(addr(0, 3), t0 + t.trcd - ns(1), false);
+    assert_only(&c, RuleId::Trcd);
+}
+
+#[test]
+fn trp_activate_before_precharge_completes() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    // Precharge late enough (tRAS + tRP after the activate) that the
+    // follow-up activate clears tRC and only the tRP horizon is violated.
+    let pre_at = t0 + t.tras + t.trp;
+    c.observe_precharge(0, 0, Some(3), pre_at);
+    c.observe_activate(addr(0, 5), pre_at + t.trp - ns(1));
+    assert_only(&c, RuleId::Trp);
+}
+
+#[test]
+fn tras_precharge_before_row_restore_window() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    c.observe_precharge(0, 0, Some(3), t0 + t.tras - ns(1));
+    assert_only(&c, RuleId::Tras);
+}
+
+#[test]
+fn trc_activate_too_soon_after_previous_activate() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    // tRC = tRAS + tRP, so with a *legal* intervening precharge the tRC
+    // window is empty by construction — the rule can only fire together
+    // with an early row close. Close early (one Tras violation), then
+    // re-activate inside tRC but outside the precharge busy horizon.
+    let pre_at = t0 + t.tras - ns(5);
+    c.observe_precharge(0, 0, Some(3), pre_at);
+    c.observe_activate(addr(0, 5), pre_at + t.trp);
+    assert_eq!(
+        rules(&c),
+        [RuleId::Tras, RuleId::Trc],
+        "expected the early close plus the tRC violation it enables"
+    );
+}
+
+#[test]
+fn trfc_activate_during_refresh_cycle() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_refresh(addr(0, 9), t0, None, t0, RefreshClass::Cbr);
+    c.observe_activate(addr(0, 9), t0 + t.trfc - ns(1));
+    assert_only(&c, RuleId::Trfc);
+}
+
+#[test]
+fn trrd_rank_activates_closer_than_trrd() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    c.observe_activate(addr(1, 3), t0 + t.trrd - ns(1));
+    assert_only(&c, RuleId::Trrd);
+}
+
+#[test]
+fn tfaw_fifth_activate_inside_the_four_activate_window() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    // Four activates on distinct banks spaced exactly tRRD apart are
+    // legal; the fifth lands at 4 x tRRD = 30 ns, inside tFAW = 37.5 ns.
+    for bank in 0..4 {
+        c.observe_activate(addr(bank, 3), t0 + t.trrd * u64::from(bank));
+    }
+    assert!(rules(&c).is_empty(), "the four-activate ramp must be legal");
+    c.observe_activate(addr(4, 3), t0 + t.trrd * 4);
+    assert_only(&c, RuleId::Tfaw);
+}
+
+#[test]
+fn twr_precharge_before_write_recovery() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    let col_at = t0 + t.trcd;
+    c.observe_column(addr(0, 3), col_at, true);
+    // The write-recovery floor (col + tCL + tBL + tWR = 51 ns) outlasts
+    // the tRAS floor (45 ns); precharging between the two is a tWR
+    // violation and nothing else.
+    let write_floor = col_at + t.tcl + t.tburst + t.twr;
+    assert!(t0 + t.tras < write_floor, "fixture needs tWR to bind last");
+    c.observe_precharge(0, 0, Some(3), t0 + t.tras);
+    assert_only(&c, RuleId::Twr);
+}
+
+#[test]
+fn row_state_column_access_with_no_open_row() {
+    let (mut c, _, _) = setup();
+    c.observe_column(addr(0, 3), Instant::ZERO + ns(100), false);
+    assert_only(&c, RuleId::RowState);
+}
+
+#[test]
+fn row_state_activate_over_an_open_row_and_precharge_closed_bank() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    // Re-activate long after every timing horizon: only the open-row
+    // protocol error remains.
+    c.observe_activate(addr(0, 5), t0 + t.tras + t.trp + t.trfc);
+    assert_only(&c, RuleId::RowState);
+}
+
+#[test]
+fn bank_busy_command_lands_mid_burst() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    let col_at = t0 + t.trcd;
+    c.observe_column(addr(0, 3), col_at, false);
+    c.observe_column(addr(0, 3), col_at + t.tburst - ns(1), false);
+    assert_only(&c, RuleId::BankBusy);
+}
+
+#[test]
+fn refresh_deferral_beyond_eight_intervals() {
+    let (mut c, g, t) = setup();
+    let trefi = t.retention.div_by(u64::from(g.rows()));
+    // Exactly the eight-interval bound is still legal (§5 queues absorb
+    // up to 8 x tREFI of slip) …
+    c.note_refresh_dispatch(Instant::ZERO, Instant::ZERO + trefi * 8);
+    assert!(rules(&c).is_empty(), "deferral at the bound must be legal");
+    // … one interval past it is not.
+    c.note_refresh_dispatch(Instant::ZERO, Instant::ZERO + trefi * 9);
+    assert_only(&c, RuleId::RefreshDeferral);
+}
+
+#[test]
+fn cke_low_window_accounting_errors() {
+    let (mut c, _, _) = setup();
+    let t0 = Instant::ZERO;
+    let min_gap = ns(10);
+    // A healthy window first: credited cleanly, no violation.
+    c.note_powerdown(t0 + ns(100), t0 + ns(200), min_gap);
+    assert!(
+        rules(&c).is_empty(),
+        "a legal power-down window was flagged"
+    );
+    // Empty window, too-narrow window, and a window overlapping the
+    // previously credited one: three distinct CKE-low violations.
+    c.note_powerdown(t0 + ns(300), t0 + ns(300), min_gap);
+    c.note_powerdown(t0 + ns(400), t0 + ns(405), min_gap);
+    c.note_powerdown(t0 + ns(150), t0 + ns(500), min_gap);
+    assert_only(&c, RuleId::CkeLow);
+    assert_eq!(rules(&c).len(), 3, "each accounting error must be flagged");
+}
+
+#[test]
+fn scrub_mid_burst_is_the_section_5_violation() {
+    let (mut c, _, t) = setup();
+    let t0 = Instant::ZERO;
+    c.observe_activate(addr(0, 3), t0);
+    let col_at = t0 + t.trcd;
+    c.observe_column(addr(0, 3), col_at, false);
+    // The scrub arrives one tick before the burst drains; its implied
+    // precharge and tRFC cycle are themselves scheduled legally so the
+    // only finding is the mid-burst landing.
+    let issued_at = col_at + t.tburst - ns(1);
+    let pre_at = t0 + t.tras;
+    c.observe_refresh(
+        addr(0, 3),
+        issued_at,
+        Some((3, pre_at)),
+        pre_at + t.trp,
+        RefreshClass::Scrub,
+    );
+    assert_only(&c, RuleId::ScrubMidBurst);
+}
+
+#[test]
+fn counter_reset_obligation_left_unmatched() {
+    let (mut c, g, t) = setup();
+    let t0 = Instant::ZERO;
+    let row = addr(0, 7);
+    c.observe_activate(row, t0);
+    // Keep the retention tracker in lockstep with the checker's shadow
+    // restore (activate restores the row at t0 + tRAS) so the only
+    // finalize-time finding is the missing counter reset.
+    let mut tracker = RetentionTracker::new(&g, t.retention);
+    let flat = g.flatten(row);
+    let _ = tracker.restore(flat, t0 + t.tras);
+    let now = t0 + t.tras;
+    let found: Vec<RuleId> = c.finalize(&tracker, now).iter().map(|v| v.rule).collect();
+    assert_eq!(found, [RuleId::CounterReset]);
+    // Once the policy acknowledges the reset, the obligation clears.
+    c.note_policy_reset(flat);
+    assert!(c.finalize(&tracker, now).is_empty());
+}
+
+#[test]
+fn retention_deadline_crossed_silently() {
+    let (c, g, t) = setup();
+    // No commands at all: the checker's shadow says every row was last
+    // restored at time zero. The tracker, however, believes row 0 was
+    // restored recently — a silent retention violation for that row.
+    // All other rows are overdue in *both* views, which is the tracker's
+    // own problem to report, not a sanitizer divergence.
+    let mut tracker = RetentionTracker::new(&g, t.retention);
+    let now = Instant::ZERO + t.retention + Duration::from_ms(1);
+    let _ = tracker.restore(0, Instant::ZERO + t.retention);
+    let found: Vec<RuleId> = c.finalize(&tracker, now).iter().map(|v| v.rule).collect();
+    assert_eq!(found, [RuleId::RetentionDeadline]);
+    let report = c.finalize(&tracker, now);
+    assert_eq!(report[0].row, Some(0), "the divergent row is named");
+}
+
+#[test]
+fn shadow_divergence_between_checker_and_tracker() {
+    let (c, g, t) = setup();
+    // The tracker credits a restore the command stream never carried;
+    // nothing is overdue yet, so this surfaces as pure bookkeeping
+    // divergence rather than a retention violation.
+    let mut tracker = RetentionTracker::new(&g, t.retention);
+    let now = Instant::ZERO + t.tras;
+    let _ = tracker.restore(0, now);
+    let found: Vec<RuleId> = c.finalize(&tracker, now).iter().map(|v| v.rule).collect();
+    assert_eq!(found, [RuleId::ShadowDivergence]);
+}

@@ -42,8 +42,6 @@
 //! assert!(refreshes < 256);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod baselines;
 pub mod counter;
 pub mod hysteresis;

@@ -26,8 +26,6 @@
 //! # Ok::<(), smartrefresh_ctrl::SimError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod core;
 pub mod program;
 

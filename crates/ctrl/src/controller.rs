@@ -207,10 +207,19 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 let gap = start.since(self.last_cmd_end);
                 if gap > pd.min_gap {
                     self.stats.powerdown_time += gap - pd.overhead;
+                    self.device
+                        .note_powerdown(self.last_cmd_end, start, pd.min_gap);
                 }
             }
         }
         self.last_cmd_end = self.last_cmd_end.max(end);
+    }
+
+    /// Mirrors a policy time-out-counter reset (open/close/scrub hook) to
+    /// the protocol sanitizer; no-op when the sanitizer is disabled.
+    fn note_policy_reset(&mut self, addr: RowAddr) {
+        let flat = self.device.geometry().flatten(addr);
+        self.device.note_policy_reset(flat);
     }
 
     /// Overrides the idle page-close timeout (`None` disables idle closes).
@@ -223,6 +232,38 @@ impl<P: RefreshPolicy> MemoryController<P> {
     pub fn with_page_policy(mut self, policy: PagePolicy) -> Self {
         self.page_policy = policy;
         self
+    }
+
+    /// Enables the shadow protocol sanitizer on the underlying device.
+    ///
+    /// Every subsequent command is validated against the DDR2 timing rules
+    /// and the Smart-Refresh invariants; collect the verdict with
+    /// [`MemoryController::check_sanitizer`].
+    pub fn with_sanitizer(mut self) -> Self {
+        self.device.enable_protocol_checker();
+        self
+    }
+
+    /// Runs the sanitizer's end-of-run checks as of `now`.
+    ///
+    /// Non-destructive; may be called at multiple checkpoints. `Ok(())`
+    /// when the sanitizer is disabled or observed no violations.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Sanitizer`] carrying the violation count and the first
+    /// violation's rendered diagnostic.
+    pub fn check_sanitizer(&self, now: Instant) -> Result<(), SimError> {
+        let Some(report) = self.device.sanitizer_report(now) else {
+            return Ok(());
+        };
+        match report.violations.first() {
+            None => Ok(()),
+            Some(first) => Err(SimError::Sanitizer {
+                violations: report.violations.len(),
+                first: first.to_string(),
+            }),
+        }
     }
 
     /// The underlying device (operation counts, retention state).
@@ -257,15 +298,28 @@ impl<P: RefreshPolicy> MemoryController<P> {
             if wake > t {
                 break;
             }
+            self.apply_vrt_transitions(wake);
             self.close_idle_pages(wake)?;
             self.policy.advance(wake);
             self.dispatch_refreshes(wake)?;
             self.run_patrol(wake)?;
         }
+        self.apply_vrt_transitions(t);
         self.close_idle_pages(t)?;
         self.run_patrol(t)?;
         self.now = self.now.max(t);
         Ok(())
+    }
+
+    /// Applies any variable-retention-time fault episodes that start or end
+    /// by `now`: a VRT onset tightens the victim rows' retention deadlines
+    /// mid-run; the episode's end restores them. Processed at every policy
+    /// wakeup, so transitions take effect within one refresh slot.
+    fn apply_vrt_transitions(&mut self, now: Instant) {
+        let geometry = *self.device.geometry();
+        if let Some(inj) = self.faults.as_mut() {
+            inj.apply_vrt_transitions(self.device.retention_mut(), &geometry, now);
+        }
     }
 
     /// Processes every patrol scrub slot and watchdog epoch due by `t`.
@@ -341,18 +395,18 @@ impl<P: RefreshPolicy> MemoryController<P> {
             SimError::protocol("scrub", addr.rank, addr.bank, Some(addr.row), issue_at, e)
         })?;
         if let Some(closed_row) = closing {
-            self.policy.on_row_closed(
-                RowAddr {
-                    rank: addr.rank,
-                    bank: addr.bank,
-                    row: closed_row,
-                },
-                issue_at,
-            );
+            let closed = RowAddr {
+                rank: addr.rank,
+                bank: addr.bank,
+                row: closed_row,
+            };
+            self.policy.on_row_closed(closed, issue_at);
+            self.note_policy_reset(closed);
         }
         // The scrub restored the row's charge, so its time-out counter
         // resets and Smart Refresh skips the now-redundant refresh.
         self.policy.on_row_scrubbed(addr, issue_at);
+        self.note_policy_reset(addr);
         let end = self.device.bank(addr.rank, addr.bank).busy_until();
         self.note_command(issue_at, end);
         self.ecc_check(flat, addr, end, false)
@@ -530,14 +584,13 @@ impl<P: RefreshPolicy> MemoryController<P> {
             })?;
             let end = self.device.bank(rank, bank).busy_until();
             self.note_command(pre_at, end);
-            self.policy.on_row_closed(
-                RowAddr {
-                    rank,
-                    bank,
-                    row: open_row,
-                },
-                pre_at,
-            );
+            let closed = RowAddr {
+                rank,
+                bank,
+                row: open_row,
+            };
+            self.policy.on_row_closed(closed, pre_at);
+            self.note_policy_reset(closed);
         }
         Ok(())
     }
@@ -577,6 +630,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
             // If the bank holds an open page the refresh will close it; the
             // policy must see the close so the row's counter resets (§4.1).
             let closing = self.device.bank(rank, bank).open_row();
+            // The action fell due at this wakeup; tell the sanitizer how far
+            // it slipped (fault delays included) for the deferral bound.
+            self.device.note_refresh_dispatch(now, issue_at);
             match action {
                 RefreshAction::Cbr { .. } => {
                     self.device.refresh_cbr(rank, bank, issue_at).map_err(|e| {
@@ -600,14 +656,13 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 }
             }
             if let Some(closed_row) = closing {
-                self.policy.on_row_closed(
-                    RowAddr {
-                        rank,
-                        bank,
-                        row: closed_row,
-                    },
-                    issue_at,
-                );
+                let closed = RowAddr {
+                    rank,
+                    bank,
+                    row: closed_row,
+                };
+                self.policy.on_row_closed(closed, issue_at);
+                self.note_policy_reset(closed);
             }
             let end = self.device.bank(rank, bank).busy_until();
             self.note_command(issue_at, end);
@@ -657,14 +712,13 @@ impl<P: RefreshPolicy> MemoryController<P> {
             self.device.precharge(rank, bank, pre_at).map_err(|e| {
                 SimError::protocol("precharge", rank, bank, Some(closed_row), pre_at, e)
             })?;
-            self.policy.on_row_closed(
-                RowAddr {
-                    rank,
-                    bank,
-                    row: closed_row,
-                },
-                pre_at,
-            );
+            let closed = RowAddr {
+                rank,
+                bank,
+                row: closed_row,
+            };
+            self.policy.on_row_closed(closed, pre_at);
+            self.note_policy_reset(closed);
             t = self.device.bank(rank, bank).busy_until();
         }
         if outcome != RowBufferOutcome::Hit {
@@ -675,6 +729,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 .activate(target, t)
                 .map_err(|e| SimError::protocol("activate", rank, bank, Some(target.row), t, e))?;
             self.policy.on_row_opened(target, t);
+            self.note_policy_reset(target);
             t = act.bank_ready_at;
         }
         let out = if tx.is_write {
@@ -696,6 +751,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
         // the paper resets the counter on any access to an open row.
         if outcome == RowBufferOutcome::Hit {
             self.policy.on_row_opened(target, t);
+            self.note_policy_reset(target);
         }
         self.last_use[self.device.geometry().bank_index(rank, bank) as usize] = out.bank_ready_at;
         self.note_command(first_cmd_at, out.bank_ready_at);
@@ -714,14 +770,13 @@ impl<P: RefreshPolicy> MemoryController<P> {
             self.device.precharge(rank, bank, pre_at).map_err(|e| {
                 SimError::protocol("precharge", rank, bank, Some(closed_row), pre_at, e)
             })?;
-            self.policy.on_row_closed(
-                RowAddr {
-                    rank,
-                    bank,
-                    row: closed_row,
-                },
-                pre_at,
-            );
+            let closed = RowAddr {
+                rank,
+                bank,
+                row: closed_row,
+            };
+            self.policy.on_row_closed(closed, pre_at);
+            self.note_policy_reset(closed);
         }
         let latency = out.completed_at.since(tx.arrival);
         self.stats.record(outcome, latency);

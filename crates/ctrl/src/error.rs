@@ -98,6 +98,15 @@ pub enum SimError {
         /// Which invariant the parameters violate.
         what: &'static str,
     },
+    /// The shadow protocol sanitizer observed conformance violations —
+    /// illegal timings, missed counter resets, silent retention overruns.
+    /// Always a simulator bug, never a workload condition.
+    Sanitizer {
+        /// Total number of violations the sanitizer collected.
+        violations: usize,
+        /// Rendered diagnostic of the first violation.
+        first: String,
+    },
 }
 
 impl SimError {
@@ -176,6 +185,12 @@ impl fmt::Display for SimError {
             }
             SimError::Config { what } => {
                 write!(f, "invalid configuration: {what}")
+            }
+            SimError::Sanitizer { violations, first } => {
+                write!(
+                    f,
+                    "protocol sanitizer found {violations} violation(s); first: {first}"
+                )
             }
         }
     }

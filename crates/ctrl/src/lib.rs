@@ -24,8 +24,6 @@
 //! # Ok::<(), smartrefresh_ctrl::SimError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod controller;
 pub mod ecc;
 pub mod error;

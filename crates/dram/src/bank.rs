@@ -79,12 +79,14 @@ impl Bank {
     }
 
     /// Records a PRECHARGE: closes the row, accumulating open time, and
-    /// reserves the bank until `now + trp`. Returns the row that was closed.
-    pub(crate) fn do_precharge(&mut self, now: Instant, trp: Duration) -> u32 {
-        let row = self.open_row.take().expect("precharge with no open row");
+    /// reserves the bank until `now + trp`. Returns the row that was closed,
+    /// or `None` (with no state change) when no row was open — callers check
+    /// the open-row state before issuing.
+    pub(crate) fn do_precharge(&mut self, now: Instant, trp: Duration) -> Option<u32> {
+        let row = self.open_row.take()?;
         self.total_open_time += now.saturating_since(self.opened_at);
         self.busy_until = now + trp;
-        row
+        Some(row)
     }
 
     /// Records a refresh cycle occupying the bank for `trfc` starting at
@@ -132,7 +134,7 @@ mod tests {
         assert_eq!(b.busy_until(), at(15));
         assert_eq!(b.earliest_precharge(), at(45));
         let closed = b.do_precharge(at(100), ns(15));
-        assert_eq!(closed, 7);
+        assert_eq!(closed, Some(7));
         assert!(b.is_precharged());
         assert_eq!(b.open_time(at(1000)), ns(100));
     }

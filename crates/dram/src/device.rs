@@ -14,6 +14,7 @@
 use crate::bank::Bank;
 use crate::error::DramError;
 use crate::geometry::{Geometry, RowAddr};
+use crate::protocol::{ProtocolChecker, RefreshClass, SanitizerReport};
 use crate::rank::RankState;
 use crate::retention::RetentionTracker;
 use crate::stats::OpStats;
@@ -60,6 +61,9 @@ pub struct DramDevice {
     ranks: Vec<RankState>,
     retention: RetentionTracker,
     stats: OpStats,
+    /// Optional shadow conformance checker; one branch per command when
+    /// disabled (`None`), full DDR2 + Smart-Refresh validation when enabled.
+    checker: Option<Box<ProtocolChecker>>,
 }
 
 impl DramDevice {
@@ -80,6 +84,57 @@ impl DramDevice {
             geometry,
             timing,
             stats: OpStats::new(),
+            checker: None,
+        }
+    }
+
+    /// Enables the shadow protocol checker (the conformance sanitizer).
+    ///
+    /// Call right after construction: the checker assumes it observes the
+    /// command stream from time zero. Idempotent — re-enabling resets the
+    /// shadow state.
+    pub fn enable_protocol_checker(&mut self) {
+        self.checker = Some(Box::new(ProtocolChecker::new(self.geometry, self.timing)));
+    }
+
+    /// The shadow protocol checker, when enabled.
+    pub fn protocol_checker(&self) -> Option<&ProtocolChecker> {
+        self.checker.as_deref()
+    }
+
+    /// Runs the checker's end-of-run cross-check against the retention
+    /// tracker and returns the full violation report, or `None` when the
+    /// checker is disabled. Non-destructive: may be called at multiple
+    /// checkpoints.
+    pub fn sanitizer_report(&self, now: Instant) -> Option<SanitizerReport> {
+        self.checker.as_deref().map(|c| SanitizerReport {
+            violations: c.finalize(&self.retention, now),
+            commands_checked: c.commands_checked(),
+        })
+    }
+
+    /// Tells the checker the controller reset the Smart-Refresh time-out
+    /// counter for flat row `flat` (policy open/close/scrub hook fired).
+    /// No-op when the checker is disabled.
+    pub fn note_policy_reset(&mut self, flat: u64) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.note_policy_reset(flat);
+        }
+    }
+
+    /// Tells the checker a pending refresh that fell due at `due` was
+    /// dispatched at `issued` (deferral-bound check). No-op when disabled.
+    pub fn note_refresh_dispatch(&mut self, due: Instant, issued: Instant) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.note_refresh_dispatch(due, issued);
+        }
+    }
+
+    /// Tells the checker the controller credited a CKE-low power-down
+    /// window `[from, to]` under minimum-gap `min_gap`. No-op when disabled.
+    pub fn note_powerdown(&mut self, from: Instant, to: Instant, min_gap: Duration) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.note_powerdown(from, to, min_gap);
         }
     }
 
@@ -202,6 +257,9 @@ impl DramDevice {
         self.retention
             .restore(self.geometry.flatten(addr), restore_at);
         self.stats.activates += 1;
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.observe_activate(addr, now);
+        }
         Ok(OpOutcome {
             bank_ready_at: now + trcd,
             completed_at: now + trcd,
@@ -249,6 +307,9 @@ impl DramDevice {
             self.stats.writes += 1;
         } else {
             self.stats.reads += 1;
+        }
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.observe_column(addr, now, is_write);
         }
         Ok(OpOutcome {
             bank_ready_at: now + tburst,
@@ -312,10 +373,15 @@ impl DramDevice {
             });
         }
         let trp = self.timing.trp;
-        let row = self.bank_mut(rank, bank).do_precharge(now, trp);
+        let Some(row) = self.bank_mut(rank, bank).do_precharge(now, trp) else {
+            return Err(DramError::NoOpenRow { rank, bank });
+        };
         self.retention
             .restore(self.geometry.flatten(RowAddr { rank, bank, row }), now);
         self.stats.precharges += 1;
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.observe_precharge(rank, bank, Some(row), now);
+        }
         Ok(OpOutcome {
             bank_ready_at: now + trp,
             completed_at: now + trp,
@@ -329,25 +395,29 @@ impl DramDevice {
         bank: u32,
         row: u32,
         now: Instant,
+        class: RefreshClass,
     ) -> Result<OpOutcome, DramError> {
         self.require_ready(rank, bank, now)?;
         let mut start = now;
         let mut closed_open_page = false;
+        let mut pre = None;
         // A refresh arriving at a bank with an open page implicitly writes the
         // page back and precharges first (extra time and energy, §7.1),
         // honouring the tRAS / write-recovery floor.
         if self.bank(rank, bank).open_row().is_some() {
             let trp = self.timing.trp;
             let pre_at = now.max(self.bank(rank, bank).earliest_precharge());
-            let closed = self.bank_mut(rank, bank).do_precharge(pre_at, trp);
-            self.retention.restore(
-                self.geometry.flatten(RowAddr {
-                    rank,
-                    bank,
-                    row: closed,
-                }),
-                pre_at,
-            );
+            if let Some(closed) = self.bank_mut(rank, bank).do_precharge(pre_at, trp) {
+                self.retention.restore(
+                    self.geometry.flatten(RowAddr {
+                        rank,
+                        bank,
+                        row: closed,
+                    }),
+                    pre_at,
+                );
+                pre = Some((closed, pre_at));
+            }
             start = pre_at + trp;
             closed_open_page = true;
             self.stats.refreshes_closing_open_page += 1;
@@ -357,6 +427,9 @@ impl DramDevice {
         let done = start + trfc;
         self.retention
             .restore(self.geometry.flatten(RowAddr { rank, bank, row }), done);
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.observe_refresh(RowAddr { rank, bank, row }, now, pre, start, class);
+        }
         Ok(OpOutcome {
             bank_ready_at: done,
             completed_at: done,
@@ -383,7 +456,7 @@ impl DramDevice {
     ) -> Result<(OpOutcome, u32), DramError> {
         let idx = self.geometry.bank_index(rank, bank) as usize;
         let row = self.cbr_row_counters[idx];
-        let outcome = self.refresh_common(rank, bank, row, now)?;
+        let outcome = self.refresh_common(rank, bank, row, now, RefreshClass::Cbr)?;
         self.cbr_row_counters[idx] = (row + 1) % self.geometry.rows();
         self.stats.cbr_refreshes += 1;
         Ok((outcome, row))
@@ -402,7 +475,8 @@ impl DramDevice {
         now: Instant,
     ) -> Result<OpOutcome, DramError> {
         self.check_addr(addr)?;
-        let outcome = self.refresh_common(addr.rank, addr.bank, addr.row, now)?;
+        let outcome =
+            self.refresh_common(addr.rank, addr.bank, addr.row, now, RefreshClass::RasOnly)?;
         self.stats.ras_only_refreshes += 1;
         Ok(outcome)
     }
@@ -423,7 +497,8 @@ impl DramDevice {
     /// [`DramError::BankBusy`] or [`DramError::AddressOutOfRange`].
     pub fn scrub_row(&mut self, addr: RowAddr, now: Instant) -> Result<OpOutcome, DramError> {
         self.check_addr(addr)?;
-        let outcome = self.refresh_common(addr.rank, addr.bank, addr.row, now)?;
+        let outcome =
+            self.refresh_common(addr.rank, addr.bank, addr.row, now, RefreshClass::Scrub)?;
         self.stats.scrubs += 1;
         Ok(outcome)
     }

@@ -30,14 +30,13 @@
 //! # Ok::<(), smartrefresh_dram::DramError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod bank;
 pub mod configs;
 pub mod device;
 pub mod error;
 pub mod geometry;
 pub mod profile;
+pub mod protocol;
 pub mod rank;
 pub mod retention;
 pub mod rng;
@@ -50,6 +49,7 @@ pub use device::{DramDevice, OpOutcome};
 pub use error::DramError;
 pub use geometry::{DecodedAddr, Geometry, RowAddr};
 pub use profile::RetentionProfile;
+pub use protocol::{ProtocolChecker, RefreshClass, RuleId, SanitizerReport, Violation};
 pub use retention::RetentionTracker;
 pub use rng::Rng;
 pub use stats::OpStats;

@@ -80,7 +80,7 @@ impl RetentionProfile {
                     }
                     x -= f;
                 }
-                bins.last().expect("nonempty bins").0
+                bins.last().map_or(0, |&(m, _)| m)
             })
             .collect();
         RetentionProfile { multipliers_log2 }

@@ -1,0 +1,720 @@
+//! Shadow protocol checker — the runtime half of the conformance suite.
+//!
+//! [`ProtocolChecker`] is a passive observer that mirrors the timing state
+//! of a [`crate::DramDevice`] from the command stream alone and flags any
+//! command that violates the DDR2 timing rules (tRCD/tRP/tRAS/tRC/tRFC/
+//! tRRD/tFAW/tWR), the CKE-low power-down accounting rules, or the
+//! Smart-Refresh invariants from the paper: every row-buffer open/close and
+//! every scrub must reset the row's time-out counter, no refresh may be
+//! deferred past eight refresh intervals (the JEDEC 9×tREFI analogue), no
+//! scrub may land on a bank mid-burst, and no row may cross its retention
+//! deadline *silently* — i.e. without the [`crate::RetentionTracker`]
+//! knowing about it.
+//!
+//! The checker never influences simulation behaviour: it is carried as an
+//! `Option<Box<ProtocolChecker>>` inside the device and costs one branch
+//! per command when disabled. Violations accumulate and are drained by
+//! [`ProtocolChecker::finalize`], which also runs the end-of-run
+//! cross-check of the shadow restore timestamps against the device's
+//! retention tracker.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::geometry::{Geometry, RowAddr};
+use crate::retention::RetentionTracker;
+use crate::time::{Duration, Instant};
+use crate::timing::TimingParams;
+
+/// Which conformance rule a [`Violation`] breaks.
+///
+/// One variant per enforced rule; the negative-fixture suite in
+/// `smartrefresh-check` exercises each of them with a deliberately
+/// violated command stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Column access before the activate-to-column delay elapsed.
+    Trcd,
+    /// Command issued before a precharge completed on the bank.
+    Trp,
+    /// Precharge issued before the row-restore window (tRAS) elapsed.
+    Tras,
+    /// Activate issued less than tRC (= tRAS + tRP) after the previous
+    /// activate to the same bank.
+    Trc,
+    /// Command issued while a refresh held the bank (tRFC window).
+    Trfc,
+    /// Activates on the same rank closer together than tRRD.
+    Trrd,
+    /// More than four activates on a rank inside a tFAW window.
+    Tfaw,
+    /// Precharge issued before the write-recovery floor (tWR) elapsed.
+    Twr,
+    /// Row-state protocol error: column access with no/mismatched open
+    /// row, activate on an already-open bank, or precharge on a closed
+    /// bank.
+    RowState,
+    /// Command issued while the bank was still busy with a data burst.
+    BankBusy,
+    /// A pending refresh was dispatched more than eight refresh intervals
+    /// after it fell due (the Smart-Refresh deferral bound, §5).
+    RefreshDeferral,
+    /// Power-down (CKE-low) accounting error: credited window shorter
+    /// than the configured minimum gap, zero-length, or overlapping a
+    /// previously credited window.
+    CkeLow,
+    /// A scrub was issued to a bank that was still mid-burst.
+    ScrubMidBurst,
+    /// A row-buffer open/close or scrub was never followed by the
+    /// corresponding time-out-counter reset notification.
+    CounterReset,
+    /// A row crossed its retention deadline without the retention
+    /// tracker reflecting it — a silent retention violation.
+    RetentionDeadline,
+    /// The shadow restore timestamp for a row diverged from the
+    /// retention tracker's bookkeeping.
+    ShadowDivergence,
+}
+
+impl RuleId {
+    /// Stable kebab-case identifier used in diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::Trcd => "trcd",
+            RuleId::Trp => "trp",
+            RuleId::Tras => "tras",
+            RuleId::Trc => "trc",
+            RuleId::Trfc => "trfc",
+            RuleId::Trrd => "trrd",
+            RuleId::Tfaw => "tfaw",
+            RuleId::Twr => "twr",
+            RuleId::RowState => "row-state",
+            RuleId::BankBusy => "bank-busy",
+            RuleId::RefreshDeferral => "refresh-deferral",
+            RuleId::CkeLow => "cke-low",
+            RuleId::ScrubMidBurst => "scrub-mid-burst",
+            RuleId::CounterReset => "counter-reset",
+            RuleId::RetentionDeadline => "retention-deadline",
+            RuleId::ShadowDivergence => "shadow-divergence",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which kind of refresh-class command a bank received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshClass {
+    /// CBR (auto) refresh driven by the device's internal row counter.
+    Cbr,
+    /// RAS-only refresh addressed to an explicit row.
+    RasOnly,
+    /// Patrol/demand scrub (a RAS-only cycle issued by the scrubber).
+    Scrub,
+}
+
+impl RefreshClass {
+    fn label(self) -> &'static str {
+        match self {
+            RefreshClass::Cbr => "CBR refresh",
+            RefreshClass::RasOnly => "RAS-only refresh",
+            RefreshClass::Scrub => "scrub",
+        }
+    }
+}
+
+/// One conformance violation observed by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that was broken.
+    pub rule: RuleId,
+    /// Simulation time at which the offending command was observed.
+    pub at: Instant,
+    /// Rank the command addressed.
+    pub rank: u32,
+    /// Bank the command addressed.
+    pub bank: u32,
+    /// Row involved, when the command names one.
+    pub row: Option<u32>,
+    /// Human-readable description of the violated constraint.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] at {} rank {} bank {}",
+            self.rule, self.at, self.rank, self.bank
+        )?;
+        if let Some(row) = self.row {
+            write!(f, " row {row}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// End-of-run report produced by [`crate::DramDevice::sanitizer_report`].
+#[derive(Debug, Clone)]
+pub struct SanitizerReport {
+    /// All violations, in observation order (finalize checks last).
+    pub violations: Vec<Violation>,
+    /// Number of device commands the checker observed.
+    pub commands_checked: u64,
+}
+
+/// Shadow copy of one bank's timing state.
+#[derive(Debug, Clone)]
+struct ShadowBank {
+    open_row: Option<u32>,
+    /// Bank unavailable for new commands before this instant …
+    busy_until: Instant,
+    /// … and this is the rule a too-early command breaks.
+    busy_rule: RuleId,
+    /// Start of the most recent activate, if any.
+    act_at: Option<Instant>,
+    /// Earliest legal precharge due to tRAS.
+    tras_floor: Instant,
+    /// Earliest legal precharge due to write recovery (tWR).
+    write_floor: Instant,
+}
+
+impl ShadowBank {
+    fn new() -> Self {
+        ShadowBank {
+            open_row: None,
+            busy_until: Instant::ZERO,
+            busy_rule: RuleId::BankBusy,
+            act_at: None,
+            tras_floor: Instant::ZERO,
+            write_floor: Instant::ZERO,
+        }
+    }
+}
+
+/// Shadow copy of one rank's activate history (tRRD/tFAW window).
+#[derive(Debug, Clone)]
+struct ShadowRank {
+    recent: [Instant; 4],
+    next_slot: usize,
+    count: u64,
+    last_activate: Option<Instant>,
+}
+
+impl ShadowRank {
+    fn new() -> Self {
+        ShadowRank {
+            recent: [Instant::ZERO; 4],
+            next_slot: 0,
+            count: 0,
+            last_activate: None,
+        }
+    }
+
+    fn record(&mut self, now: Instant) {
+        self.recent[self.next_slot] = now;
+        self.next_slot = (self.next_slot + 1) % self.recent.len();
+        self.count += 1;
+        self.last_activate = Some(now);
+    }
+
+    /// The activate four-back in history, once four have been seen.
+    fn faw_anchor(&self) -> Option<Instant> {
+        if self.count >= self.recent.len() as u64 {
+            Some(self.recent[self.next_slot])
+        } else {
+            None
+        }
+    }
+}
+
+/// Passive shadow observer validating a DRAM command stream.
+///
+/// See the [module documentation](self) for the rule set. Constructed by
+/// [`crate::DramDevice::enable_protocol_checker`]; not normally built
+/// directly except by the negative-fixture tests.
+#[derive(Debug, Clone)]
+pub struct ProtocolChecker {
+    geometry: Geometry,
+    timing: TimingParams,
+    banks: Vec<ShadowBank>,
+    ranks: Vec<ShadowRank>,
+    /// Shadow of the retention tracker's last-restore timestamps.
+    last_restore: Vec<Instant>,
+    /// Rows whose time-out counter must be reset (value = command time
+    /// that created the obligation). BTreeMap for deterministic order.
+    pending_resets: BTreeMap<u64, Instant>,
+    violations: Vec<Violation>,
+    commands: u64,
+    /// Per-bank refresh interval: retention / rows-per-bank.
+    trefi: Duration,
+    /// End of the last credited power-down window.
+    last_powerdown_end: Instant,
+}
+
+impl ProtocolChecker {
+    /// Build a checker mirroring a device with the given shape and timing.
+    pub fn new(geometry: Geometry, timing: TimingParams) -> Self {
+        let trefi = if geometry.rows() > 0 {
+            timing.retention.div_by(u64::from(geometry.rows()))
+        } else {
+            timing.retention
+        };
+        ProtocolChecker {
+            geometry,
+            timing,
+            banks: (0..geometry.total_banks())
+                .map(|_| ShadowBank::new())
+                .collect(),
+            ranks: (0..geometry.ranks()).map(|_| ShadowRank::new()).collect(),
+            last_restore: vec![Instant::ZERO; geometry.total_rows() as usize],
+            pending_resets: BTreeMap::new(),
+            violations: Vec::new(),
+            commands: 0,
+            trefi,
+            last_powerdown_end: Instant::ZERO,
+        }
+    }
+
+    /// Violations recorded so far (excluding finalize-time checks).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of device commands observed so far.
+    pub fn commands_checked(&self) -> u64 {
+        self.commands
+    }
+
+    fn flag(
+        &mut self,
+        rule: RuleId,
+        at: Instant,
+        rank: u32,
+        bank: u32,
+        row: Option<u32>,
+        detail: String,
+    ) {
+        self.violations.push(Violation {
+            rule,
+            at,
+            rank,
+            bank,
+            row,
+            detail,
+        });
+    }
+
+    fn bank_index(&self, rank: u32, bank: u32) -> usize {
+        self.geometry.bank_index(rank, bank) as usize
+    }
+
+    /// Shadow restore credit; mirrors `RetentionTracker::restore` (ignores
+    /// out-of-order restores).
+    fn restore_shadow(&mut self, flat: u64, at: Instant) {
+        let slot = &mut self.last_restore[flat as usize];
+        if at >= *slot {
+            *slot = at;
+        }
+    }
+
+    fn expect_reset(&mut self, flat: u64, at: Instant) {
+        self.pending_resets.insert(flat, at);
+    }
+
+    /// Check a command issued to `(rank, bank)` at `at` against the bank's
+    /// busy horizon; `rule_override` replaces the horizon's own rule (used
+    /// for the scrub-mid-burst check).
+    fn check_busy(&mut self, rank: u32, bank: u32, at: Instant, rule_override: Option<RuleId>) {
+        let bi = self.bank_index(rank, bank);
+        let (busy_until, busy_rule) = (self.banks[bi].busy_until, self.banks[bi].busy_rule);
+        if at < busy_until {
+            let rule = rule_override.unwrap_or(busy_rule);
+            self.flag(
+                rule,
+                at,
+                rank,
+                bank,
+                None,
+                format!("command issued at {at} but bank busy until {busy_until}"),
+            );
+        }
+    }
+
+    /// Observe an activate (row open) on `addr` at `at`.
+    pub fn observe_activate(&mut self, addr: RowAddr, at: Instant) {
+        self.commands += 1;
+        self.check_busy(addr.rank, addr.bank, at, None);
+
+        let t = self.timing;
+        let bi = self.bank_index(addr.rank, addr.bank);
+        if let Some(open) = self.banks[bi].open_row {
+            self.flag(
+                RuleId::RowState,
+                at,
+                addr.rank,
+                addr.bank,
+                Some(addr.row),
+                format!("activate while row {open} already open"),
+            );
+        }
+        if let Some(prev) = self.banks[bi].act_at {
+            let trc = t.tras + t.trp;
+            if at < prev + trc {
+                self.flag(
+                    RuleId::Trc,
+                    at,
+                    addr.rank,
+                    addr.bank,
+                    Some(addr.row),
+                    format!(
+                        "activate {} after previous activate; tRC = {trc}",
+                        at.saturating_since(prev)
+                    ),
+                );
+            }
+        }
+
+        let ri = addr.rank as usize;
+        if let Some(last) = self.ranks[ri].last_activate {
+            if at < last + t.trrd {
+                self.flag(
+                    RuleId::Trrd,
+                    at,
+                    addr.rank,
+                    addr.bank,
+                    Some(addr.row),
+                    format!(
+                        "activate {} after previous rank activate; tRRD = {}",
+                        at.saturating_since(last),
+                        t.trrd
+                    ),
+                );
+            }
+        }
+        if let Some(anchor) = self.ranks[ri].faw_anchor() {
+            if at < anchor + t.tfaw {
+                self.flag(
+                    RuleId::Tfaw,
+                    at,
+                    addr.rank,
+                    addr.bank,
+                    Some(addr.row),
+                    format!(
+                        "fifth activate {} after window start; tFAW = {}",
+                        at.saturating_since(anchor),
+                        t.tfaw
+                    ),
+                );
+            }
+        }
+        self.ranks[ri].record(at);
+
+        let bank = &mut self.banks[bi];
+        bank.open_row = Some(addr.row);
+        bank.act_at = Some(at);
+        bank.busy_until = at + t.trcd;
+        bank.busy_rule = RuleId::Trcd;
+        bank.tras_floor = at + t.tras;
+        bank.write_floor = Instant::ZERO;
+
+        let flat = self.geometry.flatten(addr);
+        self.restore_shadow(flat, at + t.tras);
+        self.expect_reset(flat, at);
+    }
+
+    /// Observe a column read/write on `addr` at `at`.
+    pub fn observe_column(&mut self, addr: RowAddr, at: Instant, is_write: bool) {
+        self.commands += 1;
+        self.check_busy(addr.rank, addr.bank, at, None);
+
+        let t = self.timing;
+        let bi = self.bank_index(addr.rank, addr.bank);
+        match self.banks[bi].open_row {
+            None => self.flag(
+                RuleId::RowState,
+                at,
+                addr.rank,
+                addr.bank,
+                Some(addr.row),
+                "column access with no open row".into(),
+            ),
+            Some(open) if open != addr.row => self.flag(
+                RuleId::RowState,
+                at,
+                addr.rank,
+                addr.bank,
+                Some(addr.row),
+                format!("column access to row {} but row {open} is open", addr.row),
+            ),
+            Some(_) => {
+                if let Some(act) = self.banks[bi].act_at {
+                    if at < act + t.trcd {
+                        self.flag(
+                            RuleId::Trcd,
+                            at,
+                            addr.rank,
+                            addr.bank,
+                            Some(addr.row),
+                            format!(
+                                "column access {} after activate; tRCD = {}",
+                                at.saturating_since(act),
+                                t.trcd
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        let bank = &mut self.banks[bi];
+        bank.busy_until = at + t.tburst;
+        bank.busy_rule = RuleId::BankBusy;
+        if is_write {
+            let floor = at + t.tcl + t.tburst + t.twr;
+            bank.write_floor = bank.write_floor.max(floor);
+        }
+    }
+
+    /// Observe a precharge (explicit, or implied by a refresh closing an
+    /// open page) of `closed_row` on `(rank, bank)` at `at`.
+    pub fn observe_precharge(
+        &mut self,
+        rank: u32,
+        bank: u32,
+        closed_row: Option<u32>,
+        at: Instant,
+    ) {
+        self.commands += 1;
+        self.check_busy(rank, bank, at, None);
+
+        let t = self.timing;
+        let bi = self.bank_index(rank, bank);
+        let shadow_row = self.banks[bi].open_row;
+        if shadow_row.is_none() {
+            self.flag(
+                RuleId::RowState,
+                at,
+                rank,
+                bank,
+                closed_row,
+                "precharge with no open row".into(),
+            );
+        }
+        let (tras_floor, write_floor) = (self.banks[bi].tras_floor, self.banks[bi].write_floor);
+        if at < tras_floor {
+            self.flag(
+                RuleId::Tras,
+                at,
+                rank,
+                bank,
+                closed_row,
+                format!("precharge at {at} before tRAS floor {tras_floor}"),
+            );
+        } else if at < write_floor {
+            self.flag(
+                RuleId::Twr,
+                at,
+                rank,
+                bank,
+                closed_row,
+                format!("precharge at {at} before write-recovery floor {write_floor}"),
+            );
+        }
+
+        let bank_state = &mut self.banks[bi];
+        bank_state.open_row = None;
+        bank_state.busy_until = at + t.trp;
+        bank_state.busy_rule = RuleId::Trp;
+        bank_state.tras_floor = Instant::ZERO;
+        bank_state.write_floor = Instant::ZERO;
+
+        if let Some(row) = closed_row.or(shadow_row) {
+            let flat = self.geometry.flatten(RowAddr { rank, bank, row });
+            self.restore_shadow(flat, at);
+            self.expect_reset(flat, at);
+        }
+    }
+
+    /// Observe a refresh-class command refreshing row `addr`.
+    ///
+    /// `issued_at` is the arrival time at the device; `pre` carries the
+    /// implied precharge (closed row, precharge time) when the refresh had
+    /// to close an open page first; `start` is the post-precharge start of
+    /// the tRFC cycle.
+    pub fn observe_refresh(
+        &mut self,
+        addr: RowAddr,
+        issued_at: Instant,
+        pre: Option<(u32, Instant)>,
+        start: Instant,
+        class: RefreshClass,
+    ) {
+        let RowAddr { rank, bank, row } = addr;
+        // Busy check happens against the pre-precharge state: a scrub that
+        // lands on a bank still bursting is the §5 mid-burst violation.
+        let rule_override = if class == RefreshClass::Scrub {
+            Some(RuleId::ScrubMidBurst)
+        } else {
+            None
+        };
+        self.check_busy(rank, bank, issued_at, rule_override);
+
+        if let Some((closed_row, pre_at)) = pre {
+            self.observe_precharge(rank, bank, Some(closed_row), pre_at);
+        }
+        self.commands += 1;
+
+        let t = self.timing;
+        let bi = self.bank_index(rank, bank);
+        let bank_state = &mut self.banks[bi];
+        if let Some(open) = bank_state.open_row {
+            self.flag(
+                RuleId::RowState,
+                start,
+                rank,
+                bank,
+                Some(row),
+                format!("{} with row {open} still open", class.label()),
+            );
+        }
+        let bank_state = &mut self.banks[bi];
+        bank_state.open_row = None;
+        bank_state.busy_until = start + t.trfc;
+        bank_state.busy_rule = RuleId::Trfc;
+
+        let flat = self.geometry.flatten(addr);
+        self.restore_shadow(flat, start + t.trfc);
+        if class == RefreshClass::Scrub {
+            // Scrubs must reset the row's time-out counter (§4.3); plain
+            // refreshes are popped by the policy itself, which resets its
+            // own counter internally.
+            self.expect_reset(flat, start);
+        }
+    }
+
+    /// Note that the controller reset the time-out counter backing `flat`
+    /// (a policy `on_row_opened`/`on_row_closed`/`on_row_scrubbed` call).
+    pub fn note_policy_reset(&mut self, flat: u64) {
+        self.pending_resets.remove(&flat);
+    }
+
+    /// Note a pending refresh action being dispatched: it fell due at
+    /// `due` and was issued at `issued`.
+    pub fn note_refresh_dispatch(&mut self, due: Instant, issued: Instant) {
+        let bound = self.trefi * 8;
+        let deferral = issued.saturating_since(due);
+        if deferral > bound {
+            self.flag(
+                RuleId::RefreshDeferral,
+                issued,
+                0,
+                0,
+                None,
+                format!("refresh due at {due} deferred {deferral}; bound is 8 x tREFI = {bound}"),
+            );
+        }
+    }
+
+    /// Note a credited CKE-low (power-down) window `[from, to]` with the
+    /// controller's configured minimum idle gap.
+    pub fn note_powerdown(&mut self, from: Instant, to: Instant, min_gap: Duration) {
+        if to <= from {
+            self.flag(
+                RuleId::CkeLow,
+                to,
+                0,
+                0,
+                None,
+                format!("power-down window [{from}, {to}] is empty or inverted"),
+            );
+            return;
+        }
+        let width = to.since(from);
+        if width <= min_gap {
+            self.flag(
+                RuleId::CkeLow,
+                to,
+                0,
+                0,
+                None,
+                format!("power-down window {width} not longer than minimum gap {min_gap}"),
+            );
+        }
+        if from < self.last_powerdown_end {
+            self.flag(
+                RuleId::CkeLow,
+                to,
+                0,
+                0,
+                None,
+                format!(
+                    "power-down window starting {from} overlaps previous window ending {}",
+                    self.last_powerdown_end
+                ),
+            );
+        }
+        self.last_powerdown_end = self.last_powerdown_end.max(to);
+    }
+
+    /// End-of-run checks: unmatched counter-reset obligations, silent
+    /// retention violations, and shadow/tracker bookkeeping divergence.
+    ///
+    /// Pure: returns the accumulated violations plus the finalize-time
+    /// findings without consuming the checker, so it can be called at
+    /// multiple checkpoints.
+    pub fn finalize(&self, tracker: &RetentionTracker, now: Instant) -> Vec<Violation> {
+        let mut out = self.violations.clone();
+        for (&flat, &at) in &self.pending_resets {
+            let addr = self.geometry.unflatten(flat);
+            out.push(Violation {
+                rule: RuleId::CounterReset,
+                at,
+                rank: addr.rank,
+                bank: addr.bank,
+                row: Some(addr.row),
+                detail: format!(
+                    "row open/close/scrub at {at} never followed by a time-out counter reset"
+                ),
+            });
+        }
+        let rows = self.last_restore.len().min(tracker.len());
+        for flat in 0..rows {
+            let shadow = self.last_restore[flat];
+            let tracked = tracker.last_restore(flat as u64);
+            let deadline = tracker.row_deadline(flat as u64);
+            let shadow_overdue = now.saturating_since(shadow) > deadline;
+            let tracked_overdue = now.saturating_since(tracked) > deadline;
+            let addr = self.geometry.unflatten(flat as u64);
+            if shadow_overdue && !tracked_overdue {
+                out.push(Violation {
+                    rule: RuleId::RetentionDeadline,
+                    at: now,
+                    rank: addr.rank,
+                    bank: addr.bank,
+                    row: Some(addr.row),
+                    detail: format!(
+                        "silent retention violation: last command-stream restore {shadow}, \
+                         deadline {deadline}, but tracker believes restore at {tracked}"
+                    ),
+                });
+            } else if shadow != tracked {
+                out.push(Violation {
+                    rule: RuleId::ShadowDivergence,
+                    at: now,
+                    rank: addr.rank,
+                    bank: addr.bank,
+                    row: Some(addr.row),
+                    detail: format!(
+                        "shadow restore {shadow} diverges from tracker restore {tracked}"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

@@ -26,8 +26,6 @@
 //! assert_eq!(decode(word ^ (1 << 37) ^ (1 << 5)), Decode::Uncorrectable);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod secded;
 pub mod state;
 

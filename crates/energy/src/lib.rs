@@ -30,8 +30,6 @@
 //! assert!(bus_e + ctr_e < dram_e.refresh_j / 10.0); // overheads stay small
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod breakdown;
 pub mod bus;
 pub mod dram_power;

@@ -78,6 +78,17 @@ pub enum FaultKind {
         /// How many distinct bits to flip in each matching row's word.
         bits: u8,
     },
+    /// Variable retention time (VRT): while the spec's window is active the
+    /// site's rows hold charge only for `deadline`; when the window closes
+    /// their baseline deadlines are restored. Applied mid-run on the
+    /// controller's advance path via
+    /// [`FaultInjector::apply_vrt_transitions`]; the refresh policy is
+    /// deliberately not told, so the retention watchdog and the protocol
+    /// sanitizer have to catch the decay.
+    VariableRetention {
+        /// The retention deadline while the episode is active.
+        deadline: Duration,
+    },
 }
 
 /// One fault: a kind, where it applies, and when it is active.
@@ -162,6 +173,16 @@ pub enum FaultEventKind {
         /// How many bits were flipped.
         bits: u8,
     },
+    /// A VRT episode began: the row's deadline was tightened mid-run.
+    VrtOnset {
+        /// The deadline in force for the episode.
+        deadline: Duration,
+    },
+    /// A VRT episode ended: the row's baseline deadline was restored.
+    VrtRecovered {
+        /// The restored baseline deadline.
+        deadline: Duration,
+    },
 }
 
 /// One recorded injection.
@@ -188,6 +209,18 @@ pub struct FaultStats {
     pub weak_rows_applied: u64,
     /// Rows seeded with bit flips by a [`FaultKind::BitFlip`] fault.
     pub rows_bit_flipped: u64,
+    /// Row deadline transitions (onsets + recoveries) performed by
+    /// [`FaultKind::VariableRetention`] episodes.
+    pub vrt_transitions: u64,
+}
+
+/// Per-spec runtime state of a VRT episode (parallel to the spec list).
+#[derive(Debug, Clone, Default)]
+struct VrtRuntime {
+    applied: bool,
+    restored: bool,
+    /// `(flat row, baseline deadline)` pairs saved at onset.
+    saved: Vec<(u64, Duration)>,
 }
 
 /// Deterministic, seeded fault injector.
@@ -217,6 +250,7 @@ pub struct FaultInjector {
     events: Vec<FaultEvent>,
     stats: FaultStats,
     in_stall: bool,
+    vrt_runtime: Vec<VrtRuntime>,
 }
 
 impl FaultInjector {
@@ -365,6 +399,86 @@ impl FaultInjector {
         out
     }
 
+    /// Adds one [`FaultKind::VariableRetention`] episode at a
+    /// seed-determined row: between `from` and `until` the victim's
+    /// retention deadline drops to `deadline`, then recovers. Deterministic
+    /// for a fixed seed.
+    pub fn with_random_vrt_episode(
+        self,
+        geometry: &Geometry,
+        seed: u64,
+        deadline: Duration,
+        from: Instant,
+        until: Instant,
+    ) -> Self {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xfa17_0000_0000_0002);
+        let flat = rng.gen_range(0..geometry.total_rows());
+        let addr = geometry.unflatten(flat);
+        self.with_spec(FaultSpec::windowed(
+            FaultSite::exact(addr.rank, addr.bank, addr.row),
+            from,
+            until,
+            FaultKind::VariableRetention { deadline },
+        ))
+    }
+
+    /// Processes every [`FaultKind::VariableRetention`] spec whose window
+    /// opened or closed by `now`: an onset saves each victim row's baseline
+    /// deadline and tightens it; the window's end restores the baselines.
+    /// Called by the controller at every policy wakeup, so transitions take
+    /// effect within one refresh slot. Idempotent between transitions.
+    pub fn apply_vrt_transitions(
+        &mut self,
+        tracker: &mut RetentionTracker,
+        geometry: &Geometry,
+        now: Instant,
+    ) {
+        if self.vrt_runtime.len() != self.specs.len() {
+            self.vrt_runtime
+                .resize_with(self.specs.len(), VrtRuntime::default);
+        }
+        for i in 0..self.specs.len() {
+            let spec = self.specs[i];
+            let FaultKind::VariableRetention { deadline } = spec.kind else {
+                continue;
+            };
+            if !self.vrt_runtime[i].applied && spec.active_at(now) {
+                let mut saved = Vec::new();
+                for addr in geometry.iter_rows() {
+                    if spec.site.matches(addr) {
+                        let flat = geometry.flatten(addr);
+                        let base = tracker.row_deadline(flat);
+                        if deadline < base {
+                            tracker.set_row_deadline(flat, deadline);
+                            saved.push((flat, base));
+                            self.stats.vrt_transitions += 1;
+                            self.events.push(FaultEvent {
+                                at: now,
+                                row: Some(addr),
+                                kind: FaultEventKind::VrtOnset { deadline },
+                            });
+                        }
+                    }
+                }
+                self.vrt_runtime[i].saved = saved;
+                self.vrt_runtime[i].applied = true;
+            }
+            if self.vrt_runtime[i].applied && !self.vrt_runtime[i].restored && now >= spec.until {
+                let saved = std::mem::take(&mut self.vrt_runtime[i].saved);
+                for (flat, base) in saved {
+                    tracker.set_row_deadline(flat, base);
+                    self.stats.vrt_transitions += 1;
+                    self.events.push(FaultEvent {
+                        at: now,
+                        row: Some(geometry.unflatten(flat)),
+                        kind: FaultEventKind::VrtRecovered { deadline: base },
+                    });
+                }
+                self.vrt_runtime[i].restored = true;
+            }
+        }
+    }
+
     /// Whether refresh dispatch is suspended at `now` (an active
     /// [`FaultKind::StallDispatch`] window). Records the stall on entry.
     pub fn dispatch_stalled(&mut self, now: Instant) -> bool {
@@ -414,7 +528,8 @@ impl FaultInjector {
                 }
                 FaultKind::WeakCell { .. }
                 | FaultKind::StallDispatch
-                | FaultKind::BitFlip { .. } => {}
+                | FaultKind::BitFlip { .. }
+                | FaultKind::VariableRetention { .. } => {}
             }
         }
         Perturbation::Pass
@@ -563,5 +678,110 @@ mod tests {
             inj.events()[0].kind,
             FaultEventKind::RetentionScaled { .. }
         ));
+    }
+
+    #[test]
+    fn vrt_onset_tightens_and_recovery_restores_the_deadline() {
+        let g = Geometry::new(1, 2, 8, 4, 64);
+        let base = Duration::from_ms(64);
+        let tight = Duration::from_ms(8);
+        let from = Instant::ZERO + Duration::from_ms(10);
+        let until = Instant::ZERO + Duration::from_ms(30);
+        let victim = row(0, 1, 5);
+        let flat = g.flatten(victim);
+        let mut inj = FaultInjector::new().with_spec(FaultSpec::windowed(
+            FaultSite::exact(0, 1, 5),
+            from,
+            until,
+            FaultKind::VariableRetention { deadline: tight },
+        ));
+        let mut t = RetentionTracker::new(&g, base);
+
+        // Before the window: nothing moves.
+        inj.apply_vrt_transitions(&mut t, &g, Instant::ZERO);
+        assert_eq!(t.row_deadline(flat), base);
+        assert_eq!(inj.stats().vrt_transitions, 0);
+
+        // Onset: only the victim row tightens, and the event names it.
+        inj.apply_vrt_transitions(&mut t, &g, from);
+        assert_eq!(t.row_deadline(flat), tight);
+        assert_eq!(t.row_deadline(0), base, "non-victim rows keep baseline");
+        assert_eq!(inj.stats().vrt_transitions, 1);
+        assert!(matches!(
+            inj.events().last(),
+            Some(FaultEvent {
+                row: Some(r),
+                kind: FaultEventKind::VrtOnset { deadline },
+                ..
+            }) if *r == victim && *deadline == tight
+        ));
+
+        // Mid-window re-application is idempotent.
+        inj.apply_vrt_transitions(&mut t, &g, from + Duration::from_ms(5));
+        assert_eq!(inj.stats().vrt_transitions, 1);
+        assert_eq!(t.row_deadline(flat), tight);
+
+        // Window end: the saved baseline comes back, exactly once.
+        inj.apply_vrt_transitions(&mut t, &g, until);
+        assert_eq!(t.row_deadline(flat), base);
+        assert_eq!(inj.stats().vrt_transitions, 2);
+        assert!(matches!(
+            inj.events().last(),
+            Some(FaultEvent {
+                kind: FaultEventKind::VrtRecovered { deadline },
+                ..
+            }) if *deadline == base
+        ));
+        inj.apply_vrt_transitions(&mut t, &g, until + Duration::from_ms(5));
+        assert_eq!(inj.stats().vrt_transitions, 2);
+    }
+
+    #[test]
+    fn vrt_onset_never_loosens_an_already_tighter_row() {
+        let g = Geometry::new(1, 1, 8, 4, 64);
+        let victim = row(0, 0, 2);
+        let flat = g.flatten(victim);
+        let mut inj = FaultInjector::new().with_spec(FaultSpec::always(
+            FaultSite::exact(0, 0, 2),
+            FaultKind::VariableRetention {
+                deadline: Duration::from_ms(32),
+            },
+        ));
+        let mut t = RetentionTracker::new(&g, Duration::from_ms(64));
+        // The row is already weaker than the episode would make it.
+        t.set_row_deadline(flat, Duration::from_ms(4));
+        inj.apply_vrt_transitions(&mut t, &g, Instant::ZERO);
+        assert_eq!(t.row_deadline(flat), Duration::from_ms(4));
+        assert_eq!(inj.stats().vrt_transitions, 0);
+    }
+
+    #[test]
+    fn random_vrt_episode_is_seed_deterministic() {
+        let g = Geometry::new(2, 4, 64, 8, 64);
+        let window = (
+            Instant::ZERO + Duration::from_ms(1),
+            Instant::ZERO + Duration::from_ms(2),
+        );
+        let build = |seed: u64| {
+            FaultInjector::new().with_random_vrt_episode(
+                &g,
+                seed,
+                Duration::from_ms(16),
+                window.0,
+                window.1,
+            )
+        };
+        assert_eq!(build(7).specs(), build(7).specs());
+        let spec = build(7).specs()[0];
+        assert_eq!(spec.from, window.0);
+        assert_eq!(spec.until, window.1);
+        assert!(matches!(
+            spec.kind,
+            FaultKind::VariableRetention { deadline } if deadline == Duration::from_ms(16)
+        ));
+        assert!(
+            spec.site.rank.is_some() && spec.site.bank.is_some() && spec.site.row.is_some(),
+            "the episode must pin one exact row"
+        );
     }
 }

@@ -20,8 +20,6 @@
 //! can assert mutation-test style that the retention invariant checker
 //! caught each one.
 
-#![warn(missing_docs)]
-
 pub mod injector;
 pub mod temperature;
 

@@ -352,6 +352,7 @@ pub fn run_coschedule_setup(
         s.advance(&mut sys, horizon)?;
     }
     sys.advance_to(horizon)?;
+    sys.check_sanitizer(horizon)?;
 
     let channels = sys.channels();
     let scrubs: Vec<u64> = match &sched {

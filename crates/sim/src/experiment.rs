@@ -291,6 +291,9 @@ where
     assert!(!cfg.measure.is_zero(), "measurement span must be positive");
     let module = &cfg.module;
     let mut device = DramDevice::new(module.geometry, module.timing);
+    if crate::sanitize::sanitize_from_env() {
+        device.enable_protocol_checker();
+    }
     if let Some(seed) = cfg.policy.profile_seed() {
         // Integrity is validated against the same variable-retention
         // profile the policy exploits.
@@ -367,6 +370,7 @@ where
         warm_mem = memory_behind_cache;
     }
     mc.advance_to(horizon)?;
+    mc.check_sanitizer(horizon)?;
 
     let ops = mc.device().stats().delta_since(&warm_ops);
     let ctrl = mc.stats().delta_since(&warm_ctrl);

@@ -11,7 +11,7 @@
 //!   logged graceful-degradation episode (fallback to the phase-preserving
 //!   CBR sweep) without any retention deadline actually being missed.
 //!
-//! [`standard_campaign`] builds the canonical six scenarios and
+//! [`standard_campaign`] builds the canonical seven scenarios and
 //! [`run_campaign`] executes them; `examples/faults.rs` prints the table
 //! and `crates/sim/tests/faults.rs` pins the expectations in CI.
 //!
@@ -106,6 +106,9 @@ pub struct ScenarioOutcome {
     pub expectation: Expectation,
     /// The injector's own counters (what was actually injected).
     pub faults: FaultStats,
+    /// Deduplicated labels of the injected fault classes (see
+    /// [`crate::report::fault_kind_label`]), in spec order.
+    pub injected: Vec<&'static str>,
     /// Refreshes the controller recorded as dropped.
     pub refreshes_dropped: u64,
     /// Refreshes the controller recorded as delayed.
@@ -166,8 +169,9 @@ pub(crate) fn addr_of(g: &Geometry, row: RowAddr) -> u64 {
     blocks * u64::from(g.columns()) * g.column_bytes()
 }
 
-/// The canonical six scenarios: one per fault class the injector models,
-/// plus the undersized-queue overflow that needs no injector at all.
+/// The canonical seven scenarios: one per fault class the injector
+/// models, plus the undersized-queue overflow that needs no injector at
+/// all.
 pub fn standard_campaign(module: &ModuleConfig, seed: u64) -> Vec<FaultScenario> {
     let g = module.geometry;
     let retention = module.timing.retention;
@@ -224,6 +228,22 @@ pub fn standard_campaign(module: &ModuleConfig, seed: u64) -> Vec<FaultScenario>
             queue_capacity: 8,
             expectation: Expectation::Detection,
         },
+        FaultScenario {
+            name: "variable-retention",
+            // A mid-run VRT episode: from one retention interval in, a
+            // random row holds charge for only a quarter interval; the
+            // episode ends two intervals later and the baseline returns.
+            // The policy is not told, so the tracker must flag the decay.
+            injector: FaultInjector::new().with_random_vrt_episode(
+                &g,
+                seed,
+                retention.div_by(4),
+                Instant::ZERO + retention,
+                Instant::ZERO + retention + retention + retention,
+            ),
+            queue_capacity: 8,
+            expectation: Expectation::Detection,
+        },
     ]
 }
 
@@ -251,8 +271,12 @@ pub fn run_scenario(
             hysteresis: Some(HysteresisConfig::paper_defaults()),
         },
     );
-    let mut mc = MemoryController::new(DramDevice::new(g, timing), policy)
-        .with_fault_injector(scenario.injector.clone());
+    let mut device = DramDevice::new(g, timing);
+    if crate::sanitize::sanitize_from_env() {
+        device.enable_protocol_checker();
+    }
+    let mut mc =
+        MemoryController::new(device, policy).with_fault_injector(scenario.injector.clone());
 
     // Rows with an exact fault site are off-limits to the access stream:
     // an access restores the row's charge, which would mask the loss the
@@ -289,6 +313,7 @@ pub fn run_scenario(
         mc.access(MemTransaction::read(addr, now))?;
     }
     mc.advance_to(horizon)?;
+    mc.check_sanitizer(horizon)?;
 
     let tracker = mc.device().retention();
     let late: Vec<u64> = tracker
@@ -307,10 +332,18 @@ pub fn run_scenario(
         what: "fault injector missing after installation",
     })?;
     let events = mc.policy().degradation_events();
+    let mut injected: Vec<&'static str> = Vec::new();
+    for spec in scenario.injector.specs() {
+        let label = crate::report::fault_kind_label(&spec.kind);
+        if !injected.contains(&label) {
+            injected.push(label);
+        }
+    }
     Ok(ScenarioOutcome {
         name: scenario.name,
         expectation: scenario.expectation,
         faults: injector.stats(),
+        injected,
         refreshes_dropped: mc.stats().refreshes_dropped,
         refreshes_delayed: mc.stats().refreshes_delayed,
         degradations: events.to_vec(),
@@ -363,7 +396,8 @@ mod tests {
                 "queue-undersized",
                 "dispatch-stall",
                 "weak-cells",
-                "thermal-derating"
+                "thermal-derating",
+                "variable-retention"
             ]
         );
     }
@@ -374,6 +408,7 @@ mod tests {
             name: "x",
             expectation: Expectation::SafeDegradation,
             faults: FaultStats::default(),
+            injected: Vec::new(),
             refreshes_dropped: 0,
             refreshes_delayed: 0,
             degradations: vec![DegradationEvent {

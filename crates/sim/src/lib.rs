@@ -29,13 +29,12 @@
 //! # Ok::<(), smartrefresh_ctrl::SimError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod coschedule;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
 pub mod report;
+pub mod sanitize;
 pub mod scheduler;
 pub mod scrub;
 pub mod system;

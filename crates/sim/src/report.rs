@@ -11,6 +11,36 @@ use crate::experiment::RunResult;
 use crate::faults::{CampaignResult, Expectation};
 use crate::figures::{Figure, FigureId};
 use crate::scrub::{ScrubCampaignResult, ScrubExpectation};
+use smartrefresh_core::DegradeCause;
+use smartrefresh_faults::FaultKind;
+
+/// Stable kebab-case label for a fault class, used in campaign reports.
+///
+/// The match is deliberately non-wildcard: adding a [`FaultKind`] variant
+/// must fail compilation here until the reporting layer names it, which
+/// is what the `exhaustive-variants` conformance lint pins down.
+pub fn fault_kind_label(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::WeakCell { .. } => "weak-cell",
+        FaultKind::DropRefresh => "drop-refresh",
+        FaultKind::DelayRefresh { .. } => "delay-refresh",
+        FaultKind::StallDispatch => "stall-dispatch",
+        FaultKind::BitFlip { .. } => "bit-flip",
+        FaultKind::VariableRetention { .. } => "variable-retention",
+    }
+}
+
+/// Stable kebab-case label for a degradation cause, used in campaign
+/// reports. Non-wildcard for the same reason as [`fault_kind_label`].
+pub fn degrade_cause_label(cause: &DegradeCause) -> &'static str {
+    match cause {
+        DegradeCause::QueueOverflow => "queue-overflow",
+        DegradeCause::FaultInjection => "fault-injection",
+        DegradeCause::External => "external",
+        DegradeCause::EccUncorrectable => "ecc-uncorrectable",
+        DegradeCause::RetentionWatchdog => "retention-watchdog",
+    }
+}
 
 /// Renders a figure as an aligned text table with paper-vs-measured summary
 /// lines.
@@ -112,6 +142,24 @@ pub fn render_campaign(c: &CampaignResult) -> String {
             },
             if o.holds() { "ok" } else { "FAILED" },
         );
+    }
+    for o in &c.outcomes {
+        let mut causes: Vec<&'static str> = Vec::new();
+        for e in &o.degradations {
+            let label = degrade_cause_label(&e.cause);
+            if !causes.contains(&label) {
+                causes.push(label);
+            }
+        }
+        if !o.injected.is_empty() || !causes.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {}: injected [{}]; degradation causes [{}]",
+                o.name,
+                o.injected.join(", "),
+                causes.join(", "),
+            );
+        }
     }
     let _ = writeln!(
         out,

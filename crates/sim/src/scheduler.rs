@@ -234,7 +234,9 @@ impl MaintenanceScheduler {
                 .enumerate()
                 .map(|(i, s)| (s.next_slot(), i))
                 .min()
-                .expect("a system has at least one channel");
+                .ok_or(SimError::Internal {
+                    what: "maintenance scheduler has no channels",
+                })?;
             let epoch = self.watchdog.next_epoch();
             if next_scrub.0 > t && epoch > t {
                 return Ok(());
@@ -267,7 +269,12 @@ impl MaintenanceScheduler {
         channel: usize,
         slot: Instant,
     ) -> Result<(), SimError> {
-        let victim = self.pick_victim(sys, channel, slot);
+        let Some(victim) = self.pick_victim(sys, channel, slot) else {
+            // A channel with no rows has nothing to patrol; burn the slot
+            // so the schedule still advances.
+            self.scrubbers[channel].advance_past(slot);
+            return Ok(());
+        };
         let ctrl = sys.channel_mut(channel);
         ctrl.issue_scrub(victim, slot)?;
         self.stats.scrubs[channel] += 1;
@@ -286,20 +293,23 @@ impl MaintenanceScheduler {
     /// precharged or its deadline is within the slack; otherwise the
     /// earliest-deadline row on a *precharged* bank is scrubbed instead
     /// and the blocked row waits for a later slot.
-    fn pick_victim(&mut self, sys: &MultiChannelSystem, channel: usize, slot: Instant) -> u64 {
+    fn pick_victim(
+        &mut self,
+        sys: &MultiChannelSystem,
+        channel: usize,
+        slot: Instant,
+    ) -> Option<u64> {
         let deadlines = &self.deadline[channel];
-        let best = (0..self.rows_per_channel)
-            .min_by_key(|&r| (deadlines[r as usize], r))
-            .expect("channels have rows");
+        let best = (0..self.rows_per_channel).min_by_key(|&r| (deadlines[r as usize], r))?;
         let ctrl = sys.channel(channel);
         if !ctrl.scrub_would_close_page(best) {
-            return best;
+            return Some(best);
         }
         let best_deadline = deadlines[best as usize];
         if best_deadline <= slot + self.cfg.slack {
             // Out of slack: coverage beats the open page.
             self.stats.forced_closures += 1;
-            return best;
+            return Some(best);
         }
         let open_alternative = (0..self.rows_per_channel)
             .filter(|&r| !ctrl.scrub_would_close_page(r))
@@ -307,12 +317,12 @@ impl MaintenanceScheduler {
         match open_alternative {
             Some(r) => {
                 self.stats.deferred_scrubs += 1;
-                r
+                Some(r)
             }
             None => {
                 // Every bank holds an open page; interference is unavoidable.
                 self.stats.forced_closures += 1;
-                best
+                Some(best)
             }
         }
     }
@@ -339,22 +349,21 @@ impl MaintenanceScheduler {
             self.stats.escalated = true;
         }
         let ces = std::mem::take(&mut self.ces_this_epoch);
-        self.adapt(ces, epoch);
-        Ok(())
+        self.adapt(ces, epoch)
     }
 
     /// The CE-rate feedback law: halve the interval on a storm epoch,
     /// double it after enough consecutive clean epochs, hold in the dead
     /// band between the thresholds.
-    fn adapt(&mut self, epoch_ces: u64, now: Instant) {
+    fn adapt(&mut self, epoch_ces: u64, now: Instant) -> Result<(), SimError> {
         let Some(a) = self.cfg.adaptive else {
-            return;
+            return Ok(());
         };
         if epoch_ces >= a.storm_ces {
             self.clean_streak = 0;
             let next = self.interval.div_by(2).max(a.min_interval);
             if next != self.interval {
-                self.set_interval(next, now);
+                self.set_interval(next, now)?;
                 self.stats.interval_drops += 1;
                 // A drop only tightens future promises; rows keep the
                 // deadlines already made, so nothing is spuriously missed.
@@ -365,7 +374,7 @@ impl MaintenanceScheduler {
                 self.clean_streak = 0;
                 let next = (self.interval * 2).min(a.max_interval);
                 if next != self.interval {
-                    self.set_interval(next, now);
+                    self.set_interval(next, now)?;
                     self.stats.interval_raises += 1;
                     // A raise stretches the coverage window, so every
                     // outstanding promise is re-made under the new one —
@@ -387,15 +396,18 @@ impl MaintenanceScheduler {
             // Dead band: neither clean nor storming. Hold.
             self.clean_streak = 0;
         }
+        Ok(())
     }
 
-    fn set_interval(&mut self, next: Duration, now: Instant) {
+    fn set_interval(&mut self, next: Duration, now: Instant) -> Result<(), SimError> {
         self.interval = next;
         self.interval_history.push((now, next));
         for s in &mut self.scrubbers {
-            s.set_interval(next)
-                .expect("adaptive bounds exclude a zero interval");
+            // The adaptive bounds exclude a zero interval, so this only
+            // fails on a misconfigured law — surfaced, not panicked.
+            s.set_interval(next)?;
         }
+        Ok(())
     }
 
     /// The coverage window under the current interval: two full patrol
@@ -488,14 +500,18 @@ mod tests {
         // 0) is blocked, so the slot defers to the earliest-deadline row
         // on precharged bank 1.
         let victim = sched.pick_victim(&sys, 0, slot);
-        assert_eq!(victim, 32, "expected the first bank-1 row");
+        assert_eq!(victim, Some(32), "expected the first bank-1 row");
         assert_eq!(sched.stats.deferred_scrubs, 1);
         assert_eq!(sched.stats.forced_closures, 0);
         // Pull row 0's deadline inside the slack: coverage now beats the
         // open page and the scrub is forced through it.
         sched.deadline[0][0] = slot + Duration::from_us(100);
         let victim = sched.pick_victim(&sys, 0, slot);
-        assert_eq!(victim, 0, "a deadline inside the slack forces the row");
+        assert_eq!(
+            victim,
+            Some(0),
+            "a deadline inside the slack forces the row"
+        );
         assert_eq!(sched.stats.forced_closures, 1);
     }
 

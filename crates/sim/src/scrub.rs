@@ -265,7 +265,11 @@ fn controller(
             hysteresis: Some(HysteresisConfig::paper_defaults()),
         },
     );
-    MemoryController::new(DramDevice::new(g, timing), policy)
+    let mut device = DramDevice::new(g, timing);
+    if crate::sanitize::sanitize_from_env() {
+        device.enable_protocol_checker();
+    }
+    MemoryController::new(device, policy)
         .with_fault_injector(injector)
         .with_ecc(ecc)
 }
@@ -310,6 +314,7 @@ pub fn run_scrub_scenario(
         }
     }
     mc.advance_to(horizon)?;
+    mc.check_sanitizer(horizon)?;
 
     let stats = *mc.stats();
     Ok(ScrubOutcome {
@@ -357,6 +362,7 @@ pub fn scrub_savings(
             mc.access(MemTransaction::read(addr_of(&g, g.unflatten(flat)), now))?;
         }
         mc.advance_to(horizon)?;
+        mc.check_sanitizer(horizon)?;
         let ops = mc.device().stats();
         Ok((ops.total_refreshes(), ops.scrubs))
     };

@@ -87,9 +87,13 @@ impl MultiChannelSystem {
                 what: "the channel interleave must be a power of two bytes",
             });
         }
+        let sanitize = crate::sanitize::sanitize_from_env();
         let controllers = (0..channels)
             .map(|_| {
-                let device = DramDevice::new(module.geometry, module.timing);
+                let mut device = DramDevice::new(module.geometry, module.timing);
+                if sanitize {
+                    device.enable_protocol_checker();
+                }
                 let policy = policy_of().build_boxed(&module);
                 MemoryController::new(device, policy)
             })
@@ -268,6 +272,19 @@ impl MultiChannelSystem {
             if let Err(rows) = c.device().check_integrity(t) {
                 return Err((i, rows));
             }
+        }
+        Ok(())
+    }
+
+    /// Runs the protocol sanitizer's end-of-run checks on every channel at
+    /// `t`. `Ok(())` when the sanitizer is disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Sanitizer`] from the first channel with violations.
+    pub fn check_sanitizer(&self, t: Instant) -> Result<(), SimError> {
+        for c in &self.controllers {
+            c.check_sanitizer(t)?;
         }
         Ok(())
     }

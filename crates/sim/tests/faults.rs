@@ -77,7 +77,7 @@ fn dispatch_stall_degrades_and_is_detected() {
 #[test]
 fn standard_campaign_all_scenarios_hold() {
     let result = run_campaign(&cfg()).unwrap();
-    assert_eq!(result.outcomes.len(), 6);
+    assert_eq!(result.outcomes.len(), 7);
     for o in &result.outcomes {
         assert!(o.holds(), "scenario {} failed: {o:?}", o.name);
     }

@@ -20,8 +20,6 @@
 //! assert!(gen.accesses_per_sec() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod calibrate;
 pub mod catalog;
 pub mod generator;

@@ -12,7 +12,7 @@ use smart_refresh::ctrl::MemoryController;
 use smart_refresh::dram::time::Duration;
 use smart_refresh::dram::{DramDevice, Geometry, TimingParams};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = Geometry::new(1, 4, 2048, 128, 64); // 8 MB module
     let t = TimingParams::ddr2_667().with_retention(Duration::from_ms(2));
     let instructions = 4_000_000u64;
@@ -39,7 +39,7 @@ fn main() {
         let mc = MemoryController::new(DramDevice::new(g, t), policy);
         let mut cpu = Cpu::new(CpuConfig::table1_default(), mc);
         let mut prog = SyntheticProgram::new(ProgramSpec::pointer_chase(4 << 20), 99);
-        cpu.run(&mut prog, instructions).expect("run");
+        cpu.run(&mut prog, instructions)?;
         let elapsed = cpu.now().as_secs_f64();
         let dev = cpu.controller().device();
         println!(
@@ -62,4 +62,5 @@ fn main() {
          and Smart Refresh still eliminates the periodic refreshes of every row\n\
          the program keeps warm."
     );
+    Ok(())
 }

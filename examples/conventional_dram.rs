@@ -12,7 +12,7 @@ use smart_refresh::energy::{geometric_mean, DramPowerParams};
 use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smart_refresh::workloads::find;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = conventional_2gb();
     println!(
         "2 GB DDR2 module | baseline {:.0} refreshes/s\n",
@@ -34,7 +34,7 @@ fn main() {
     ];
     let mut reductions = Vec::new();
     for name in picks {
-        let entry = find(name).expect("catalog entry");
+        let entry = find(name).ok_or_else(|| format!("no catalog entry for {name}"))?;
         let base_cfg = ExperimentConfig::conventional(
             module.clone(),
             DramPowerParams::ddr2_2gb(),
@@ -43,8 +43,8 @@ fn main() {
         .scaled(0.5);
         let mut smart_cfg = base_cfg.clone();
         smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
-        let baseline = run_experiment(&base_cfg, &entry.conventional).expect("baseline");
-        let smart = run_experiment(&smart_cfg, &entry.conventional).expect("smart");
+        let baseline = run_experiment(&base_cfg, &entry.conventional)?;
+        let smart = run_experiment(&smart_cfg, &entry.conventional)?;
         assert!(smart.integrity_ok);
 
         let reduction = 1.0 - smart.refreshes_per_sec / baseline.refreshes_per_sec;
@@ -63,4 +63,5 @@ fn main() {
          (paper's full-catalog average: 59.3%)",
         geometric_mean(&reductions) * 100.0
     );
+    Ok(())
 }

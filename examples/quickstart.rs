@@ -11,7 +11,7 @@ use smart_refresh::energy::DramPowerParams;
 use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smart_refresh::workloads::find;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Table 1 module: 2 GB DDR2-667, 64 ms refresh interval.
     let module = conventional_2gb();
     println!("module: {}", module.geometry);
@@ -22,7 +22,7 @@ fn main() {
 
     // Pick a benchmark model from the catalog (gcc from SPECint2000) and
     // run it under the conventional CBR baseline and under Smart Refresh.
-    let gcc = find("gcc").expect("catalog entry");
+    let gcc = find("gcc").ok_or("no catalog entry for gcc")?;
     let base_cfg = ExperimentConfig::conventional(
         module.clone(),
         DramPowerParams::ddr2_2gb(),
@@ -32,8 +32,8 @@ fn main() {
     let mut smart_cfg = base_cfg.clone();
     smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
 
-    let baseline = run_experiment(&base_cfg, &gcc.conventional).expect("baseline run");
-    let smart = run_experiment(&smart_cfg, &gcc.conventional).expect("smart run");
+    let baseline = run_experiment(&base_cfg, &gcc.conventional)?;
+    let smart = run_experiment(&smart_cfg, &gcc.conventional)?;
 
     println!("\n=== gcc on 2 GB DDR2 ===");
     println!(
@@ -60,7 +60,10 @@ fn main() {
         smart.queue_high_water,
         SmartRefreshConfig::paper_defaults().queue_capacity
     );
-    assert!(smart.integrity_ok, "Smart Refresh must never lose data");
+    if !smart.integrity_ok {
+        return Err("Smart Refresh must never lose data".into());
+    }
+    Ok(())
 }
 
 fn ok(b: bool) -> &'static str {

@@ -12,9 +12,11 @@ use smart_refresh::energy::DramPowerParams;
 use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smart_refresh::workloads::find;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = conventional_2gb();
-    let spec = find("twolf").expect("catalog entry").conventional;
+    let spec = find("twolf")
+        .ok_or("no catalog entry for twolf")?
+        .conventional;
     println!("module: {} | workload: {}", module.geometry, spec.name);
     println!(
         "{:<10} {:>14} {:>12} {:>12} {:>10} {:>10}",
@@ -32,7 +34,7 @@ fn main() {
         let cfg =
             ExperimentConfig::conventional(module.clone(), DramPowerParams::ddr2_2gb(), policy)
                 .scaled(0.5);
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         println!(
             "{:<10} {:>14.0} {:>12.2} {:>12.2} {:>10.1} {:>10}",
             r.policy,
@@ -49,4 +51,5 @@ fn main() {
          refreshes of recently-accessed rows; no-refresh demonstrates that \
          the retention checker catches data loss."
     );
+    Ok(())
 }

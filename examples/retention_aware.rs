@@ -12,7 +12,7 @@ use smart_refresh::energy::DramPowerParams;
 use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smart_refresh::workloads::{Suite, WorkloadSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = ModuleConfig {
         name: "example",
         geometry: Geometry::new(1, 4, 1024, 32, 64), // 4096 rows
@@ -57,7 +57,7 @@ fn main() {
         // Cover the slowest retention bin's full 8-interval period.
         cfg.warmup = module.timing.retention * 16;
         cfg.measure = module.timing.retention * 16;
-        let r = run_experiment(&cfg, &spec).expect("run");
+        let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok, "{} violated a retention deadline", r.policy);
         if r.policy == "cbr" {
             cbr_rate = r.refreshes_per_sec;
@@ -76,4 +76,5 @@ fn main() {
          beats either alone, exactly as §8 argues. Integrity is checked\n\
          against each row's true (variable) deadline throughout."
     );
+    Ok(())
 }

@@ -14,8 +14,8 @@ use smart_refresh::energy::DramPowerParams;
 use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind};
 use smart_refresh::workloads::find;
 
-fn main() {
-    let spec = find("mummer").expect("catalog entry").stacked;
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = find("mummer").ok_or("no catalog entry for mummer")?.stacked;
     println!(
         "workload: {} (L2-miss stream into the 3D cache)\n",
         spec.name
@@ -34,8 +34,8 @@ fn main() {
         let mut smart_cfg = base_cfg.clone();
         smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
 
-        let baseline = run_experiment(&base_cfg, &spec).expect("baseline");
-        let smart = run_experiment(&smart_cfg, &spec).expect("smart");
+        let baseline = run_experiment(&base_cfg, &spec)?;
+        let smart = run_experiment(&smart_cfg, &spec)?;
 
         println!("=== 64 MB 3D DRAM cache @ {retention_ms} ms refresh ===");
         println!(
@@ -67,4 +67,5 @@ fn main() {
          traffic; with the access stream unchanged, relatively fewer refreshes \
          can be eliminated — the paper's Figs 12-17 trend."
     );
+    Ok(())
 }

@@ -21,7 +21,9 @@ use smart_refresh::workloads::{find, AccessGenerator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = conventional_2gb();
-    let spec = find("twolf").expect("catalog entry").conventional;
+    let spec = find("twolf")
+        .ok_or("no catalog entry for twolf")?
+        .conventional;
     let path = std::env::temp_dir().join("smart-refresh-twolf.trace");
 
     // 1. Record 256 ms of the twolf model to a trace file.

@@ -49,8 +49,6 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! benchmark harness that regenerates every table and figure of the paper.
 
-#![warn(missing_docs)]
-
 pub use smartrefresh_cache as cache;
 pub use smartrefresh_core as core;
 pub use smartrefresh_cpu as cpu;
