@@ -1,0 +1,95 @@
+//! Extension: counter power-state policies across CKE-low windows.
+//!
+//! The paper keeps the controller's counter SRAM powered for free. A
+//! controller that credits precharge power-down must pick a real policy —
+//! keep the SRAM on (and pay retention leakage), gate it and wipe on wake
+//! (and forfeit the skipped refreshes), or checkpoint it (and pay the
+//! round trip). This bench prices all three on the idle-OS workload, then
+//! sweeps the idle fraction to show the conservative-reset forfeit growing
+//! with power-down residency.
+
+use smartrefresh_core::{CounterPowerConfig, SmartRefreshConfig};
+use smartrefresh_dram::configs::conventional_2gb;
+use smartrefresh_energy::DramPowerParams;
+use smartrefresh_sim::powerdown::{idle_sweep, priced_persistent};
+use smartrefresh_sim::{run_experiment, CampaignConfig, ExperimentConfig, PolicyKind};
+use smartrefresh_workloads::idle_os;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = conventional_2gb();
+    let spec = idle_os().conventional;
+    let scale: f64 = std::env::var("SMARTREFRESH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+
+    println!("=== Extension: counter power-state policy on the idle-OS workload ===");
+    println!(
+        "{:<20} {:>12} {:>14} {:>12} {:>12}",
+        "counter policy", "refreshes/s", "pd residency", "ctr-pwr uJ", "total mJ"
+    );
+    let configs = [
+        priced_persistent(&module.geometry),
+        CounterPowerConfig::conservative_reset(),
+        CounterPowerConfig::snapshot(CounterPowerConfig::SNAPSHOT_J_PER_ENTRY),
+    ];
+    let mut results = Vec::new();
+    for counter_power in configs {
+        let mut cfg = ExperimentConfig::conventional(
+            module.clone(),
+            DramPowerParams::ddr2_2gb(),
+            PolicyKind::Smart(SmartRefreshConfig::paper_defaults()),
+        )
+        .scaled(scale);
+        cfg.counter_power = counter_power;
+        let r = run_experiment(&cfg, &spec)?;
+        assert!(r.integrity_ok, "no policy may let a row decay");
+        let residency = r.ctrl.powerdown_time.as_secs_f64() / r.span.as_secs_f64();
+        println!(
+            "{:<20} {:>12.0} {:>13.1}% {:>12.3} {:>12.2}",
+            counter_power.policy.as_str(),
+            r.refreshes_per_sec,
+            residency * 100.0,
+            r.energy.counter_power_j * 1e6,
+            r.energy.total_j() * 1e3
+        );
+        results.push(r);
+    }
+    let (persistent, reset, snapshot) = (&results[0], &results[1], &results[2]);
+    assert!(
+        reset.refreshes_per_sec >= persistent.refreshes_per_sec,
+        "wiping counters cannot create refresh savings"
+    );
+    assert!(
+        (snapshot.refreshes_per_sec - persistent.refreshes_per_sec).abs() < 1e-9,
+        "snapshotted counters must behave exactly like persistent ones"
+    );
+    println!(
+        "\nConservative reset forfeits {:.1}% of Smart Refresh's skipped refreshes;\n\
+         snapshot keeps them for {:.3} uJ of checkpoint traffic vs {:.3} uJ of\n\
+         retention leakage under persistent counters.\n",
+        (reset.refreshes_per_sec / persistent.refreshes_per_sec - 1.0) * 100.0,
+        snapshot.energy.counter_power_j * 1e6,
+        persistent.energy.counter_power_j * 1e6,
+    );
+
+    println!("=== Idle-fraction sweep (campaign module, persistent vs reset) ===");
+    println!(
+        "{:<14} {:>6} {:>11} {:>9} {:>9}",
+        "access gap", "idle%", "persistent", "reset", "forfeited"
+    );
+    let campaign = CampaignConfig::quick(0x90da);
+    let gaps: Vec<_> = (0..5).map(|k| campaign.access_gap * (1 << k)).collect();
+    for p in idle_sweep(&campaign, &gaps)? {
+        assert!(p.holds(), "reset issued fewer refreshes than persistent");
+        println!(
+            "{:<14} {:>6.1} {:>11} {:>9} {:>9}",
+            format!("{:.0} us", p.access_gap.as_secs_f64() * 1e6),
+            p.idle_fraction * 100.0,
+            p.refreshes_persistent,
+            p.refreshes_reset,
+            p.forfeited_refreshes(),
+        );
+    }
+    Ok(())
+}

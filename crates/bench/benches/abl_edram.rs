@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             page_policy: smartrefresh_ctrl::PagePolicy::Open,
             workload_geometry: None,
             ecc: None,
+            counter_power: smartrefresh_core::CounterPowerConfig::default(),
         };
         let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok);

@@ -209,6 +209,48 @@ fn cke_low_window_accounting_errors() {
 }
 
 #[test]
+fn counter_read_that_could_not_survive_the_cke_low_window() {
+    let (mut c, _, _) = setup();
+    let t0 = Instant::ZERO;
+    let min_gap = ns(10);
+    c.declare_volatile_counters();
+    // Counter state last re-established before the window...
+    let valid_from = t0 + ns(50);
+    // ...then the SRAM sits unpowered through a credited CKE-low window.
+    c.note_powerdown(t0 + ns(100), t0 + ns(200), min_gap);
+    assert!(rules(&c).is_empty(), "the window itself is legal");
+    // Consuming the stale counter state after the window is the violation.
+    c.note_counter_read(t0 + ns(250), valid_from);
+    assert_only(&c, RuleId::CounterSurvival);
+}
+
+#[test]
+fn counter_reads_that_did_survive_the_window_are_legal() {
+    let (mut c, _, _) = setup();
+    let t0 = Instant::ZERO;
+    let min_gap = ns(10);
+    c.declare_volatile_counters();
+    let woke = t0 + ns(200);
+    c.note_powerdown(t0 + ns(100), woke, min_gap);
+    // State re-established exactly at wake (the conservative-reset wipe)
+    // or later is trustworthy; reads before any window are trivially so.
+    c.note_counter_read(t0 + ns(250), woke);
+    c.note_counter_read(t0 + ns(300), woke + ns(20));
+    assert!(rules(&c).is_empty(), "fresh counter state was flagged");
+}
+
+#[test]
+fn counter_survival_only_applies_to_volatile_counters() {
+    let (mut c, _, _) = setup();
+    let t0 = Instant::ZERO;
+    // No declare_volatile_counters(): persistent/snapshot counters survive
+    // the window by construction, so stale-looking reads are fine.
+    c.note_powerdown(t0 + ns(100), t0 + ns(200), ns(10));
+    c.note_counter_read(t0 + ns(250), t0 + ns(50));
+    assert!(rules(&c).is_empty(), "persistent counters cannot go stale");
+}
+
+#[test]
 fn scrub_mid_burst_is_the_section_5_violation() {
     let (mut c, _, t) = setup();
     let t0 = Instant::ZERO;

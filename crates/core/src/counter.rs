@@ -116,6 +116,20 @@ impl CounterArray {
         self.values[index as usize] = value;
     }
 
+    /// Forces every counter to zero — the refresh-now state — and returns
+    /// the number of entries written.
+    ///
+    /// Used by the `ConservativeReset` counter power policy: after a
+    /// CKE-low window in which the counter SRAM was unpowered, no stored
+    /// value can be trusted, so every row is marked as due immediately.
+    /// Each entry is one SRAM write; the caller charges the traffic.
+    pub fn zero_all(&mut self) -> u64 {
+        for v in &mut self.values {
+            *v = 0;
+        }
+        self.values.len() as u64
+    }
+
     /// Number of reset operations performed (each is one SRAM write).
     pub fn resets(&self) -> u64 {
         self.resets

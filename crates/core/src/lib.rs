@@ -44,6 +44,7 @@
 
 pub mod baselines;
 pub mod counter;
+pub mod counter_power;
 pub mod hysteresis;
 pub mod optimality;
 pub mod policy;
@@ -54,6 +55,7 @@ pub mod stagger;
 
 pub use baselines::{BurstRefresh, CbrDistributed, NoRefresh, RasOnlyDistributed};
 pub use counter::CounterArray;
+pub use counter_power::{CounterPowerConfig, CounterPowerPolicy};
 pub use hysteresis::{ActivityMonitor, HysteresisConfig, PolicyMode};
 pub use policy::{DegradationEvent, DegradeCause, RefreshAction, RefreshPolicy, SramTraffic};
 pub use queue::{PendingRefresh, PendingRefreshQueue, QueueOverflow};

@@ -71,6 +71,10 @@ pub enum DegradeCause {
     /// leaky-bucket threshold repeatedly — the row is decaying faster than
     /// the refresh schedule assumes, so the smart machinery stands down.
     RetentionWatchdog,
+    /// The counter SRAM lost power across a CKE-low window
+    /// (`CounterPowerPolicy::ConservativeReset`): every time-out value is
+    /// stale, so the policy zeroes the array and sweeps from the safe bound.
+    CounterPowerLoss,
 }
 
 impl std::fmt::Display for DegradeCause {
@@ -81,6 +85,7 @@ impl std::fmt::Display for DegradeCause {
             DegradeCause::External => write!(f, "external"),
             DegradeCause::EccUncorrectable => write!(f, "ecc-uncorrectable"),
             DegradeCause::RetentionWatchdog => write!(f, "retention-watchdog"),
+            DegradeCause::CounterPowerLoss => write!(f, "counter-power-loss"),
         }
     }
 }
@@ -180,6 +185,23 @@ pub trait RefreshPolicy {
     fn degradation_events(&self) -> &[DegradationEvent] {
         &[]
     }
+
+    /// The controller exited a CKE-low power-down window at `now`.
+    ///
+    /// With `reset_counters` true the counter SRAM was unpowered during the
+    /// window (`CounterPowerPolicy::ConservativeReset`): the policy must
+    /// discard every stored time-out value and fall back to its safe bound.
+    /// With it false the state was checkpointed on entry
+    /// (`CounterPowerPolicy::Snapshot`) and is restored as-is.
+    ///
+    /// Returns the number of counter entries affected (restored or wiped),
+    /// which the energy model uses to price the checkpoint traffic. The
+    /// default — for counter-less baselines — does nothing and reports zero
+    /// entries.
+    fn on_powerdown_wake(&mut self, now: Instant, reset_counters: bool) -> u64 {
+        let _ = (now, reset_counters);
+        0
+    }
 }
 
 impl<P: RefreshPolicy + ?Sized> RefreshPolicy for Box<P> {
@@ -233,6 +255,10 @@ impl<P: RefreshPolicy + ?Sized> RefreshPolicy for Box<P> {
 
     fn degradation_events(&self) -> &[DegradationEvent] {
         (**self).degradation_events()
+    }
+
+    fn on_powerdown_wake(&mut self, now: Instant, reset_counters: bool) -> u64 {
+        (**self).on_powerdown_wake(now, reset_counters)
     }
 }
 

@@ -429,6 +429,22 @@ impl RefreshPolicy for SmartRefresh {
     fn degradation_events(&self) -> &[DegradationEvent] {
         &self.degradations
     }
+
+    fn on_powerdown_wake(&mut self, now: Instant, reset_counters: bool) -> u64 {
+        let entries = self.counters.len();
+        if reset_counters {
+            // The counter SRAM was unpowered: no stored time-out value can
+            // be trusted, so force every row to the refresh-now state (one
+            // SRAM write per entry) and stand down to the safe CBR sweep
+            // until the hysteresis machinery re-arms.
+            self.counters.zero_all();
+            self.sram.writes += entries;
+            self.enter_degraded(DegradeCause::CounterPowerLoss, now);
+        }
+        // Snapshot restore leaves the values as checkpointed; the caller
+        // prices the round trip from the returned entry count.
+        entries
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 //! is *opened* and again when the page is *closed* (whether by a demand
 //! conflict or by a refresh that had to close an open page first).
 
-use smartrefresh_core::{DegradeCause, RefreshAction, RefreshPolicy};
+use smartrefresh_core::{
+    CounterPowerConfig, CounterPowerPolicy, DegradeCause, RefreshAction, RefreshPolicy,
+};
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, RowAddr};
 use smartrefresh_ecc::Decode;
@@ -104,6 +106,13 @@ pub struct MemoryController<P: RefreshPolicy> {
     page_policy: PagePolicy,
     /// Power-down residency accounting; `None` disables it.
     powerdown: Option<PowerDownConfig>,
+    /// What happens to the policy's counter SRAM during CKE-low windows.
+    counter_power: CounterPowerConfig,
+    /// When the policy's counter state was last wholly rewritten: power-up,
+    /// or the wake-time wipe of the latest power-down window under
+    /// `ConservativeReset`. Reported to the sanitizer's counter-survival
+    /// rule at every counter consumption.
+    counters_valid_from: Instant,
     /// End of the most recent device command, for idle-gap accounting.
     last_cmd_end: Instant,
     /// Per-bank time of last demand use, for the idle-close policy.
@@ -127,6 +136,8 @@ impl<P: RefreshPolicy> MemoryController<P> {
             page_close_timeout: Some(Duration::from_us(1)),
             page_policy: PagePolicy::Open,
             powerdown: Some(PowerDownConfig::default()),
+            counter_power: CounterPowerConfig::default(),
+            counters_valid_from: Instant::ZERO,
             last_cmd_end: Instant::ZERO,
             last_use: vec![Instant::ZERO; banks],
             faults: None,
@@ -135,8 +146,37 @@ impl<P: RefreshPolicy> MemoryController<P> {
     }
 
     /// Overrides power-down accounting (`None` disables it).
-    pub fn with_powerdown(mut self, cfg: Option<PowerDownConfig>) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when the entry/exit overhead is not strictly
+    /// smaller than the minimum gap: such a config would credit a window
+    /// at zero (or, before the saturating fix, underflow the credit), so
+    /// it is rejected up front rather than silently mis-billed.
+    pub fn with_powerdown(mut self, cfg: Option<PowerDownConfig>) -> Result<Self, SimError> {
+        if let Some(pd) = cfg {
+            if pd.overhead >= pd.min_gap {
+                return Err(SimError::Config {
+                    what: "power-down overhead must be smaller than the minimum idle gap",
+                });
+            }
+        }
         self.powerdown = cfg;
+        Ok(self)
+    }
+
+    /// Sets the counter power-state policy for CKE-low windows (default:
+    /// persistent counters at zero retention cost — the paper's
+    /// free-counter assumption).
+    ///
+    /// Under [`CounterPowerPolicy::ConservativeReset`] the counter SRAM is
+    /// declared volatile to the protocol sanitizer (if enabled in either
+    /// builder order), arming its counter-survival rule.
+    pub fn with_counter_power(mut self, cfg: CounterPowerConfig) -> Self {
+        self.counter_power = cfg;
+        if cfg.policy == CounterPowerPolicy::ConservativeReset {
+            self.device.declare_volatile_counters();
+        }
         self
     }
 
@@ -200,19 +240,59 @@ impl<P: RefreshPolicy> MemoryController<P> {
     }
 
     /// Credits the idle gap before a command issued at `start` and advances
-    /// the last-command horizon to `end`.
+    /// the last-command horizon to `end`. A credited gap is a CKE-low
+    /// window ending at `start`, so the counter power policy's wake-time
+    /// effects are applied here too.
     fn note_command(&mut self, start: Instant, end: Instant) {
         if let Some(pd) = self.powerdown {
             if start > self.last_cmd_end {
                 let gap = start.since(self.last_cmd_end);
                 if gap > pd.min_gap {
-                    self.stats.powerdown_time += gap - pd.overhead;
+                    // `with_powerdown` guarantees overhead < min_gap < gap,
+                    // but credit saturating anyway — a zero credit beats an
+                    // underflow panic.
+                    self.stats.powerdown_time += gap.saturating_sub(pd.overhead);
+                    self.stats.powerdown_windows += 1;
                     self.device
                         .note_powerdown(self.last_cmd_end, start, pd.min_gap);
+                    self.counter_power_wake(gap, start);
                 }
             }
         }
         self.last_cmd_end = self.last_cmd_end.max(end);
+    }
+
+    /// Applies the counter power policy's wake-time effects after a
+    /// CKE-low window of width `slept` ending at `woke`.
+    fn counter_power_wake(&mut self, slept: Duration, woke: Instant) {
+        match self.counter_power.policy {
+            CounterPowerPolicy::Persistent => {
+                // The SRAM stayed powered the whole window (gross width:
+                // retention burns through the entry/exit overhead too).
+                self.stats.counter_retention_time += slept;
+            }
+            CounterPowerPolicy::ConservativeReset => {
+                // Nothing survived: wipe every counter to refresh-now,
+                // mark the state rewritten, and tighten the maintenance
+                // deadlines that were derived from pre-sleep bookkeeping.
+                let wiped = self.policy.on_powerdown_wake(woke, true);
+                self.stats.counters_reset_on_wake += wiped;
+                self.counters_valid_from = woke;
+                if let Some(s) = self.ecc.as_mut().and_then(|l| l.scrubber.as_mut()) {
+                    s.tighten_deadline(woke);
+                }
+                if let Some(w) = self.ecc.as_mut().and_then(|l| l.watchdog.as_mut()) {
+                    w.note_wake(woke);
+                }
+            }
+            CounterPowerPolicy::Snapshot => {
+                // State was checkpointed on entry and restored now; the
+                // energy model prices the round trip per entry.
+                let entries = self.policy.on_powerdown_wake(woke, false);
+                self.stats.counter_snapshots += 1;
+                self.stats.counter_snapshot_entries += entries;
+            }
+        }
     }
 
     /// Mirrors a policy time-out-counter reset (open/close/scrub hook) to
@@ -241,6 +321,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
     /// [`MemoryController::check_sanitizer`].
     pub fn with_sanitizer(mut self) -> Self {
         self.device.enable_protocol_checker();
+        if self.counter_power.policy == CounterPowerPolicy::ConservativeReset {
+            self.device.declare_volatile_counters();
+        }
         self
     }
 
@@ -300,6 +383,12 @@ impl<P: RefreshPolicy> MemoryController<P> {
             }
             self.apply_vrt_transitions(wake);
             self.close_idle_pages(wake)?;
+            // The walk tick consumes counter state; tell the sanitizer
+            // when that state was last wholly rewritten so its
+            // counter-survival rule can spot values read across a CKE-low
+            // window they could not have survived.
+            let valid_from = self.counters_valid_from;
+            self.device.note_counter_read(wake, valid_from);
             self.policy.advance(wake);
             self.dispatch_refreshes(wake)?;
             self.run_patrol(wake)?;
@@ -1041,8 +1130,9 @@ mod tests {
     fn powerdown_can_be_disabled() {
         let g = small_geometry();
         let t = TimingParams::ddr2_667();
-        let mut mc =
-            MemoryController::new(DramDevice::new(g, t), NoRefresh::new()).with_powerdown(None);
+        let mut mc = MemoryController::new(DramDevice::new(g, t), NoRefresh::new())
+            .with_powerdown(None)
+            .unwrap();
         let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
         mc.access(MemTransaction::read(
             64,
@@ -1050,6 +1140,182 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(mc.stats().powerdown_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn powerdown_rejects_overhead_not_smaller_than_min_gap() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let bad = PowerDownConfig {
+            min_gap: Duration::from_ns(100),
+            overhead: Duration::from_ns(100),
+        };
+        let r = MemoryController::new(DramDevice::new(g, t), NoRefresh::new())
+            .with_powerdown(Some(bad));
+        assert!(matches!(r, Err(SimError::Config { .. })));
+    }
+
+    #[test]
+    fn powerdown_credit_saturates_on_tight_gaps() {
+        // overhead one tick below min_gap: a gap barely over the threshold
+        // credits a sliver — the config that used to underflow the credit.
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let tight = PowerDownConfig {
+            min_gap: Duration::from_us(1),
+            overhead: Duration::from_ns(999),
+        };
+        let mut mc = MemoryController::new(DramDevice::new(g, t), NoRefresh::new())
+            .with_page_close_timeout(None)
+            .with_powerdown(Some(tight))
+            .unwrap();
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        mc.access(MemTransaction::read(
+            64,
+            a.completed_at + Duration::from_ns(1_500),
+        ))
+        .unwrap();
+        // The gap clears min_gap by well under the overhead's magnitude:
+        // only the sliver above the overhead is credited, never a wrapped
+        // Duration.
+        let pd = mc.stats().powerdown_time;
+        assert!(
+            pd > Duration::ZERO && pd < Duration::from_ns(600),
+            "tight-gap credit {pd}"
+        );
+        assert_eq!(mc.stats().powerdown_windows, 1);
+    }
+
+    fn smart_policy(g: Geometry, t: TimingParams) -> SmartRefresh {
+        let cfg = SmartRefreshConfig {
+            counter_bits: 3,
+            segments: 4,
+            queue_capacity: 8,
+            hysteresis: None,
+        };
+        SmartRefresh::new(g, t.retention, cfg)
+    }
+
+    #[test]
+    fn persistent_counters_accrue_retention_time() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), smart_policy(g, t))
+            .with_page_close_timeout(None);
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        mc.access(MemTransaction::read(
+            64,
+            a.completed_at + Duration::from_us(10),
+        ))
+        .unwrap();
+        // The SRAM is retained for the gross window, including the
+        // entry/exit overhead the DRAM credit nets out — the two stats
+        // differ by exactly that overhead.
+        let retained = mc.stats().counter_retention_time;
+        let credited = mc.stats().powerdown_time;
+        assert!(retained > Duration::from_us(9), "retention time {retained}");
+        assert_eq!(retained - credited, PowerDownConfig::default().overhead);
+        assert_eq!(mc.stats().counters_reset_on_wake, 0);
+        assert_eq!(mc.stats().counter_snapshots, 0);
+    }
+
+    #[test]
+    fn conservative_reset_wipes_counters_and_degrades() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), smart_policy(g, t))
+            .with_page_close_timeout(None)
+            .with_counter_power(CounterPowerConfig::conservative_reset());
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        mc.access(MemTransaction::read(
+            64,
+            a.completed_at + Duration::from_us(10),
+        ))
+        .unwrap();
+        assert_eq!(mc.stats().counters_reset_on_wake, g.total_rows());
+        assert!(mc
+            .policy()
+            .degradation_events()
+            .iter()
+            .any(|e| e.cause == DegradeCause::CounterPowerLoss));
+        assert!(mc.policy().in_fallback());
+        assert_eq!(mc.stats().counter_retention_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_counters_survive_and_charge_the_round_trip() {
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), smart_policy(g, t))
+            .with_page_close_timeout(None)
+            .with_counter_power(CounterPowerConfig::snapshot(
+                CounterPowerConfig::SNAPSHOT_J_PER_ENTRY,
+            ));
+        let a = mc.access(MemTransaction::read(0, Instant::ZERO)).unwrap();
+        mc.access(MemTransaction::read(
+            64,
+            a.completed_at + Duration::from_us(10),
+        ))
+        .unwrap();
+        assert_eq!(mc.stats().counter_snapshots, 1);
+        assert_eq!(mc.stats().counter_snapshot_entries, g.total_rows());
+        // State survived: no wipe, no degradation.
+        assert_eq!(mc.stats().counters_reset_on_wake, 0);
+        assert!(mc.policy().degradation_events().is_empty());
+    }
+
+    #[test]
+    fn conservative_reset_never_exceeds_retention_deadline() {
+        // Idle-heavy run: every sparse access ends a CKE-low window and
+        // wipes the counters, yet no row may ever cross its retention
+        // deadline — the wake-time fallback sweep must stay safe.
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc = MemoryController::new(DramDevice::new(g, t), smart_policy(g, t))
+            .with_counter_power(CounterPowerConfig::conservative_reset())
+            .with_sanitizer();
+        let mut at = Instant::ZERO;
+        let horizon = Instant::ZERO + t.retention * 3;
+        let mut i = 0u64;
+        while at < horizon {
+            mc.access(MemTransaction::read(i % 512 * 8, at)).unwrap();
+            mc.advance_to(at).unwrap();
+            assert!(
+                mc.device().check_integrity(at).is_ok(),
+                "row decayed at {at}"
+            );
+            at += Duration::from_us(700);
+            i += 1;
+        }
+        assert!(mc.stats().counters_reset_on_wake > 0, "no wipe exercised");
+        mc.check_sanitizer(mc.now()).unwrap();
+    }
+
+    #[test]
+    fn powerdown_credit_never_exceeds_elapsed_span() {
+        // Deterministic property test: across random idle/busy traces the
+        // accumulated CKE-low credit never exceeds the elapsed span.
+        use smartrefresh_dram::rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x70d0_0001);
+        for trial in 0..6u64 {
+            let g = small_geometry();
+            let t = TimingParams::ddr2_667();
+            let mut mc = MemoryController::new(DramDevice::new(g, t), smart_policy(g, t));
+            let mut at = Instant::ZERO;
+            for _ in 0..200 {
+                let gap = Duration::from_ns(rng.gen_range(10u64..500_000));
+                let addr = rng.gen_range(0u64..1024) * 8;
+                let r = mc.access(MemTransaction::read(addr, at)).unwrap();
+                at = r.completed_at + gap;
+            }
+            mc.advance_to(at).unwrap();
+            let span = mc.now().since(Instant::ZERO);
+            let pd = mc.stats().powerdown_time;
+            assert!(
+                pd <= span,
+                "trial {trial}: powerdown credit {pd} exceeds span {span}"
+            );
+        }
     }
 
     #[test]

@@ -96,6 +96,17 @@ impl PatrolScrubber {
         self.next_slot
     }
 
+    /// Pulls the next scrub slot forward to `now` if it was promised later.
+    ///
+    /// Used on wake from a CKE-low window under
+    /// `CounterPowerPolicy::ConservativeReset`: the deadline bookkeeping
+    /// the promised slot was derived from did not survive the window, so
+    /// the schedule tightens to the safe bound — scrub immediately and
+    /// re-derive from there. Never loosens an earlier promise.
+    pub fn tighten_deadline(&mut self, now: Instant) {
+        self.next_slot = self.next_slot.min(now);
+    }
+
     /// Consumes the slot at `slot`, scheduling the next one an interval
     /// later (skipping any backlog if the controller fell behind).
     pub fn advance_past(&mut self, slot: Instant) {

@@ -42,6 +42,21 @@ pub struct ControllerStats {
     /// gaps between commands, net of entry/exit overheads. The energy model
     /// bills these at the power-down rate instead of full standby.
     pub powerdown_time: Duration,
+    /// CKE-low windows credited (each one `note_command` idle-gap credit).
+    pub powerdown_windows: u64,
+    /// Time the counter SRAM was kept powered through CKE-low windows
+    /// (`CounterPowerPolicy::Persistent` only); the energy model bills it
+    /// at the configured retention power.
+    pub counter_retention_time: Duration,
+    /// Counter entries force-zeroed on power-down wake
+    /// (`CounterPowerPolicy::ConservativeReset` only).
+    pub counters_reset_on_wake: u64,
+    /// Checkpoint/restore round trips performed, one per credited window
+    /// (`CounterPowerPolicy::Snapshot` only).
+    pub counter_snapshots: u64,
+    /// Counter entries checkpointed and restored across all snapshots;
+    /// the energy model bills them at the per-entry snapshot cost.
+    pub counter_snapshot_entries: u64,
     /// Patrol scrubs issued from the deadline-order walk.
     pub scrubs_issued: u64,
     /// Scrubs forced out of deadline order by a watchdog violation.
@@ -94,6 +109,12 @@ impl ControllerStats {
             refreshes_dropped: self.refreshes_dropped - earlier.refreshes_dropped,
             refreshes_delayed: self.refreshes_delayed - earlier.refreshes_delayed,
             powerdown_time: self.powerdown_time - earlier.powerdown_time,
+            powerdown_windows: self.powerdown_windows - earlier.powerdown_windows,
+            counter_retention_time: self.counter_retention_time - earlier.counter_retention_time,
+            counters_reset_on_wake: self.counters_reset_on_wake - earlier.counters_reset_on_wake,
+            counter_snapshots: self.counter_snapshots - earlier.counter_snapshots,
+            counter_snapshot_entries: self.counter_snapshot_entries
+                - earlier.counter_snapshot_entries,
             scrubs_issued: self.scrubs_issued - earlier.scrubs_issued,
             forced_scrubs: self.forced_scrubs - earlier.forced_scrubs,
             ce_corrected: self.ce_corrected - earlier.ce_corrected,

@@ -95,6 +95,18 @@ impl RetentionWatchdog {
         self.next_epoch
     }
 
+    /// Pulls the next epoch audit forward to `now` if it was scheduled
+    /// later.
+    ///
+    /// Used on wake from a CKE-low window under
+    /// `CounterPowerPolicy::ConservativeReset`: the epoch clock's phase
+    /// was derived from counter-era bookkeeping that did not survive the
+    /// window, so the watchdog audits immediately and re-phases from the
+    /// wake. Never defers an already-due audit.
+    pub fn note_wake(&mut self, now: Instant) {
+        self.next_epoch = self.next_epoch.min(now);
+    }
+
     /// Records one corrected error against the row's bucket.
     pub fn record_ce(&mut self, flat_index: u64) {
         *self.buckets.entry(flat_index).or_insert(0) += 1;

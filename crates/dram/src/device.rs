@@ -138,6 +138,23 @@ impl DramDevice {
         }
     }
 
+    /// Tells the checker the controller's counter SRAM is power-gated with
+    /// the DRAM and does not survive CKE-low windows. No-op when disabled.
+    pub fn declare_volatile_counters(&mut self) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.declare_volatile_counters();
+        }
+    }
+
+    /// Tells the checker the refresh policy consumed its counter state at
+    /// `at`, where `valid_from` is when that state was last wholly
+    /// rewritten (counter-survival check). No-op when disabled.
+    pub fn note_counter_read(&mut self, at: Instant, valid_from: Instant) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.note_counter_read(at, valid_from);
+        }
+    }
+
     /// The module geometry.
     pub fn geometry(&self) -> &Geometry {
         &self.geometry

@@ -74,6 +74,11 @@ pub enum RuleId {
     /// The shadow restore timestamp for a row diverged from the
     /// retention tracker's bookkeeping.
     ShadowDivergence,
+    /// A time-out counter value was consumed after a CKE-low window it
+    /// could not have survived: the controller declared its counter SRAM
+    /// volatile across power-down, yet read state last written before the
+    /// most recent credited window without refreshing it on wake.
+    CounterSurvival,
 }
 
 impl RuleId {
@@ -96,6 +101,7 @@ impl RuleId {
             RuleId::CounterReset => "counter-reset",
             RuleId::RetentionDeadline => "retention-deadline",
             RuleId::ShadowDivergence => "shadow-divergence",
+            RuleId::CounterSurvival => "counter-survival",
         }
     }
 }
@@ -254,6 +260,9 @@ pub struct ProtocolChecker {
     trefi: Duration,
     /// End of the last credited power-down window.
     last_powerdown_end: Instant,
+    /// True when the controller declared that its counter SRAM does not
+    /// survive CKE-low windows (`CounterPowerPolicy::ConservativeReset`).
+    counters_volatile: bool,
 }
 
 impl ProtocolChecker {
@@ -277,6 +286,7 @@ impl ProtocolChecker {
             commands: 0,
             trefi,
             last_powerdown_end: Instant::ZERO,
+            counters_volatile: false,
         }
     }
 
@@ -659,6 +669,43 @@ impl ProtocolChecker {
             );
         }
         self.last_powerdown_end = self.last_powerdown_end.max(to);
+    }
+
+    /// Declare that the controller's counter SRAM is power-gated with the
+    /// DRAM: counter values do NOT survive CKE-low windows, so every
+    /// counter consumption after a credited window must operate on state
+    /// rewritten at (or after) the wake. Idempotent; enables the
+    /// [`RuleId::CounterSurvival`] rule.
+    pub fn declare_volatile_counters(&mut self) {
+        self.counters_volatile = true;
+    }
+
+    /// Note the policy consuming its counter state at `at`, where
+    /// `valid_from` is when that state was last wholly rewritten (power-up,
+    /// or the wake-time wipe/restore of the latest power-down window).
+    ///
+    /// With volatile counters declared, state written before the end of
+    /// the most recent credited CKE-low window cannot have survived it —
+    /// reading it is the dishonest-accounting bug this rule exists to
+    /// catch.
+    pub fn note_counter_read(&mut self, at: Instant, valid_from: Instant) {
+        if !self.counters_volatile {
+            return;
+        }
+        if valid_from < self.last_powerdown_end && at >= self.last_powerdown_end {
+            self.flag(
+                RuleId::CounterSurvival,
+                at,
+                0,
+                0,
+                None,
+                format!(
+                    "counter state valid from {valid_from} consumed at {at}, but the counter \
+                     SRAM was unpowered until {}",
+                    self.last_powerdown_end
+                ),
+            );
+        }
     }
 
     /// End-of-run checks: unmatched counter-reset obligations, silent

@@ -27,6 +27,13 @@ pub struct EnergyBreakdown {
     pub scrub_j: f64,
     /// Controller-side SECDED decode/correct logic energy.
     pub ecc_logic_j: f64,
+    /// Energy spent keeping (or recovering) counter state across CKE-low
+    /// power-down windows: SRAM retention leakage under
+    /// `CounterPowerPolicy::Persistent`, checkpoint/restore traffic under
+    /// `Snapshot`, zero under `ConservativeReset` (which pays in forfeited
+    /// refresh savings instead). Charged to the refresh mechanism — the
+    /// counters exist only to serve it.
+    pub counter_power_j: f64,
 }
 
 impl EnergyBreakdown {
@@ -34,7 +41,11 @@ impl EnergyBreakdown {
     /// energy plus all technique overheads. This is the quantity compared in
     /// the "relative refresh energy savings" figures (Figs 7, 10, 13, 16).
     pub fn refresh_mechanism_j(&self) -> f64 {
-        self.dram.refresh_j + self.counter_sram_j + self.refresh_bus_j + self.scrub_j
+        self.dram.refresh_j
+            + self.counter_sram_j
+            + self.refresh_bus_j
+            + self.scrub_j
+            + self.counter_power_j
     }
 
     /// Total system energy (the "total DRAM energy" of Figs 8, 11, 14, 17).
@@ -44,6 +55,7 @@ impl EnergyBreakdown {
             + self.refresh_bus_j
             + self.scrub_j
             + self.ecc_logic_j
+            + self.counter_power_j
     }
 
     /// Relative savings of `self` (the technique) versus `baseline`:
@@ -64,7 +76,7 @@ impl fmt::Display for EnergyBreakdown {
             f,
             "bg {:.3} mJ | act/pre {:.3} mJ | rd/wr {:.3} mJ | refresh {:.3} mJ | \
              counters {:.3} mJ | bus {:.3} mJ | scrub {:.3} mJ | ecc {:.3} mJ | \
-             total {:.3} mJ",
+             ctr-pwr {:.3} mJ | total {:.3} mJ",
             self.dram.background_j * 1e3,
             self.dram.activate_precharge_j * 1e3,
             self.dram.read_write_j * 1e3,
@@ -73,6 +85,7 @@ impl fmt::Display for EnergyBreakdown {
             self.refresh_bus_j * 1e3,
             self.scrub_j * 1e3,
             self.ecc_logic_j * 1e3,
+            self.counter_power_j * 1e3,
             self.total_j() * 1e3,
         )
     }
@@ -180,6 +193,20 @@ mod tests {
         assert!((scrubbed.refresh_savings_vs(&baseline) - 0.3).abs() < 1e-12);
         // Total also pays the ECC logic: 3.8 vs 4.0 -> 5%.
         assert!((scrubbed.total_savings_vs(&baseline) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_power_is_charged_to_the_mechanism() {
+        let baseline = bd(1.0, 3.0, 0.0);
+        let retained = EnergyBreakdown {
+            counter_power_j: 0.2,
+            ..bd(0.5, 3.0, 0.0)
+        };
+        // Refresh mechanism: (0.5 + 0.2) vs 1.0 -> 30% savings, not 50%.
+        assert!((retained.refresh_savings_vs(&baseline) - 0.3).abs() < 1e-12);
+        // Total pays it too: 3.7 vs 4.0 -> 7.5%.
+        assert!((retained.total_savings_vs(&baseline) - 0.075).abs() < 1e-12);
+        assert!(retained.to_string().contains("ctr-pwr"));
     }
 
     #[test]

@@ -20,6 +20,48 @@
 use smartrefresh_dram::time::Duration;
 use smartrefresh_dram::OpStats;
 
+/// An inconsistent energy-accounting input.
+///
+/// The energy crate sits below the controller in the dependency graph, so
+/// it reports its own error type; the simulation layer maps these into its
+/// `SimError` taxonomy at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnergyError {
+    /// More power-down residency was claimed than the span being billed —
+    /// the controller's CKE-low bookkeeping double-counted a window.
+    PowerDownExceedsSpan {
+        /// Claimed CKE-low residency.
+        powerdown: Duration,
+        /// The span being billed.
+        span: Duration,
+    },
+    /// More bus-charged RAS-only refreshes were claimed than RAS-only
+    /// refreshes were issued at all.
+    ChargedRefreshesExceedTotal {
+        /// Refreshes claimed to have driven the external address bus.
+        charged: u64,
+        /// RAS-only refreshes actually issued.
+        total: u64,
+    },
+}
+
+impl std::fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnergyError::PowerDownExceedsSpan { powerdown, span } => write!(
+                f,
+                "power-down residency {powerdown} exceeds the billed span {span}"
+            ),
+            EnergyError::ChargedRefreshesExceedTotal { charged, total } => write!(
+                f,
+                "{charged} bus-charged RAS-only refreshes claimed but only {total} issued"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnergyError {}
+
 /// Per-operation energies and background powers for one DRAM module.
 ///
 /// # Examples
@@ -123,16 +165,28 @@ impl DramPowerParams {
         open_time: Duration,
         charged_ras_refreshes: u64,
     ) -> DramEnergy {
-        self.energy_with_powerdown(ops, span, open_time, charged_ras_refreshes, Duration::ZERO)
+        // Zero power-down residency and a clamped charge count cannot
+        // violate either accounting invariant, so this stays infallible.
+        self.energy_unchecked(
+            ops,
+            span,
+            open_time,
+            charged_ras_refreshes.min(ops.ras_only_refreshes),
+            Duration::ZERO,
+        )
     }
 
     /// Like [`DramPowerParams::energy`], additionally billing
     /// `powerdown_time` of the span at the power-down rate instead of full
     /// standby.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics in debug builds if `powerdown_time` exceeds `span`.
+    /// Returns [`EnergyError::PowerDownExceedsSpan`] if `powerdown_time`
+    /// exceeds `span`, and [`EnergyError::ChargedRefreshesExceedTotal`] if
+    /// `charged_ras_refreshes` exceeds `ops.ras_only_refreshes` — both mean
+    /// the caller's bookkeeping is inconsistent and any energy figure
+    /// computed from it would be fiction.
     pub fn energy_with_powerdown(
         &self,
         ops: &OpStats,
@@ -140,8 +194,30 @@ impl DramPowerParams {
         open_time: Duration,
         charged_ras_refreshes: u64,
         powerdown_time: Duration,
+    ) -> Result<DramEnergy, EnergyError> {
+        if powerdown_time > span {
+            return Err(EnergyError::PowerDownExceedsSpan {
+                powerdown: powerdown_time,
+                span,
+            });
+        }
+        if charged_ras_refreshes > ops.ras_only_refreshes {
+            return Err(EnergyError::ChargedRefreshesExceedTotal {
+                charged: charged_ras_refreshes,
+                total: ops.ras_only_refreshes,
+            });
+        }
+        Ok(self.energy_unchecked(ops, span, open_time, charged_ras_refreshes, powerdown_time))
+    }
+
+    fn energy_unchecked(
+        &self,
+        ops: &OpStats,
+        span: Duration,
+        open_time: Duration,
+        charged_ras_refreshes: u64,
+        powerdown_time: Duration,
     ) -> DramEnergy {
-        debug_assert!(powerdown_time <= span, "power-down exceeds the span");
         let awake = span.saturating_sub(powerdown_time);
         let background = self.p_standby * awake.as_secs_f64()
             + self.p_powerdown * powerdown_time.as_secs_f64()
@@ -149,7 +225,6 @@ impl DramPowerParams {
         let activate_precharge =
             ops.activates as f64 * self.e_activate + ops.precharges as f64 * self.e_precharge;
         let read_write = ops.reads as f64 * self.e_read + ops.writes as f64 * self.e_write;
-        debug_assert!(charged_ras_refreshes <= ops.ras_only_refreshes);
         let refresh = ops.total_refreshes() as f64 * self.e_refresh_row
             + charged_ras_refreshes as f64 * self.e_ras_only_extra
             + ops.refreshes_closing_open_page as f64 * self.e_refresh_close_page;
@@ -272,5 +347,58 @@ mod tests {
         );
         let sum = e.background_j + e.activate_precharge_j + e.read_write_j + e.refresh_j;
         assert!((e.total_j() - sum).abs() < 1e-18);
+    }
+
+    #[test]
+    fn powerdown_beyond_span_is_an_error_not_a_panic() {
+        let p = DramPowerParams::ddr2_2gb();
+        let err = p
+            .energy_with_powerdown(
+                &ops(0),
+                Duration::from_ms(1),
+                Duration::ZERO,
+                0,
+                Duration::from_ms(2),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EnergyError::PowerDownExceedsSpan {
+                powerdown: Duration::from_ms(2),
+                span: Duration::from_ms(1),
+            }
+        );
+        assert!(err.to_string().contains("exceeds the billed span"));
+    }
+
+    #[test]
+    fn overcharged_ras_refreshes_are_an_error() {
+        let p = DramPowerParams::ddr2_2gb();
+        let o = OpStats {
+            ras_only_refreshes: 3,
+            ..OpStats::new()
+        };
+        let err = p
+            .energy_with_powerdown(&o, Duration::from_ms(1), Duration::ZERO, 4, Duration::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EnergyError::ChargedRefreshesExceedTotal {
+                charged: 4,
+                total: 3
+            }
+        );
+    }
+
+    #[test]
+    fn powerdown_residency_is_billed_at_the_low_rate() {
+        let p = DramPowerParams::ddr2_2gb();
+        let span = Duration::from_ms(1000);
+        let half = Duration::from_ms(500);
+        let e = p
+            .energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, half)
+            .unwrap();
+        let expect = 0.65 * 0.5 + 0.45 * 0.5;
+        assert!((e.background_j - expect).abs() < 1e-12);
     }
 }

@@ -38,6 +38,6 @@ pub mod sram;
 
 pub use breakdown::{geometric_mean, mean, savings, ChannelScrubEnergy, EnergyBreakdown};
 pub use bus::BusEnergyModel;
-pub use dram_power::{DramEnergy, DramPowerParams};
+pub use dram_power::{DramEnergy, DramPowerParams, EnergyError};
 pub use ecc::EccLogicModel;
 pub use sram::SramArrayModel;

@@ -72,10 +72,24 @@ fn powerdown_reduces_background() {
         let span = Duration::from_us(span_us);
         let pd = Duration::from_ps((span.as_ps() as f64 * pd_frac) as u64);
         let awake = p.energy(&OpStats::new(), span, Duration::ZERO, 0);
-        let rested = p.energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, pd);
+        let rested = p
+            .energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, pd)
+            .expect("pd <= span by construction");
         assert!(rested.background_j <= awake.background_j + 1e-15);
-        let full = p.energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, span);
+        let full = p
+            .energy_with_powerdown(&OpStats::new(), span, Duration::ZERO, 0, span)
+            .expect("pd == span is legal");
         assert!((full.background_j - p.p_powerdown * span.as_secs_f64()).abs() < 1e-12);
+        // Claiming more residency than the span is rejected, never a panic.
+        assert!(p
+            .energy_with_powerdown(
+                &OpStats::new(),
+                span,
+                Duration::ZERO,
+                0,
+                span + Duration::from_ns(1)
+            )
+            .is_err());
     }
 }
 

@@ -10,7 +10,7 @@
 //! so reports can always print paper-vs-measured side by side.
 
 use smartrefresh_core::SmartRefreshConfig;
-use smartrefresh_ctrl::SimError;
+use smartrefresh_ctrl::{EccConfig, ScrubConfig, SimError};
 use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
 use smartrefresh_dram::time::Duration;
 use smartrefresh_dram::ModuleConfig;
@@ -205,6 +205,11 @@ pub struct Evaluation {
     /// (1.0 = the default 2+6 retention intervals).
     scale: f64,
     seed: u64,
+    /// When set, the 3D-stacked corpora run with the SECDED + covering
+    /// patrol-scrub stack so Figs 12–17 price scrub DRAM energy and ECC
+    /// logic energy into the breakdown. Off by default: the reference
+    /// figures assume no ECC and must stay bit-identical.
+    ecc: bool,
     conv2: Option<Vec<BenchPair>>,
     conv4: Option<Vec<BenchPair>>,
     s64: Option<Vec<BenchPair>>,
@@ -228,6 +233,7 @@ impl Evaluation {
         Evaluation {
             scale,
             seed: 0x5eed,
+            ecc: false,
             conv2: None,
             conv4: None,
             s64: None,
@@ -235,14 +241,32 @@ impl Evaluation {
         }
     }
 
-    /// Reads `SMARTREFRESH_SCALE` from the environment (default 1.0); used
-    /// by the bench harnesses so CI can run them quickly.
+    /// Enables the ECC + patrol-scrub stack on the 3D-stacked corpora
+    /// (Figs 12–17), pricing scrub and ECC logic energy into the
+    /// breakdowns. Conventional corpora are unaffected.
+    pub fn with_ecc(mut self) -> Self {
+        self.ecc = true;
+        self
+    }
+
+    /// Whether the 3D-stacked corpora run with the ECC stack.
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc
+    }
+
+    /// Reads `SMARTREFRESH_SCALE` (default 1.0) and `SMARTREFRESH_ECC`
+    /// (any value but `0` enables the stacked-corpus ECC stack) from the
+    /// environment; used by the bench harnesses so CI can run them quickly.
     pub fn from_env() -> Self {
         let scale = std::env::var("SMARTREFRESH_SCALE")
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
             .unwrap_or(1.0);
-        Self::with_scale(scale)
+        let mut eval = Self::with_scale(scale);
+        if std::env::var("SMARTREFRESH_ECC").is_ok_and(|v| v != "0") {
+            eval = eval.with_ecc();
+        }
+        eval
     }
 
     fn run_corpus(&self, id: CorpusId) -> Result<Vec<BenchPair>, SimError> {
@@ -290,6 +314,12 @@ impl Evaluation {
             // Workload timescale is fixed at 64 ms regardless of how hot
             // (fast-refreshing) the module is.
             base_cfg.reference = Duration::from_ms(64);
+            if self.ecc && topology == Topology::Stacked {
+                base_cfg.ecc = Some(EccConfig::new(self.seed).with_scrub(ScrubConfig::covering(
+                    module.timing.retention,
+                    module.geometry.total_rows(),
+                )));
+            }
             let mut smart_cfg = base_cfg.clone();
             smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
             let baseline = run_experiment(&base_cfg, &spec)?;
@@ -433,5 +463,14 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_rejected() {
         Evaluation::with_scale(0.0);
+    }
+
+    #[test]
+    fn ecc_is_opt_in() {
+        assert!(
+            !Evaluation::new().ecc_enabled(),
+            "default keeps figures bit-identical"
+        );
+        assert!(Evaluation::with_scale(0.5).with_ecc().ecc_enabled());
     }
 }

@@ -13,6 +13,9 @@
 //! * [`scrub::run_scrub_campaign`] — the recovery campaign: SECDED ECC,
 //!   patrol scrubbing, and the retention watchdog correcting what the
 //!   fault campaign only detects;
+//! * [`powerdown::run_powerdown_campaign`] — the counter power-state
+//!   campaign: the three `CounterPowerPolicy` options compared on an
+//!   idle-heavy workload, plus the idle-fraction sweep;
 //! * [`scheduler::MaintenanceScheduler`] — the system-level maintenance
 //!   scheduler co-ordinating scrubs and refreshes across the channels of a
 //!   [`system::MultiChannelSystem`], with a CE-rate-adaptive scrub
@@ -33,6 +36,7 @@ pub mod coschedule;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
+pub mod powerdown;
 pub mod report;
 pub mod sanitize;
 pub mod scheduler;
@@ -50,6 +54,10 @@ pub use faults::{
     FaultScenario, ScenarioOutcome,
 };
 pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
+pub use powerdown::{
+    idle_sweep, run_powerdown_campaign, run_powerdown_scenario, IdleSweepPoint,
+    PowerdownCampaignResult, PowerdownOutcome,
+};
 pub use scheduler::{AdaptiveScrubConfig, MaintenanceScheduler, SchedulerConfig, SchedulerStats};
 pub use scrub::{
     run_scrub_campaign, run_scrub_scenario, scrub_savings, standard_scrub_campaign,

@@ -10,6 +10,7 @@ use crate::coschedule::{CoscheduleCampaignResult, CoscheduleOutcome, Load, Setup
 use crate::experiment::RunResult;
 use crate::faults::{CampaignResult, Expectation};
 use crate::figures::{Figure, FigureId};
+use crate::powerdown::PowerdownCampaignResult;
 use crate::scrub::{ScrubCampaignResult, ScrubExpectation};
 use smartrefresh_core::DegradeCause;
 use smartrefresh_faults::FaultKind;
@@ -39,6 +40,7 @@ pub fn degrade_cause_label(cause: &DegradeCause) -> &'static str {
         DegradeCause::External => "external",
         DegradeCause::EccUncorrectable => "ecc-uncorrectable",
         DegradeCause::RetentionWatchdog => "retention-watchdog",
+        DegradeCause::CounterPowerLoss => "counter-power-loss",
     }
 }
 
@@ -228,6 +230,67 @@ pub fn render_scrub_campaign(c: &ScrubCampaignResult) -> String {
     out
 }
 
+/// Renders the counter power-state campaign: the three policies side by
+/// side, the idle-fraction sweep, and the verdict.
+pub fn render_powerdown_campaign(c: &PowerdownCampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Counter power-state campaign ===");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>8} {:>7} {:>6} {:>12} {:>7} {:>6}",
+        "policy", "refreshes", "windows", "wipes", "snaps", "ctr-pwr (uJ)", "decayed", "degr"
+    );
+    for o in &c.outcomes {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9} {:>8} {:>7} {:>6} {:>12.3} {:>7} {:>6}",
+            o.policy.as_str(),
+            o.refreshes_issued,
+            o.powerdown_windows,
+            o.counters_reset_on_wake,
+            o.counter_snapshots,
+            o.counter_power_j * 1e6,
+            o.decayed_rows,
+            if o.degraded_by_power_loss {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Idle-fraction sweep (persistent vs conservative-reset):"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>6} {:>11} {:>9} {:>9} {:>10}",
+        "access gap", "idle%", "persistent", "reset", "forfeited", "windows"
+    );
+    for p in &c.sweep {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6.1} {:>11} {:>9} {:>9} {:>10}",
+            format!("{:.0} us", p.access_gap.as_secs_f64() * 1e6),
+            p.idle_fraction * 100.0,
+            p.refreshes_persistent,
+            p.refreshes_reset,
+            p.forfeited_refreshes(),
+            p.windows,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Campaign verdict: {}",
+        if c.all_hold() {
+            "every counter power-state policy met its contract"
+        } else {
+            "CONTRACT FAILURE — a policy broke its power-down semantics"
+        }
+    );
+    out
+}
+
 /// Renders the co-scheduling campaign: the four setup × load runs side by
 /// side, the adaptive-interval endpoints, and the verdict.
 pub fn render_coschedule(c: &CoscheduleCampaignResult) -> String {
@@ -370,6 +433,43 @@ mod tests {
             "benchmark,suite,value,measured_gmean,paper_gmean"
         );
         assert!(lines.next().unwrap().starts_with("gcc,SPECint2000,0.25"));
+    }
+
+    #[test]
+    fn powerdown_rendering_names_every_policy() {
+        use crate::powerdown::{IdleSweepPoint, PowerdownOutcome};
+        use smartrefresh_core::CounterPowerPolicy;
+        use smartrefresh_dram::time::Duration;
+        let outcome = |policy, refreshes, wipes, degraded| PowerdownOutcome {
+            policy,
+            refreshes_issued: refreshes,
+            powerdown_windows: 10,
+            powerdown_time: Duration::from_us(900),
+            counters_reset_on_wake: wipes,
+            counter_snapshots: 0,
+            counter_power_j: 1.0e-9,
+            decayed_rows: 0,
+            degraded_by_power_loss: degraded,
+        };
+        let c = PowerdownCampaignResult {
+            outcomes: vec![
+                outcome(CounterPowerPolicy::Persistent, 100, 0, false),
+                outcome(CounterPowerPolicy::ConservativeReset, 130, 40, true),
+                outcome(CounterPowerPolicy::Snapshot, 100, 0, false),
+            ],
+            sweep: vec![IdleSweepPoint {
+                access_gap: Duration::from_us(200),
+                idle_fraction: 0.9,
+                refreshes_persistent: 100,
+                refreshes_reset: 130,
+                windows: 10,
+            }],
+        };
+        let s = render_powerdown_campaign(&c);
+        assert!(s.contains("persistent"));
+        assert!(s.contains("conservative-reset"));
+        assert!(s.contains("snapshot"));
+        assert!(s.contains("200 us"));
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Counter power-state campaign: what CKE-low does to Smart Refresh.
+//!
+//! Compares the three `CounterPowerPolicy` options — persistent,
+//! conservative-reset, snapshot — on an idle-heavy workload, then sweeps
+//! the idle fraction to show how the savings forfeited by wiping counters
+//! grow as the module sleeps more.
+//!
+//! Run with: `cargo run --example powerdown`
+//!
+//! Exits nonzero when any policy breaks its contract, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use smart_refresh::sim::powerdown::run_powerdown_campaign;
+use smart_refresh::sim::report::render_powerdown_campaign;
+use smart_refresh::sim::CampaignConfig;
+
+fn main() -> ExitCode {
+    let cfg = CampaignConfig::quick(0x90da);
+    println!(
+        "module {} ({} rows, retention {}), horizon {}, one access per {}\n",
+        cfg.module.name,
+        cfg.module.geometry.total_rows(),
+        cfg.module.timing.retention,
+        cfg.horizon,
+        cfg.access_gap,
+    );
+    let result = match run_powerdown_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("counter power-state campaign aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", render_powerdown_campaign(&result));
+    if result.all_hold() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("counter power-state campaign failed: a policy broke its contract");
+        ExitCode::FAILURE
+    }
+}
