@@ -29,6 +29,12 @@ pub fn near_misses(x: Option<u32>, r: Result<u32, u32>) -> u32 {
     x.unwrap_or(0) + r.clone().expect_err("fine") + r.unwrap_or_default()
 }
 
+pub fn torn_writes() -> std::io::Result<()> {
+    std::fs::write("out.csv", b"x")?;
+    let _log = std::fs::File::create("log.txt")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

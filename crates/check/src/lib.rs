@@ -24,6 +24,11 @@
 //!   variant must be named (non-wildcard) somewhere in the sim layer's
 //!   non-test code, so campaign reporting can never silently ignore a
 //!   newly added fault class.
+//! * **`atomic-io`** — library crates must not create files with bare
+//!   `fs::write` / `File::create`; a crash mid-write leaves a torn file
+//!   that a later resume would trust. Durable output routes through
+//!   `smartrefresh_core::write_atomic` (temp sibling + rename), whose
+//!   implementation site is the single exemption.
 //!
 //! The scanner blanks comments, string literals, and character literals
 //! (preserving line structure) before matching tokens, so prose and
@@ -67,6 +72,8 @@ pub const RULE_DETERMINISTIC: &str = "deterministic";
 pub const RULE_WORKSPACE_LINTS: &str = "workspace-lints";
 /// Rule identifier for the fault/degrade variant exhaustiveness rule.
 pub const RULE_EXHAUSTIVE_VARIANTS: &str = "exhaustive-variants";
+/// Rule identifier for the torn-write (non-atomic file creation) rule.
+pub const RULE_ATOMIC_IO: &str = "atomic-io";
 
 /// Tokens banned by [`RULE_PANIC_FREE`]. The `bool` asks for an
 /// identifier boundary on the left of the match.
@@ -87,6 +94,12 @@ const DET_TOKENS: &[(&str, bool)] = &[
     ("rand::", true),
     ("getrandom", true),
 ];
+
+/// Tokens banned by [`RULE_ATOMIC_IO`] in library-crate code.
+const ATOMIC_TOKENS: &[(&str, bool)] = &[("fs::write", true), ("File::create", true)];
+
+/// The one sanctioned implementation site for atomic file creation.
+const ATOMIC_IO_EXEMPT: &str = "crates/core/src/atomicio.rs";
 
 /// Directory names that are never scanned (test trees, lint fixtures,
 /// build output, VCS metadata).
@@ -171,12 +184,24 @@ fn in_det_scope(rel: &str) -> bool {
     parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src"
 }
 
-/// Scan one source file for panic and nondeterminism tokens.
+/// Is `rel` in the atomic-io scope? Library crates only
+/// (`crates/<name>/src/`), with the `write_atomic` implementation site
+/// itself exempt — somewhere has to hold the temp-file-plus-rename dance.
+fn in_atomic_scope(rel: &str) -> bool {
+    if rel == ATOMIC_IO_EXEMPT {
+        return false;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src"
+}
+
+/// Scan one source file for panic, nondeterminism, and torn-write tokens.
 fn lint_source(root: &Path, path: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
     let rel = rel_display(root, path);
     let panic_scope = in_panic_scope(&rel);
     let det_scope = in_det_scope(&rel);
-    if !panic_scope && !det_scope {
+    let atomic_scope = in_atomic_scope(&rel);
+    if !panic_scope && !det_scope && !atomic_scope {
         return Ok(());
     }
     let text = fs::read_to_string(path)?;
@@ -207,6 +232,21 @@ fn lint_source(root: &Path, path: &Path, diags: &mut Vec<Diagnostic>) -> io::Res
                         message: format!(
                             "ambient nondeterminism `{tok}` — library code must use the \
                              simulated clock and the in-repo seeded PRNG"
+                        ),
+                    });
+                }
+            }
+        }
+        if atomic_scope {
+            for &(tok, left) in ATOMIC_TOKENS {
+                if has_token(line, tok, left) {
+                    diags.push(Diagnostic {
+                        file: rel.clone(),
+                        line: idx + 1,
+                        rule: RULE_ATOMIC_IO,
+                        message: format!(
+                            "non-atomic file creation `{tok}` — a crash mid-write leaves a \
+                             torn file; use smartrefresh_core::write_atomic"
                         ),
                     });
                 }

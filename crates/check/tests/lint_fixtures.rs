@@ -34,6 +34,10 @@ fn bad_fixture_tree_produces_exactly_the_pinned_diagnostics() {
          paths through SimError (tests and #[cfg(test)] regions are exempt)",
         "crates/badcrate/src/lib.rs:23: [deterministic] ambient nondeterminism `std::time` — \
          library code must use the simulated clock and the in-repo seeded PRNG",
+        "crates/badcrate/src/lib.rs:33: [atomic-io] non-atomic file creation `fs::write` — \
+         a crash mid-write leaves a torn file; use smartrefresh_core::write_atomic",
+        "crates/badcrate/src/lib.rs:34: [atomic-io] non-atomic file creation `File::create` — \
+         a crash mid-write leaves a torn file; use smartrefresh_core::write_atomic",
     ];
     assert_eq!(
         rendered, expected,

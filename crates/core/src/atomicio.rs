@@ -1,0 +1,98 @@
+//! Atomic file writes for crash-tolerant persistence.
+//!
+//! Checkpoints, benchmark records, and any other file a crash-tolerant run
+//! depends on must never be observable in a half-written state: a process
+//! killed mid-`write` would otherwise leave a torn file that a later resume
+//! reads as corruption (at best) or silently wrong data (at worst).
+//!
+//! [`write_atomic`] provides the standard fix: write the full contents to a
+//! sibling temporary file in the *same directory* (so the final step never
+//! crosses a filesystem boundary), flush it to stable storage, then `rename`
+//! it over the destination. POSIX rename is atomic with respect to
+//! concurrent observers and crash recovery, so readers see either the old
+//! complete file or the new complete file — never a mixture.
+//!
+//! The `atomic-io` conformance lint (`smartrefresh-check`) forbids bare
+//! `std::fs::write` / `File::create` in library crates; this module is the
+//! one sanctioned implementation site.
+
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Atomically replaces the file at `path` with `bytes`.
+///
+/// The contents are staged in a temporary sibling file
+/// (`<name>.<pid>.tmp`), synced to stable storage, and renamed over
+/// `path`. A crash at any point leaves either the previous file intact or
+/// the new file complete; the worst residue is a stale `.tmp` sibling,
+/// which the next successful write of the same path replaces.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; on failure the staged temporary
+/// file is removed on a best-effort basis and `path` is untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Contents must be durable *before* the rename makes them visible,
+        // or a crash could expose a named-but-empty checkpoint.
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("smartrefresh-atomicio");
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_and_replaces_contents() {
+        let path = scratch("replace.bin");
+        write_atomic(&path, b"first").expect("first write");
+        assert_eq!(fs::read(&path).expect("read back"), b"first");
+        write_atomic(&path, b"second, longer contents").expect("second write");
+        assert_eq!(
+            fs::read(&path).expect("read back"),
+            b"second, longer contents"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let path = scratch("clean.bin");
+        write_atomic(&path, b"payload").expect("write");
+        let dir = path.parent().expect("has parent");
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .expect("list scratch dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("clean.bin."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp residue: {leftovers:?}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_pathless_destination() {
+        let err = write_atomic(Path::new("/"), b"x").expect_err("no file name");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

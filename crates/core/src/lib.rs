@@ -42,6 +42,7 @@
 //! assert!(refreshes < 256);
 //! ```
 
+pub mod atomicio;
 pub mod baselines;
 pub mod counter;
 pub mod counter_power;
@@ -53,6 +54,7 @@ pub mod retention_aware;
 pub mod smart;
 pub mod stagger;
 
+pub use atomicio::write_atomic;
 pub use baselines::{BurstRefresh, CbrDistributed, NoRefresh, RasOnlyDistributed};
 pub use counter::CounterArray;
 pub use counter_power::{CounterPowerConfig, CounterPowerPolicy};

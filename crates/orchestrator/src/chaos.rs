@@ -1,0 +1,186 @@
+//! Seed-deterministic chaos injection for the fleet harness.
+//!
+//! Chaos mode attacks the *orchestrator*, not the simulator: it makes
+//! workers crash (an injected panic the supervisor must catch and retry)
+//! and stall (a worker that burns epochs without producing a result, so the
+//! deadline watchdog must fire). Whether a given `(cell, attempt)` crashes,
+//! stalls, or runs clean is a pure function of the chaos seed — two
+//! invocations with the same seed inject exactly the same faults, which is
+//! what lets the acceptance gate demand identical retry/skip counts across
+//! runs.
+
+use smartrefresh_dram::rng::{splitmix64, Rng};
+
+use crate::codec::{Decoder, Encoder};
+use smartrefresh_ctrl::SimError;
+
+/// Chaos-mode parameters. Probabilities apply independently per
+/// `(cell, attempt)` pair; an attempt that crashes cannot also stall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed every injection decision derives from.
+    pub seed: u64,
+    /// Probability an attempt panics mid-shard.
+    pub crash_prob: f64,
+    /// Probability an attempt stalls past its deadline budget.
+    pub stall_prob: f64,
+    /// Stall lengths are drawn uniformly from `1..=max_stall_epochs`.
+    pub max_stall_epochs: u32,
+}
+
+impl ChaosConfig {
+    /// Default fault rates for `--chaos <seed>`: harsh enough that a small
+    /// fleet sees several crashes and at least one watchdog kill.
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            crash_prob: 0.15,
+            stall_prob: 0.15,
+            max_stall_epochs: 6,
+        }
+    }
+
+    /// Canonical encoding for the checkpoint payload.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.seed);
+        enc.put_f64(self.crash_prob);
+        enc.put_f64(self.stall_prob);
+        enc.put_u32(self.max_stall_epochs);
+    }
+
+    /// Decodes a config written by [`ChaosConfig::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] on truncation.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<ChaosConfig, SimError> {
+        Ok(ChaosConfig {
+            seed: dec.get_u64()?,
+            crash_prob: dec.get_f64()?,
+            stall_prob: dec.get_f64()?,
+            max_stall_epochs: dec.get_u32()?,
+        })
+    }
+}
+
+/// What chaos does to one `(cell, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Run clean.
+    None,
+    /// Panic mid-shard; the supervisor's `catch_unwind` must absorb it.
+    Crash,
+    /// Stall for this many epochs without producing a result.
+    Stall(u32),
+}
+
+/// Panic payload for injected crashes, thrown with
+/// [`std::panic::panic_any`] so the workspace's panic-macro lint stays
+/// clean and the quiet hook can recognise — and silence — chaos unwinds.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCrash {
+    /// Cell whose worker was crashed.
+    pub cell: u64,
+    /// Attempt number (0-based) that was crashed.
+    pub attempt: u32,
+}
+
+/// Decides the fate of one attempt. Pure: depends only on
+/// `(cfg.seed, cell, attempt)`.
+pub fn decide(cfg: &ChaosConfig, cell: u64, attempt: u32) -> ChaosAction {
+    let mut mix = cfg.seed;
+    let a = splitmix64(&mut mix);
+    let mut mix = cell.wrapping_add(0x9e37_79b9);
+    let b = splitmix64(&mut mix);
+    let mut mix = u64::from(attempt).wrapping_add(0xdead_4bed);
+    let c = splitmix64(&mut mix);
+    let mut rng = Rng::seed_from_u64(a ^ b.rotate_left(21) ^ c.rotate_left(42));
+    if rng.gen_bool(cfg.crash_prob) {
+        return ChaosAction::Crash;
+    }
+    if rng.gen_bool(cfg.stall_prob) {
+        return ChaosAction::Stall(rng.gen_range(1u32..cfg.max_stall_epochs.max(1) + 1));
+    }
+    ChaosAction::None
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// stderr backtrace for [`ChaosCrash`] payloads and defers to the previous
+/// hook for every real panic.
+pub fn install_quiet_chaos_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ChaosCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_cell_and_attempt() {
+        let cfg = ChaosConfig::with_seed(99);
+        for cell in 0..64u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    decide(&cfg, cell, attempt),
+                    decide(&cfg, cell, attempt),
+                    "cell {cell} attempt {attempt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_vary_across_cells_attempts_and_seeds() {
+        let cfg = ChaosConfig::with_seed(99);
+        let per_cell: Vec<_> = (0..256u64).map(|c| decide(&cfg, c, 0)).collect();
+        assert!(per_cell.iter().any(|a| *a != ChaosAction::None));
+        assert!(per_cell.contains(&ChaosAction::None));
+        let other = ChaosConfig::with_seed(100);
+        let per_cell_other: Vec<_> = (0..256u64).map(|c| decide(&other, c, 0)).collect();
+        assert_ne!(per_cell, per_cell_other);
+        // A crashed first attempt does not condemn every retry.
+        let crashed: Vec<u64> = (0..256)
+            .filter(|&c| decide(&cfg, c, 0) == ChaosAction::Crash)
+            .collect();
+        assert!(!crashed.is_empty());
+        assert!(crashed
+            .iter()
+            .any(|&c| decide(&cfg, c, 1) != ChaosAction::Crash));
+    }
+
+    #[test]
+    fn stall_lengths_stay_within_budget() {
+        let cfg = ChaosConfig {
+            seed: 5,
+            crash_prob: 0.0,
+            stall_prob: 1.0,
+            max_stall_epochs: 3,
+        };
+        for cell in 0..128u64 {
+            match decide(&cfg, cell, 0) {
+                ChaosAction::Stall(n) => assert!((1..=3).contains(&n), "stall {n}"),
+                other => panic!("expected stall, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_codec() {
+        let cfg = ChaosConfig::with_seed(0xfeed);
+        let mut enc = Encoder::new();
+        cfg.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = ChaosConfig::decode(&mut dec).expect("decodes");
+        dec.finish().expect("consumed");
+        assert_eq!(back, cfg);
+    }
+}

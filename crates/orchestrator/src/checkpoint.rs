@@ -1,0 +1,564 @@
+//! Fleet checkpoint: the durable record of a campaign in flight.
+//!
+//! A [`FleetCheckpoint`] holds the grid, the optional chaos configuration,
+//! the epoch counter, the supervision statistics, and one [`CellState`] per
+//! grid cell. It is written atomically (temp file + rename, via
+//! [`smartrefresh_core::write_atomic`]) at every epoch boundary, so a
+//! `kill -9` at any instant leaves either the previous epoch's complete
+//! checkpoint or the new one — never a torn file. Loading re-validates the
+//! frame checksum and the grid fingerprint before trusting a byte of it.
+
+use std::path::Path;
+
+use smartrefresh_core::write_atomic;
+use smartrefresh_ctrl::SimError;
+use smartrefresh_sim::digest::Digest64;
+use smartrefresh_sim::RunResult;
+
+use crate::chaos::ChaosConfig;
+use crate::codec::{frame, unframe, Decoder, Encoder};
+use crate::grid::GridSpec;
+
+/// File name of the checkpoint inside the campaign directory.
+pub const CHECKPOINT_FILE: &str = "fleet.ckpt";
+
+/// Why a cell was abandoned after exhausting its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipCause {
+    /// Every attempt panicked (worker crash).
+    Panicked,
+    /// Every attempt blew its epoch deadline (watchdog kill).
+    DeadlineExceeded,
+    /// The simulator itself returned an error.
+    SimFailed,
+}
+
+impl SkipCause {
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkipCause::Panicked => "panicked",
+            SkipCause::DeadlineExceeded => "deadline",
+            SkipCause::SimFailed => "sim-error",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            SkipCause::Panicked => 0,
+            SkipCause::DeadlineExceeded => 1,
+            SkipCause::SimFailed => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<SkipCause, SimError> {
+        match t {
+            0 => Ok(SkipCause::Panicked),
+            1 => Ok(SkipCause::DeadlineExceeded),
+            2 => Ok(SkipCause::SimFailed),
+            _ => Err(SimError::Config {
+                what: "checkpoint names an unknown skip cause",
+            }),
+        }
+    }
+}
+
+/// The measured summary a completed cell contributes to the fleet report.
+/// Everything the cohort table and the fleet digest need; the replay
+/// verifier additionally re-derives the full [`RunResult`] digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutcome {
+    /// [`smartrefresh_sim::digest_run`] over the full result — the replay
+    /// verification currency.
+    pub digest: u64,
+    /// Total energy over the measurement span, joules.
+    pub total_j: f64,
+    /// Refresh-mechanism energy (refresh + bus + counters), joules.
+    pub refresh_mechanism_j: f64,
+    /// Refresh operations per second.
+    pub refreshes_per_sec: f64,
+    /// Mean demand latency, nanoseconds.
+    pub avg_latency_ns: f64,
+    /// Peak pending-refresh-queue occupancy.
+    pub queue_high_water: u64,
+    /// Retention integrity verdict.
+    pub integrity_ok: bool,
+    /// Whether the policy ended in fallback mode.
+    pub ended_in_fallback: bool,
+    /// Attempts consumed (1 = clean first try).
+    pub attempts: u32,
+}
+
+impl CellOutcome {
+    /// Summarises a finished run.
+    pub fn from_run(r: &RunResult, attempts: u32) -> Self {
+        CellOutcome {
+            digest: smartrefresh_sim::digest_run(r),
+            total_j: r.energy.total_j(),
+            refresh_mechanism_j: r.energy.refresh_mechanism_j(),
+            refreshes_per_sec: r.refreshes_per_sec,
+            avg_latency_ns: r.ctrl.avg_latency().as_ns_f64(),
+            queue_high_water: r.queue_high_water as u64,
+            integrity_ok: r.integrity_ok,
+            ended_in_fallback: r.ended_in_fallback,
+            attempts,
+        }
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.digest);
+        enc.put_f64(self.total_j);
+        enc.put_f64(self.refresh_mechanism_j);
+        enc.put_f64(self.refreshes_per_sec);
+        enc.put_f64(self.avg_latency_ns);
+        enc.put_u64(self.queue_high_water);
+        enc.put_bool(self.integrity_ok);
+        enc.put_bool(self.ended_in_fallback);
+        enc.put_u32(self.attempts);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<CellOutcome, SimError> {
+        Ok(CellOutcome {
+            digest: dec.get_u64()?,
+            total_j: dec.get_f64()?,
+            refresh_mechanism_j: dec.get_f64()?,
+            refreshes_per_sec: dec.get_f64()?,
+            avg_latency_ns: dec.get_f64()?,
+            queue_high_water: dec.get_u64()?,
+            integrity_ok: dec.get_bool()?,
+            ended_in_fallback: dec.get_bool()?,
+            attempts: dec.get_u32()?,
+        })
+    }
+}
+
+/// Lifecycle state of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellState {
+    /// Not yet run to completion. `available_from` implements retry
+    /// backoff: the supervisor will not reschedule the cell before that
+    /// epoch. `chaos_done` marks a cell whose injected stall already
+    /// elapsed, so the retry runs clean instead of re-drawing chaos.
+    Pending {
+        /// First epoch the cell may be scheduled in.
+        available_from: u64,
+        /// Attempts already consumed.
+        attempts: u32,
+        /// Skip the chaos draw on the next attempt (stall already served).
+        chaos_done: bool,
+    },
+    /// A chaos-injected stall in progress: the worker holds the cell
+    /// without producing a result for `remaining` more epochs.
+    Stalled {
+        /// Epochs left before the stall resolves.
+        remaining: u32,
+        /// Total epochs this stall was drawn for (deadline accounting).
+        total: u32,
+        /// Attempts already consumed, counting this stalled one.
+        attempts: u32,
+    },
+    /// Completed with a measured outcome.
+    Done(CellOutcome),
+    /// Abandoned after the retry budget; the fleet report carries the
+    /// cause instead of silently dropping the cell.
+    Skipped {
+        /// Why the supervisor gave up.
+        cause: SkipCause,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+}
+
+impl CellState {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            CellState::Pending {
+                available_from,
+                attempts,
+                chaos_done,
+            } => {
+                enc.put_u8(0);
+                enc.put_u64(*available_from);
+                enc.put_u32(*attempts);
+                enc.put_bool(*chaos_done);
+            }
+            CellState::Stalled {
+                remaining,
+                total,
+                attempts,
+            } => {
+                enc.put_u8(1);
+                enc.put_u32(*remaining);
+                enc.put_u32(*total);
+                enc.put_u32(*attempts);
+            }
+            CellState::Done(outcome) => {
+                enc.put_u8(2);
+                outcome.encode(enc);
+            }
+            CellState::Skipped { cause, attempts } => {
+                enc.put_u8(3);
+                enc.put_u8(cause.tag());
+                enc.put_u32(*attempts);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<CellState, SimError> {
+        match dec.get_u8()? {
+            0 => Ok(CellState::Pending {
+                available_from: dec.get_u64()?,
+                attempts: dec.get_u32()?,
+                chaos_done: dec.get_bool()?,
+            }),
+            1 => Ok(CellState::Stalled {
+                remaining: dec.get_u32()?,
+                total: dec.get_u32()?,
+                attempts: dec.get_u32()?,
+            }),
+            2 => Ok(CellState::Done(CellOutcome::decode(dec)?)),
+            3 => Ok(CellState::Skipped {
+                cause: SkipCause::from_tag(dec.get_u8()?)?,
+                attempts: dec.get_u32()?,
+            }),
+            _ => Err(SimError::Config {
+                what: "checkpoint names an unknown cell state",
+            }),
+        }
+    }
+}
+
+/// Supervision counters accumulated over the campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Epochs completed.
+    pub epochs: u64,
+    /// Shard attempts launched (including retries and stalled attempts).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed cell.
+    pub retries: u64,
+    /// Worker panics absorbed by the supervisor.
+    pub panics: u64,
+    /// Chaos stalls observed.
+    pub stalls: u64,
+    /// Watchdog kills (stall outlived the deadline budget).
+    pub deadline_misses: u64,
+    /// Simulator errors surfaced by shards.
+    pub sim_failures: u64,
+    /// Cells abandoned after the retry budget.
+    pub skips: u64,
+}
+
+impl FleetStats {
+    fn encode(&self, enc: &mut Encoder) {
+        for v in [
+            self.epochs,
+            self.attempts,
+            self.retries,
+            self.panics,
+            self.stalls,
+            self.deadline_misses,
+            self.sim_failures,
+            self.skips,
+        ] {
+            enc.put_u64(v);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<FleetStats, SimError> {
+        Ok(FleetStats {
+            epochs: dec.get_u64()?,
+            attempts: dec.get_u64()?,
+            retries: dec.get_u64()?,
+            panics: dec.get_u64()?,
+            stalls: dec.get_u64()?,
+            deadline_misses: dec.get_u64()?,
+            sim_failures: dec.get_u64()?,
+            skips: dec.get_u64()?,
+        })
+    }
+}
+
+/// Complete durable state of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    /// The scenario grid.
+    pub grid: GridSpec,
+    /// Chaos configuration, when chaos mode is on.
+    pub chaos: Option<ChaosConfig>,
+    /// Epochs completed so far.
+    pub epoch: u64,
+    /// Supervision counters.
+    pub stats: FleetStats,
+    /// One state per grid cell, indexed by flat cell index.
+    pub cells: Vec<CellState>,
+}
+
+impl FleetCheckpoint {
+    /// A fresh campaign: every cell pending at epoch 0.
+    pub fn fresh(grid: GridSpec, chaos: Option<ChaosConfig>) -> Self {
+        let cells = (0..grid.cell_count())
+            .map(|_| CellState::Pending {
+                available_from: 0,
+                attempts: 0,
+                chaos_done: false,
+            })
+            .collect();
+        FleetCheckpoint {
+            grid,
+            chaos,
+            epoch: 0,
+            stats: FleetStats::default(),
+            cells,
+        }
+    }
+
+    /// True when no cell is pending or stalled.
+    pub fn finished(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| matches!(c, CellState::Done(_) | CellState::Skipped { .. }))
+    }
+
+    /// Serialises to the framed, checksummed on-disk format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.grid.encode(&mut enc);
+        match &self.chaos {
+            None => enc.put_u8(0),
+            Some(c) => {
+                enc.put_u8(1);
+                c.encode(&mut enc);
+            }
+        }
+        enc.put_u64(self.epoch);
+        self.stats.encode(&mut enc);
+        enc.put_u64(self.cells.len() as u64);
+        for cell in &self.cells {
+            cell.encode(&mut enc);
+        }
+        frame(self.grid.fingerprint(), &enc.into_bytes())
+    }
+
+    /// Parses and fully validates a checkpoint file image.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] on any framing, checksum, fingerprint, or
+    /// structural violation; never panics on arbitrary bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<FleetCheckpoint, SimError> {
+        let (fingerprint, payload) = unframe(bytes)?;
+        let mut dec = Decoder::new(payload);
+        let grid = GridSpec::decode(&mut dec)?;
+        if grid.fingerprint() != fingerprint {
+            return Err(SimError::Config {
+                what: "checkpoint header fingerprint disagrees with its own grid",
+            });
+        }
+        let chaos = match dec.get_u8()? {
+            0 => None,
+            1 => Some(ChaosConfig::decode(&mut dec)?),
+            _ => {
+                return Err(SimError::Config {
+                    what: "checkpoint chaos marker is neither present nor absent",
+                })
+            }
+        };
+        let epoch = dec.get_u64()?;
+        let stats = FleetStats::decode(&mut dec)?;
+        let n = dec.get_u64()?;
+        if n != grid.cell_count() {
+            return Err(SimError::Config {
+                what: "checkpoint cell count disagrees with its grid",
+            });
+        }
+        let mut cells = Vec::new();
+        for _ in 0..n {
+            cells.push(CellState::decode(&mut dec)?);
+        }
+        dec.finish()?;
+        Ok(FleetCheckpoint {
+            grid,
+            chaos,
+            epoch,
+            stats,
+            cells,
+        })
+    }
+
+    /// Atomically writes the checkpoint into `dir` as
+    /// [`CHECKPOINT_FILE`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when the directory is not writable.
+    pub fn save(&self, dir: &Path) -> Result<(), SimError> {
+        write_atomic(&dir.join(CHECKPOINT_FILE), &self.to_bytes()).map_err(|_| SimError::Config {
+            what: "cannot write checkpoint file (campaign directory not writable?)",
+        })
+    }
+
+    /// Loads and validates the checkpoint in `dir`, additionally requiring
+    /// the grid fingerprint to match `expect_grid` when one is supplied
+    /// (resume with explicit grid flags must agree with the on-disk run).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for a missing/corrupt file or a grid mismatch.
+    pub fn load(dir: &Path, expect_grid: Option<&GridSpec>) -> Result<FleetCheckpoint, SimError> {
+        let bytes = std::fs::read(dir.join(CHECKPOINT_FILE)).map_err(|_| SimError::Config {
+            what: "no readable checkpoint in the campaign directory",
+        })?;
+        let ckpt = FleetCheckpoint::from_bytes(&bytes)?;
+        if let Some(expected) = expect_grid {
+            if expected.fingerprint() != ckpt.grid.fingerprint() {
+                return Err(SimError::Config {
+                    what: "resume grid does not match the checkpointed campaign",
+                });
+            }
+        }
+        Ok(ckpt)
+    }
+
+    /// Digest over the campaign's *results*: grid fingerprint plus every
+    /// cell's terminal state. Scheduling details (epoch count, worker
+    /// count, stall timing) are deliberately excluded — the digest asserts
+    /// *what was measured*, which must be identical between an
+    /// uninterrupted run and a kill-and-resume run.
+    pub fn fleet_digest(&self) -> u64 {
+        let mut d = Digest64::new();
+        d.update_u64(self.grid.fingerprint());
+        for cell in &self.cells {
+            match cell {
+                CellState::Pending { .. } => d.update(&[0]),
+                CellState::Stalled { .. } => d.update(&[1]),
+                CellState::Done(o) => {
+                    d.update(&[2]);
+                    d.update_u64(o.digest);
+                    d.update_f64(o.total_j);
+                    d.update_f64(o.refresh_mechanism_j);
+                    d.update_bool(o.integrity_ok);
+                }
+                CellState::Skipped { cause, .. } => {
+                    d.update(&[3, cause.tag()]);
+                }
+            }
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{ModuleKind, PolicyTag};
+
+    fn grid() -> GridSpec {
+        GridSpec {
+            workloads: vec!["gcc".into()],
+            modules: vec![ModuleKind::Mini],
+            policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
+            seeds: vec![1, 2],
+            scale_bits: 0.25f64.to_bits(),
+        }
+    }
+
+    fn populated() -> FleetCheckpoint {
+        let mut ckpt = FleetCheckpoint::fresh(grid(), Some(ChaosConfig::with_seed(3)));
+        ckpt.epoch = 5;
+        ckpt.stats.attempts = 7;
+        ckpt.stats.panics = 2;
+        ckpt.cells[0] = CellState::Done(CellOutcome {
+            digest: 0xabc,
+            total_j: 1.5,
+            refresh_mechanism_j: 0.25,
+            refreshes_per_sec: 1000.0,
+            avg_latency_ns: 92.5,
+            queue_high_water: 3,
+            integrity_ok: true,
+            ended_in_fallback: false,
+            attempts: 2,
+        });
+        ckpt.cells[1] = CellState::Skipped {
+            cause: SkipCause::DeadlineExceeded,
+            attempts: 3,
+        };
+        ckpt.cells[2] = CellState::Stalled {
+            remaining: 2,
+            total: 4,
+            attempts: 1,
+        };
+        ckpt
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let ckpt = populated();
+        let bytes = ckpt.to_bytes();
+        let back = FleetCheckpoint::from_bytes(&bytes).expect("valid image");
+        assert_eq!(back, ckpt);
+        assert_eq!(back.fleet_digest(), ckpt.fleet_digest());
+        // Serialisation itself is deterministic.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let dir = std::env::temp_dir().join("srft-ckpt-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ckpt = populated();
+        ckpt.save(&dir).expect("save");
+        let back = FleetCheckpoint::load(&dir, Some(&ckpt.grid)).expect("load");
+        assert_eq!(back, ckpt);
+        let mut other = grid();
+        other.seeds.push(9);
+        let err = FleetCheckpoint::load(&dir, Some(&other)).expect_err("grid mismatch");
+        assert!(matches!(err, SimError::Config { .. }));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected_not_panicked_on() {
+        let bytes = populated().to_bytes();
+        // Truncations at every length.
+        for n in 0..bytes.len() {
+            assert!(FleetCheckpoint::from_bytes(&bytes[..n]).is_err());
+        }
+        // A sample of interior bit flips (full cross product lives in the
+        // codec tests; here we confirm the checkpoint layer inherits it).
+        for byte in (0..bytes.len()).step_by(7) {
+            let mut copy = bytes.clone();
+            copy[byte] ^= 0x10;
+            assert!(FleetCheckpoint::from_bytes(&copy).is_err(), "byte {byte}");
+        }
+    }
+
+    #[test]
+    fn fleet_digest_ignores_scheduling_but_pins_results() {
+        let a = populated();
+        let mut b = a.clone();
+        b.epoch += 10;
+        b.stats.retries += 4;
+        assert_eq!(a.fleet_digest(), b.fleet_digest());
+        let mut c = a.clone();
+        if let CellState::Done(o) = &mut c.cells[0] {
+            o.digest ^= 1;
+        }
+        assert_ne!(a.fleet_digest(), c.fleet_digest());
+    }
+
+    #[test]
+    fn finished_requires_every_cell_terminal() {
+        let mut ckpt = populated();
+        assert!(!ckpt.finished());
+        ckpt.cells[2] = CellState::Skipped {
+            cause: SkipCause::Panicked,
+            attempts: 3,
+        };
+        ckpt.cells[3] = CellState::Done(match &ckpt.cells[0] {
+            CellState::Done(o) => *o,
+            _ => unreachable!(),
+        });
+        assert!(ckpt.finished());
+    }
+}

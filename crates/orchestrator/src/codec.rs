@@ -1,0 +1,311 @@
+//! Hermetic, versioned, checksummed binary codec for checkpoint files.
+//!
+//! Like the in-repo xoshiro PRNG, this codec exists so the workspace stays
+//! dependency-free: no serde, no external format crates. The encoding is
+//! deliberately boring — little-endian fixed-width integers, IEEE-754 bit
+//! patterns for floats, length-prefixed UTF-8 for strings — because a
+//! checkpoint's job is to round-trip *exactly*, not to be human-readable.
+//!
+//! Every file is framed:
+//!
+//! ```text
+//! magic "SRFT" | version u32 | grid fingerprint u64 | payload len u64
+//! | payload bytes | FNV-1a 64 checksum over everything before it
+//! ```
+//!
+//! [`unframe`] rejects truncated files, bad magic, version skew, and
+//! checksum mismatches with [`SimError::Config`] — never a panic — so a
+//! resume pointed at a torn, corrupted, or foreign file fails loudly and
+//! safely.
+
+use smartrefresh_ctrl::SimError;
+use smartrefresh_sim::digest::Digest64;
+
+/// File magic identifying a smart-refresh fleet checkpoint.
+pub const MAGIC: [u8; 4] = *b"SRFT";
+
+/// Current checkpoint format version. Bump on any layout change; resume
+/// across versions is refused rather than guessed at.
+pub const VERSION: u32 = 1;
+
+/// Append-only binary encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow of the bytes encoded so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Sequential decoder over a byte slice; every read is bounds-checked and
+/// surfaces [`SimError::Config`] instead of panicking.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SimError> {
+        if self.remaining() < n {
+            return Err(SimError::Config {
+                what: "checkpoint payload truncated mid-record",
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SimError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SimError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, SimError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool; any byte other than 0 or 1 is a corruption signal.
+    pub fn get_bool(&mut self) -> Result<bool, SimError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SimError::Config {
+                what: "checkpoint boolean field holds a non-boolean byte",
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SimError> {
+        let len = self.get_u64()?;
+        let len = usize::try_from(len).map_err(|_| SimError::Config {
+            what: "checkpoint string length overflows the address space",
+        })?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SimError::Config {
+            what: "checkpoint string is not valid UTF-8",
+        })
+    }
+
+    /// Succeeds only when every payload byte was consumed — trailing
+    /// garbage is treated as corruption.
+    pub fn finish(&self) -> Result<(), SimError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SimError::Config {
+                what: "checkpoint payload has trailing bytes",
+            })
+        }
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut d = Digest64::new();
+    d.update(bytes);
+    d.finish()
+}
+
+/// Wraps `payload` in the magic/version/fingerprint/length/checksum frame.
+pub fn frame(fingerprint: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 32);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates a framed file and returns `(grid fingerprint, payload)`.
+///
+/// # Errors
+///
+/// [`SimError::Config`] on truncation, bad magic, version skew, length
+/// mismatch, or checksum mismatch. Never panics on any input.
+pub fn unframe(bytes: &[u8]) -> Result<(u64, &[u8]), SimError> {
+    const HEADER: usize = 4 + 4 + 8 + 8;
+    if bytes.len() < HEADER + 8 {
+        return Err(SimError::Config {
+            what: "checkpoint file is truncated (shorter than its header)",
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(SimError::Config {
+            what: "not a smart-refresh checkpoint (bad magic)",
+        });
+    }
+    let mut u32buf = [0u8; 4];
+    u32buf.copy_from_slice(&bytes[4..8]);
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(SimError::Config {
+            what: "checkpoint format version mismatch — re-run instead of resuming",
+        });
+    }
+    let mut u64buf = [0u8; 8];
+    u64buf.copy_from_slice(&bytes[8..16]);
+    let fingerprint = u64::from_le_bytes(u64buf);
+    u64buf.copy_from_slice(&bytes[16..24]);
+    let payload_len = u64::from_le_bytes(u64buf);
+    let expected_total = (HEADER as u64)
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or(SimError::Config {
+            what: "checkpoint declares an impossible payload length",
+        })?;
+    if bytes.len() as u64 != expected_total {
+        return Err(SimError::Config {
+            what: "checkpoint file length disagrees with its declared payload length",
+        });
+    }
+    let body_end = bytes.len() - 8;
+    u64buf.copy_from_slice(&bytes[body_end..]);
+    let recorded = u64::from_le_bytes(u64buf);
+    if checksum(&bytes[..body_end]) != recorded {
+        return Err(SimError::Config {
+            what: "checkpoint checksum mismatch (torn write or bit corruption)",
+        });
+    }
+    Ok((fingerprint, &bytes[HEADER..body_end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"fleet state goes here";
+        let framed = frame(0xdead_beef_cafe_f00d, payload);
+        let (fp, body) = unframe(&framed).expect("frame is valid");
+        assert_eq!(fp, 0xdead_beef_cafe_f00d);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        let framed = frame(7, b"0123456789");
+        for n in 0..framed.len() {
+            let err = unframe(&framed[..n]).expect_err("truncation must fail");
+            assert!(matches!(err, SimError::Config { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let framed = frame(7, b"0123456789");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut copy = framed.clone();
+                copy[byte] ^= 1 << bit;
+                let err = unframe(&copy).expect_err("bit flip must fail");
+                assert!(matches!(err, SimError::Config { .. }), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_is_refused() {
+        let mut framed = frame(7, b"payload");
+        framed[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        let err = unframe(&framed).expect_err("foreign version must fail");
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn decoder_reports_truncation_and_trailing_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_u64(42);
+        enc.put_str("abc");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u64().expect("u64"), 42);
+        assert_eq!(dec.get_str().expect("str"), "abc");
+        dec.finish().expect("fully consumed");
+
+        let mut short = Decoder::new(&bytes[..9]);
+        short.get_u64().expect("u64 fits");
+        assert!(short.get_str().is_err(), "truncated string must fail");
+
+        let mut trailing = Decoder::new(&bytes);
+        trailing.get_u64().expect("u64");
+        assert!(trailing.finish().is_err(), "unconsumed bytes must fail");
+    }
+}

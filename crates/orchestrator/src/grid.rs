@@ -1,0 +1,504 @@
+//! The scenario grid: the cross product the fleet shards over.
+//!
+//! A campaign is `workloads × modules × policies × seeds`, flattened into a
+//! single cell index with seeds varying fastest. The flattening is part of
+//! the checkpoint contract: a resumed run must agree with the interrupted
+//! one about which cell lives at which index, so the grid carries a
+//! [`GridSpec::fingerprint`] that the checkpoint frame pins and resume
+//! validates.
+
+use smartrefresh_core::SmartRefreshConfig;
+use smartrefresh_ctrl::SimError;
+use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
+use smartrefresh_dram::time::Duration;
+use smartrefresh_dram::{Geometry, ModuleConfig, TimingParams};
+use smartrefresh_energy::DramPowerParams;
+use smartrefresh_sim::digest::Digest64;
+use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
+use smartrefresh_workloads::find;
+
+use crate::codec::{Decoder, Encoder};
+
+/// Module configurations the orchestrator can shard over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleKind {
+    /// Miniature conventional module (1024 rows, 8 ms retention) — the
+    /// fault-campaign module, fast enough for CI fleets.
+    Mini,
+    /// Miniature stacked module (256 rows, 8 ms retention) behind the
+    /// direct-mapped DRAM cache.
+    Mini3d,
+    /// Conventional 2 Gb DDR2 module of Table 1.
+    Conv2Gb,
+    /// Conventional 4 Gb DDR2 module.
+    Conv4Gb,
+    /// 64 MB 3D die-stacked module at 64 ms retention.
+    Stacked64,
+    /// The same stack at the 32 ms hot-corpus retention.
+    Stacked32,
+}
+
+impl ModuleKind {
+    /// Every module kind, in encoding order.
+    pub const ALL: [ModuleKind; 6] = [
+        ModuleKind::Mini,
+        ModuleKind::Mini3d,
+        ModuleKind::Conv2Gb,
+        ModuleKind::Conv4Gb,
+        ModuleKind::Stacked64,
+        ModuleKind::Stacked32,
+    ];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModuleKind::Mini => "mini",
+            ModuleKind::Mini3d => "mini3d",
+            ModuleKind::Conv2Gb => "2gb",
+            ModuleKind::Conv4Gb => "4gb",
+            ModuleKind::Stacked64 => "3d64",
+            ModuleKind::Stacked32 => "3d32",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<ModuleKind> {
+        ModuleKind::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            ModuleKind::Mini => 0,
+            ModuleKind::Mini3d => 1,
+            ModuleKind::Conv2Gb => 2,
+            ModuleKind::Conv4Gb => 3,
+            ModuleKind::Stacked64 => 4,
+            ModuleKind::Stacked32 => 5,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<ModuleKind, SimError> {
+        ModuleKind::ALL
+            .into_iter()
+            .find(|m| m.tag() == t)
+            .ok_or(SimError::Config {
+                what: "checkpoint names an unknown module kind",
+            })
+    }
+
+    /// Module config, power model, and topology for this kind.
+    pub fn instantiate(self) -> (ModuleConfig, DramPowerParams, Topology) {
+        match self {
+            ModuleKind::Mini => (
+                ModuleConfig {
+                    name: "mini",
+                    geometry: Geometry::new(1, 4, 256, 32, 64),
+                    timing: TimingParams::ddr2_667().with_retention(Duration::from_ms(8)),
+                },
+                DramPowerParams::ddr2_2gb(),
+                Topology::Conventional,
+            ),
+            ModuleKind::Mini3d => (
+                ModuleConfig {
+                    name: "mini-3d",
+                    geometry: Geometry::new(1, 4, 64, 16, 64),
+                    timing: TimingParams::ddr2_667().with_retention(Duration::from_ms(8)),
+                },
+                DramPowerParams::stacked_3d_64mb(),
+                Topology::Stacked,
+            ),
+            ModuleKind::Conv2Gb => (
+                conventional_2gb(),
+                DramPowerParams::ddr2_2gb(),
+                Topology::Conventional,
+            ),
+            ModuleKind::Conv4Gb => (
+                conventional_4gb(),
+                DramPowerParams::ddr2_4gb(),
+                Topology::Conventional,
+            ),
+            ModuleKind::Stacked64 => (
+                stacked_3d_64mb(Duration::from_ms(64)),
+                DramPowerParams::stacked_3d_64mb(),
+                Topology::Stacked,
+            ),
+            ModuleKind::Stacked32 => (
+                stacked_3d_64mb(Duration::from_ms(32)),
+                DramPowerParams::stacked_3d_64mb(),
+                Topology::Stacked,
+            ),
+        }
+    }
+}
+
+/// Refresh policies the orchestrator can shard over. A tag rather than a
+/// [`PolicyKind`] so it encodes to one byte; seed-carrying policies take
+/// their seed from the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyTag {
+    /// Distributed CAS-before-RAS baseline.
+    Cbr,
+    /// RAS-only distributed baseline.
+    RasOnly,
+    /// Burst refresh.
+    Burst,
+    /// Smart Refresh at the paper-default configuration.
+    Smart,
+    /// RAPID-like retention-aware refresh; the cell seed doubles as the
+    /// retention-profile seed.
+    RetentionAware,
+}
+
+impl PolicyTag {
+    /// Every policy tag, in encoding order.
+    pub const ALL: [PolicyTag; 5] = [
+        PolicyTag::Cbr,
+        PolicyTag::RasOnly,
+        PolicyTag::Burst,
+        PolicyTag::Smart,
+        PolicyTag::RetentionAware,
+    ];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyTag::Cbr => "cbr",
+            PolicyTag::RasOnly => "ras",
+            PolicyTag::Burst => "burst",
+            PolicyTag::Smart => "smart",
+            PolicyTag::RetentionAware => "ra",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<PolicyTag> {
+        PolicyTag::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            PolicyTag::Cbr => 0,
+            PolicyTag::RasOnly => 1,
+            PolicyTag::Burst => 2,
+            PolicyTag::Smart => 3,
+            PolicyTag::RetentionAware => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<PolicyTag, SimError> {
+        PolicyTag::ALL
+            .into_iter()
+            .find(|p| p.tag() == t)
+            .ok_or(SimError::Config {
+                what: "checkpoint names an unknown policy tag",
+            })
+    }
+
+    /// The concrete policy for one cell.
+    pub fn kind(self, seed: u64) -> PolicyKind {
+        match self {
+            PolicyTag::Cbr => PolicyKind::CbrDistributed,
+            PolicyTag::RasOnly => PolicyKind::RasOnlyDistributed,
+            PolicyTag::Burst => PolicyKind::Burst,
+            PolicyTag::Smart => PolicyKind::Smart(SmartRefreshConfig::paper_defaults()),
+            PolicyTag::RetentionAware => PolicyKind::RetentionAware { profile_seed: seed },
+        }
+    }
+}
+
+/// One cell of the flattened grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Flat index in grid order.
+    pub index: u64,
+    /// Workload name (must exist in the catalog).
+    pub workload: String,
+    /// Module under test.
+    pub module: ModuleKind,
+    /// Refresh policy under test.
+    pub policy: PolicyTag,
+    /// Workload (and, for seed-carrying policies, profile) seed.
+    pub seed: u64,
+}
+
+/// The full campaign grid plus the simulation scale factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Workload names, outermost axis.
+    pub workloads: Vec<String>,
+    /// Module kinds.
+    pub modules: Vec<ModuleKind>,
+    /// Policy tags.
+    pub policies: Vec<PolicyTag>,
+    /// Seeds, innermost (fastest-varying) axis.
+    pub seeds: Vec<u64>,
+    /// Span scale factor stored as IEEE-754 bits so the grid encodes — and
+    /// therefore fingerprints — exactly.
+    pub scale_bits: u64,
+}
+
+impl GridSpec {
+    /// The span scale factor.
+    pub fn scale(&self) -> f64 {
+        f64::from_bits(self.scale_bits)
+    }
+
+    /// Number of cells in the grid.
+    pub fn cell_count(&self) -> u64 {
+        self.workloads.len() as u64
+            * self.modules.len() as u64
+            * self.policies.len() as u64
+            * self.seeds.len() as u64
+    }
+
+    /// The cell at flat `index` (seeds fastest, workloads slowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= cell_count()`; callers iterate `0..cell_count()`.
+    pub fn cell(&self, index: u64) -> Cell {
+        assert!(index < self.cell_count(), "cell index out of range");
+        let s = self.seeds.len() as u64;
+        let p = self.policies.len() as u64;
+        let m = self.modules.len() as u64;
+        let seed = self.seeds[(index % s) as usize];
+        let rest = index / s;
+        let policy = self.policies[(rest % p) as usize];
+        let rest = rest / p;
+        let module = self.modules[(rest % m) as usize];
+        let workload = self.workloads[(rest / m) as usize].clone();
+        Cell {
+            index,
+            workload,
+            module,
+            policy,
+            seed,
+        }
+    }
+
+    /// Checks the grid is non-empty and every workload exists in the
+    /// catalog.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the first problem found.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.workloads.is_empty()
+            || self.modules.is_empty()
+            || self.policies.is_empty()
+            || self.seeds.is_empty()
+        {
+            return Err(SimError::Config {
+                what: "grid has an empty axis (workloads/modules/policies/seeds)",
+            });
+        }
+        let scale = self.scale();
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(SimError::Config {
+                what: "grid scale factor must be positive and finite",
+            });
+        }
+        for w in &self.workloads {
+            if find(w).is_none() {
+                return Err(SimError::Config {
+                    what: "grid names a workload missing from the catalog",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical encoding, reused by both the checkpoint payload and the
+    /// fingerprint.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.workloads.len() as u64);
+        for w in &self.workloads {
+            enc.put_str(w);
+        }
+        enc.put_u64(self.modules.len() as u64);
+        for m in &self.modules {
+            enc.put_u8(m.tag());
+        }
+        enc.put_u64(self.policies.len() as u64);
+        for p in &self.policies {
+            enc.put_u8(p.tag());
+        }
+        enc.put_u64(self.seeds.len() as u64);
+        for &s in &self.seeds {
+            enc.put_u64(s);
+        }
+        enc.put_u64(self.scale_bits);
+    }
+
+    /// Decodes a grid written by [`GridSpec::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] on truncation or unknown module/policy tags.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<GridSpec, SimError> {
+        let nw = dec.get_u64()?;
+        let mut workloads = Vec::new();
+        for _ in 0..nw {
+            workloads.push(dec.get_str()?);
+        }
+        let nm = dec.get_u64()?;
+        let mut modules = Vec::new();
+        for _ in 0..nm {
+            modules.push(ModuleKind::from_tag(dec.get_u8()?)?);
+        }
+        let np = dec.get_u64()?;
+        let mut policies = Vec::new();
+        for _ in 0..np {
+            policies.push(PolicyTag::from_tag(dec.get_u8()?)?);
+        }
+        let ns = dec.get_u64()?;
+        let mut seeds = Vec::new();
+        for _ in 0..ns {
+            seeds.push(dec.get_u64()?);
+        }
+        let scale_bits = dec.get_u64()?;
+        Ok(GridSpec {
+            workloads,
+            modules,
+            policies,
+            seeds,
+            scale_bits,
+        })
+    }
+
+    /// Digest of the canonical encoding; pinned in every checkpoint frame
+    /// so a resume against a different grid is refused.
+    pub fn fingerprint(&self) -> u64 {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        let mut d = Digest64::new();
+        d.update(enc.bytes());
+        d.finish()
+    }
+
+    /// Runs the cell at `index` to completion — the shard entry point the
+    /// workers and the replay verifier share.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for an unknown workload, or whatever
+    /// [`run_experiment`] surfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see [`GridSpec::cell`]).
+    pub fn run_cell(&self, index: u64) -> Result<RunResult, SimError> {
+        let cell = self.cell(index);
+        let entry = find(&cell.workload).ok_or(SimError::Config {
+            what: "grid names a workload missing from the catalog",
+        })?;
+        let (module, power, topology) = cell.module.instantiate();
+        let mut cfg = match topology {
+            Topology::Conventional => {
+                ExperimentConfig::conventional(module, power, cell.policy.kind(cell.seed))
+            }
+            Topology::Stacked => {
+                ExperimentConfig::stacked(module, power, cell.policy.kind(cell.seed))
+            }
+        }
+        .scaled(self.scale());
+        cfg.seed = cell.seed;
+        cfg.reference = Duration::from_ms(64);
+        let spec = match topology {
+            Topology::Conventional => entry.conventional,
+            Topology::Stacked => entry.stacked,
+        };
+        run_experiment(&cfg, &spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> GridSpec {
+        GridSpec {
+            workloads: vec!["gcc".into(), "radix".into()],
+            modules: vec![ModuleKind::Mini, ModuleKind::Mini3d],
+            policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
+            seeds: vec![1, 2, 3],
+            scale_bits: 0.25f64.to_bits(),
+        }
+    }
+
+    #[test]
+    fn cell_indexing_is_a_bijection() {
+        let g = small_grid();
+        assert_eq!(g.cell_count(), 2 * 2 * 2 * 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..g.cell_count() {
+            let c = g.cell(i);
+            assert_eq!(c.index, i);
+            seen.insert((c.workload.clone(), c.module.name(), c.policy.name(), c.seed));
+        }
+        assert_eq!(seen.len() as u64, g.cell_count());
+        // Seeds vary fastest.
+        assert_eq!(g.cell(0).seed, 1);
+        assert_eq!(g.cell(1).seed, 2);
+        assert_eq!(g.cell(2).seed, 3);
+        assert_eq!(g.cell(0).policy, g.cell(2).policy);
+        assert_ne!(g.cell(0).policy, g.cell(3).policy);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_fingerprint_pins_the_grid() {
+        let g = small_grid();
+        let mut enc = Encoder::new();
+        g.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = GridSpec::decode(&mut dec).expect("decodes");
+        dec.finish().expect("fully consumed");
+        assert_eq!(back, g);
+        assert_eq!(back.fingerprint(), g.fingerprint());
+
+        let mut other = g.clone();
+        other.seeds.push(4);
+        assert_ne!(other.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_workloads_and_empty_axes() {
+        let mut g = small_grid();
+        g.validate().expect("small grid is valid");
+        g.workloads.push("no-such-benchmark".into());
+        assert!(matches!(g.validate(), Err(SimError::Config { .. })));
+        let mut empty = small_grid();
+        empty.seeds.clear();
+        assert!(matches!(empty.validate(), Err(SimError::Config { .. })));
+    }
+
+    #[test]
+    fn module_and_policy_names_parse_back() {
+        for m in ModuleKind::ALL {
+            assert_eq!(ModuleKind::parse(m.name()), Some(m));
+        }
+        for p in PolicyTag::ALL {
+            assert_eq!(PolicyTag::parse(p.name()), Some(p));
+        }
+        assert_eq!(ModuleKind::parse("dimm"), None);
+        assert_eq!(PolicyTag::parse("magic"), None);
+    }
+
+    #[test]
+    fn run_cell_is_deterministic_across_invocations() {
+        let g = GridSpec {
+            workloads: vec!["gcc".into()],
+            modules: vec![ModuleKind::Mini],
+            policies: vec![PolicyTag::Smart],
+            seeds: vec![7],
+            scale_bits: 0.25f64.to_bits(),
+        };
+        let a = g.run_cell(0).expect("runs");
+        let b = g.run_cell(0).expect("runs");
+        assert_eq!(
+            smartrefresh_sim::digest_run(&a),
+            smartrefresh_sim::digest_run(&b)
+        );
+    }
+}

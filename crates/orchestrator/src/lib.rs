@@ -1,0 +1,49 @@
+//! Crash-safe fleet orchestrator for the Smart Refresh reproduction.
+//!
+//! Figure regeneration runs one experiment at a time; a *campaign* runs a
+//! whole grid of them — `workloads × modules × policies × seeds` — and a
+//! grid big enough to be interesting is big enough to be interrupted. This
+//! crate turns the single-experiment harness into a fleet with four
+//! robustness layers:
+//!
+//! * **Checkpointing** ([`checkpoint`], [`codec`]) — per-cell progress and
+//!   aggregate results are serialised with an in-repo versioned,
+//!   checksummed binary codec and written atomically (temp file + rename)
+//!   at every epoch boundary, so a `kill -9` can lose at most one epoch
+//!   and can never leave a torn file.
+//! * **Supervision** ([`supervisor`]) — every shard attempt runs under
+//!   `catch_unwind` on a worker thread; failures are retried with
+//!   capped-exponential backoff measured in epochs, stalls are killed by
+//!   an epoch-budget watchdog, and a cell that exhausts its retry budget
+//!   is skipped *and reported*, never silently dropped.
+//! * **Resume** — `smart-refresh orchestrate --resume <dir>` re-validates
+//!   the checkpoint's checksum and grid fingerprint, refuses version or
+//!   grid mismatches with a configuration error, and continues exactly
+//!   where the interrupted run stopped. Because every scheduling decision
+//!   is a deterministic function of checkpointed state, the resumed
+//!   campaign's fleet digest is bit-identical to an uninterrupted run's.
+//! * **Replay verification** ([`supervisor::verify_fleet`]) — sampled
+//!   completed cells are re-executed from their grid coordinates and their
+//!   [`smartrefresh_sim::digest_run`] state digests compared against the
+//!   checkpoint, turning simulator determinism into a checked invariant.
+//!
+//! A seed-deterministic *chaos mode* ([`chaos`]) injects worker crashes
+//! and stalls at the harness level — never into the simulated physics — so
+//! the supervision machinery is exercised on every CI run with
+//! reproducible fault schedules.
+
+pub mod chaos;
+pub mod checkpoint;
+pub mod codec;
+pub mod grid;
+pub mod report;
+pub mod supervisor;
+
+pub use chaos::{decide, install_quiet_chaos_hook, ChaosAction, ChaosConfig, ChaosCrash};
+pub use checkpoint::{
+    CellOutcome, CellState, FleetCheckpoint, FleetStats, SkipCause, CHECKPOINT_FILE,
+};
+pub use codec::{frame, unframe, Decoder, Encoder};
+pub use grid::{Cell, GridSpec, ModuleKind, PolicyTag};
+pub use report::render_fleet;
+pub use supervisor::{run_fleet, verify_fleet, OrchestratorConfig, VerifiedCell};

@@ -1,0 +1,212 @@
+//! Text rendering of a fleet campaign's outcome.
+//!
+//! The report aggregates completed cells into `(module, policy)` cohorts —
+//! the axes the paper's figures compare — and surfaces the supervision
+//! story (retries, panics absorbed, watchdog kills, skipped cells)
+//! alongside the physics, so a chaos run and a clean run are judged on the
+//! same page. The final line prints the fleet digest, the bit-exact
+//! summary the crash-recovery gate and the resume tests compare.
+
+use crate::checkpoint::{CellState, FleetCheckpoint};
+use crate::grid::Cell;
+
+struct Cohort {
+    module: &'static str,
+    policy: &'static str,
+    total_j: Vec<f64>,
+    refreshes: Vec<f64>,
+    latency_ns: Vec<f64>,
+    integrity_failures: u64,
+    skips: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Renders the complete fleet report.
+pub fn render_fleet(ckpt: &FleetCheckpoint) -> String {
+    let g = &ckpt.grid;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet campaign | {} workloads x {} modules x {} policies x {} seeds = {} cells | scale {}\n",
+        g.workloads.len(),
+        g.modules.len(),
+        g.policies.len(),
+        g.seeds.len(),
+        g.cell_count(),
+        g.scale(),
+    ));
+    let s = &ckpt.stats;
+    out.push_str(&format!(
+        "supervision    | {} epochs, {} attempts ({} retries) | {} panics, {} stalls, {} watchdog kills, {} sim errors | {} skipped\n",
+        s.epochs, s.attempts, s.retries, s.panics, s.stalls, s.deadline_misses, s.sim_failures, s.skips,
+    ));
+    if let Some(chaos) = &ckpt.chaos {
+        out.push_str(&format!(
+            "chaos          | seed {:#x} | crash {:.0}% stall {:.0}% (max {} epochs)\n",
+            chaos.seed,
+            chaos.crash_prob * 100.0,
+            chaos.stall_prob * 100.0,
+            chaos.max_stall_epochs,
+        ));
+    }
+
+    // Cohorts in grid order: module-major, then policy.
+    let mut cohorts: Vec<Cohort> = Vec::new();
+    let mut skipped_cells: Vec<(Cell, &'static str, u32)> = Vec::new();
+    for index in 0..g.cell_count() {
+        let cell = g.cell(index);
+        let module = cell.module.name();
+        let policy = cell.policy.name();
+        let at = match cohorts
+            .iter()
+            .position(|c| c.module == module && c.policy == policy)
+        {
+            Some(at) => at,
+            None => {
+                cohorts.push(Cohort {
+                    module,
+                    policy,
+                    total_j: Vec::new(),
+                    refreshes: Vec::new(),
+                    latency_ns: Vec::new(),
+                    integrity_failures: 0,
+                    skips: 0,
+                });
+                cohorts.len() - 1
+            }
+        };
+        match &ckpt.cells[index as usize] {
+            CellState::Done(o) => {
+                cohorts[at].total_j.push(o.total_j);
+                cohorts[at].refreshes.push(o.refreshes_per_sec);
+                cohorts[at].latency_ns.push(o.avg_latency_ns);
+                if !o.integrity_ok {
+                    cohorts[at].integrity_failures += 1;
+                }
+            }
+            CellState::Skipped { cause, attempts } => {
+                cohorts[at].skips += 1;
+                skipped_cells.push((cell, cause.name(), *attempts));
+            }
+            CellState::Pending { .. } | CellState::Stalled { .. } => {}
+        }
+    }
+
+    out.push_str(&format!(
+        "{:<8} {:<6} {:>4} {:>12} {:>12} {:>9} {:>9} {:>9} {:>6} {:>5}\n",
+        "module",
+        "policy",
+        "n",
+        "mean E (J)",
+        "refreshes/s",
+        "lat p50",
+        "lat p95",
+        "lat p99",
+        "integ",
+        "skip"
+    ));
+    for c in &cohorts {
+        let mut lat = c.latency_ns.clone();
+        lat.sort_by(f64::total_cmp);
+        out.push_str(&format!(
+            "{:<8} {:<6} {:>4} {:>12.4e} {:>12.0} {:>8.1}n {:>8.1}n {:>8.1}n {:>6} {:>5}\n",
+            c.module,
+            c.policy,
+            c.total_j.len(),
+            mean(&c.total_j),
+            mean(&c.refreshes),
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.95),
+            percentile(&lat, 0.99),
+            if c.integrity_failures == 0 {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            c.skips,
+        ));
+    }
+    if !skipped_cells.is_empty() {
+        out.push_str("skipped cells (cause after exhausting retries):\n");
+        for (cell, cause, attempts) in &skipped_cells {
+            out.push_str(&format!(
+                "  #{:<5} {} / {} / {} / seed {} — {cause} after {attempts} attempts\n",
+                cell.index,
+                cell.workload,
+                cell.module.name(),
+                cell.policy.name(),
+                cell.seed,
+            ));
+        }
+    }
+    out.push_str(&format!("fleet digest: {:#018x}\n", ckpt.fleet_digest()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{CellOutcome, SkipCause};
+    use crate::grid::{GridSpec, ModuleKind, PolicyTag};
+
+    #[test]
+    fn report_covers_cohorts_skips_and_digest() {
+        let grid = GridSpec {
+            workloads: vec!["mcf".into()],
+            modules: vec![ModuleKind::Mini],
+            policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
+            seeds: vec![1, 2],
+            scale_bits: 1.0f64.to_bits(),
+        };
+        let mut ckpt = FleetCheckpoint::fresh(grid, None);
+        for i in 0..3 {
+            ckpt.cells[i] = CellState::Done(CellOutcome {
+                digest: i as u64,
+                total_j: 1.0 + i as f64,
+                refresh_mechanism_j: 0.1,
+                refreshes_per_sec: 500.0,
+                avg_latency_ns: 90.0 + i as f64,
+                queue_high_water: 2,
+                integrity_ok: true,
+                ended_in_fallback: false,
+                attempts: 1,
+            });
+        }
+        ckpt.cells[3] = CellState::Skipped {
+            cause: SkipCause::Panicked,
+            attempts: 3,
+        };
+        let report = render_fleet(&ckpt);
+        assert!(report.contains("fleet campaign"), "{report}");
+        assert!(report.contains("cbr"), "{report}");
+        assert!(report.contains("smart"), "{report}");
+        assert!(report.contains("skipped cells"), "{report}");
+        assert!(report.contains("panicked after 3 attempts"), "{report}");
+        assert!(report.contains("fleet digest: 0x"), "{report}");
+        let expected = format!("{:#018x}", ckpt.fleet_digest());
+        assert!(report.contains(&expected), "{report}");
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert!((percentile(&v, 0.5) - 51.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::process::ExitCode;
 
+use smartrefresh_core::write_atomic;
 use smartrefresh_sim::figures::{Evaluation, FigureId};
 use smartrefresh_sim::report::{figure_csv, render_figure};
 
@@ -50,8 +51,10 @@ fn main() -> ExitCode {
         };
         println!("{}", render_figure(&fig));
         if let Some(dir) = &csv_dir {
-            let path = format!("{dir}/{id:?}.csv").to_lowercase();
-            if let Err(e) = std::fs::write(&path, figure_csv(&fig)) {
+            // Lowercase only the file name: the directory is user input
+            // and must keep its case.
+            let path = format!("{dir}/{}", format!("{id:?}.csv").to_lowercase());
+            if let Err(e) = write_atomic(path.as_ref(), figure_csv(&fig).as_bytes()) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }

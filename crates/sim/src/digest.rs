@@ -1,0 +1,165 @@
+//! Deterministic state digests over run results.
+//!
+//! The fleet orchestrator's replay-verification mode re-executes a sampled
+//! shard from its recorded scenario and compares a digest of the fresh
+//! result against the one stored in the checkpoint, turning "the simulator
+//! is deterministic" from an assumption into a checked invariant. The
+//! digest therefore has to be a pure function of the *measured* state — the
+//! energy breakdown, operation counts, controller statistics — with no
+//! host-dependent inputs (no pointers, no hash-map iteration order, no
+//! wall-clock).
+//!
+//! [`Digest64`] is FNV-1a over a canonical little-endian encoding; floats
+//! are folded by their IEEE-754 bit patterns, so two runs digest equal iff
+//! they are bit-identical, which is exactly the determinism contract the
+//! orchestrator's acceptance gate pins.
+
+use smartrefresh_energy::EnergyBreakdown;
+
+use crate::experiment::RunResult;
+
+/// Incremental 64-bit FNV-1a digest with canonical field encoders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest64 {
+    state: u64,
+}
+
+impl Digest64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Digest64 {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` by its IEEE-754 bit pattern, so the digest changes
+    /// iff the value is not bit-identical.
+    pub fn update_f64(&mut self, v: f64) {
+        self.update_u64(v.to_bits());
+    }
+
+    /// Folds a boolean as one byte.
+    pub fn update_bool(&mut self, v: bool) {
+        self.update(&[u8::from(v)]);
+    }
+
+    /// Folds a string as length-prefixed UTF-8 (so `("ab","c")` and
+    /// `("a","bc")` digest differently).
+    pub fn update_str(&mut self, s: &str) {
+        self.update_u64(s.len() as u64);
+        self.update(s.as_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Digest64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Folds every field of an [`EnergyBreakdown`] into `d` in declaration
+/// order.
+pub fn digest_energy(d: &mut Digest64, e: &EnergyBreakdown) {
+    d.update_f64(e.dram.background_j);
+    d.update_f64(e.dram.activate_precharge_j);
+    d.update_f64(e.dram.read_write_j);
+    d.update_f64(e.dram.refresh_j);
+    d.update_f64(e.counter_sram_j);
+    d.update_f64(e.refresh_bus_j);
+    d.update_f64(e.scrub_j);
+    d.update_f64(e.ecc_logic_j);
+    d.update_f64(e.counter_power_j);
+}
+
+/// Canonical digest of one experiment's measured state: workload/policy
+/// identity, refresh rate, the full energy breakdown, operation counts,
+/// controller statistics, and the integrity verdict.
+pub fn digest_run(r: &RunResult) -> u64 {
+    let mut d = Digest64::new();
+    d.update_str(r.workload);
+    d.update_str(r.policy);
+    d.update_f64(r.refreshes_per_sec);
+    digest_energy(&mut d, &r.energy);
+    d.update_u64(r.ops.activates);
+    d.update_u64(r.ops.reads);
+    d.update_u64(r.ops.writes);
+    d.update_u64(r.ops.precharges);
+    d.update_u64(r.ops.cbr_refreshes);
+    d.update_u64(r.ops.ras_only_refreshes);
+    d.update_u64(r.ops.refreshes_closing_open_page);
+    d.update_u64(r.ops.scrubs);
+    d.update_u64(r.ctrl.transactions);
+    d.update_u64(r.ctrl.row_hits);
+    d.update_u64(r.ctrl.row_misses);
+    d.update_u64(r.ctrl.row_conflicts);
+    d.update_u64(r.ctrl.total_latency.as_ps());
+    d.update_u64(r.ctrl.max_latency.as_ps());
+    d.update_u64(r.ctrl.refreshes_issued);
+    d.update_u64(r.ctrl.bus_charged_refreshes);
+    d.update_u64(r.sram_ops.0);
+    d.update_u64(r.sram_ops.1);
+    d.update_u64(r.queue_high_water as u64);
+    d.update_bool(r.ended_in_fallback);
+    d.update_bool(r.integrity_ok);
+    d.update_u64(r.memory_behind_cache);
+    d.update_u64(r.span.as_ps());
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        let mut d = Digest64::new();
+        assert_eq!(d.finish(), 0xcbf2_9ce4_8422_2325);
+        d.update(b"a");
+        assert_eq!(d.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut d = Digest64::new();
+        d.update(b"foobar");
+        assert_eq!(d.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_string_boundaries() {
+        let mut a = Digest64::new();
+        a.update_str("ab");
+        a.update_str("c");
+        let mut b = Digest64::new();
+        b.update_str("a");
+        b.update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_bit_patterns_distinguish_signed_zero() {
+        let mut a = Digest64::new();
+        a.update_f64(0.0);
+        let mut b = Digest64::new();
+        b.update_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -20,6 +20,8 @@
 //!   scheduler co-ordinating scrubs and refreshes across the channels of a
 //!   [`system::MultiChannelSystem`], with a CE-rate-adaptive scrub
 //!   interval; evaluated by [`coschedule::run_coschedule_campaign`];
+//! * [`digest`] — deterministic FNV-1a state digests over run results,
+//!   the replay-verification currency of the fleet orchestrator;
 //! * [`report`] — text tables printed by the bench harness.
 //!
 //! ```no_run
@@ -33,6 +35,7 @@
 //! ```
 
 pub mod coschedule;
+pub mod digest;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
@@ -48,6 +51,7 @@ pub use coschedule::{
     run_coschedule_campaign, run_coschedule_setup, CoscheduleCampaignResult, CoscheduleConfig,
     CoscheduleOutcome, Load, Setup,
 };
+pub use digest::{digest_energy, digest_run, Digest64};
 pub use experiment::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
 pub use faults::{
     run_campaign, run_scenario, standard_campaign, CampaignConfig, CampaignResult, Expectation,

@@ -1,0 +1,147 @@
+//! Crash-safe fleet orchestration, end to end: a clean campaign, a chaos
+//! campaign with injected worker crashes and stalls, a halt/resume chain,
+//! replay verification, and a torn-checkpoint rejection — all asserting
+//! the same bit-identical fleet digest.
+//!
+//! Run with: `cargo run --example orchestrate`
+//!
+//! Exits nonzero when any property fails, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use smart_refresh::orchestrator::{
+    run_fleet, verify_fleet, ChaosConfig, FleetCheckpoint, GridSpec, ModuleKind,
+    OrchestratorConfig, PolicyTag, CHECKPOINT_FILE,
+};
+
+/// The example's scenario grid: 8 cells over the miniature module.
+fn grid() -> GridSpec {
+    GridSpec {
+        workloads: vec!["gcc".into(), "radix".into()],
+        modules: vec![ModuleKind::Mini],
+        policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
+        seeds: vec![0x5eed, 0x5eee],
+        scale_bits: 0.25f64.to_bits(),
+    }
+}
+
+fn config() -> OrchestratorConfig {
+    OrchestratorConfig {
+        workers: 2,
+        cells_per_epoch: 3,
+        // Generous retry budget: the chaos run must converge to the same
+        // digest as the clean run, never exhaust into a skip.
+        max_attempts: 5,
+        ..OrchestratorConfig::default()
+    }
+}
+
+fn run(mut ckpt: FleetCheckpoint, what: &str) -> Result<FleetCheckpoint, String> {
+    let finished =
+        run_fleet(&mut ckpt, &config(), None, |_| {}).map_err(|e| format!("{what}: {e}"))?;
+    if !finished {
+        return Err(format!("{what}: campaign did not finish"));
+    }
+    Ok(ckpt)
+}
+
+fn main() -> ExitCode {
+    match demo() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("orchestrate example failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn demo() -> Result<(), String> {
+    // 1. Uninterrupted reference campaign.
+    let clean = run(FleetCheckpoint::fresh(grid(), None), "clean campaign")?;
+    let reference = clean.fleet_digest();
+    println!(
+        "clean campaign:  digest {reference:#018x}, {} epochs",
+        clean.stats.epochs
+    );
+
+    // 2. Chaos campaign: seeded worker crashes and stalls. Supervision
+    //    must absorb every fault and converge to the identical digest.
+    let chaos = run(
+        FleetCheckpoint::fresh(grid(), Some(ChaosConfig::with_seed(7))),
+        "chaos campaign",
+    )?;
+    println!(
+        "chaos campaign:  digest {:#018x}, {} retries, {} panics, {} stalls, {} watchdog kills",
+        chaos.fleet_digest(),
+        chaos.stats.retries,
+        chaos.stats.panics,
+        chaos.stats.stalls,
+        chaos.stats.deadline_misses,
+    );
+    if chaos.fleet_digest() != reference {
+        return Err("chaos campaign diverged from the clean digest".into());
+    }
+
+    // 3. Halt/resume chain: stop after every epoch, reload from the
+    //    checkpoint on disk, continue. The digest must not change.
+    let dir =
+        std::env::temp_dir().join(format!("smart-refresh-orchestrate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let halting = OrchestratorConfig {
+        halt_after_epochs: Some(1),
+        ..config()
+    };
+    let mut ckpt = FleetCheckpoint::fresh(grid(), None);
+    let mut halts = 0u32;
+    loop {
+        let finished = run_fleet(&mut ckpt, &halting, Some(&dir), |_| {})
+            .map_err(|e| format!("halted campaign: {e}"))?;
+        if finished {
+            break;
+        }
+        halts += 1;
+        if halts > 64 {
+            return Err("halted campaign failed to converge in 64 resumes".into());
+        }
+        // Drop the in-memory state entirely: the next leg must come from disk.
+        ckpt = FleetCheckpoint::load(&dir, Some(&grid())).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "halt/resume:     digest {:#018x} after {halts} kill-and-reload cycles",
+        ckpt.fleet_digest()
+    );
+    if ckpt.fleet_digest() != reference {
+        return Err("halt/resume chain diverged from the clean digest".into());
+    }
+
+    // 4. Replay verification: re-execute sampled shards, compare digests.
+    let report = verify_fleet(&ckpt, 3, 0x5eed).map_err(|e| e.to_string())?;
+    for v in &report {
+        if !v.matches() {
+            return Err(format!(
+                "cell #{} failed replay: recorded {:#018x}, replayed {:#018x}",
+                v.index, v.recorded, v.fresh
+            ));
+        }
+    }
+    println!(
+        "verification:    {}/{} sampled shards replayed bit-exactly",
+        report.len(),
+        report.len()
+    );
+
+    // 5. A torn checkpoint must be rejected up front, not trusted.
+    let path = dir.join(CHECKPOINT_FILE);
+    let mut bytes = std::fs::read(&path).map_err(|e| e.to_string())?;
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).map_err(|e| e.to_string())?;
+    match FleetCheckpoint::load(&dir, None) {
+        Err(e) => println!("torn checkpoint: rejected as expected ({e})"),
+        Ok(_) => return Err("a corrupted checkpoint was accepted".into()),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nall orchestration properties hold");
+    Ok(())
+}

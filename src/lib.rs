@@ -24,6 +24,7 @@
 //! | [`cpu`] | `smartrefresh-cpu` | closed-loop in-order core with L1/L2 (the Simics+Ruby stand-in) |
 //! | [`workloads`] | `smartrefresh-workloads` | calibrated benchmark models (SPLASH-2 / SPECint2000 / BioBench) |
 //! | [`sim`] | `smartrefresh-sim` | experiment runner and the Fig 6–18 regeneration harness |
+//! | [`orchestrator`] | `smartrefresh-orchestrator` | crash-safe fleet campaigns: checkpoint/resume, supervised workers, replay verification, chaos mode |
 //!
 //! # Quick start
 //!
@@ -57,5 +58,6 @@ pub use smartrefresh_dram as dram;
 pub use smartrefresh_ecc as ecc;
 pub use smartrefresh_energy as energy;
 pub use smartrefresh_faults as faults;
+pub use smartrefresh_orchestrator as orchestrator;
 pub use smartrefresh_sim as sim;
 pub use smartrefresh_workloads as workloads;

@@ -5,9 +5,13 @@
 //! smart-refresh run --workload <name> --module <2gb|4gb|3d64|3d32> --policy <cbr|ras|burst|smart|none> [--scale S]
 //! smart-refresh record --workload <name> --module <...> --seconds <S> --out <file>
 //! smart-refresh replay --trace <file> --module <...> --policy <...>
+//! smart-refresh orchestrate [--out DIR] [--chaos SEED] | --resume DIR | --verify DIR
 //! smart-refresh list
 //! smart-refresh info
 //! ```
+//!
+//! Unknown flags are rejected, not ignored: a typo like `--seeed` fails
+//! loudly instead of silently running the default configuration.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -20,6 +24,10 @@ use smart_refresh::dram::configs::{
 use smart_refresh::dram::time::{Duration, Instant};
 use smart_refresh::energy::sram::area_overhead_kb;
 use smart_refresh::energy::DramPowerParams;
+use smart_refresh::orchestrator::{
+    render_fleet, run_fleet, verify_fleet, ChaosConfig, FleetCheckpoint, GridSpec, ModuleKind,
+    OrchestratorConfig, PolicyTag,
+};
 use smart_refresh::sim::figures::{Evaluation, FigureId};
 use smart_refresh::sim::report::{render_figure, render_run};
 use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind, Topology};
@@ -35,8 +43,9 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args[1..]),
         "record" => cmd_record(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
-        "list" => cmd_list(),
-        "info" => cmd_info(),
+        "orchestrate" => cmd_orchestrate(&args[1..]),
+        "list" => cmd_list(&args[1..]),
+        "info" => cmd_info(&args[1..]),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -64,11 +73,17 @@ fn print_help() {
          \u{20}  smart-refresh sweep --workload W --module M [--scale S]   counter/segment sweep\n\
          \u{20}  smart-refresh record --workload W --module M --seconds S --out FILE\n\
          \u{20}  smart-refresh replay --trace FILE --module M --policy P [--scale S]\n\
+         \u{20}  smart-refresh orchestrate [--out DIR] [--workloads W,..] [--modules M,..]\n\
+         \u{20}      [--policies P,..] [--seeds N] [--seed S] [--scale S] [--workers N]\n\
+         \u{20}      [--epoch-cells N] [--max-attempts N] [--deadline-epochs N]\n\
+         \u{20}      [--chaos SEED] [--halt-after-epochs N]     crash-safe fleet campaign\n\
+         \u{20}  smart-refresh orchestrate --resume DIR   continue from a checkpoint\n\
+         \u{20}  smart-refresh orchestrate --verify DIR [--samples K]   replay-verify shards\n\
          \u{20}  smart-refresh list                       list catalog workloads\n\
          \u{20}  smart-refresh info                       module configs & counter areas\n\
          \n\
-         MODULES:  2gb | 4gb | 3d64 | 3d32\n\
-         POLICIES: cbr | ras | burst | smart | none\n\
+         MODULES:  2gb | 4gb | 3d64 | 3d32  (orchestrate adds mini | mini3d)\n\
+         POLICIES: cbr | ras | burst | smart | none  (orchestrate: cbr|ras|burst|smart|ra)\n\
          ENV:      SMARTREFRESH_SCALE scales figure simulation spans"
     );
 }
@@ -78,6 +93,42 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Rejects flags a subcommand does not understand and surplus positional
+/// arguments, in the same voice as the unknown-command path. Every flag in
+/// this CLI takes a value, so each recognised flag consumes two tokens.
+fn check_flags(
+    cmd: &str,
+    args: &[String],
+    allowed: &[&str],
+    max_positionals: usize,
+) -> Result<(), String> {
+    let mut positionals = 0usize;
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if !allowed.contains(&a.as_str()) {
+                return Err(format!(
+                    "unknown flag {a:?} for `smart-refresh {cmd}`; try `smart-refresh help`"
+                ));
+            }
+            if i + 1 >= args.len() {
+                return Err(format!("flag {a:?} needs a value"));
+            }
+            i += 2;
+        } else {
+            positionals += 1;
+            i += 1;
+        }
+    }
+    if positionals > max_positionals {
+        return Err(format!(
+            "unexpected argument for `smart-refresh {cmd}`; try `smart-refresh help`"
+        ));
+    }
+    Ok(())
 }
 
 fn parse_module(name: &str) -> Result<(ModuleConfig, DramPowerParams, Topology), String> {
@@ -161,6 +212,7 @@ fn lookup_spec(
 }
 
 fn cmd_figures(args: &[String]) -> Result<(), String> {
+    check_flags("figures", args, &[], 1)?;
     let which = args.first().map(String::as_str).unwrap_or("all");
     let mut eval = Evaluation::from_env();
     let mut matched = false;
@@ -178,6 +230,12 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
+    check_flags(
+        "run",
+        args,
+        &["--workload", "--module", "--policy", "--scale", "--seed"],
+        0,
+    )?;
     let (cfg, module_name) = build_config(args)?;
     let spec = lookup_spec(args, cfg.topology)?;
     let r = run_experiment(&cfg, &spec).map_err(|e| e.to_string())?;
@@ -187,6 +245,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    check_flags(
+        "sweep",
+        args,
+        &["--workload", "--module", "--scale", "--seed"],
+        0,
+    )?;
     let (base_cfg, module_name) = build_config(args)?;
     let spec = lookup_spec(args, base_cfg.topology)?;
     let baseline = {
@@ -230,6 +294,20 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_record(args: &[String]) -> Result<(), String> {
+    check_flags(
+        "record",
+        args,
+        &[
+            "--workload",
+            "--module",
+            "--policy",
+            "--scale",
+            "--seed",
+            "--seconds",
+            "--out",
+        ],
+        0,
+    )?;
     let (cfg, _) = build_config(args)?;
     let spec = lookup_spec(args, cfg.topology)?;
     let seconds: f64 = flag(args, "--seconds")
@@ -251,6 +329,12 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
+    check_flags(
+        "replay",
+        args,
+        &["--trace", "--module", "--policy", "--scale", "--seed"],
+        0,
+    )?;
     let (cfg, module_name) = build_config(args)?;
     let path = flag(args, "--trace").ok_or("missing --trace")?;
     let file = File::open(&path).map_err(|e| e.to_string())?;
@@ -262,7 +346,178 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_list() -> Result<(), String> {
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    flag(args, name)
+        .map(|s| s.parse().map_err(|_| format!("bad {name} {s:?}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+fn orchestrate_grid(args: &[String]) -> Result<GridSpec, String> {
+    let workloads: Vec<String> = flag(args, "--workloads")
+        .unwrap_or_else(|| "gcc,radix".into())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let modules = flag(args, "--modules")
+        .unwrap_or_else(|| "mini".into())
+        .split(',')
+        .map(|m| {
+            ModuleKind::parse(m).ok_or_else(|| {
+                format!("unknown module {m:?} for orchestrate (mini|mini3d|2gb|4gb|3d64|3d32)")
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let policies = flag(args, "--policies")
+        .unwrap_or_else(|| "cbr,smart".into())
+        .split(',')
+        .map(|p| {
+            PolicyTag::parse(p).ok_or_else(|| {
+                format!("unknown policy {p:?} for orchestrate (cbr|ras|burst|smart|ra)")
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let seed_base: u64 = parse_num(args, "--seed", 0x5eed)?;
+    let seed_count: u64 = parse_num(args, "--seeds", 2)?;
+    let scale: f64 = parse_num(args, "--scale", 0.25)?;
+    let grid = GridSpec {
+        workloads,
+        modules,
+        policies,
+        seeds: (0..seed_count).map(|i| seed_base.wrapping_add(i)).collect(),
+        scale_bits: scale.to_bits(),
+    };
+    grid.validate().map_err(|e| e.to_string())?;
+    Ok(grid)
+}
+
+fn cmd_orchestrate(args: &[String]) -> Result<(), String> {
+    check_flags(
+        "orchestrate",
+        args,
+        &[
+            "--out",
+            "--workloads",
+            "--modules",
+            "--policies",
+            "--seeds",
+            "--seed",
+            "--scale",
+            "--workers",
+            "--epoch-cells",
+            "--max-attempts",
+            "--deadline-epochs",
+            "--backoff-cap",
+            "--chaos",
+            "--halt-after-epochs",
+            "--resume",
+            "--verify",
+            "--samples",
+        ],
+        0,
+    )?;
+
+    if let Some(dir) = flag(args, "--verify") {
+        let dir = std::path::PathBuf::from(dir);
+        let ckpt = FleetCheckpoint::load(&dir, None).map_err(|e| e.to_string())?;
+        let samples: usize = parse_num(args, "--samples", 3)?;
+        let sample_seed: u64 = parse_num(args, "--seed", 0x5eed)?;
+        let report = verify_fleet(&ckpt, samples, sample_seed).map_err(|e| e.to_string())?;
+        let mut mismatches = 0usize;
+        for v in &report {
+            let verdict = if v.matches() { "ok" } else { "MISMATCH" };
+            println!(
+                "cell #{:<5} recorded {:#018x} replayed {:#018x} {verdict}",
+                v.index, v.recorded, v.fresh
+            );
+            mismatches += usize::from(!v.matches());
+        }
+        if mismatches > 0 {
+            return Err(format!(
+                "{mismatches}/{} replayed shards diverged from the checkpoint",
+                report.len()
+            ));
+        }
+        println!(
+            "replay verification: {}/{} sampled shards reproduced bit-exactly",
+            report.len(),
+            report.len()
+        );
+        return Ok(());
+    }
+
+    let cfg = OrchestratorConfig {
+        workers: parse_num(args, "--workers", 4usize)?,
+        cells_per_epoch: parse_num(args, "--epoch-cells", 8usize)?,
+        max_attempts: parse_num(args, "--max-attempts", 3u32)?,
+        backoff_cap_epochs: parse_num(args, "--backoff-cap", 8u64)?,
+        deadline_epochs: parse_num(args, "--deadline-epochs", 4u32)?,
+        halt_after_epochs: flag(args, "--halt-after-epochs")
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("bad --halt-after-epochs {s:?}"))
+            })
+            .transpose()?,
+    };
+
+    let (mut ckpt, out_dir) = if let Some(dir) = flag(args, "--resume") {
+        let dir = std::path::PathBuf::from(dir);
+        let ckpt = FleetCheckpoint::load(&dir, None).map_err(|e| e.to_string())?;
+        println!(
+            "resuming campaign at epoch {} ({} cells)",
+            ckpt.epoch,
+            ckpt.grid.cell_count()
+        );
+        (ckpt, Some(dir))
+    } else {
+        let grid = orchestrate_grid(args)?;
+        let chaos = flag(args, "--chaos")
+            .map(|s| s.parse().map_err(|_| format!("bad --chaos {s:?}")))
+            .transpose()?
+            .map(ChaosConfig::with_seed);
+        let out_dir = flag(args, "--out").map(std::path::PathBuf::from);
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        (FleetCheckpoint::fresh(grid, chaos), out_dir)
+    };
+
+    let finished = run_fleet(&mut ckpt, &cfg, out_dir.as_deref(), |c| {
+        let done = c
+            .cells
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    smart_refresh::orchestrator::CellState::Done(_)
+                        | smart_refresh::orchestrator::CellState::Skipped { .. }
+                )
+            })
+            .count();
+        println!(
+            "epoch {:>4} | {done}/{} cells terminal",
+            c.epoch,
+            c.cells.len()
+        );
+    })
+    .map_err(|e| e.to_string())?;
+
+    if !finished {
+        let dir = out_dir
+            .as_deref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "<no --out dir>".into());
+        println!(
+            "halted by --halt-after-epochs; resume with `smart-refresh orchestrate --resume {dir}`"
+        );
+        return Ok(());
+    }
+    print!("{}", render_fleet(&ckpt));
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> Result<(), String> {
+    check_flags("list", args, &[], 0)?;
     println!(
         "{:<18} {:>28} {:>8} {:>8}",
         "workload", "suite", "cov-2gb", "cov-3d"
@@ -279,7 +534,8 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info() -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    check_flags("info", args, &[], 0)?;
     for cfg in [
         conventional_2gb(),
         conventional_4gb(),

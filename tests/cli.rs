@@ -109,6 +109,147 @@ fn record_and_replay_roundtrip() {
 }
 
 #[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    // A typo'd flag must be a hard usage error on every subcommand, not a
+    // silently ignored token.
+    for args in [
+        vec!["run", "--workload", "gcc", "--bogus", "1"],
+        vec!["sweep", "--workload", "gcc", "--polcy", "smart"],
+        vec!["orchestrate", "--chaoss", "7"],
+        vec!["figures", "fig06", "--cvs", "/tmp"],
+    ] {
+        let out = bin().args(&args).output().expect("spawn");
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown flag"), "{args:?} stderr: {err}");
+    }
+    let out = bin().args(["list", "extra"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
+}
+
+/// Extract the `fleet digest: 0x…` line from an orchestrate report.
+fn fleet_digest(stdout: &str) -> Option<String> {
+    stdout
+        .lines()
+        .find(|l| l.contains("fleet digest:"))
+        .map(|l| l.trim().to_string())
+}
+
+const GRID_ARGS: [&str; 10] = [
+    "--workloads",
+    "gcc",
+    "--modules",
+    "mini",
+    "--policies",
+    "cbr,smart",
+    "--seeds",
+    "2",
+    "--scale",
+    "0.125",
+];
+
+#[test]
+fn orchestrate_halt_resume_and_verify_roundtrip() {
+    let base = std::env::temp_dir().join(format!("smart-refresh-cli-fleet-{}", std::process::id()));
+    let solid = base.join("solid");
+    let chopped = base.join("chopped");
+    std::fs::create_dir_all(&base).expect("temp dir");
+
+    // Uninterrupted reference campaign.
+    let full = bin()
+        .args(["orchestrate", "--out", solid.to_str().expect("utf8")])
+        .args(GRID_ARGS)
+        .output()
+        .expect("spawn");
+    assert!(
+        full.status.success(),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+    let full_out = String::from_utf8_lossy(&full.stdout).to_string();
+    let reference = fleet_digest(&full_out).expect("reference run prints a fleet digest");
+
+    // Same campaign, halted after every single epoch and resumed from the
+    // checkpoint each time. The final digest must be bit-identical.
+    let chopped_s = chopped.to_str().expect("utf8");
+    let first = bin()
+        .args([
+            "orchestrate",
+            "--out",
+            chopped_s,
+            "--epoch-cells",
+            "1",
+            "--halt-after-epochs",
+            "1",
+        ])
+        .args(GRID_ARGS)
+        .output()
+        .expect("spawn");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let mut last_out = String::from_utf8_lossy(&first.stdout).to_string();
+    for _ in 0..32 {
+        if fleet_digest(&last_out).is_some() {
+            break;
+        }
+        assert!(
+            last_out.contains("halted"),
+            "expected halt notice: {last_out}"
+        );
+        let step = bin()
+            .args([
+                "orchestrate",
+                "--resume",
+                chopped_s,
+                "--epoch-cells",
+                "1",
+                "--halt-after-epochs",
+                "1",
+            ])
+            .output()
+            .expect("spawn");
+        assert!(
+            step.status.success(),
+            "{}",
+            String::from_utf8_lossy(&step.stderr)
+        );
+        last_out = String::from_utf8_lossy(&step.stdout).to_string();
+    }
+    let resumed = fleet_digest(&last_out).expect("resumed campaign finishes within 32 halts");
+    assert_eq!(resumed, reference, "halt/resume changed the fleet digest");
+
+    // Replay verification over the checkpoint left on disk.
+    let verify = bin()
+        .args(["orchestrate", "--verify", chopped_s, "--samples", "2"])
+        .output()
+        .expect("spawn");
+    assert!(
+        verify.status.success(),
+        "{}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("reproduced bit-exactly"));
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn orchestrate_resume_refuses_a_missing_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("smart-refresh-cli-nockpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = bin()
+        .args(["orchestrate", "--resume", dir.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn replay_reports_missing_trace() {
     let out = bin()
         .args(["replay", "--trace", "/nonexistent.trace", "--module", "2gb"])
