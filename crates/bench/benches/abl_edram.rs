@@ -59,6 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workload_geometry: None,
             ecc: None,
             counter_power: smartrefresh_core::CounterPowerConfig::default(),
+            rfm: None,
+            disturbance: None,
         };
         let r = run_experiment(&cfg, &spec)?;
         assert!(r.integrity_ok);

@@ -1,0 +1,54 @@
+//! Extension: RAAIMT threshold sweep for the Refresh Management engine.
+//!
+//! DDR5 leaves RAAIMT to the platform. This bench sweeps it across the
+//! double-sided hammer campaign and prints the protection-vs-energy
+//! tradeoff: thresholds below the disturbance flip point stop every
+//! uncorrectable error but spend victim-refresh energy and back-pressure
+//! stalls; thresholds above it save the energy and lose the data.
+
+use smartrefresh_sim::rfm::{rfm_threshold_sweep, RfmCampaignConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = RfmCampaignConfig::quick(0xab1f);
+    println!("=== Extension: RAAIMT sweep, double-sided hammer (flip threshold 64) ===",);
+    println!(
+        "{:<8} {:>6} {:>10} {:>10} {:>12}",
+        "raaimt", "UE", "rfm cmds", "stalls", "rfm (uJ)"
+    );
+    let raaimts = [8u32, 16, 32, 64, 128, 256];
+    let points = rfm_threshold_sweep(&cfg, &raaimts)?;
+    for p in &points {
+        println!(
+            "{:<8} {:>6} {:>10} {:>10} {:>12.3}",
+            p.raaimt,
+            p.ue_detected,
+            p.rfm_commands,
+            p.backpressure_stalls,
+            p.rfm_j * 1e6
+        );
+    }
+    let (Some(tightest), Some(loosest)) = (points.first(), points.last()) else {
+        return Err("threshold sweep returned no points".into());
+    };
+    assert_eq!(
+        tightest.ue_detected, 0,
+        "the tightest threshold must stop every UE"
+    );
+    assert!(
+        loosest.ue_detected > 0,
+        "a threshold far above the flip point must leak UEs"
+    );
+    assert!(
+        tightest.rfm_j > loosest.rfm_j,
+        "protection must cost victim-refresh energy"
+    );
+    println!(
+        "\nTradeoff: RAAIMT {} stops every UE at {:.3} uJ; RAAIMT {} leaks {} UEs at {:.3} uJ",
+        tightest.raaimt,
+        tightest.rfm_j * 1e6,
+        loosest.raaimt,
+        loosest.ue_detected,
+        loosest.rfm_j * 1e6
+    );
+    Ok(())
+}

@@ -1,6 +1,6 @@
 //! Perf trajectory bench: wall-clock timings for the figure corpus, the
 //! system campaigns, and an orchestrated fleet (single worker vs. a
-//! supervised pool), emitted as `BENCH_6.json` at the workspace root so
+//! supervised pool), emitted as `BENCH_7.json` at the workspace root so
 //! the numbers are tracked PR-over-PR.
 //!
 //! Self-contained `harness = false` timing loop — no external benchmark
@@ -13,12 +13,12 @@ use std::time::Instant as WallClock;
 use smartrefresh_core::write_atomic;
 use smartrefresh_sim::figures::{Evaluation, FigureId};
 use smartrefresh_sim::{
-    run_campaign, run_coschedule_campaign, run_powerdown_campaign, run_scrub_campaign,
-    CampaignConfig, CoscheduleConfig,
+    run_campaign, run_coschedule_campaign, run_powerdown_campaign, run_rfm_campaign,
+    run_scrub_campaign, CampaignConfig, CoscheduleConfig, RfmCampaignConfig,
 };
 
 use smartrefresh_orchestrator::{
-    run_fleet, FleetCheckpoint, GridSpec, ModuleKind, OrchestratorConfig, PolicyTag,
+    run_fleet, FaultTag, FleetCheckpoint, GridSpec, ModuleKind, OrchestratorConfig, PolicyTag,
 };
 
 /// Simulated-span scale applied to the figure corpus: small enough that
@@ -52,14 +52,16 @@ fn timed<T>(op: impl FnOnce() -> T) -> (f64, T) {
 }
 
 /// The fleet grid used for the orchestration entries: 32 cells over the
-/// miniature modules, both baseline and Smart Refresh, four seeds, at
-/// full simulated span so the worker pool has real work to spread.
+/// miniature modules, both baseline and Smart Refresh, clean and
+/// disturbance fault regimes, at full simulated span so the worker pool
+/// has real work to spread.
 fn fleet_grid() -> GridSpec {
     GridSpec {
         workloads: vec!["gcc".into(), "radix".into()],
         modules: vec![ModuleKind::Mini, ModuleKind::Mini3d],
         policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
-        seeds: vec![1, 2, 3, 4],
+        faults: vec![FaultTag::Clean, FaultTag::Disturbance],
+        seeds: vec![1, 2],
         scale_bits: 4.0f64.to_bits(),
     }
 }
@@ -163,6 +165,21 @@ fn main() {
         wall_ms: ms,
         detail: "4 setups x 2 loads".into(),
     });
+    let (ms, r) = timed(|| {
+        must(
+            run_rfm_campaign(&RfmCampaignConfig::quick(6)),
+            "rfm campaign",
+        )
+    });
+    println!("campaign/rfm                       {ms:>10.1} ms");
+    entries.push(Entry {
+        name: "campaign/rfm",
+        wall_ms: ms,
+        detail: format!(
+            "3 scenarios, {} vs {} UE rows",
+            r.undefended.ue_detected, r.defended.ue_detected
+        ),
+    });
 
     // The orchestrated fleet, single-thread vs. a supervised worker pool.
     // The digest must not depend on the worker count.
@@ -200,10 +217,10 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
     must(
         write_atomic(path.as_ref(), json.as_bytes()),
-        "write BENCH_6.json",
+        "write BENCH_7.json",
     );
     println!("wrote {path}");
 }

@@ -310,6 +310,94 @@ fn retention_deadline_crossed_silently() {
 }
 
 #[test]
+fn rfm_budget_act_past_raammt_without_the_mandatory_rfm() {
+    let (mut c, _, t) = setup();
+    c.declare_rfm(2, 4);
+    let mut at = Instant::ZERO;
+    // Four legal ACT/PRE cycles (a generous 1 µs apart, so no timing rule
+    // can fire) park the shadow RAA exactly at RAAMMT — the last count a
+    // compliant controller may reach before it owes a mandatory RFM.
+    for i in 0..4 {
+        c.observe_activate(addr(0, 10 + 2 * i), at);
+        c.observe_precharge(0, 0, Some(10 + 2 * i), at + t.tras);
+        at += Duration::from_us(1);
+    }
+    assert_eq!(c.shadow_raa(0, 0), 4);
+    assert!(rules(&c).is_empty(), "ACTs up to RAAMMT are legal");
+    // A fifth ACT with no note_rfm is the back-pressure violation.
+    c.observe_activate(addr(0, 20), at);
+    assert_only(&c, RuleId::RfmBudget);
+}
+
+#[test]
+fn rfm_budget_is_satisfied_by_the_rfm_decrement() {
+    let (mut c, _, t) = setup();
+    c.declare_rfm(2, 4);
+    let mut at = Instant::ZERO;
+    for i in 0..4 {
+        c.observe_activate(addr(0, 10 + 2 * i), at);
+        c.observe_precharge(0, 0, Some(10 + 2 * i), at + t.tras);
+        at += Duration::from_us(1);
+    }
+    // One RFM command pays one RAAIMT back, re-opening ACT headroom: the
+    // same fifth ACT that the previous fixture flags is now legal.
+    c.note_rfm(0, 0);
+    assert_eq!(c.shadow_raa(0, 0), 2);
+    c.observe_activate(addr(0, 20), at);
+    assert!(rules(&c).is_empty(), "a compliant RFM stream was flagged");
+}
+
+#[test]
+fn disturbance_window_neighbor_hammered_past_the_ceiling() {
+    let (mut c, _, t) = setup();
+    c.declare_disturbance_ceiling(3);
+    let mut at = Instant::ZERO;
+    // Double-sided hammer: rows 9 and 11 take turns activating, each ACT
+    // adding one unit of pressure on victim row 10 (the aggressors' own
+    // pressure is cleared by their activates and precharges).
+    for i in 0..3 {
+        let aggressor = if i % 2 == 0 { 9 } else { 11 };
+        c.observe_activate(addr(0, aggressor), at);
+        c.observe_precharge(0, 0, Some(aggressor), at + t.tras);
+        at += Duration::from_us(1);
+    }
+    assert!(rules(&c).is_empty(), "pressure at the ceiling is legal");
+    // The fourth adjacent ACT crosses the declared ceiling unmitigated.
+    c.observe_activate(addr(0, 11), at);
+    assert_only(&c, RuleId::DisturbanceWindow);
+}
+
+#[test]
+fn disturbance_window_clears_when_the_victim_is_refreshed() {
+    let (mut c, _, t) = setup();
+    c.declare_disturbance_ceiling(3);
+    let mut at = Instant::ZERO;
+    for i in 0..3 {
+        let aggressor = if i % 2 == 0 { 9 } else { 11 };
+        c.observe_activate(addr(0, aggressor), at);
+        c.observe_precharge(0, 0, Some(aggressor), at + t.tras);
+        at += Duration::from_us(1);
+    }
+    // RFM victim refreshes restore the neighbors of the hottest aggressor
+    // (row 9), zeroing the pressure its activates accumulated...
+    c.observe_refresh(addr(0, 10), at, None, at, RefreshClass::Rfm);
+    at += Duration::from_us(1);
+    c.observe_refresh(addr(0, 8), at, None, at, RefreshClass::Rfm);
+    at += Duration::from_us(1);
+    // ...so three more adjacent ACTs stay inside the fresh window.
+    for i in 0..3 {
+        let aggressor = if i % 2 == 0 { 9 } else { 11 };
+        c.observe_activate(addr(0, aggressor), at);
+        c.observe_precharge(0, 0, Some(aggressor), at + t.tras);
+        at += Duration::from_us(1);
+    }
+    assert!(
+        rules(&c).is_empty(),
+        "a mitigated hammer stream was flagged"
+    );
+}
+
+#[test]
 fn shadow_divergence_between_checker_and_tracker() {
     let (c, g, t) = setup();
     // The tracker credits a restore the command stream never carried;

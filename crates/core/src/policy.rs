@@ -75,6 +75,12 @@ pub enum DegradeCause {
     /// (`CounterPowerPolicy::ConservativeReset`): every time-out value is
     /// stale, so the policy zeroes the array and sweeps from the safe bound.
     CounterPowerLoss,
+    /// A sustained disturbance (rowhammer) attack exhausted the RFM
+    /// mitigation budget: activation pressure keeps crossing the RAA
+    /// thresholds faster than RFM commands can relieve it, so the
+    /// controller escalates through elevated-rate refresh into the CBR
+    /// fallback sweep, which bounds every victim's exposure window.
+    DisturbanceStorm,
 }
 
 impl std::fmt::Display for DegradeCause {
@@ -86,6 +92,7 @@ impl std::fmt::Display for DegradeCause {
             DegradeCause::EccUncorrectable => write!(f, "ecc-uncorrectable"),
             DegradeCause::RetentionWatchdog => write!(f, "retention-watchdog"),
             DegradeCause::CounterPowerLoss => write!(f, "counter-power-loss"),
+            DegradeCause::DisturbanceStorm => write!(f, "disturbance-storm"),
         }
     }
 }

@@ -26,6 +26,7 @@ use smartrefresh_faults::{FaultInjector, Perturbation};
 
 use crate::ecc::{EccConfig, EccLayer};
 use crate::error::SimError;
+use crate::rfm::{RfmConfig, RfmEngine};
 use crate::stats::{ControllerStats, RowBufferOutcome};
 use crate::transaction::MemTransaction;
 use crate::watchdog::RetentionWatchdog;
@@ -121,6 +122,9 @@ pub struct MemoryController<P: RefreshPolicy> {
     faults: Option<FaultInjector>,
     /// Optional ECC path: SECDED decode on reads, patrol scrub, watchdog.
     ecc: Option<EccLayer>,
+    /// Optional DDR5-style Refresh Management engine (RAA counters, RFM
+    /// commands, RAAMMT back-pressure, disturbance-storm escalation).
+    rfm: Option<RfmEngine>,
 }
 
 impl<P: RefreshPolicy> MemoryController<P> {
@@ -142,6 +146,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
             last_use: vec![Instant::ZERO; banks],
             faults: None,
             ecc: None,
+            rfm: None,
         }
     }
 
@@ -209,9 +214,38 @@ impl<P: RefreshPolicy> MemoryController<P> {
         self
     }
 
+    /// Installs DDR5-style Refresh Management: per-bank RAA counters with
+    /// RAAIMT/RAAMMT thresholds, elective RFM commands that refresh the
+    /// hottest rows' physical neighbors (their Smart Refresh time-out
+    /// counters reset via the scrub hook), RAAMMT back-pressure on further
+    /// ACTs, and escalation through elevated-rate refresh into a
+    /// [`DegradeCause::DisturbanceStorm`] policy degradation when the
+    /// per-window RFM budget is starved. When the protocol sanitizer is
+    /// enabled (in either builder order) the thresholds arm its
+    /// `rfm-budget` and `disturbance-window` rules.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when the configuration fails
+    /// [`RfmConfig::validate`].
+    pub fn with_rfm(mut self, cfg: RfmConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let banks = self.device.geometry().total_banks();
+        self.device.declare_rfm(cfg.raaimt, cfg.raammt);
+        self.device.declare_disturbance_ceiling(cfg.act_ceiling);
+        self.rfm = Some(RfmEngine::new(cfg, banks));
+        Ok(self)
+    }
+
     /// The installed fault injector, if any (its event log and stats).
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.faults.as_ref()
+    }
+
+    /// The RFM engine, when Refresh Management is installed (its escalation
+    /// level, RAA counters, and window statistics).
+    pub fn rfm(&self) -> Option<&RfmEngine> {
+        self.rfm.as_ref()
     }
 
     /// The retention watchdog, when the ECC path has one (its violation
@@ -323,6 +357,11 @@ impl<P: RefreshPolicy> MemoryController<P> {
         self.device.enable_protocol_checker();
         if self.counter_power.policy == CounterPowerPolicy::ConservativeReset {
             self.device.declare_volatile_counters();
+        }
+        if let Some(rfm) = &self.rfm {
+            let cfg = *rfm.config();
+            self.device.declare_rfm(cfg.raaimt, cfg.raammt);
+            self.device.declare_disturbance_ceiling(cfg.act_ceiling);
         }
         self
     }
@@ -493,9 +532,13 @@ impl<P: RefreshPolicy> MemoryController<P> {
             self.note_policy_reset(closed);
         }
         // The scrub restored the row's charge, so its time-out counter
-        // resets and Smart Refresh skips the now-redundant refresh.
+        // resets and Smart Refresh skips the now-redundant refresh. Any
+        // disturbance pressure its neighbors piled on clears with it.
         self.policy.on_row_scrubbed(addr, issue_at);
         self.note_policy_reset(addr);
+        if let Some(inj) = self.faults.as_mut() {
+            inj.note_row_restored(&geometry, addr);
+        }
         let end = self.device.bank(addr.rank, addr.bank).busy_until();
         self.note_command(issue_at, end);
         self.ecc_check(flat, addr, end, false)
@@ -722,11 +765,12 @@ impl<P: RefreshPolicy> MemoryController<P> {
             // The action fell due at this wakeup; tell the sanitizer how far
             // it slipped (fault delays included) for the deferral bound.
             self.device.note_refresh_dispatch(now, issue_at);
-            match action {
+            let restored_row = match action {
                 RefreshAction::Cbr { .. } => {
-                    self.device.refresh_cbr(rank, bank, issue_at).map_err(|e| {
+                    let (_, row) = self.device.refresh_cbr(rank, bank, issue_at).map_err(|e| {
                         SimError::protocol("refresh (CBR)", rank, bank, None, issue_at, e)
                     })?;
+                    row
                 }
                 RefreshAction::RasOnly { row, charge_bus } => {
                     self.device.refresh_ras_only(row, issue_at).map_err(|e| {
@@ -742,8 +786,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
                     if charge_bus {
                         self.stats.bus_charged_refreshes += 1;
                     }
+                    row.row
                 }
-            }
+            };
             if let Some(closed_row) = closing {
                 let closed = RowAddr {
                     rank,
@@ -756,8 +801,122 @@ impl<P: RefreshPolicy> MemoryController<P> {
             let end = self.device.bank(rank, bank).busy_until();
             self.note_command(issue_at, end);
             self.stats.refreshes_issued += 1;
+            // The refreshed row's charge is restored: its accumulated
+            // disturbance pressure clears, and the bank's RAA counter gets
+            // DDR5's REF relief.
+            let geometry = *self.device.geometry();
+            if let Some(inj) = self.faults.as_mut() {
+                inj.note_row_restored(
+                    &geometry,
+                    RowAddr {
+                        rank,
+                        bank,
+                        row: restored_row,
+                    },
+                );
+            }
+            if let Some(rfm) = self.rfm.as_mut() {
+                rfm.note_refresh(geometry.bank_index(rank, bank));
+            }
         }
         Ok(())
+    }
+
+    /// Applies disturbance (rowhammer) coupling for one ACTIVATE of
+    /// `aggressor`: the fault injector accumulates flip pressure on the
+    /// row's physical neighbors, and any flips it yields materialize in
+    /// the ECC error state, where the SECDED path classifies them as CEs
+    /// or UEs on the next read or scrub.
+    fn apply_disturbance(&mut self, aggressor: RowAddr, now: Instant) {
+        let geometry = *self.device.geometry();
+        let Some(inj) = self.faults.as_mut() else {
+            return;
+        };
+        if !inj.has_disturbance() {
+            return;
+        }
+        let flips = inj.note_activation(&geometry, aggressor, now);
+        if flips.is_empty() {
+            return;
+        }
+        if let Some(layer) = self.ecc.as_mut() {
+            for (victim, bits) in flips {
+                layer
+                    .memory
+                    .inject_flips(geometry.flatten(victim), u32::from(bits));
+            }
+        }
+    }
+
+    /// Rolls the RFM engine's budget windows forward to `t` and, when the
+    /// target bank sits at RAAMMT, back-pressures the ACT behind a
+    /// mandatory RFM command. Returns the earliest instant the ACT may
+    /// issue.
+    fn rfm_before_act(&mut self, target: RowAddr, t: Instant) -> Result<Instant, SimError> {
+        let bank_idx = self.device.geometry().bank_index(target.rank, target.bank);
+        let Some(rfm) = self.rfm.as_mut() else {
+            return Ok(t);
+        };
+        rfm.roll_windows(t);
+        if !rfm.must_issue_before_act(bank_idx) {
+            return Ok(t);
+        }
+        self.stats.rfm_backpressure_stalls += 1;
+        let end = self.issue_rfm(target.rank, target.bank, t)?;
+        Ok(end.max(t))
+    }
+
+    /// Issues one RFM command to `(rank, bank)` at (or after) `at`: the
+    /// engine's RAA counter drops by RAAIMT and the hottest aggressors'
+    /// neighbor rows are refreshed back-to-back. Each victim refresh
+    /// resets the row's Smart Refresh time-out counter via the scrub hook
+    /// (the counter array doubling as the RFM victim ledger) and clears
+    /// its accumulated disturbance pressure. Returns when the bank is
+    /// free again.
+    fn issue_rfm(&mut self, rank: u32, bank: u32, at: Instant) -> Result<Instant, SimError> {
+        let geometry = *self.device.geometry();
+        let bank_idx = geometry.bank_index(rank, bank);
+        let victims = {
+            let Some(rfm) = self.rfm.as_mut() else {
+                return Ok(at);
+            };
+            let victims = rfm.select_victims(bank_idx, geometry.rows());
+            rfm.note_rfm_issued(bank_idx);
+            victims
+        };
+        self.stats.rfm_commands += 1;
+        let mut t = at.max(self.device.bank(rank, bank).busy_until());
+        self.device.note_rfm(rank, bank);
+        for vrow in victims {
+            let victim = RowAddr {
+                rank,
+                bank,
+                row: vrow,
+            };
+            let closing = self.device.bank(rank, bank).open_row();
+            self.device
+                .refresh_rfm(victim, t)
+                .map_err(|e| SimError::protocol("refresh (RFM)", rank, bank, Some(vrow), t, e))?;
+            if let Some(closed_row) = closing {
+                let closed = RowAddr {
+                    rank,
+                    bank,
+                    row: closed_row,
+                };
+                self.policy.on_row_closed(closed, t);
+                self.note_policy_reset(closed);
+            }
+            self.policy.on_row_scrubbed(victim, t);
+            self.note_policy_reset(victim);
+            if let Some(inj) = self.faults.as_mut() {
+                inj.note_row_restored(&geometry, victim);
+            }
+            self.stats.rfm_row_refreshes += 1;
+            let end = self.device.bank(rank, bank).busy_until();
+            self.note_command(t, end);
+            t = end;
+        }
+        Ok(t)
     }
 
     /// Executes one demand transaction under the open-page policy, first
@@ -810,15 +969,26 @@ impl<P: RefreshPolicy> MemoryController<P> {
             self.note_policy_reset(closed);
             t = self.device.bank(rank, bank).busy_until();
         }
+        let mut elective_rfm = false;
         if outcome != RowBufferOutcome::Hit {
             // Respect the rank's tRRD/tFAW activation window.
             t = t.max(self.device.earliest_activate(rank));
+            if self.rfm.is_some() {
+                // RAAMMT back-pressure: a bank at the maximum management
+                // threshold must take a mandatory RFM before this ACT.
+                t = self.rfm_before_act(target, t)?;
+            }
             let act = self
                 .device
                 .activate(target, t)
                 .map_err(|e| SimError::protocol("activate", rank, bank, Some(target.row), t, e))?;
             self.policy.on_row_opened(target, t);
             self.note_policy_reset(target);
+            self.apply_disturbance(target, t);
+            if let Some(rfm) = self.rfm.as_mut() {
+                elective_rfm =
+                    rfm.note_activate(self.device.geometry().bank_index(rank, bank), target.row);
+            }
             t = act.bank_ready_at;
         }
         let out = if tx.is_write {
@@ -866,6 +1036,18 @@ impl<P: RefreshPolicy> MemoryController<P> {
             };
             self.policy.on_row_closed(closed, pre_at);
             self.note_policy_reset(closed);
+        }
+        if elective_rfm {
+            // The ACT crossed the RAA management threshold with budget to
+            // spare: refresh the hottest aggressors' neighbors now.
+            self.issue_rfm(rank, bank, out.bank_ready_at)?;
+        }
+        if self.rfm.as_mut().is_some_and(RfmEngine::take_storm) {
+            // Starved budget windows piled up past the storm bound: the
+            // smart machinery stands down to the CBR fallback sweep, which
+            // bounds every victim's exposure window.
+            self.policy
+                .degrade(DegradeCause::DisturbanceStorm, out.completed_at);
         }
         let latency = out.completed_at.since(tx.arrival);
         self.stats.record(outcome, latency);

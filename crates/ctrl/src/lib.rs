@@ -27,6 +27,7 @@
 pub mod controller;
 pub mod ecc;
 pub mod error;
+pub mod rfm;
 pub mod scrub;
 pub mod stats;
 pub mod transaction;
@@ -35,6 +36,7 @@ pub mod watchdog;
 pub use controller::{AccessResult, MemoryController, PagePolicy, PowerDownConfig};
 pub use ecc::EccConfig;
 pub use error::SimError;
+pub use rfm::{RfmConfig, RfmEngine, RfmEngineStats, RfmLevel};
 pub use scrub::{PatrolScrubber, ScrubConfig};
 pub use stats::{ControllerStats, RowBufferOutcome};
 pub use transaction::MemTransaction;

@@ -1,0 +1,582 @@
+//! DDR5-style Refresh Management (RFM): per-bank RAA counters, victim
+//! selection, and graceful degradation under sustained disturbance attack.
+//!
+//! Every ACTIVATE increments its bank's **RAA** (Rolling Accumulated ACT)
+//! counter. Crossing **RAAIMT** (initial management threshold) issues an
+//! RFM command that refreshes the physical neighbors of the bank's hottest
+//! rows — the same per-row bookkeeping Smart Refresh maintains, reused as
+//! activation counters for victim selection. Reaching **RAAMMT** (maximum
+//! management threshold) back-pressures the bank: no further ACT may issue
+//! until a mandatory RFM relieves the counter, so `raa <= RAAMMT` is an
+//! invariant.
+//!
+//! RFM commands are budgeted per time window. A window whose budget runs
+//! out while pressure keeps crossing the threshold is *starved*; starved
+//! windows escalate the engine from [`RfmLevel::Normal`] through
+//! [`RfmLevel::Elevated`] (victim refreshes at half the threshold — the
+//! elevated-rate stage) into [`RfmLevel::Storm`], at which point the
+//! controller degrades the refresh policy to its CBR fallback sweep
+//! (`DegradeCause::DisturbanceStorm`), bounding every victim's exposure
+//! window. Calm windows de-escalate one level at a time and the policy's
+//! own hysteresis re-arms the smart machinery.
+
+use smartrefresh_dram::time::{Duration, Instant};
+
+use crate::error::SimError;
+
+/// Refresh Management configuration: thresholds, budget, and escalation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfmConfig {
+    /// RAA Initial Management Threshold: crossing it issues an RFM command.
+    pub raaimt: u32,
+    /// RAA Maximum Management Threshold: at this count further ACTs to the
+    /// bank are back-pressured behind a mandatory RFM. Must be >= `raaimt`.
+    pub raammt: u32,
+    /// How many of the bank's hottest aggressor rows each RFM command
+    /// mitigates (their row ± 1 neighbors are refreshed).
+    pub victims_per_rfm: usize,
+    /// Elective RFM commands allowed per window; mandatory (back-pressure)
+    /// RFMs bypass the budget so the RAAMMT invariant always holds.
+    pub budget_per_window: u32,
+    /// Width of the RFM budget window.
+    pub window: Duration,
+    /// Consecutive starved windows before the engine escalates to
+    /// [`RfmLevel::Storm`] and asks the policy to degrade.
+    pub storm_windows: u32,
+    /// Consecutive calm (un-starved) windows needed to de-escalate one
+    /// level.
+    pub calm_windows: u32,
+    /// Sanitizer contract: no row covered by a disturbance spec may
+    /// accumulate more than this many adjacent ACTs between charge
+    /// restores (the `disturbance-window` rule's ceiling).
+    pub act_ceiling: u32,
+}
+
+impl RfmConfig {
+    /// A DDR5-flavored starting point: `RAAMMT = 3 x RAAIMT`, two victims
+    /// per RFM, eight elective RFMs per 1 ms window, storm after three
+    /// starved windows, de-escalation after two calm ones.
+    pub fn new(raaimt: u32) -> Self {
+        RfmConfig {
+            raaimt,
+            raammt: raaimt.saturating_mul(3),
+            victims_per_rfm: 2,
+            budget_per_window: 8,
+            window: Duration::from_ms(1),
+            storm_windows: 3,
+            calm_windows: 2,
+            act_ceiling: raaimt.saturating_mul(64).max(1024),
+        }
+    }
+
+    /// The RAA relief a regular refresh (CBR or RAS-only) grants the bank,
+    /// mirroring DDR5's REF decrement of half the management threshold.
+    /// The protocol sanitizer's `rfm-budget` shadow uses the same formula.
+    pub fn ref_decrement(&self) -> u32 {
+        (self.raaimt / 2).max(1)
+    }
+
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] on a zero threshold/budget/window, on
+    /// `raammt < raaimt`, or on an ACT ceiling below `raammt` (which
+    /// would flag the sanitizer on legal behavior).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.raaimt == 0 {
+            return Err(SimError::Config {
+                what: "RFM: RAAIMT must be positive",
+            });
+        }
+        if self.raammt < self.raaimt {
+            return Err(SimError::Config {
+                what: "RFM: RAAMMT must be at least RAAIMT",
+            });
+        }
+        if self.victims_per_rfm == 0 {
+            return Err(SimError::Config {
+                what: "RFM: each command must mitigate at least one victim",
+            });
+        }
+        if self.budget_per_window == 0 {
+            return Err(SimError::Config {
+                what: "RFM: the per-window budget must be positive",
+            });
+        }
+        if self.window.is_zero() {
+            return Err(SimError::Config {
+                what: "RFM: the budget window must be positive",
+            });
+        }
+        if self.storm_windows == 0 || self.calm_windows == 0 {
+            return Err(SimError::Config {
+                what: "RFM: escalation window counts must be positive",
+            });
+        }
+        if self.act_ceiling < self.raammt {
+            return Err(SimError::Config {
+                what: "RFM: the sanitizer ACT ceiling must be at least RAAMMT",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The engine's escalation level under sustained disturbance pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfmLevel {
+    /// Elective RFMs at RAAIMT crossings; budget holding.
+    Normal,
+    /// At least one starved window: victim refreshes run at half the
+    /// threshold (the elevated-rate refresh stage).
+    Elevated,
+    /// `storm_windows` consecutive starved windows: the controller degrades
+    /// the refresh policy to its CBR fallback sweep.
+    Storm,
+}
+
+impl std::fmt::Display for RfmLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RfmLevel::Normal => write!(f, "normal"),
+            RfmLevel::Elevated => write!(f, "elevated"),
+            RfmLevel::Storm => write!(f, "storm"),
+        }
+    }
+}
+
+/// Per-bank RFM state: the RAA counter and the hot-row table.
+#[derive(Debug, Clone, Default)]
+struct BankRfm {
+    /// Rolling Accumulated ACT count.
+    raa: u32,
+    /// Space-saving top-K table of `(row, activation count)` pairs — the
+    /// Smart Refresh counter array's view of the bank, reduced to the
+    /// entries victim selection needs.
+    table: Vec<(u32, u64)>,
+}
+
+/// Aggregate RFM engine counters (cumulative over the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RfmEngineStats {
+    /// Budget windows closed.
+    pub windows_closed: u64,
+    /// Windows that ended starved (pressure crossed the threshold after
+    /// the elective budget ran out).
+    pub starved_windows: u64,
+    /// Threshold crossings that could not issue an elective RFM.
+    pub starved_crossings: u64,
+    /// Times the engine entered [`RfmLevel::Storm`].
+    pub storms_entered: u64,
+}
+
+/// The controller-resident Refresh Management engine.
+#[derive(Debug, Clone)]
+pub struct RfmEngine {
+    cfg: RfmConfig,
+    banks: Vec<BankRfm>,
+    level: RfmLevel,
+    window_start: Instant,
+    rfm_in_window: u32,
+    starved_this_window: bool,
+    starved_streak: u32,
+    calm_streak: u32,
+    storm_pending: bool,
+    stats: RfmEngineStats,
+}
+
+impl RfmEngine {
+    /// An engine over `total_banks` banks. The config must already have
+    /// passed [`RfmConfig::validate`].
+    pub fn new(cfg: RfmConfig, total_banks: u32) -> Self {
+        RfmEngine {
+            cfg,
+            banks: vec![BankRfm::default(); total_banks as usize],
+            level: RfmLevel::Normal,
+            window_start: Instant::ZERO,
+            rfm_in_window: 0,
+            starved_this_window: false,
+            starved_streak: 0,
+            calm_streak: 0,
+            storm_pending: false,
+            stats: RfmEngineStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RfmConfig {
+        &self.cfg
+    }
+
+    /// The current escalation level.
+    pub fn level(&self) -> RfmLevel {
+        self.level
+    }
+
+    /// Cumulative engine counters.
+    pub fn stats(&self) -> RfmEngineStats {
+        self.stats
+    }
+
+    /// The current RAA count of bank index `bank`.
+    pub fn raa(&self, bank: u32) -> u32 {
+        self.banks[bank as usize].raa
+    }
+
+    /// The hot-row table of bank index `bank`, as `(row, count)` pairs in
+    /// insertion order.
+    pub fn aggressors(&self, bank: u32) -> &[(u32, u64)] {
+        &self.banks[bank as usize].table
+    }
+
+    /// The RAA count at which an elective RFM fires: RAAIMT at
+    /// [`RfmLevel::Normal`], half of it (elevated-rate victim refresh) once
+    /// escalated.
+    pub fn threshold(&self) -> u32 {
+        match self.level {
+            RfmLevel::Normal => self.cfg.raaimt,
+            RfmLevel::Elevated | RfmLevel::Storm => (self.cfg.raaimt / 2).max(1),
+        }
+    }
+
+    /// Closes every budget window that ended by `now`, updating the
+    /// starved/calm streaks and the escalation level.
+    pub fn roll_windows(&mut self, now: Instant) {
+        while now >= self.window_start + self.cfg.window {
+            self.close_window();
+            self.window_start += self.cfg.window;
+        }
+    }
+
+    fn close_window(&mut self) {
+        self.stats.windows_closed += 1;
+        if self.starved_this_window {
+            self.stats.starved_windows += 1;
+            self.starved_streak += 1;
+            self.calm_streak = 0;
+            if self.starved_streak >= self.cfg.storm_windows {
+                if self.level != RfmLevel::Storm {
+                    self.stats.storms_entered += 1;
+                    self.storm_pending = true;
+                }
+                self.level = RfmLevel::Storm;
+            } else if self.level == RfmLevel::Normal {
+                self.level = RfmLevel::Elevated;
+            }
+        } else {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.cfg.calm_windows {
+                self.calm_streak = 0;
+                self.starved_streak = 0;
+                self.level = match self.level {
+                    RfmLevel::Storm => RfmLevel::Elevated,
+                    RfmLevel::Elevated | RfmLevel::Normal => RfmLevel::Normal,
+                };
+            }
+        }
+        self.starved_this_window = false;
+        self.rfm_in_window = 0;
+    }
+
+    /// Whether the engine just entered [`RfmLevel::Storm`]; returns true at
+    /// most once per storm so the caller degrades the policy exactly once.
+    pub fn take_storm(&mut self) -> bool {
+        std::mem::take(&mut self.storm_pending)
+    }
+
+    /// Whether bank index `bank` is at RAAMMT: the next ACT must wait
+    /// behind a mandatory RFM (the back-pressure invariant).
+    pub fn must_issue_before_act(&self, bank: u32) -> bool {
+        self.banks[bank as usize].raa >= self.cfg.raammt
+    }
+
+    /// Records one ACTIVATE of `row` in bank index `bank`. Returns true
+    /// when the caller should issue an elective RFM to the bank now; a
+    /// crossing the exhausted budget cannot serve marks the window starved
+    /// instead.
+    pub fn note_activate(&mut self, bank: u32, row: u32) -> bool {
+        let cap = (self.cfg.victims_per_rfm * 2).max(8);
+        let b = &mut self.banks[bank as usize];
+        b.raa = (b.raa + 1).min(self.cfg.raammt);
+        if let Some(entry) = b.table.iter_mut().find(|e| e.0 == row) {
+            entry.1 += 1;
+        } else if b.table.len() < cap {
+            b.table.push((row, 1));
+        } else if let Some(at) = (0..b.table.len()).min_by_key(|&i| (b.table[i].1, b.table[i].0)) {
+            // Space-saving replacement: the newcomer inherits the evicted
+            // minimum count, keeping hot rows sticky.
+            b.table[at] = (row, b.table[at].1 + 1);
+        }
+        if b.raa < self.threshold() {
+            return false;
+        }
+        if self.rfm_in_window >= self.cfg.budget_per_window {
+            self.starved_this_window = true;
+            self.stats.starved_crossings += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Records one RFM command issued to bank index `bank`: the RAA counter
+    /// drops by RAAIMT and the mitigated hottest entries leave the table
+    /// (their neighbors were just refreshed).
+    pub fn note_rfm_issued(&mut self, bank: u32) {
+        let victims = self.cfg.victims_per_rfm;
+        let b = &mut self.banks[bank as usize];
+        b.raa = b.raa.saturating_sub(self.cfg.raaimt);
+        let mut hottest = Self::rank_rows(&b.table);
+        hottest.truncate(victims);
+        b.table.retain(|e| !hottest.contains(&e.0));
+        self.rfm_in_window = self.rfm_in_window.saturating_add(1);
+    }
+
+    /// Records one regular refresh (CBR or RAS-only) to bank index `bank`:
+    /// the RAA counter drops by [`RfmConfig::ref_decrement`].
+    pub fn note_refresh(&mut self, bank: u32) {
+        let dec = self.cfg.ref_decrement();
+        let b = &mut self.banks[bank as usize];
+        b.raa = b.raa.saturating_sub(dec);
+    }
+
+    /// Rows of the table ranked hottest-first (count descending, row
+    /// ascending on ties — fully deterministic).
+    fn rank_rows(table: &[(u32, u64)]) -> Vec<u32> {
+        let mut ranked: Vec<(u32, u64)> = table.to_vec();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.into_iter().map(|e| e.0).collect()
+    }
+
+    /// The victim rows one RFM command to bank index `bank` refreshes: the
+    /// physical neighbors (row ± 1, clamped to `[0, rows)`) of the bank's
+    /// `victims_per_rfm` hottest aggressor rows, deduplicated and sorted.
+    pub fn select_victims(&self, bank: u32, rows: u32) -> Vec<u32> {
+        let mut hottest = Self::rank_rows(&self.banks[bank as usize].table);
+        hottest.truncate(self.cfg.victims_per_rfm);
+        let mut victims: Vec<u32> = Vec::new();
+        for aggressor in hottest {
+            for v in [aggressor.checked_sub(1), aggressor.checked_add(1)]
+                .into_iter()
+                .flatten()
+            {
+                if v < rows && !victims.contains(&v) {
+                    victims.push(v);
+                }
+            }
+        }
+        victims.sort_unstable();
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartrefresh_dram::rng::Rng;
+
+    fn cfg() -> RfmConfig {
+        RfmConfig::new(16)
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_settings() {
+        assert!(cfg().validate().is_ok());
+        assert!(RfmConfig { raaimt: 0, ..cfg() }.validate().is_err());
+        assert!(RfmConfig { raammt: 8, ..cfg() }.validate().is_err());
+        assert!(RfmConfig {
+            victims_per_rfm: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(RfmConfig {
+            budget_per_window: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(RfmConfig {
+            window: Duration::ZERO,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(RfmConfig {
+            act_ceiling: 10,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn raaimt_crossing_requests_an_rfm() {
+        let mut e = RfmEngine::new(cfg(), 2);
+        let mut fired = false;
+        for i in 0..16u32 {
+            fired = e.note_activate(0, i % 3);
+        }
+        assert!(fired, "the 16th ACT crosses RAAIMT");
+        assert_eq!(e.raa(0), 16);
+        assert_eq!(e.raa(1), 0, "banks are independent");
+        e.note_rfm_issued(0);
+        assert_eq!(e.raa(0), 0);
+    }
+
+    #[test]
+    fn victim_selection_picks_max_activation_neighbors() {
+        let mut e = RfmEngine::new(cfg(), 1);
+        // Rows 10 and 20 are hammered hard; rows 1..=3 only brushed.
+        for _ in 0..50 {
+            e.note_activate(0, 10);
+            e.note_activate(0, 20);
+        }
+        for r in 1..=3 {
+            e.note_activate(0, r);
+        }
+        assert_eq!(
+            e.select_victims(0, 64),
+            vec![9, 11, 19, 21],
+            "victims are the neighbors of the two hottest rows"
+        );
+        // Edge clamping: a hot row 0 yields only its upper neighbor.
+        let mut edge = RfmEngine::new(cfg(), 1);
+        for _ in 0..10 {
+            edge.note_activate(0, 0);
+        }
+        assert_eq!(edge.select_victims(0, 64), vec![1]);
+    }
+
+    #[test]
+    fn victim_selection_always_picks_the_max_activation_set() {
+        // Property: against random ACT streams, the selected victims are
+        // exactly the neighbor set of the table's max-count rows.
+        let mut rng = Rng::seed_from_u64(0x0f0f_0001);
+        for _ in 0..20 {
+            let mut e = RfmEngine::new(cfg(), 1);
+            for _ in 0..500 {
+                let row = rng.gen_range(0u32..32);
+                e.note_activate(0, row);
+            }
+            let table = e.aggressors(0).to_vec();
+            let mut ranked = table.clone();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut expected: Vec<u32> = Vec::new();
+            for (row, _) in ranked.iter().take(e.config().victims_per_rfm) {
+                for v in [row.checked_sub(1), row.checked_add(1)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if v < 32 && !expected.contains(&v) {
+                        expected.push(v);
+                    }
+                }
+            }
+            expected.sort_unstable();
+            assert_eq!(e.select_victims(0, 32), expected);
+        }
+    }
+
+    #[test]
+    fn raa_never_exceeds_raammt_under_random_pressure() {
+        // Property: driving the engine with the controller's contract —
+        // mandatory RFM before any ACT at RAAMMT — the counter never
+        // exceeds RAAMMT, whatever the interleaving of ACTs, refreshes,
+        // and window rolls.
+        let mut rng = Rng::seed_from_u64(0x0f0f_0002);
+        for trial in 0..10 {
+            let mut e = RfmEngine::new(cfg(), 4);
+            let mut now = Instant::ZERO;
+            for _ in 0..2000 {
+                let bank = rng.gen_range(0u32..4);
+                now += Duration::from_ns(rng.gen_range(10u64..200_000));
+                e.roll_windows(now);
+                match rng.gen_range(0u32..10) {
+                    0 => e.note_refresh(bank),
+                    _ => {
+                        if e.must_issue_before_act(bank) {
+                            e.note_rfm_issued(bank);
+                        }
+                        if e.note_activate(bank, rng.gen_range(0u32..64)) {
+                            e.note_rfm_issued(bank);
+                        }
+                    }
+                }
+                for b in 0..4 {
+                    assert!(
+                        e.raa(b) <= e.config().raammt,
+                        "trial {trial}: bank {b} RAA {} exceeds RAAMMT",
+                        e.raa(b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starved_windows_escalate_and_calm_windows_recover() {
+        let c = RfmConfig {
+            budget_per_window: 1,
+            storm_windows: 2,
+            calm_windows: 1,
+            ..cfg()
+        };
+        let mut e = RfmEngine::new(c, 1);
+        let mut now = Instant::ZERO;
+        // Two windows of pressure past the budget: Normal -> Elevated -> Storm.
+        for w in 0..2 {
+            for i in 0..40u32 {
+                if e.must_issue_before_act(0) {
+                    e.note_rfm_issued(0);
+                }
+                if e.note_activate(0, i % 2) {
+                    e.note_rfm_issued(0);
+                }
+            }
+            now += c.window;
+            e.roll_windows(now);
+            if w == 0 {
+                assert_eq!(e.level(), RfmLevel::Elevated);
+                assert!(!e.take_storm());
+            }
+        }
+        assert_eq!(e.level(), RfmLevel::Storm);
+        assert!(e.take_storm(), "storm entry is reported once");
+        assert!(!e.take_storm());
+        assert_eq!(e.stats().storms_entered, 1);
+        // Calm windows walk it back down one level at a time.
+        now += c.window;
+        e.roll_windows(now);
+        assert_eq!(e.level(), RfmLevel::Elevated);
+        now += c.window;
+        e.roll_windows(now);
+        assert_eq!(e.level(), RfmLevel::Normal);
+        assert!(e.stats().starved_windows >= 2);
+    }
+
+    #[test]
+    fn elevated_level_halves_the_threshold() {
+        let mut e = RfmEngine::new(cfg(), 1);
+        assert_eq!(e.threshold(), 16);
+        e.starved_this_window = true;
+        e.close_window();
+        assert_eq!(e.level(), RfmLevel::Elevated);
+        assert_eq!(e.threshold(), 8);
+    }
+
+    #[test]
+    fn ref_decrement_relieves_pressure() {
+        let mut e = RfmEngine::new(cfg(), 1);
+        for i in 0..10u32 {
+            e.note_activate(0, i);
+        }
+        assert_eq!(e.raa(0), 10);
+        e.note_refresh(0);
+        assert_eq!(e.raa(0), 10 - cfg().ref_decrement());
+        for _ in 0..5 {
+            e.note_refresh(0);
+        }
+        assert_eq!(e.raa(0), 0, "decrement saturates at zero");
+    }
+}

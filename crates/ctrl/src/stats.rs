@@ -65,6 +65,14 @@ pub struct ControllerStats {
     pub ce_corrected: u64,
     /// Uncorrectable (multi-bit) ECC errors detected, one per poisoned row.
     pub ue_detected: u64,
+    /// RFM commands issued (elective RAAIMT crossings plus mandatory
+    /// RAAMMT back-pressure relief).
+    pub rfm_commands: u64,
+    /// Victim rows refreshed by RFM commands (several per command).
+    pub rfm_row_refreshes: u64,
+    /// ACTs stalled behind a mandatory RFM because the bank's RAA counter
+    /// sat at RAAMMT.
+    pub rfm_backpressure_stalls: u64,
 }
 
 impl ControllerStats {
@@ -119,6 +127,9 @@ impl ControllerStats {
             forced_scrubs: self.forced_scrubs - earlier.forced_scrubs,
             ce_corrected: self.ce_corrected - earlier.ce_corrected,
             ue_detected: self.ue_detected - earlier.ue_detected,
+            rfm_commands: self.rfm_commands - earlier.rfm_commands,
+            rfm_row_refreshes: self.rfm_row_refreshes - earlier.rfm_row_refreshes,
+            rfm_backpressure_stalls: self.rfm_backpressure_stalls - earlier.rfm_backpressure_stalls,
         }
     }
 

@@ -155,6 +155,33 @@ impl DramDevice {
         }
     }
 
+    /// Tells the checker the controller runs DDR5-style Refresh Management
+    /// with thresholds `(raaimt, raammt)`, arming its `rfm-budget` shadow
+    /// RAA accounting. No-op when the checker is disabled.
+    pub fn declare_rfm(&mut self, raaimt: u32, raammt: u32) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.declare_rfm(raaimt, raammt);
+        }
+    }
+
+    /// Tells the checker no row may accumulate more than `ceiling`
+    /// adjacent-row ACTs between charge restores, arming its
+    /// `disturbance-window` rule. No-op when the checker is disabled.
+    pub fn declare_disturbance_ceiling(&mut self, ceiling: u32) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.declare_disturbance_ceiling(ceiling);
+        }
+    }
+
+    /// Tells the checker the controller issued one RFM command to
+    /// `(rank, bank)` (one RAAIMT decrement on the shadow RAA counter).
+    /// No-op when the checker is disabled.
+    pub fn note_rfm(&mut self, rank: u32, bank: u32) {
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.note_rfm(rank, bank);
+        }
+    }
+
     /// The module geometry.
     pub fn geometry(&self) -> &Geometry {
         &self.geometry
@@ -517,6 +544,27 @@ impl DramDevice {
         let outcome =
             self.refresh_common(addr.rank, addr.bank, addr.row, now, RefreshClass::Scrub)?;
         self.stats.scrubs += 1;
+        Ok(outcome)
+    }
+
+    /// RFM victim refresh of one row: a RAS cycle issued by the Refresh
+    /// Management engine against a hammer victim, restoring its charge and
+    /// occupying the bank like a RAS-only refresh. Counted in
+    /// [`OpStats::rfm_refreshes`], *not* in [`OpStats::total_refreshes`],
+    /// so refresh-rate figures stay comparable and the mitigation overhead
+    /// is priced separately by the energy model.
+    ///
+    /// [`OpStats::rfm_refreshes`]: crate::stats::OpStats
+    /// [`OpStats::total_refreshes`]: crate::stats::OpStats::total_refreshes
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankBusy`] or [`DramError::AddressOutOfRange`].
+    pub fn refresh_rfm(&mut self, addr: RowAddr, now: Instant) -> Result<OpOutcome, DramError> {
+        self.check_addr(addr)?;
+        let outcome =
+            self.refresh_common(addr.rank, addr.bank, addr.row, now, RefreshClass::Rfm)?;
+        self.stats.rfm_refreshes += 1;
         Ok(outcome)
     }
 

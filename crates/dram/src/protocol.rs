@@ -79,6 +79,16 @@ pub enum RuleId {
     /// volatile across power-down, yet read state last written before the
     /// most recent credited window without refreshing it on wake.
     CounterSurvival,
+    /// RFM (Refresh Management) accounting out of balance: with RFM
+    /// declared, the shadow per-bank RAA counter — incremented by every
+    /// ACT, decremented RAAIMT per RFM command and half-RAAIMT per regular
+    /// refresh — exceeded RAAMMT, meaning an ACT was accepted that the
+    /// mandatory-RFM back-pressure contract should have stalled.
+    RfmBudget,
+    /// A row under a declared disturbance ceiling accumulated more
+    /// adjacent-row ACTs between charge restores than the ceiling allows —
+    /// an unmitigated hammer victim the defense failed to refresh in time.
+    DisturbanceWindow,
 }
 
 impl RuleId {
@@ -102,6 +112,8 @@ impl RuleId {
             RuleId::RetentionDeadline => "retention-deadline",
             RuleId::ShadowDivergence => "shadow-divergence",
             RuleId::CounterSurvival => "counter-survival",
+            RuleId::RfmBudget => "rfm-budget",
+            RuleId::DisturbanceWindow => "disturbance-window",
         }
     }
 }
@@ -121,6 +133,9 @@ pub enum RefreshClass {
     RasOnly,
     /// Patrol/demand scrub (a RAS-only cycle issued by the scrubber).
     Scrub,
+    /// RFM victim refresh (a RAS-only cycle issued by the Refresh
+    /// Management engine against a hammer victim row).
+    Rfm,
 }
 
 impl RefreshClass {
@@ -129,6 +144,7 @@ impl RefreshClass {
             RefreshClass::Cbr => "CBR refresh",
             RefreshClass::RasOnly => "RAS-only refresh",
             RefreshClass::Scrub => "scrub",
+            RefreshClass::Rfm => "RFM refresh",
         }
     }
 }
@@ -263,6 +279,17 @@ pub struct ProtocolChecker {
     /// True when the controller declared that its counter SRAM does not
     /// survive CKE-low windows (`CounterPowerPolicy::ConservativeReset`).
     counters_volatile: bool,
+    /// `(RAAIMT, RAAMMT)` once the controller declares RFM; enables the
+    /// [`RuleId::RfmBudget`] shadow accounting.
+    rfm_thresholds: Option<(u32, u32)>,
+    /// Shadow per-bank RAA counters (ACTs minus RFM/REF decrements).
+    raa_shadow: Vec<u32>,
+    /// Declared ACT ceiling for hammer victims; enables the
+    /// [`RuleId::DisturbanceWindow`] rule.
+    disturbance_ceiling: Option<u32>,
+    /// Adjacent-row ACT pressure per flat row since its last charge
+    /// restore. BTreeMap for deterministic order.
+    neighbor_pressure: BTreeMap<u64, u32>,
 }
 
 impl ProtocolChecker {
@@ -287,6 +314,10 @@ impl ProtocolChecker {
             trefi,
             last_powerdown_end: Instant::ZERO,
             counters_volatile: false,
+            rfm_thresholds: None,
+            raa_shadow: vec![0; geometry.total_banks() as usize],
+            disturbance_ceiling: None,
+            neighbor_pressure: BTreeMap::new(),
         }
     }
 
@@ -435,6 +466,58 @@ impl ProtocolChecker {
         let flat = self.geometry.flatten(addr);
         self.restore_shadow(flat, at + t.tras);
         self.expect_reset(flat, at);
+
+        if let Some((_, raammt)) = self.rfm_thresholds {
+            self.raa_shadow[bi] += 1;
+            let raa = self.raa_shadow[bi];
+            if raa > raammt {
+                self.flag(
+                    RuleId::RfmBudget,
+                    at,
+                    addr.rank,
+                    addr.bank,
+                    Some(addr.row),
+                    format!(
+                        "shadow RAA {raa} exceeds RAAMMT {raammt}: ACT accepted without the \
+                         mandatory RFM the back-pressure contract requires"
+                    ),
+                );
+            }
+        }
+        if self.disturbance_ceiling.is_some() {
+            // The sensed row's own charge is restored, clearing whatever
+            // pressure its neighbors had piled on it...
+            self.neighbor_pressure.remove(&flat);
+            // ...while the ACT hammers the two physically adjacent rows.
+            for neighbor in [addr.row.checked_sub(1), addr.row.checked_add(1)] {
+                let Some(nrow) = neighbor else { continue };
+                if nrow >= self.geometry.rows() {
+                    continue;
+                }
+                let nflat = self.geometry.flatten(RowAddr {
+                    rank: addr.rank,
+                    bank: addr.bank,
+                    row: nrow,
+                });
+                let slot = self.neighbor_pressure.entry(nflat).or_insert(0);
+                *slot += 1;
+                let pressure = *slot;
+                let ceiling = self.disturbance_ceiling.unwrap_or(u32::MAX);
+                if pressure == ceiling.saturating_add(1) {
+                    self.flag(
+                        RuleId::DisturbanceWindow,
+                        at,
+                        addr.rank,
+                        addr.bank,
+                        Some(nrow),
+                        format!(
+                            "row accumulated {pressure} adjacent ACTs since its last charge \
+                             restore; the declared ceiling is {ceiling}"
+                        ),
+                    );
+                }
+            }
+        }
     }
 
     /// Observe a column read/write on `addr` at `at`.
@@ -547,6 +630,9 @@ impl ProtocolChecker {
             let flat = self.geometry.flatten(RowAddr { rank, bank, row });
             self.restore_shadow(flat, at);
             self.expect_reset(flat, at);
+            // The write-back restores the row's charge, clearing its
+            // accumulated disturbance pressure.
+            self.neighbor_pressure.remove(&flat);
         }
     }
 
@@ -599,6 +685,17 @@ impl ProtocolChecker {
 
         let flat = self.geometry.flatten(addr);
         self.restore_shadow(flat, start + t.trfc);
+        // The refresh restored the row's charge: its disturbance pressure
+        // clears, and a regular refresh grants the bank DDR5's REF relief
+        // on the shadow RAA counter (RFM victim refreshes do not — the RFM
+        // *command* already took its one RAAIMT decrement via `note_rfm`).
+        self.neighbor_pressure.remove(&flat);
+        if let Some((raaimt, _)) = self.rfm_thresholds {
+            if matches!(class, RefreshClass::Cbr | RefreshClass::RasOnly) {
+                let dec = (raaimt / 2).max(1);
+                self.raa_shadow[bi] = self.raa_shadow[bi].saturating_sub(dec);
+            }
+        }
         if class == RefreshClass::Scrub {
             // Scrubs must reset the row's time-out counter (§4.3); plain
             // refreshes are popped by the policy itself, which resets its
@@ -678,6 +775,41 @@ impl ProtocolChecker {
     /// [`RuleId::CounterSurvival`] rule.
     pub fn declare_volatile_counters(&mut self) {
         self.counters_volatile = true;
+    }
+
+    /// Declare DDR5-style Refresh Management with thresholds
+    /// `(raaimt, raammt)`: enables the [`RuleId::RfmBudget`] shadow RAA
+    /// accounting (ACTs increment; RFM commands decrement RAAIMT via
+    /// [`note_rfm`](ProtocolChecker::note_rfm); regular refreshes decrement
+    /// half-RAAIMT). Idempotent.
+    pub fn declare_rfm(&mut self, raaimt: u32, raammt: u32) {
+        self.rfm_thresholds = Some((raaimt, raammt));
+    }
+
+    /// Declare the disturbance ACT ceiling: no row may accumulate more
+    /// than `ceiling` adjacent-row ACTs between charge restores. Enables
+    /// the [`RuleId::DisturbanceWindow`] rule. Idempotent.
+    pub fn declare_disturbance_ceiling(&mut self, ceiling: u32) {
+        self.disturbance_ceiling = Some(ceiling);
+    }
+
+    /// Note one RFM command issued to `(rank, bank)`: the shadow RAA
+    /// counter takes its one RAAIMT decrement. The victim refreshes
+    /// themselves arrive as [`RefreshClass::Rfm`] observations, which
+    /// deliberately do not decrement — one command, one decrement,
+    /// however many victims it mitigates.
+    pub fn note_rfm(&mut self, rank: u32, bank: u32) {
+        let Some((raaimt, _)) = self.rfm_thresholds else {
+            return;
+        };
+        let bi = self.bank_index(rank, bank);
+        self.raa_shadow[bi] = self.raa_shadow[bi].saturating_sub(raaimt);
+    }
+
+    /// The shadow RAA count of `(rank, bank)` (zero until RFM is declared
+    /// and ACTs are observed). Exposed for the conformance fixtures.
+    pub fn shadow_raa(&self, rank: u32, bank: u32) -> u32 {
+        self.raa_shadow[self.bank_index(rank, bank)]
     }
 
     /// Note the policy consuming its counter state at `at`, where

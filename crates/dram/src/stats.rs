@@ -24,6 +24,9 @@ pub struct OpStats {
     /// Patrol-scrub reads (each restores the row like a RAS-only refresh,
     /// but is accounted separately so scrub overhead stays visible).
     pub scrubs: u64,
+    /// RFM victim refreshes (Refresh Management RAS cycles against hammer
+    /// victims; accounted separately so mitigation overhead stays visible).
+    pub rfm_refreshes: u64,
 }
 
 impl OpStats {
@@ -55,6 +58,7 @@ impl OpStats {
             refreshes_closing_open_page: self.refreshes_closing_open_page
                 - earlier.refreshes_closing_open_page,
             scrubs: self.scrubs - earlier.scrubs,
+            rfm_refreshes: self.rfm_refreshes - earlier.rfm_refreshes,
         }
     }
 }

@@ -338,6 +338,7 @@ mod tests {
             ras_only_refreshes: 3,
             refreshes_closing_open_page: 2,
             scrubs: 0,
+            rfm_refreshes: 0,
         };
         let e = p.energy(
             &o,

@@ -21,6 +21,7 @@ fn sample_ops(rng: &mut Rng) -> OpStats {
         ras_only_refreshes: ro,
         refreshes_closing_open_page: (c + ro) / 3,
         scrubs: 0,
+        rfm_refreshes: 0,
     }
 }
 

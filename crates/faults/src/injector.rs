@@ -8,6 +8,8 @@
 //! derating) are applied once to the device's retention tracker via
 //! [`FaultInjector::apply_static_faults`].
 
+use std::collections::BTreeMap;
+
 use smartrefresh_dram::rng::Rng;
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{Geometry, RetentionTracker, RowAddr};
@@ -88,6 +90,23 @@ pub enum FaultKind {
     VariableRetention {
         /// The retention deadline while the episode is active.
         deadline: Duration,
+    },
+    /// Disturbance (rowhammer) susceptibility: every ACTIVATE of a row
+    /// matching the site hammers its physically adjacent rows (row ± 1 in
+    /// the same bank). Each victim accumulates pressure — adjacent ACTs
+    /// since the victim's own last charge restore — and at every
+    /// `act_threshold` crossing the victim probabilistically flips
+    /// `flips_per_crossing` stored bits, with odds that grow with the
+    /// accumulated pressure. Flips compose with the SECDED CE/UE path via
+    /// [`FaultInjector::note_activation`]; a refresh, scrub, or activation
+    /// of the victim itself clears its pressure
+    /// ([`FaultInjector::note_row_restored`]).
+    Disturbance {
+        /// Adjacent-ACT count between flip evaluations of a victim.
+        act_threshold: u32,
+        /// Bits flipped in the victim's word per successful evaluation
+        /// (1 is SECDED-correctable; repeated flips accumulate to a UE).
+        flips_per_crossing: u8,
     },
 }
 
@@ -183,6 +202,12 @@ pub enum FaultEventKind {
         /// The restored baseline deadline.
         deadline: Duration,
     },
+    /// Hammer pressure on a victim row crossed a threshold and the flip
+    /// draw succeeded: bits flipped in the victim's stored data.
+    DisturbanceFlip {
+        /// How many bits were flipped.
+        bits: u8,
+    },
 }
 
 /// One recorded injection.
@@ -212,6 +237,10 @@ pub struct FaultStats {
     /// Row deadline transitions (onsets + recoveries) performed by
     /// [`FaultKind::VariableRetention`] episodes.
     pub vrt_transitions: u64,
+    /// Hammer-pressure threshold crossings evaluated (each one flip draw).
+    pub hammer_crossings: u64,
+    /// Total bits flipped by [`FaultKind::Disturbance`] injections.
+    pub disturbance_bits_flipped: u64,
 }
 
 /// Per-spec runtime state of a VRT episode (parallel to the spec list).
@@ -251,6 +280,14 @@ pub struct FaultInjector {
     stats: FaultStats,
     in_stall: bool,
     vrt_runtime: Vec<VrtRuntime>,
+    /// Per-victim hammer pressure: adjacent-row ACTs since the victim's own
+    /// last charge restore, keyed by flat row index. Grows only for rows a
+    /// [`FaultKind::Disturbance`] spec covers.
+    disturbance_pressure: BTreeMap<u64, u32>,
+    /// Seeded draw stream for the probabilistic flip decision at each
+    /// threshold crossing. Installed by [`FaultInjector::with_disturbance`];
+    /// lazily created from the default seed otherwise.
+    disturbance_rng: Option<Rng>,
 }
 
 impl FaultInjector {
@@ -529,10 +566,125 @@ impl FaultInjector {
                 FaultKind::WeakCell { .. }
                 | FaultKind::StallDispatch
                 | FaultKind::BitFlip { .. }
-                | FaultKind::VariableRetention { .. } => {}
+                | FaultKind::VariableRetention { .. }
+                | FaultKind::Disturbance { .. } => {}
             }
         }
         Perturbation::Pass
+    }
+
+    /// Adds one [`FaultKind::Disturbance`] spec over `site` and seeds the
+    /// flip-draw stream. A zero threshold would fire on every ACT and is
+    /// rejected as a config bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `act_threshold` is zero.
+    pub fn with_disturbance(
+        mut self,
+        site: FaultSite,
+        act_threshold: u32,
+        flips_per_crossing: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(act_threshold > 0, "disturbance threshold must be positive");
+        self.disturbance_rng = Some(Rng::seed_from_u64(seed ^ 0xfa17_0000_0000_0003));
+        self.with_spec(FaultSpec::always(
+            site,
+            FaultKind::Disturbance {
+                act_threshold,
+                flips_per_crossing,
+            },
+        ))
+    }
+
+    /// True when any [`FaultKind::Disturbance`] spec exists (lets the
+    /// controller skip the per-ACT hook entirely otherwise).
+    pub fn has_disturbance(&self) -> bool {
+        self.specs
+            .iter()
+            .any(|s| matches!(s.kind, FaultKind::Disturbance { .. }))
+    }
+
+    /// The accumulated hammer pressure on flat row `flat`: adjacent-row
+    /// ACTs since the row's own last charge restore.
+    pub fn disturbance_pressure(&self, flat: u64) -> u32 {
+        self.disturbance_pressure.get(&flat).copied().unwrap_or(0)
+    }
+
+    /// The per-ACT hook: `aggressor` was just activated at `now`. Its own
+    /// pressure clears (the ACT restored its cells), its physically
+    /// adjacent rows (row ± 1, same bank) each gain one unit of pressure,
+    /// and every victim whose pressure crosses a multiple of its spec's
+    /// `act_threshold` draws a flip with probability `n / (n + 1)` at the
+    /// `n`-th crossing — flip odds scale with accumulated pressure. Returns
+    /// the `(victim, bits)` flips for the caller to materialize in its ECC
+    /// error state (exactly how [`apply_bit_flips`] composes with SECDED).
+    ///
+    /// [`apply_bit_flips`]: FaultInjector::apply_bit_flips
+    pub fn note_activation(
+        &mut self,
+        geometry: &Geometry,
+        aggressor: RowAddr,
+        now: Instant,
+    ) -> Vec<(RowAddr, u8)> {
+        let mut flips = Vec::new();
+        if !self.has_disturbance() {
+            return flips;
+        }
+        self.disturbance_pressure
+            .remove(&geometry.flatten(aggressor));
+        let neighbors = [aggressor.row.checked_sub(1), aggressor.row.checked_add(1)];
+        for victim_row in neighbors.into_iter().flatten() {
+            if victim_row >= geometry.rows() {
+                continue;
+            }
+            let victim = RowAddr {
+                rank: aggressor.rank,
+                bank: aggressor.bank,
+                row: victim_row,
+            };
+            let Some((threshold, bits)) = self.specs.iter().find_map(|s| match s.kind {
+                FaultKind::Disturbance {
+                    act_threshold,
+                    flips_per_crossing,
+                } if s.active_at(now) && s.site.matches(victim) => {
+                    Some((act_threshold, flips_per_crossing))
+                }
+                _ => None,
+            }) else {
+                continue;
+            };
+            let flat = geometry.flatten(victim);
+            let pressure = self.disturbance_pressure.entry(flat).or_insert(0);
+            *pressure += 1;
+            let pressure = *pressure;
+            if !pressure.is_multiple_of(threshold) {
+                continue;
+            }
+            self.stats.hammer_crossings += 1;
+            let crossings = u64::from(pressure / threshold);
+            let rng = self
+                .disturbance_rng
+                .get_or_insert_with(|| Rng::seed_from_u64(0xfa17_0000_0000_0003));
+            if rng.gen_range(0..crossings + 1) == 0 {
+                continue; // the draw spared the victim this crossing
+            }
+            self.stats.disturbance_bits_flipped += u64::from(bits);
+            self.events.push(FaultEvent {
+                at: now,
+                row: Some(victim),
+                kind: FaultEventKind::DisturbanceFlip { bits },
+            });
+            flips.push((victim, bits));
+        }
+        flips
+    }
+
+    /// The charge of `row` was restored by a refresh, scrub, or RFM victim
+    /// refresh: its accumulated hammer pressure clears.
+    pub fn note_row_restored(&mut self, geometry: &Geometry, row: RowAddr) {
+        self.disturbance_pressure.remove(&geometry.flatten(row));
     }
 
     /// True when any drop, delay, or stall spec exists (the injector can
@@ -783,5 +935,102 @@ mod tests {
             spec.site.rank.is_some() && spec.site.bank.is_some() && spec.site.row.is_some(),
             "the episode must pin one exact row"
         );
+    }
+
+    #[test]
+    fn hammering_flips_adjacent_rows_only() {
+        let g = Geometry::new(1, 2, 32, 4, 64);
+        let mut inj = FaultInjector::new().with_disturbance(FaultSite::ANY, 4, 1, 0xbeef);
+        let aggressor = row(0, 1, 10);
+        let mut flipped = Vec::new();
+        for i in 0..64u64 {
+            let at = Instant::ZERO + Duration::from_us(i);
+            flipped.extend(inj.note_activation(&g, aggressor, at));
+        }
+        assert!(inj.stats().hammer_crossings >= 2, "crossings must fire");
+        assert!(!flipped.is_empty(), "sustained hammering must flip bits");
+        for (victim, bits) in &flipped {
+            assert!(
+                *victim == row(0, 1, 9) || *victim == row(0, 1, 11),
+                "flip landed off-neighbor: {victim:?}"
+            );
+            assert_eq!(*bits, 1);
+        }
+        assert_eq!(
+            inj.stats().disturbance_bits_flipped,
+            flipped.len() as u64,
+            "one bit per successful draw"
+        );
+        // Rows two away never accumulate pressure.
+        assert_eq!(inj.disturbance_pressure(g.flatten(row(0, 1, 8))), 0);
+        assert_eq!(inj.disturbance_pressure(g.flatten(row(0, 1, 12))), 0);
+    }
+
+    #[test]
+    fn restore_clears_hammer_pressure() {
+        let g = Geometry::new(1, 1, 16, 4, 64);
+        let mut inj = FaultInjector::new().with_disturbance(FaultSite::ANY, 100, 1, 1);
+        let aggressor = row(0, 0, 5);
+        for i in 0..10u64 {
+            inj.note_activation(&g, aggressor, Instant::ZERO + Duration::from_us(i));
+        }
+        let victim = row(0, 0, 6);
+        assert_eq!(inj.disturbance_pressure(g.flatten(victim)), 10);
+        // A refresh of the victim clears it; the other neighbor keeps its.
+        inj.note_row_restored(&g, victim);
+        assert_eq!(inj.disturbance_pressure(g.flatten(victim)), 0);
+        assert_eq!(inj.disturbance_pressure(g.flatten(row(0, 0, 4))), 10);
+        // Activating the victim itself also clears it.
+        inj.note_activation(&g, row(0, 0, 4), Instant::ZERO + Duration::from_ms(1));
+        assert_eq!(inj.disturbance_pressure(g.flatten(row(0, 0, 4))), 0);
+    }
+
+    #[test]
+    fn disturbance_flips_are_seed_deterministic() {
+        let g = Geometry::new(1, 2, 64, 4, 64);
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new().with_disturbance(FaultSite::ANY, 8, 2, seed);
+            let mut flips = Vec::new();
+            for i in 0..256u64 {
+                let aggressor = row(0, (i % 2) as u32, 20 + (i % 3) as u32 * 2);
+                flips.extend(inj.note_activation(
+                    &g,
+                    aggressor,
+                    Instant::ZERO + Duration::from_us(i),
+                ));
+            }
+            (flips, inj.stats())
+        };
+        assert_eq!(run(3), run(3), "same seed, same flips");
+        assert_ne!(run(3).0, run(4).0, "different seeds must diverge somewhere");
+    }
+
+    #[test]
+    fn disturbance_never_perturbs_dispatch() {
+        let mut inj = FaultInjector::new().with_disturbance(FaultSite::ANY, 4, 1, 0);
+        assert!(!inj.perturbs_dispatch());
+        assert!(inj.has_disturbance());
+        assert_eq!(
+            inj.perturb_refresh(row(0, 0, 1), Instant::ZERO),
+            Perturbation::Pass
+        );
+        assert!(!inj.dispatch_stalled(Instant::ZERO));
+    }
+
+    #[test]
+    fn disturbance_respects_edge_rows_and_site_filters() {
+        let g = Geometry::new(1, 1, 8, 4, 64);
+        // Only bank-0 row 1 is susceptible.
+        let mut inj = FaultInjector::new().with_disturbance(FaultSite::exact(0, 0, 1), 1, 1, 9);
+        // Hammer row 0: only neighbor row 1 matches the site; row -1 does
+        // not exist and must not underflow.
+        for i in 0..8u64 {
+            inj.note_activation(&g, row(0, 0, 0), Instant::ZERO + Duration::from_us(i));
+        }
+        assert!(inj.disturbance_pressure(g.flatten(row(0, 0, 1))) > 0);
+        // Hammer the top row: neighbor 8 is out of range, neighbor 6 does
+        // not match the site — no pressure anywhere new.
+        inj.note_activation(&g, row(0, 0, 7), Instant::ZERO + Duration::from_ms(1));
+        assert_eq!(inj.disturbance_pressure(g.flatten(row(0, 0, 6))), 0);
     }
 }

@@ -451,13 +451,14 @@ impl FleetCheckpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::{ModuleKind, PolicyTag};
+    use crate::grid::{FaultTag, ModuleKind, PolicyTag};
 
     fn grid() -> GridSpec {
         GridSpec {
             workloads: vec!["gcc".into()],
             modules: vec![ModuleKind::Mini],
             policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
+            faults: vec![FaultTag::Clean],
             seeds: vec![1, 2],
             scale_bits: 0.25f64.to_bits(),
         }

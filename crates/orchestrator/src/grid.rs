@@ -1,6 +1,7 @@
 //! The scenario grid: the cross product the fleet shards over.
 //!
-//! A campaign is `workloads × modules × policies × seeds`, flattened into a
+//! A campaign is `workloads × modules × policies × faults × seeds`,
+//! flattened into a
 //! single cell index with seeds varying fastest. The flattening is part of
 //! the checkpoint contract: a resumed run must agree with the interrupted
 //! one about which cell lives at which index, so the grid carries a
@@ -8,13 +9,16 @@
 //! validates.
 
 use smartrefresh_core::SmartRefreshConfig;
-use smartrefresh_ctrl::SimError;
+use smartrefresh_ctrl::{EccConfig, ScrubConfig, SimError};
 use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
 use smartrefresh_dram::time::Duration;
 use smartrefresh_dram::{Geometry, ModuleConfig, TimingParams};
 use smartrefresh_energy::DramPowerParams;
 use smartrefresh_sim::digest::Digest64;
-use smartrefresh_sim::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
+use smartrefresh_sim::rfm::standard_defense;
+use smartrefresh_sim::{
+    run_experiment, DisturbanceConfig, ExperimentConfig, PolicyKind, RunResult, Topology,
+};
 use smartrefresh_workloads::find;
 
 use crate::codec::{Decoder, Encoder};
@@ -206,6 +210,52 @@ impl PolicyTag {
     }
 }
 
+/// Fault regimes the orchestrator can shard over — the ROADMAP's
+/// fault-rate axis. A tag so it encodes to one byte; the concrete
+/// injector/defense configuration is derived per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTag {
+    /// No injected faults — the figure-corpus configuration.
+    Clean,
+    /// Disturbance (rowhammer) pressure overlaid on the workload, with
+    /// SECDED + covering patrol scrub and the standard RFM defense armed.
+    Disturbance,
+}
+
+impl FaultTag {
+    /// Every fault tag, in encoding order.
+    pub const ALL: [FaultTag; 2] = [FaultTag::Clean, FaultTag::Disturbance];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultTag::Clean => "clean",
+            FaultTag::Disturbance => "dist",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<FaultTag> {
+        FaultTag::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            FaultTag::Clean => 0,
+            FaultTag::Disturbance => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<FaultTag, SimError> {
+        FaultTag::ALL
+            .into_iter()
+            .find(|f| f.tag() == t)
+            .ok_or(SimError::Config {
+                what: "checkpoint names an unknown fault tag",
+            })
+    }
+}
+
 /// One cell of the flattened grid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cell {
@@ -217,6 +267,8 @@ pub struct Cell {
     pub module: ModuleKind,
     /// Refresh policy under test.
     pub policy: PolicyTag,
+    /// Fault regime the cell runs under.
+    pub fault: FaultTag,
     /// Workload (and, for seed-carrying policies, profile) seed.
     pub seed: u64,
 }
@@ -230,6 +282,8 @@ pub struct GridSpec {
     pub modules: Vec<ModuleKind>,
     /// Policy tags.
     pub policies: Vec<PolicyTag>,
+    /// Fault regimes, between policies and seeds in the flattening.
+    pub faults: Vec<FaultTag>,
     /// Seeds, innermost (fastest-varying) axis.
     pub seeds: Vec<u64>,
     /// Span scale factor stored as IEEE-754 bits so the grid encodes — and
@@ -248,6 +302,7 @@ impl GridSpec {
         self.workloads.len() as u64
             * self.modules.len() as u64
             * self.policies.len() as u64
+            * self.faults.len() as u64
             * self.seeds.len() as u64
     }
 
@@ -259,10 +314,13 @@ impl GridSpec {
     pub fn cell(&self, index: u64) -> Cell {
         assert!(index < self.cell_count(), "cell index out of range");
         let s = self.seeds.len() as u64;
+        let f = self.faults.len() as u64;
         let p = self.policies.len() as u64;
         let m = self.modules.len() as u64;
         let seed = self.seeds[(index % s) as usize];
         let rest = index / s;
+        let fault = self.faults[(rest % f) as usize];
+        let rest = rest / f;
         let policy = self.policies[(rest % p) as usize];
         let rest = rest / p;
         let module = self.modules[(rest % m) as usize];
@@ -272,6 +330,7 @@ impl GridSpec {
             workload,
             module,
             policy,
+            fault,
             seed,
         }
     }
@@ -286,10 +345,11 @@ impl GridSpec {
         if self.workloads.is_empty()
             || self.modules.is_empty()
             || self.policies.is_empty()
+            || self.faults.is_empty()
             || self.seeds.is_empty()
         {
             return Err(SimError::Config {
-                what: "grid has an empty axis (workloads/modules/policies/seeds)",
+                what: "grid has an empty axis (workloads/modules/policies/faults/seeds)",
             });
         }
         let scale = self.scale();
@@ -323,6 +383,10 @@ impl GridSpec {
         for p in &self.policies {
             enc.put_u8(p.tag());
         }
+        enc.put_u64(self.faults.len() as u64);
+        for f in &self.faults {
+            enc.put_u8(f.tag());
+        }
         enc.put_u64(self.seeds.len() as u64);
         for &s in &self.seeds {
             enc.put_u64(s);
@@ -351,6 +415,11 @@ impl GridSpec {
         for _ in 0..np {
             policies.push(PolicyTag::from_tag(dec.get_u8()?)?);
         }
+        let nf = dec.get_u64()?;
+        let mut faults = Vec::new();
+        for _ in 0..nf {
+            faults.push(FaultTag::from_tag(dec.get_u8()?)?);
+        }
         let ns = dec.get_u64()?;
         let mut seeds = Vec::new();
         for _ in 0..ns {
@@ -361,6 +430,7 @@ impl GridSpec {
             workloads,
             modules,
             policies,
+            faults,
             seeds,
             scale_bits,
         })
@@ -404,6 +474,17 @@ impl GridSpec {
         .scaled(self.scale());
         cfg.seed = cell.seed;
         cfg.reference = Duration::from_ms(64);
+        if cell.fault == FaultTag::Disturbance {
+            // Disturbance cells run the full resilience stack: SECDED with
+            // a covering patrol scrub, the hammer fault channel, and the
+            // standard RFM defense.
+            cfg.ecc = Some(EccConfig::new(cell.seed).with_scrub(ScrubConfig::covering(
+                cfg.module.timing.retention,
+                cfg.module.geometry.total_rows(),
+            )));
+            cfg.disturbance = Some(DisturbanceConfig::campaign_default());
+            cfg.rfm = Some(standard_defense());
+        }
         let spec = match topology {
             Topology::Conventional => entry.conventional,
             Topology::Stacked => entry.stacked,
@@ -421,6 +502,7 @@ mod tests {
             workloads: vec!["gcc".into(), "radix".into()],
             modules: vec![ModuleKind::Mini, ModuleKind::Mini3d],
             policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
+            faults: vec![FaultTag::Clean, FaultTag::Disturbance],
             seeds: vec![1, 2, 3],
             scale_bits: 0.25f64.to_bits(),
         }
@@ -429,20 +511,28 @@ mod tests {
     #[test]
     fn cell_indexing_is_a_bijection() {
         let g = small_grid();
-        assert_eq!(g.cell_count(), 2 * 2 * 2 * 3);
+        assert_eq!(g.cell_count(), 2 * 2 * 2 * 2 * 3);
         let mut seen = std::collections::BTreeSet::new();
         for i in 0..g.cell_count() {
             let c = g.cell(i);
             assert_eq!(c.index, i);
-            seen.insert((c.workload.clone(), c.module.name(), c.policy.name(), c.seed));
+            seen.insert((
+                c.workload.clone(),
+                c.module.name(),
+                c.policy.name(),
+                c.fault.name(),
+                c.seed,
+            ));
         }
         assert_eq!(seen.len() as u64, g.cell_count());
-        // Seeds vary fastest.
+        // Seeds vary fastest, then faults, then policies.
         assert_eq!(g.cell(0).seed, 1);
         assert_eq!(g.cell(1).seed, 2);
         assert_eq!(g.cell(2).seed, 3);
-        assert_eq!(g.cell(0).policy, g.cell(2).policy);
-        assert_ne!(g.cell(0).policy, g.cell(3).policy);
+        assert_eq!(g.cell(0).fault, g.cell(2).fault);
+        assert_ne!(g.cell(0).fault, g.cell(3).fault);
+        assert_eq!(g.cell(0).policy, g.cell(5).policy);
+        assert_ne!(g.cell(0).policy, g.cell(6).policy);
     }
 
     #[test]
@@ -474,15 +564,19 @@ mod tests {
     }
 
     #[test]
-    fn module_and_policy_names_parse_back() {
+    fn module_policy_and_fault_names_parse_back() {
         for m in ModuleKind::ALL {
             assert_eq!(ModuleKind::parse(m.name()), Some(m));
         }
         for p in PolicyTag::ALL {
             assert_eq!(PolicyTag::parse(p.name()), Some(p));
         }
+        for f in FaultTag::ALL {
+            assert_eq!(FaultTag::parse(f.name()), Some(f));
+        }
         assert_eq!(ModuleKind::parse("dimm"), None);
         assert_eq!(PolicyTag::parse("magic"), None);
+        assert_eq!(FaultTag::parse("hammer"), None);
     }
 
     #[test]
@@ -491,6 +585,7 @@ mod tests {
             workloads: vec!["gcc".into()],
             modules: vec![ModuleKind::Mini],
             policies: vec![PolicyTag::Smart],
+            faults: vec![FaultTag::Clean],
             seeds: vec![7],
             scale_bits: 0.25f64.to_bits(),
         };
@@ -499,6 +594,32 @@ mod tests {
         assert_eq!(
             smartrefresh_sim::digest_run(&a),
             smartrefresh_sim::digest_run(&b)
+        );
+    }
+
+    #[test]
+    fn disturbance_cells_arm_the_full_resilience_stack() {
+        let g = GridSpec {
+            workloads: vec!["gcc".into()],
+            modules: vec![ModuleKind::Mini],
+            policies: vec![PolicyTag::Smart],
+            faults: vec![FaultTag::Clean, FaultTag::Disturbance],
+            seeds: vec![7],
+            scale_bits: 0.25f64.to_bits(),
+        };
+        let clean = g.run_cell(0).expect("clean cell runs");
+        let dist = g.run_cell(1).expect("disturbance cell runs");
+        assert_eq!(clean.ops.rfm_refreshes, 0);
+        assert_eq!(clean.energy.rfm_j, 0.0);
+        assert!(
+            dist.ops.rfm_refreshes > 0,
+            "the RFM defense must fire under the disturbance regime"
+        );
+        assert!(dist.energy.rfm_j > 0.0);
+        assert!(dist.energy.scrub_j > 0.0, "the patrol scrub must walk");
+        assert!(
+            dist.integrity_ok,
+            "a benign workload under the armed defense must keep its data"
         );
     }
 }

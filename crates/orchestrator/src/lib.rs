@@ -1,7 +1,8 @@
 //! Crash-safe fleet orchestrator for the Smart Refresh reproduction.
 //!
 //! Figure regeneration runs one experiment at a time; a *campaign* runs a
-//! whole grid of them — `workloads × modules × policies × seeds` — and a
+//! whole grid of them — `workloads × modules × policies × faults × seeds`
+//! — and a
 //! grid big enough to be interesting is big enough to be interrupted. This
 //! crate turns the single-experiment harness into a fleet with four
 //! robustness layers:
@@ -44,6 +45,6 @@ pub use checkpoint::{
     CellOutcome, CellState, FleetCheckpoint, FleetStats, SkipCause, CHECKPOINT_FILE,
 };
 pub use codec::{frame, unframe, Decoder, Encoder};
-pub use grid::{Cell, GridSpec, ModuleKind, PolicyTag};
+pub use grid::{Cell, FaultTag, GridSpec, ModuleKind, PolicyTag};
 pub use report::render_fleet;
 pub use supervisor::{run_fleet, verify_fleet, OrchestratorConfig, VerifiedCell};

@@ -1,6 +1,7 @@
 //! Text rendering of a fleet campaign's outcome.
 //!
-//! The report aggregates completed cells into `(module, policy)` cohorts —
+//! The report aggregates completed cells into `(module, policy, fault)`
+//! cohorts —
 //! the axes the paper's figures compare — and surfaces the supervision
 //! story (retries, panics absorbed, watchdog kills, skipped cells)
 //! alongside the physics, so a chaos run and a clean run are judged on the
@@ -13,6 +14,7 @@ use crate::grid::Cell;
 struct Cohort {
     module: &'static str,
     policy: &'static str,
+    fault: &'static str,
     total_j: Vec<f64>,
     refreshes: Vec<f64>,
     latency_ns: Vec<f64>,
@@ -41,10 +43,11 @@ pub fn render_fleet(ckpt: &FleetCheckpoint) -> String {
     let g = &ckpt.grid;
     let mut out = String::new();
     out.push_str(&format!(
-        "fleet campaign | {} workloads x {} modules x {} policies x {} seeds = {} cells | scale {}\n",
+        "fleet campaign | {} workloads x {} modules x {} policies x {} faults x {} seeds = {} cells | scale {}\n",
         g.workloads.len(),
         g.modules.len(),
         g.policies.len(),
+        g.faults.len(),
         g.seeds.len(),
         g.cell_count(),
         g.scale(),
@@ -64,22 +67,24 @@ pub fn render_fleet(ckpt: &FleetCheckpoint) -> String {
         ));
     }
 
-    // Cohorts in grid order: module-major, then policy.
+    // Cohorts in grid order: module-major, then policy, then fault regime.
     let mut cohorts: Vec<Cohort> = Vec::new();
     let mut skipped_cells: Vec<(Cell, &'static str, u32)> = Vec::new();
     for index in 0..g.cell_count() {
         let cell = g.cell(index);
         let module = cell.module.name();
         let policy = cell.policy.name();
+        let fault = cell.fault.name();
         let at = match cohorts
             .iter()
-            .position(|c| c.module == module && c.policy == policy)
+            .position(|c| c.module == module && c.policy == policy && c.fault == fault)
         {
             Some(at) => at,
             None => {
                 cohorts.push(Cohort {
                     module,
                     policy,
+                    fault,
                     total_j: Vec::new(),
                     refreshes: Vec::new(),
                     latency_ns: Vec::new(),
@@ -107,9 +112,10 @@ pub fn render_fleet(ckpt: &FleetCheckpoint) -> String {
     }
 
     out.push_str(&format!(
-        "{:<8} {:<6} {:>4} {:>12} {:>12} {:>9} {:>9} {:>9} {:>6} {:>5}\n",
+        "{:<8} {:<6} {:<6} {:>4} {:>12} {:>12} {:>9} {:>9} {:>9} {:>6} {:>5}\n",
         "module",
         "policy",
+        "fault",
         "n",
         "mean E (J)",
         "refreshes/s",
@@ -123,9 +129,10 @@ pub fn render_fleet(ckpt: &FleetCheckpoint) -> String {
         let mut lat = c.latency_ns.clone();
         lat.sort_by(f64::total_cmp);
         out.push_str(&format!(
-            "{:<8} {:<6} {:>4} {:>12.4e} {:>12.0} {:>8.1}n {:>8.1}n {:>8.1}n {:>6} {:>5}\n",
+            "{:<8} {:<6} {:<6} {:>4} {:>12.4e} {:>12.0} {:>8.1}n {:>8.1}n {:>8.1}n {:>6} {:>5}\n",
             c.module,
             c.policy,
+            c.fault,
             c.total_j.len(),
             mean(&c.total_j),
             mean(&c.refreshes),
@@ -144,11 +151,12 @@ pub fn render_fleet(ckpt: &FleetCheckpoint) -> String {
         out.push_str("skipped cells (cause after exhausting retries):\n");
         for (cell, cause, attempts) in &skipped_cells {
             out.push_str(&format!(
-                "  #{:<5} {} / {} / {} / seed {} — {cause} after {attempts} attempts\n",
+                "  #{:<5} {} / {} / {} / {} / seed {} — {cause} after {attempts} attempts\n",
                 cell.index,
                 cell.workload,
                 cell.module.name(),
                 cell.policy.name(),
+                cell.fault.name(),
                 cell.seed,
             ));
         }
@@ -161,7 +169,7 @@ pub fn render_fleet(ckpt: &FleetCheckpoint) -> String {
 mod tests {
     use super::*;
     use crate::checkpoint::{CellOutcome, SkipCause};
-    use crate::grid::{GridSpec, ModuleKind, PolicyTag};
+    use crate::grid::{FaultTag, GridSpec, ModuleKind, PolicyTag};
 
     #[test]
     fn report_covers_cohorts_skips_and_digest() {
@@ -169,7 +177,8 @@ mod tests {
             workloads: vec!["mcf".into()],
             modules: vec![ModuleKind::Mini],
             policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
-            seeds: vec![1, 2],
+            faults: vec![FaultTag::Clean, FaultTag::Disturbance],
+            seeds: vec![1],
             scale_bits: 1.0f64.to_bits(),
         };
         let mut ckpt = FleetCheckpoint::fresh(grid, None);
@@ -194,6 +203,8 @@ mod tests {
         assert!(report.contains("fleet campaign"), "{report}");
         assert!(report.contains("cbr"), "{report}");
         assert!(report.contains("smart"), "{report}");
+        assert!(report.contains("clean"), "{report}");
+        assert!(report.contains("dist"), "{report}");
         assert!(report.contains("skipped cells"), "{report}");
         assert!(report.contains("panicked after 3 attempts"), "{report}");
         assert!(report.contains("fleet digest: 0x"), "{report}");

@@ -2,8 +2,10 @@
 //!
 //! The supervisor advances the campaign in **epochs**. Each epoch it
 //! (A) settles time-based state — stall countdowns, the deadline watchdog,
-//! retry backoff expiry; (B) fans the ready cells out across
-//! `std::thread` workers, each shard attempt wrapped in `catch_unwind`;
+//! retry backoff expiry; (B) fans the ready cells out across a pool of
+//! `std::thread` workers pulling from a shared atomic work queue (work
+//! stealing: a slow shard occupies one worker, never a whole static
+//! lane), each shard attempt wrapped in `catch_unwind`;
 //! (C) merges worker verdicts back into the checkpoint in cell order and
 //! writes the checkpoint atomically. Because every transition in (A) and
 //! (C) is a deterministic function of checkpointed state, and chaos
@@ -20,6 +22,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use smartrefresh_ctrl::SimError;
 use smartrefresh_dram::rng::Rng;
@@ -81,9 +84,9 @@ impl OrchestratorConfig {
     }
 }
 
-/// Verdicts collected from one worker lane: (cell index, prior attempt
-/// count, what happened).
-type LaneVerdicts = Vec<(u64, u32, AttemptVerdict)>;
+/// Verdicts collected by one worker: (cell index, prior attempt count,
+/// what happened).
+type WorkerVerdicts = Vec<(u64, u32, AttemptVerdict)>;
 
 /// What one launched shard attempt came back with.
 enum AttemptVerdict {
@@ -197,23 +200,30 @@ pub fn run_fleet(
             });
         }
 
-        // Phase B: fan the ready cells out across supervised workers.
+        // Phase B: fan the ready cells out across supervised workers. The
+        // workers pull from a shared atomic cursor (work stealing), so a
+        // shard that stalls or crashes ties up one worker while the rest
+        // drain the remaining cells — no cell waits behind a slow one it
+        // merely shared a static lane with. Completion order is free to
+        // vary; Phase C sorts by cell index before merging.
         let grid = &ckpt.grid;
-        let mut verdicts: LaneVerdicts = Vec::with_capacity(ready.len());
+        let mut verdicts: WorkerVerdicts = Vec::with_capacity(ready.len());
         if !ready.is_empty() {
-            let lanes: Vec<Vec<&WorkItem>> = {
-                let mut lanes: Vec<Vec<&WorkItem>> = (0..cfg.workers).map(|_| Vec::new()).collect();
-                for (i, item) in ready.iter().enumerate() {
-                    lanes[i % cfg.workers].push(item);
-                }
-                lanes
-            };
-            let joined: Result<Vec<LaneVerdicts>, SimError> = std::thread::scope(|scope| {
-                let handles: Vec<_> = lanes
-                    .iter()
-                    .map(|lane| {
+            let cursor = AtomicUsize::new(0);
+            let pool = cfg.workers.min(ready.len());
+            let joined: Result<Vec<WorkerVerdicts>, SimError> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..pool)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let queue = &ready;
                         scope.spawn(move || {
-                            lane.iter().map(|item| run_attempt(grid, item)).collect()
+                            let mut out = WorkerVerdicts::new();
+                            loop {
+                                let at = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = queue.get(at) else { break };
+                                out.push(run_attempt(grid, item));
+                            }
+                            out
                         })
                     })
                     .collect();
@@ -226,8 +236,8 @@ pub fn run_fleet(
                     })
                     .collect()
             });
-            for lane in joined? {
-                verdicts.extend(lane);
+            for worker in joined? {
+                verdicts.extend(worker);
             }
         }
 
@@ -395,13 +405,14 @@ pub fn verify_fleet(
 mod tests {
     use super::*;
     use crate::chaos::ChaosConfig;
-    use crate::grid::{GridSpec, ModuleKind, PolicyTag};
+    use crate::grid::{FaultTag, GridSpec, ModuleKind, PolicyTag};
 
     fn tiny_grid() -> GridSpec {
         GridSpec {
             workloads: vec!["gcc".into(), "radix".into()],
             modules: vec![ModuleKind::Mini],
             policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
+            faults: vec![FaultTag::Clean],
             seeds: vec![1, 2],
             scale_bits: 0.125f64.to_bits(),
         }
@@ -456,6 +467,21 @@ mod tests {
         )
         .expect("runs");
         assert_eq!(one.fleet_digest(), many.fleet_digest());
+        // More workers than ready cells: the stealing cursor drains the
+        // queue and the surplus threads are simply never spawned.
+        let mut surplus = FleetCheckpoint::fresh(tiny_grid(), None);
+        run_fleet(
+            &mut surplus,
+            &OrchestratorConfig {
+                workers: 64,
+                cells_per_epoch: 8,
+                ..quick_cfg()
+            },
+            None,
+            |_| {},
+        )
+        .expect("runs");
+        assert_eq!(one.fleet_digest(), surplus.fleet_digest());
     }
 
     #[test]

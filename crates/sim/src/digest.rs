@@ -90,6 +90,7 @@ pub fn digest_energy(d: &mut Digest64, e: &EnergyBreakdown) {
     d.update_f64(e.scrub_j);
     d.update_f64(e.ecc_logic_j);
     d.update_f64(e.counter_power_j);
+    d.update_f64(e.rfm_j);
 }
 
 /// Canonical digest of one experiment's measured state: workload/policy

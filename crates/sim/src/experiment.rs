@@ -12,7 +12,7 @@ use smartrefresh_core::{
     RetentionAwareDistributed, SmartRefresh, SmartRefreshConfig,
 };
 use smartrefresh_ctrl::{
-    ControllerStats, EccConfig, MemTransaction, MemoryController, PagePolicy, SimError,
+    ControllerStats, EccConfig, MemTransaction, MemoryController, PagePolicy, RfmConfig, SimError,
 };
 use smartrefresh_dram::profile::RetentionProfile;
 use smartrefresh_dram::time::{Duration, Instant};
@@ -20,6 +20,7 @@ use smartrefresh_dram::{DramDevice, ModuleConfig, OpStats};
 use smartrefresh_energy::{
     BusEnergyModel, DramPowerParams, EccLogicModel, EnergyBreakdown, SramArrayModel,
 };
+use smartrefresh_faults::{FaultInjector, FaultSite};
 use smartrefresh_workloads::{AccessGenerator, TraceEvent, WorkloadSpec};
 
 /// Which refresh policy to run.
@@ -109,6 +110,29 @@ impl PolicyKind {
     }
 }
 
+/// Disturbance (rowhammer) fault channel for an experiment: every row
+/// accumulates neighbor-activation pressure between refreshes, and each
+/// `act_threshold` crossing may flip bits in the victim row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisturbanceConfig {
+    /// Neighbor activations between refreshes before flips may occur.
+    pub act_threshold: u32,
+    /// Bits flipped per threshold crossing (2 ⇒ immediately uncorrectable
+    /// under SECDED).
+    pub flips_per_crossing: u8,
+}
+
+impl DisturbanceConfig {
+    /// The hammer-campaign default: flips start past 64 neighbor ACTs and
+    /// arrive two at a time, so an undefended crossing is uncorrectable.
+    pub fn campaign_default() -> Self {
+        DisturbanceConfig {
+            act_threshold: 64,
+            flips_per_crossing: 2,
+        }
+    }
+}
+
 /// How the workload stream reaches the module under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
@@ -157,6 +181,14 @@ pub struct ExperimentConfig {
     /// persistent counters at zero retention cost — is the paper's
     /// free-counter assumption and leaves every figure bit-identical.
     pub counter_power: CounterPowerConfig,
+    /// Refresh Management (rowhammer mitigation) configuration. `None`
+    /// (the default) runs without RAA tracking; figures are unchanged.
+    /// When set, RFM victim-refresh energy appears in the breakdown.
+    pub rfm: Option<RfmConfig>,
+    /// Disturbance (rowhammer) fault channel, seeded from the experiment
+    /// seed. `None` (the default) runs without a fault injector; figures
+    /// are unchanged.
+    pub disturbance: Option<DisturbanceConfig>,
 }
 
 impl ExperimentConfig {
@@ -178,6 +210,8 @@ impl ExperimentConfig {
             workload_geometry: None,
             ecc: None,
             counter_power: CounterPowerConfig::default(),
+            rfm: None,
+            disturbance: None,
         }
     }
 
@@ -199,6 +233,8 @@ impl ExperimentConfig {
             workload_geometry: None,
             ecc: None,
             counter_power: CounterPowerConfig::default(),
+            rfm: None,
+            disturbance: None,
         }
     }
 
@@ -315,6 +351,17 @@ where
     if let Some(ecc) = cfg.ecc {
         mc = mc.with_ecc(ecc);
     }
+    if let Some(d) = cfg.disturbance {
+        mc = mc.with_fault_injector(FaultInjector::new().with_disturbance(
+            FaultSite::ANY,
+            d.act_threshold,
+            d.flips_per_crossing,
+            cfg.seed,
+        ));
+    }
+    if let Some(rfm) = cfg.rfm {
+        mc = mc.with_rfm(rfm)?;
+    }
     let mut l3 = match cfg.topology {
         Topology::Conventional => None,
         Topology::Stacked => Some(StackedDramCache::new(module.geometry.capacity_bytes())),
@@ -412,6 +459,8 @@ where
     // A patrol scrub occupies the bank like a RAS-cycle refresh; the ECC
     // decoder fires once per column read and once per scrub.
     let scrub_j = ops.scrubs as f64 * cfg.power.e_refresh_row;
+    // An RFM victim refresh is one RAS cycle against a neighbor row.
+    let rfm_j = ops.rfm_refreshes as f64 * cfg.power.e_refresh_row;
     let ecc_logic_j = if cfg.ecc.is_some() {
         EccLogicModel::hamming_72_64().energy(ops.reads + ops.scrubs, ctrl.ce_corrected)
     } else {
@@ -429,6 +478,7 @@ where
             scrub_j,
             ecc_logic_j,
             counter_power_j,
+            rfm_j,
         },
         ops,
         ctrl,

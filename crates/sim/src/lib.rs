@@ -10,6 +10,9 @@
 //!   Figs 6–18, with the paper's reference values embedded for comparison;
 //! * [`faults::run_campaign`] — the fault-injection campaign that attacks
 //!   the §4.3/§5 guarantees and checks detection + graceful degradation;
+//! * [`rfm::run_rfm_campaign`] — the rowhammer attack-vs-defense campaign:
+//!   disturbance faults versus the activation-counter RFM engine, with
+//!   graceful degradation under budget exhaustion;
 //! * [`scrub::run_scrub_campaign`] — the recovery campaign: SECDED ECC,
 //!   patrol scrubbing, and the retention watchdog correcting what the
 //!   fault campaign only detects;
@@ -41,6 +44,7 @@ pub mod faults;
 pub mod figures;
 pub mod powerdown;
 pub mod report;
+pub mod rfm;
 pub mod sanitize;
 pub mod scheduler;
 pub mod scrub;
@@ -52,7 +56,9 @@ pub use coschedule::{
     CoscheduleOutcome, Load, Setup,
 };
 pub use digest::{digest_energy, digest_run, Digest64};
-pub use experiment::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
+pub use experiment::{
+    run_experiment, DisturbanceConfig, ExperimentConfig, PolicyKind, RunResult, Topology,
+};
 pub use faults::{
     run_campaign, run_scenario, standard_campaign, CampaignConfig, CampaignResult, Expectation,
     FaultScenario, ScenarioOutcome,
@@ -61,6 +67,10 @@ pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
 pub use powerdown::{
     idle_sweep, run_powerdown_campaign, run_powerdown_scenario, IdleSweepPoint,
     PowerdownCampaignResult, PowerdownOutcome,
+};
+pub use rfm::{
+    rfm_threshold_sweep, run_rfm_campaign, run_rfm_scenario, standard_rfm_campaign,
+    RfmCampaignConfig, RfmCampaignResult, RfmOutcome, RfmScenario, RfmSweepPoint,
 };
 pub use scheduler::{AdaptiveScrubConfig, MaintenanceScheduler, SchedulerConfig, SchedulerStats};
 pub use scrub::{

@@ -11,6 +11,7 @@ use crate::experiment::RunResult;
 use crate::faults::{CampaignResult, Expectation};
 use crate::figures::{Figure, FigureId};
 use crate::powerdown::PowerdownCampaignResult;
+use crate::rfm::{RfmCampaignResult, RfmOutcome};
 use crate::scrub::{ScrubCampaignResult, ScrubExpectation};
 use smartrefresh_core::DegradeCause;
 use smartrefresh_faults::FaultKind;
@@ -28,6 +29,7 @@ pub fn fault_kind_label(kind: &FaultKind) -> &'static str {
         FaultKind::StallDispatch => "stall-dispatch",
         FaultKind::BitFlip { .. } => "bit-flip",
         FaultKind::VariableRetention { .. } => "variable-retention",
+        FaultKind::Disturbance { .. } => "disturbance",
     }
 }
 
@@ -41,6 +43,7 @@ pub fn degrade_cause_label(cause: &DegradeCause) -> &'static str {
         DegradeCause::EccUncorrectable => "ecc-uncorrectable",
         DegradeCause::RetentionWatchdog => "retention-watchdog",
         DegradeCause::CounterPowerLoss => "counter-power-loss",
+        DegradeCause::DisturbanceStorm => "disturbance-storm",
     }
 }
 
@@ -369,6 +372,101 @@ pub fn render_coschedule(c: &CoscheduleCampaignResult) -> String {
              and the interval adapted both ways"
         } else {
             "CO-SCHEDULING FAILURE — a coverage, interference, or adaptation clause failed"
+        }
+    );
+    out
+}
+
+/// Renders the rowhammer attack-vs-defense campaign: the three scenarios
+/// side by side, the degradation causes, and the two verdict clauses.
+pub fn render_rfm(c: &RfmCampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Rowhammer attack-vs-defense campaign ===");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>6} {:>7} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9} {:>9}",
+        "scenario",
+        "acts",
+        "rfm",
+        "victims",
+        "stalls",
+        "crossed",
+        "flips",
+        "CE",
+        "UE",
+        "rfm (uJ)",
+        "level"
+    );
+    let row = |out: &mut String, o: &RfmOutcome| {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>6} {:>7} {:>7} {:>7} {:>6} {:>5} {:>5} {:>9.3} {:>9}",
+            o.name,
+            o.acts,
+            o.rfm_commands,
+            o.rfm_row_refreshes,
+            o.backpressure_stalls,
+            o.hammer_crossings,
+            o.bits_flipped,
+            o.ce_corrected,
+            o.ue_detected,
+            o.rfm_j * 1e6,
+            o.final_level.map_or("-", |l| match l {
+                smartrefresh_ctrl::RfmLevel::Normal => "normal",
+                smartrefresh_ctrl::RfmLevel::Elevated => "elevated",
+                smartrefresh_ctrl::RfmLevel::Storm => "storm",
+            }),
+        );
+    };
+    row(&mut out, &c.undefended);
+    row(&mut out, &c.defended);
+    row(&mut out, &c.exhaustion);
+    for o in [&c.undefended, &c.defended, &c.exhaustion] {
+        let mut causes: Vec<&'static str> = Vec::new();
+        for e in &o.degradations {
+            let label = degrade_cause_label(&e.cause);
+            if !causes.contains(&label) {
+                causes.push(label);
+            }
+        }
+        if !causes.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {}: degradation causes [{}]{}",
+                o.name,
+                causes.join(", "),
+                if o.in_fallback { "; in fallback" } else { "" },
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "Defense: {} UE rows undefended vs {} defended ({} RFM commands, {:.3} uJ) [{}]",
+        c.undefended.ue_detected,
+        c.defended.ue_detected,
+        c.defended.rfm_commands,
+        c.defended.rfm_j * 1e6,
+        if c.defense_holds() { "ok" } else { "FAILED" },
+    );
+    let _ = writeln!(
+        out,
+        "Exhaustion: {} starved windows, {} storms, disturbance-storm fallback {} [{}]",
+        c.exhaustion.rfm_stats.starved_windows,
+        c.exhaustion.rfm_stats.storms_entered,
+        if c.exhaustion.stormed() {
+            "logged"
+        } else {
+            "MISSING"
+        },
+        if c.exhaustion_holds() { "ok" } else { "FAILED" },
+    );
+    let _ = writeln!(
+        out,
+        "Campaign verdict: {}",
+        if c.all_hold() {
+            "the defense held and budget exhaustion degraded gracefully"
+        } else {
+            "DEFENSE FAILURE — a rowhammer clause did not hold"
         }
     );
     out

@@ -23,6 +23,7 @@
 pub mod calibrate;
 pub mod catalog;
 pub mod generator;
+pub mod hammer;
 pub mod phased;
 pub mod spec;
 pub mod trace;
@@ -31,5 +32,6 @@ pub use catalog::{
     cache_resident, catalog, find, idle_os, BenchmarkEntry, FOUR_GB_COVERAGE_FACTOR,
 };
 pub use generator::{AccessGenerator, MergedGenerator, TraceEvent};
+pub use hammer::{HammerGenerator, HammerPattern, HammerSpec};
 pub use phased::PhasedGenerator;
 pub use spec::{Suite, WorkloadSpec};

@@ -10,17 +10,19 @@
 use std::process::ExitCode;
 
 use smart_refresh::orchestrator::{
-    run_fleet, verify_fleet, ChaosConfig, FleetCheckpoint, GridSpec, ModuleKind,
+    run_fleet, verify_fleet, ChaosConfig, FaultTag, FleetCheckpoint, GridSpec, ModuleKind,
     OrchestratorConfig, PolicyTag, CHECKPOINT_FILE,
 };
 
-/// The example's scenario grid: 8 cells over the miniature module.
+/// The example's scenario grid: 8 cells over the miniature module, half of
+/// them under the disturbance fault regime with the RFM defense armed.
 fn grid() -> GridSpec {
     GridSpec {
         workloads: vec!["gcc".into(), "radix".into()],
         modules: vec![ModuleKind::Mini],
         policies: vec![PolicyTag::Cbr, PolicyTag::Smart],
-        seeds: vec![0x5eed, 0x5eee],
+        faults: vec![FaultTag::Clean, FaultTag::Disturbance],
+        seeds: vec![0x5eed],
         scale_bits: 0.25f64.to_bits(),
     }
 }

@@ -1,0 +1,40 @@
+//! Rowhammer attack-vs-defense campaign: drive single-, double-, and
+//! many-sided hammer streams into the controller, and show that the
+//! Refresh Management engine cuts uncorrectable errors at least 10× on
+//! the double-sided attack while budget exhaustion degrades gracefully
+//! through a disturbance-storm CBR fallback.
+//!
+//! Run with: `cargo run --example rfm`
+//!
+//! Exits nonzero when any clause fails, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use smart_refresh::sim::report::render_rfm;
+use smart_refresh::sim::rfm::{run_rfm_campaign, RfmCampaignConfig};
+
+fn main() -> ExitCode {
+    let cfg = RfmCampaignConfig::quick(0xfa17);
+    println!(
+        "module {} ({} rows, retention {}), horizon {}, scrub period {}\n",
+        cfg.module.name,
+        cfg.module.geometry.total_rows(),
+        cfg.module.timing.retention,
+        cfg.horizon,
+        cfg.scrub_period,
+    );
+    let result = match run_rfm_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rfm campaign aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", render_rfm(&result));
+    if result.all_hold() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rfm campaign failed: a rowhammer clause did not hold");
+        ExitCode::FAILURE
+    }
+}

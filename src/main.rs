@@ -25,8 +25,8 @@ use smart_refresh::dram::time::{Duration, Instant};
 use smart_refresh::energy::sram::area_overhead_kb;
 use smart_refresh::energy::DramPowerParams;
 use smart_refresh::orchestrator::{
-    render_fleet, run_fleet, verify_fleet, ChaosConfig, FleetCheckpoint, GridSpec, ModuleKind,
-    OrchestratorConfig, PolicyTag,
+    render_fleet, run_fleet, verify_fleet, ChaosConfig, FaultTag, FleetCheckpoint, GridSpec,
+    ModuleKind, OrchestratorConfig, PolicyTag,
 };
 use smart_refresh::sim::figures::{Evaluation, FigureId};
 use smart_refresh::sim::report::{render_figure, render_run};
@@ -74,7 +74,7 @@ fn print_help() {
          \u{20}  smart-refresh record --workload W --module M --seconds S --out FILE\n\
          \u{20}  smart-refresh replay --trace FILE --module M --policy P [--scale S]\n\
          \u{20}  smart-refresh orchestrate [--out DIR] [--workloads W,..] [--modules M,..]\n\
-         \u{20}      [--policies P,..] [--seeds N] [--seed S] [--scale S] [--workers N]\n\
+         \u{20}      [--policies P,..] [--faults F,..] [--seeds N] [--seed S] [--scale S] [--workers N]\n\
          \u{20}      [--epoch-cells N] [--max-attempts N] [--deadline-epochs N]\n\
          \u{20}      [--chaos SEED] [--halt-after-epochs N]     crash-safe fleet campaign\n\
          \u{20}  smart-refresh orchestrate --resume DIR   continue from a checkpoint\n\
@@ -84,6 +84,7 @@ fn print_help() {
          \n\
          MODULES:  2gb | 4gb | 3d64 | 3d32  (orchestrate adds mini | mini3d)\n\
          POLICIES: cbr | ras | burst | smart | none  (orchestrate: cbr|ras|burst|smart|ra)\n\
+         FAULTS:   clean | dist  (orchestrate fault-regime axis; dist arms ECC+RFM)\n\
          ENV:      SMARTREFRESH_SCALE scales figure simulation spans"
     );
 }
@@ -377,6 +378,14 @@ fn orchestrate_grid(args: &[String]) -> Result<GridSpec, String> {
             })
         })
         .collect::<Result<Vec<_>, _>>()?;
+    let faults = flag(args, "--faults")
+        .unwrap_or_else(|| "clean".into())
+        .split(',')
+        .map(|f| {
+            FaultTag::parse(f)
+                .ok_or_else(|| format!("unknown fault regime {f:?} for orchestrate (clean|dist)"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let seed_base: u64 = parse_num(args, "--seed", 0x5eed)?;
     let seed_count: u64 = parse_num(args, "--seeds", 2)?;
     let scale: f64 = parse_num(args, "--scale", 0.25)?;
@@ -384,6 +393,7 @@ fn orchestrate_grid(args: &[String]) -> Result<GridSpec, String> {
         workloads,
         modules,
         policies,
+        faults,
         seeds: (0..seed_count).map(|i| seed_base.wrapping_add(i)).collect(),
         scale_bits: scale.to_bits(),
     };
@@ -400,6 +410,7 @@ fn cmd_orchestrate(args: &[String]) -> Result<(), String> {
             "--workloads",
             "--modules",
             "--policies",
+            "--faults",
             "--seeds",
             "--seed",
             "--scale",
