@@ -1,12 +1,15 @@
-//! Perf trajectory bench: wall-clock timings for the figure corpus, the
-//! system campaigns, and an orchestrated fleet (single worker vs. a
-//! supervised pool), emitted as `BENCH_7.json` at the workspace root so
-//! the numbers are tracked PR-over-PR.
+//! Perf trajectory bench: wall-clock timings for the figure corpus (at
+//! 1, 2, and 4 simulation threads), the system campaigns, and an
+//! orchestrated fleet (single worker vs. a supervised pool), emitted as
+//! `BENCH_8.json` at the workspace root so the numbers are tracked
+//! PR-over-PR.
 //!
 //! Self-contained `harness = false` timing loop — no external benchmark
 //! framework, so the workspace builds offline. Wall-clock is inherently
-//! host-dependent; the JSON also records the deterministic fleet digest,
-//! which must be identical across worker counts.
+//! host-dependent (thread counts only separate on multicore hosts); the
+//! JSON also records the deterministic fleet digest, which must be
+//! identical across worker counts, and the figure results themselves are
+//! bit-identical across thread counts (see `tests/parallel_determinism.rs`).
 
 use std::time::Instant as WallClock;
 
@@ -99,27 +102,32 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
 
     // The full figure corpus (Figs 6-18 plus motivation/stagger/correctness)
-    // at a reduced simulated span.
-    let mut eval = Evaluation::with_scale(FIGURE_SCALE);
-    let (ms, n) = timed(|| {
-        let mut rows = 0usize;
-        for id in FigureId::ALL {
-            rows += must(eval.figure(id), "figure").rows.len();
-        }
-        rows
-    });
-    println!(
-        "figures/all ({} figures)           {ms:>10.1} ms",
-        FigureId::ALL.len()
-    );
-    entries.push(Entry {
-        name: "figures/all",
-        wall_ms: ms,
-        detail: format!(
-            "{} figures, {n} rows, scale {FIGURE_SCALE}",
-            FigureId::ALL.len()
-        ),
-    });
+    // at a reduced simulated span, swept over simulation thread counts.
+    // The sharded engine merges by catalog index, so every thread count
+    // regenerates bit-identical figures; only the wall-clock may move.
+    for (name, threads) in [
+        ("figures/all/1-thread", 1usize),
+        ("figures/all/2-threads", 2),
+        ("figures/all/4-threads", 4),
+    ] {
+        let mut eval = Evaluation::with_scale(FIGURE_SCALE).with_threads(threads);
+        let (ms, n) = timed(|| {
+            let mut rows = 0usize;
+            for id in FigureId::ALL {
+                rows += must(eval.figure(id), "figure").rows.len();
+            }
+            rows
+        });
+        println!("{name:<35}{ms:>10.1} ms");
+        entries.push(Entry {
+            name,
+            wall_ms: ms,
+            detail: format!(
+                "{} figures, {n} rows, scale {FIGURE_SCALE}, {threads} thread(s)",
+                FigureId::ALL.len()
+            ),
+        });
+    }
 
     // The four system campaigns at their quick presets.
     let (ms, r) = timed(|| must(run_campaign(&CampaignConfig::quick(6)), "fault campaign"));
@@ -217,10 +225,10 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
     must(
         write_atomic(path.as_ref(), json.as_bytes()),
-        "write BENCH_7.json",
+        "write BENCH_8.json",
     );
     println!("wrote {path}");
 }

@@ -20,6 +20,11 @@ pub struct CacheResponse {
     pub fill: Option<u64>,
 }
 
+/// Tag sentinel for an invalid (never-filled) line. Unreachable as a real
+/// tag: `new` requires at least two lines, so `tag = addr / line / sets`
+/// can never reach `u64::MAX`.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// A set-associative write-back, write-allocate cache with LRU replacement.
 ///
 /// # Examples
@@ -39,8 +44,12 @@ pub struct SetAssocCache {
     sets: u64,
     ways: usize,
     line_bytes: u64,
-    /// `tags[set * ways + way]`; `None` = invalid.
-    tags: Vec<Option<u64>>,
+    /// `(line_shift, set_shift)` when the line size and set count are both
+    /// powers of two (every shipped config): set/tag extraction by
+    /// shift/mask instead of 64-bit div/mod on the per-access path.
+    shifts: Option<(u8, u8)>,
+    /// `tags[set * ways + way]`; [`INVALID_TAG`] = invalid.
+    tags: Vec<u64>,
     dirty: Vec<bool>,
     /// Per-line LRU stamp; larger = more recent.
     stamps: Vec<u64>,
@@ -71,12 +80,22 @@ impl SetAssocCache {
             "capacity must divide into an integral number of sets"
         );
         let sets = lines / ways as u64;
+        assert!(lines > 1, "cache must hold at least two lines");
         let n = lines as usize;
+        let shifts = if sets.is_power_of_two() {
+            Some((
+                line_bytes.trailing_zeros() as u8,
+                sets.trailing_zeros() as u8,
+            ))
+        } else {
+            None
+        };
         SetAssocCache {
             sets,
             ways,
             line_bytes,
-            tags: vec![None; n],
+            shifts,
+            tags: vec![INVALID_TAG; n],
             dirty: vec![false; n],
             stamps: vec![0; n],
             clock: 0,
@@ -109,7 +128,11 @@ impl SetAssocCache {
         &self.stats
     }
 
+    #[inline]
     fn set_of(&self, addr: u64) -> u64 {
+        if let Some((line, set)) = self.shifts {
+            return (addr >> line) & ((1 << set) - 1);
+        }
         (addr / self.line_bytes) % self.sets
     }
 
@@ -121,7 +144,11 @@ impl SetAssocCache {
         (tag * self.sets + set) * self.line_bytes
     }
 
+    #[inline]
     fn tag_of(&self, addr: u64) -> u64 {
+        if let Some((line, set)) = self.shifts {
+            return (addr >> line) >> set;
+        }
         (addr / self.line_bytes) / self.sets
     }
 
@@ -136,7 +163,7 @@ impl SetAssocCache {
 
         // Hit path.
         for i in slots.clone() {
-            if self.tags[i] == Some(tag) {
+            if self.tags[i] == tag {
                 self.stamps[i] = self.clock;
                 self.dirty[i] |= is_write;
                 self.stats.record(true, is_write, false);
@@ -153,7 +180,7 @@ impl SetAssocCache {
         // always lands on something.
         let mut victim = slots.start;
         for i in slots {
-            if self.tags[i].is_none() {
+            if self.tags[i] == INVALID_TAG {
                 victim = i;
                 break;
             }
@@ -162,10 +189,10 @@ impl SetAssocCache {
             }
         }
         let writeback = match (self.tags[victim], self.dirty[victim]) {
-            (Some(old_tag), true) => Some(self.rebuild_addr(old_tag, set)),
+            (old_tag, true) if old_tag != INVALID_TAG => Some(self.rebuild_addr(old_tag, set)),
             _ => None,
         };
-        self.tags[victim] = Some(tag);
+        self.tags[victim] = tag;
         self.dirty[victim] = is_write;
         self.stamps[victim] = self.clock;
         self.stats.record(false, is_write, writeback.is_some());
@@ -182,7 +209,7 @@ impl SetAssocCache {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = (set * self.ways as u64) as usize;
-        (base..base + self.ways).any(|i| self.tags[i] == Some(tag))
+        (base..base + self.ways).any(|i| self.tags[i] == tag)
     }
 }
 

@@ -53,6 +53,7 @@ pub mod queue;
 pub mod retention_aware;
 pub mod smart;
 pub mod stagger;
+pub mod timing_wheel;
 
 pub use atomicio::write_atomic;
 pub use baselines::{BurstRefresh, CbrDistributed, NoRefresh, RasOnlyDistributed};
@@ -64,3 +65,4 @@ pub use queue::{PendingRefresh, PendingRefreshQueue, QueueOverflow};
 pub use retention_aware::RetentionAwareDistributed;
 pub use smart::{SmartRefresh, SmartRefreshConfig, SmartRefreshStats};
 pub use stagger::StaggerSchedule;
+pub use timing_wheel::TimingWheel;

@@ -131,7 +131,12 @@ impl DegradationEvent {
 /// [`next_wakeup`]: RefreshPolicy::next_wakeup
 /// [`advance`]: RefreshPolicy::advance
 /// [`pop_pending`]: RefreshPolicy::pop_pending
-pub trait RefreshPolicy {
+///
+/// `Send` is a supertrait: controllers (and the boxed policies inside
+/// them) shard across scoped worker threads in the parallel simulation
+/// engine, so a policy must be movable to another thread. Policies are
+/// plain owned state machines, so this costs implementations nothing.
+pub trait RefreshPolicy: Send {
     /// Short name used in reports (e.g. `"cbr"`, `"smart"`).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,550 @@
+//! A hierarchical timing wheel: a deadline index over a dense id space.
+//!
+//! The maintenance paths of the simulator all reduce to the same query:
+//! *of these rows, which has the earliest promise?* — the next scrub
+//! coverage deadline, the next refresh-by instant, the next retention
+//! audit. A linear scan answers it in O(rows) per slot, which turns the
+//! per-slot cost of a patrol schedule into O(rows²) per lap. The
+//! [`TimingWheel`] answers the same query from a radix bucket hierarchy:
+//! deadlines are bucketed by the 6-bit digits of their picosecond value
+//! relative to a moving `base`, so a query touches one bucket (the
+//! *min-cohort*) instead of the whole id space, and re-keying an id is
+//! O(1) amortised.
+//!
+//! Three re-key motions appear in the simulator and map onto the API:
+//!
+//! * **decrease-key** ([`tighten`](TimingWheel::tighten)) — a VRT
+//!   (variable-retention-time) transition shortens a row's retention, so
+//!   its refresh promise moves *earlier*;
+//! * **increase-key** ([`relax`](TimingWheel::relax)) — a completed scrub
+//!   or an adaptive interval raise re-makes the promise *later*, and the
+//!   extend-only form never loses a promise already made;
+//! * **bulk re-key** ([`schedule`](TimingWheel::schedule) in a loop) — a
+//!   counter-power wake wipes every counter in a rank, so every row in it
+//!   is re-promised at once.
+//!
+//! Exactness is part of the contract: [`peek_min`](TimingWheel::peek_min)
+//! returns precisely the id a linear `min_by_key(|id| (deadline, id))`
+//! scan would, ties broken by the *lowest id*, and
+//! [`peek_min_where`](TimingWheel::peek_min_where) does the same over the
+//! subset accepted by a predicate. The scheduler's row-buffer-aware victim
+//! selection leans on that: the preference for precharged banks is
+//! resolved *inside* the wheel's bucket walk, not by re-scanning every
+//! row.
+//!
+//! # Example
+//!
+//! ```
+//! use smartrefresh_core::TimingWheel;
+//! use smartrefresh_dram::time::{Duration, Instant};
+//!
+//! let mut wheel = TimingWheel::new(4);
+//! for row in 0..4u64 {
+//!     wheel.schedule(row as usize, Instant::ZERO + Duration::from_us(10 * (row + 1)));
+//! }
+//! // Row 0 holds the earliest deadline (10 µs).
+//! assert_eq!(wheel.peek_min(), Some((Instant::ZERO + Duration::from_us(10), 0)));
+//!
+//! // A VRT transition tightens row 3's promise below everyone else's.
+//! wheel.tighten(3, Instant::ZERO + Duration::from_us(5));
+//! assert_eq!(wheel.peek_min(), Some((Instant::ZERO + Duration::from_us(5), 3)));
+//!
+//! // Victim selection with a bank predicate: row 3's bank holds an open
+//! // page, so the earliest deadline on a *precharged* bank wins instead.
+//! let open = [false, false, false, true];
+//! let victim = wheel.peek_min_where(|id| !open[id]);
+//! assert_eq!(victim, Some((Instant::ZERO + Duration::from_us(10), 0)));
+//! ```
+
+use smartrefresh_dram::time::Instant;
+
+/// Bits per hierarchy digit: 64 slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels needed to cover a full 64-bit key six bits at a time.
+const LEVELS: usize = 11;
+
+/// A bucket entry: the id plus the version it was filed under. Re-keying
+/// bumps the id's version instead of searching buckets for the old entry
+/// (*lazy deletion*); a stale entry is dropped the next time its bucket is
+/// walked.
+type Entry = (u32, u32);
+
+/// A hierarchical timing wheel over the dense id space `0..capacity`,
+/// keyed by deadline ([`Instant`]).
+///
+/// See the [module docs](self) for the contract and an example. Ids are
+/// row indices in practice; each id holds at most one deadline at a time.
+#[derive(Debug, Clone)]
+pub struct TimingWheel {
+    /// Bucket anchor: every scheduled key is `>= base` except keys
+    /// tightened below it, which are clamped into [`Self::cur`].
+    base: u64,
+    /// Per-id current key (valid only while `present`).
+    key: Vec<u64>,
+    /// Per-id version; bucket entries with an older version are stale.
+    ver: Vec<u32>,
+    /// Per-id presence flag.
+    present: Vec<bool>,
+    /// The bucket for keys at or below `base`: always the global minimum
+    /// cohort when non-empty.
+    cur: Vec<Entry>,
+    /// `levels[l][s]` holds keys whose first digit differing from `base`
+    /// is digit `l`, with value `s`. Bucket order (`cur`, then `(l, s)`
+    /// lexicographic) is key order.
+    levels: Vec<Vec<Vec<Entry>>>,
+    /// Number of present ids.
+    len: usize,
+}
+
+impl TimingWheel {
+    /// Creates an empty wheel over ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        TimingWheel {
+            base: 0,
+            key: vec![0; capacity],
+            ver: vec![0; capacity],
+            present: vec![false; capacity],
+            cur: Vec::new(),
+            levels: vec![vec![Vec::new(); SLOTS]; LEVELS],
+            len: 0,
+        }
+    }
+
+    /// The id space this wheel was built over.
+    pub fn capacity(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Number of ids currently holding a deadline.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no id holds a deadline.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The deadline currently held by `id`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the wheel's capacity.
+    pub fn deadline_of(&self, id: usize) -> Option<Instant> {
+        self.present[id].then(|| Instant::from_ps(self.key[id]))
+    }
+
+    /// Sets (or replaces) `id`'s deadline — the universal re-key, valid in
+    /// either direction. O(1) amortised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the wheel's capacity.
+    pub fn schedule(&mut self, id: usize, deadline: Instant) {
+        let k = deadline.as_ps();
+        if !self.present[id] {
+            self.present[id] = true;
+            self.len += 1;
+        }
+        self.key[id] = k;
+        self.ver[id] = self.ver[id].wrapping_add(1);
+        self.file(id as u32, self.ver[id], k);
+    }
+
+    /// Decrease-key: moves `id`'s deadline earlier, to
+    /// `min(current, deadline)` — the VRT-tightening motion. An absent id
+    /// is inserted at `deadline`. Returns true when the held deadline
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the wheel's capacity.
+    pub fn tighten(&mut self, id: usize, deadline: Instant) -> bool {
+        if self.present[id] && self.key[id] <= deadline.as_ps() {
+            return false;
+        }
+        self.schedule(id, deadline);
+        true
+    }
+
+    /// Extend-only re-key: moves `id`'s deadline later, to
+    /// `max(current, deadline)` — the promise-renewal motion of scrub
+    /// resets and adaptive interval raises. An absent id is inserted at
+    /// `deadline`. Returns true when the held deadline changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the wheel's capacity.
+    pub fn relax(&mut self, id: usize, deadline: Instant) -> bool {
+        if self.present[id] && self.key[id] >= deadline.as_ps() {
+            return false;
+        }
+        self.schedule(id, deadline);
+        true
+    }
+
+    /// Removes `id`'s deadline, returning it if one was held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the wheel's capacity.
+    pub fn remove(&mut self, id: usize) -> Option<Instant> {
+        if !self.present[id] {
+            return None;
+        }
+        self.present[id] = false;
+        self.ver[id] = self.ver[id].wrapping_add(1);
+        self.len -= 1;
+        Some(Instant::from_ps(self.key[id]))
+    }
+
+    /// The earliest `(deadline, id)` pair, ties broken by lowest id —
+    /// exactly the winner a linear `min_by_key(|id| (deadline, id))` scan
+    /// would pick. Amortised cost is the min-cohort size, not the id
+    /// space.
+    pub fn peek_min(&mut self) -> Option<(Instant, usize)> {
+        let bucket = self.normalize()?;
+        let (k, id) = self.bucket_min(bucket, |_| true)?;
+        Some((Instant::from_ps(k), id as usize))
+    }
+
+    /// The earliest `(deadline, id)` pair among ids accepted by `pred`,
+    /// ties broken by lowest id — exactly the winner of a linear
+    /// filter-then-min scan. Walks buckets in deadline order, so the cost
+    /// scales with how many cohorts the predicate rejects, not with the
+    /// id space.
+    pub fn peek_min_where(
+        &mut self,
+        mut pred: impl FnMut(usize) -> bool,
+    ) -> Option<(Instant, usize)> {
+        self.normalize();
+        if let Some(hit) = self.bucket_min(BucketRef::Cur, &mut pred) {
+            return Some((Instant::from_ps(hit.0), hit.1 as usize));
+        }
+        for level in 0..LEVELS {
+            for slot in 0..SLOTS {
+                if self.levels[level][slot].is_empty() {
+                    continue;
+                }
+                if let Some(hit) = self.bucket_min(BucketRef::Slot(level, slot), &mut pred) {
+                    return Some((Instant::from_ps(hit.0), hit.1 as usize));
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the earliest `(deadline, id)` pair (same order
+    /// as [`peek_min`](Self::peek_min)).
+    pub fn pop_min(&mut self) -> Option<(Instant, usize)> {
+        let (deadline, id) = self.peek_min()?;
+        self.remove(id);
+        Some((deadline, id))
+    }
+
+    /// The digit of truncated key `kb` at hierarchy level `level`.
+    fn digit(kb: u64, level: usize) -> usize {
+        ((kb >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    /// Files an entry into the bucket its key selects relative to `base`.
+    fn file(&mut self, id: u32, ver: u32, k: u64) {
+        if k <= self.base {
+            // Tightened below the anchor: the `cur` bucket is scanned
+            // first, so ordering stays exact without moving the anchor
+            // backwards.
+            self.cur.push((id, ver));
+            return;
+        }
+        let x = k ^ self.base;
+        let level = ((63 - x.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = Self::digit(k, level);
+        self.levels[level][slot].push((id, ver));
+    }
+
+    /// True when a bucket entry still speaks for its id.
+    fn live(&self, e: Entry) -> bool {
+        self.present[e.0 as usize] && self.ver[e.0 as usize] == e.1
+    }
+
+    /// Drops stale entries from a bucket and reports whether it still
+    /// holds live ones.
+    fn compact(&mut self, bucket: BucketRef) -> bool {
+        let taken = match bucket {
+            BucketRef::Cur => std::mem::take(&mut self.cur),
+            BucketRef::Slot(l, s) => std::mem::take(&mut self.levels[l][s]),
+        };
+        let kept: Vec<Entry> = taken.into_iter().filter(|&e| self.live(e)).collect();
+        let live = !kept.is_empty();
+        match bucket {
+            BucketRef::Cur => self.cur = kept,
+            BucketRef::Slot(l, s) => self.levels[l][s] = kept,
+        }
+        live
+    }
+
+    /// Restores the invariant that the minimum cohort sits in `cur` or a
+    /// level-0 slot, cascading higher-level buckets down by re-anchoring
+    /// `base` at their minimum key. Returns the bucket holding the global
+    /// minimum, or `None` when the wheel is empty.
+    fn normalize(&mut self) -> Option<BucketRef> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if self.compact(BucketRef::Cur) {
+                return Some(BucketRef::Cur);
+            }
+            let mut first = None;
+            'scan: for level in 0..LEVELS {
+                for slot in 0..SLOTS {
+                    if !self.levels[level][slot].is_empty()
+                        && self.compact(BucketRef::Slot(level, slot))
+                    {
+                        first = Some((level, slot));
+                        break 'scan;
+                    }
+                }
+            }
+            let (level, slot) = first?;
+            if level == 0 {
+                return Some(BucketRef::Slot(0, slot));
+            }
+            // Cascade: anchor at the bucket's own minimum and re-file its
+            // entries; they land strictly below `level`, so this
+            // terminates. Buckets after this one keep their placement —
+            // the new anchor shares every digit above `level` with the
+            // old one.
+            let entries = std::mem::take(&mut self.levels[level][slot]);
+            let Some(newbase) = entries.iter().map(|&(id, _)| self.key[id as usize]).min() else {
+                continue;
+            };
+            self.base = newbase;
+            for (id, ver) in entries {
+                let k = self.key[id as usize];
+                self.file(id, ver, k);
+            }
+        }
+    }
+
+    /// Minimum live `(key, id)` in a bucket among ids accepted by `pred`.
+    fn bucket_min(
+        &self,
+        bucket: BucketRef,
+        mut pred: impl FnMut(usize) -> bool,
+    ) -> Option<(u64, u32)> {
+        let entries = match bucket {
+            BucketRef::Cur => &self.cur,
+            BucketRef::Slot(l, s) => &self.levels[l][s],
+        };
+        entries
+            .iter()
+            .filter(|&&e| self.live(e) && pred(e.0 as usize))
+            .map(|&(id, _)| (self.key[id as usize], id))
+            .min()
+    }
+}
+
+/// Names one bucket of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BucketRef {
+    /// The at-or-below-anchor bucket (always the earliest cohort).
+    Cur,
+    /// `levels[level][slot]`.
+    Slot(usize, usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartrefresh_dram::time::Duration;
+
+    /// Deterministic xorshift64* stream for the property tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    /// The linear-scan oracle the wheel must agree with.
+    #[derive(Clone)]
+    struct Oracle {
+        deadline: Vec<Option<u64>>,
+    }
+
+    impl Oracle {
+        fn new(n: usize) -> Self {
+            Oracle {
+                deadline: vec![None; n],
+            }
+        }
+
+        fn min(&self) -> Option<(u64, usize)> {
+            self.deadline
+                .iter()
+                .enumerate()
+                .filter_map(|(id, d)| d.map(|d| (d, id)))
+                .min()
+        }
+
+        fn min_where(&self, mut pred: impl FnMut(usize) -> bool) -> Option<(u64, usize)> {
+            self.deadline
+                .iter()
+                .enumerate()
+                .filter_map(|(id, d)| d.map(|d| (d, id)))
+                .filter(|&(_, id)| pred(id))
+                .min()
+        }
+    }
+
+    fn check_agreement(wheel: &mut TimingWheel, oracle: &Oracle, banks: u64, openmask: u64) {
+        assert_eq!(
+            wheel.peek_min().map(|(d, id)| (d.as_ps(), id)),
+            oracle.min(),
+            "peek_min diverged from the linear oracle"
+        );
+        let pred = |id: usize| (openmask >> (id as u64 % banks)) & 1 == 0;
+        assert_eq!(
+            wheel.peek_min_where(pred).map(|(d, id)| (d.as_ps(), id)),
+            oracle.min_where(pred),
+            "peek_min_where diverged from the linear oracle"
+        );
+    }
+
+    /// Property test: across seeded op sequences — schedule, VRT
+    /// tightening, scrub-reset relaxing, wake-wipe bulk re-keys, removes
+    /// and pops — the wheel's `(deadline, id)` winners are identical to a
+    /// linear `min_by_key` scan, including the predicate-filtered form
+    /// used by victim selection.
+    #[test]
+    fn agrees_with_linear_scan_oracle() {
+        const ROWS: usize = 96;
+        const BANKS: u64 = 8;
+        for seed in 1..=8u64 {
+            let mut rng = Rng(0x5eed_0000 + seed);
+            let mut wheel = TimingWheel::new(ROWS);
+            let mut oracle = Oracle::new(ROWS);
+            // Simulated open-page state per bank, mutated as we go.
+            let mut openmask = 0u64;
+            for step in 0..600 {
+                let id = (rng.next() % ROWS as u64) as usize;
+                let key = rng.next() % 1_000_000_000; // up to 1 ms in ps
+                let deadline = Instant::from_ps(key);
+                match rng.next() % 10 {
+                    0..=2 => {
+                        wheel.schedule(id, deadline);
+                        oracle.deadline[id] = Some(key);
+                    }
+                    3..=4 => {
+                        // VRT tightening: decrease-key.
+                        wheel.tighten(id, deadline);
+                        oracle.deadline[id] = Some(oracle.deadline[id].map_or(key, |d| d.min(key)));
+                    }
+                    5..=6 => {
+                        // Scrub reset / interval raise: extend-only.
+                        wheel.relax(id, deadline);
+                        oracle.deadline[id] = Some(oracle.deadline[id].map_or(key, |d| d.max(key)));
+                    }
+                    7 => {
+                        // Counter-power wake wipe: every row of one "rank"
+                        // (a contiguous third of the ids) re-promised at
+                        // one deadline.
+                        let third = ROWS / 3;
+                        let start = (id / third).min(2) * third;
+                        for r in start..start + third {
+                            wheel.schedule(r, deadline);
+                            oracle.deadline[r] = Some(key);
+                        }
+                    }
+                    8 => {
+                        assert_eq!(
+                            wheel.remove(id).map(|d| d.as_ps()),
+                            oracle.deadline[id].take(),
+                            "remove returned a different held deadline"
+                        );
+                    }
+                    _ => {
+                        let popped = wheel.pop_min();
+                        let expect = oracle.min();
+                        assert_eq!(popped.map(|(d, id)| (d.as_ps(), id)), expect);
+                        if let Some((_, id)) = expect {
+                            oracle.deadline[id] = None;
+                        }
+                    }
+                }
+                openmask = rng.next() % (1 << BANKS);
+                if step % 7 == 0 {
+                    check_agreement(&mut wheel, &oracle, BANKS, openmask);
+                }
+            }
+            check_agreement(&mut wheel, &oracle, BANKS, openmask);
+            assert_eq!(wheel.len(), oracle.deadline.iter().flatten().count());
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_id() {
+        let mut wheel = TimingWheel::new(8);
+        let t = Instant::ZERO + Duration::from_us(10);
+        for id in [5, 2, 7] {
+            wheel.schedule(id, t);
+        }
+        assert_eq!(wheel.peek_min(), Some((t, 2)));
+        // The predicate-filtered form ties the same way among survivors.
+        assert_eq!(wheel.peek_min_where(|id| id != 2), Some((t, 5)));
+    }
+
+    #[test]
+    fn empty_and_absent_queries() {
+        let mut wheel = TimingWheel::new(4);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.peek_min(), None);
+        assert_eq!(wheel.peek_min_where(|_| true), None);
+        assert_eq!(wheel.pop_min(), None);
+        assert_eq!(wheel.remove(0), None);
+        assert_eq!(wheel.deadline_of(0), None);
+        wheel.schedule(1, Instant::from_ps(42));
+        assert_eq!(wheel.deadline_of(1), Some(Instant::from_ps(42)));
+        assert_eq!(wheel.len(), 1);
+    }
+
+    #[test]
+    fn tighten_and_relax_are_one_sided() {
+        let mut wheel = TimingWheel::new(2);
+        let early = Instant::from_ps(100);
+        let late = Instant::from_ps(200);
+        wheel.schedule(0, late);
+        assert!(!wheel.relax(0, early), "relax must not move earlier");
+        assert!(wheel.tighten(0, early), "tighten moves earlier");
+        assert!(!wheel.tighten(0, late), "tighten must not move later");
+        assert!(wheel.relax(0, late), "relax moves later");
+        assert_eq!(wheel.deadline_of(0), Some(late));
+    }
+
+    #[test]
+    fn far_apart_keys_cascade_correctly() {
+        // Keys spanning many hierarchy levels: seconds apart, then a
+        // tighten back below the anchor after pops advanced it.
+        let mut wheel = TimingWheel::new(3);
+        wheel.schedule(0, Instant::from_ps(5));
+        wheel.schedule(1, Instant::ZERO + Duration::from_ms(64));
+        wheel.schedule(2, Instant::ZERO + Duration::from_ms(64_000));
+        assert_eq!(wheel.pop_min(), Some((Instant::from_ps(5), 0)));
+        assert_eq!(
+            wheel.peek_min(),
+            Some((Instant::ZERO + Duration::from_ms(64), 1))
+        );
+        // Anchor has advanced past 5 ps; a tighten below it must still win.
+        wheel.schedule(0, Instant::from_ps(3));
+        assert_eq!(wheel.peek_min(), Some((Instant::from_ps(3), 0)));
+    }
+}

@@ -118,6 +118,14 @@ pub struct MemoryController<P: RefreshPolicy> {
     last_cmd_end: Instant,
     /// Per-bank time of last demand use, for the idle-close policy.
     last_use: Vec<Instant>,
+    /// Lower bound on the next instant any open page can become
+    /// idle-closable. [`close_idle_pages`](Self::close_idle_pages) is called
+    /// on every access and every policy wakeup; this bound turns the common
+    /// nothing-is-due case into one comparison instead of an all-banks scan.
+    /// Only demand accesses leave rows open (refreshes and scrubs end
+    /// precharged), so the bound is refreshed on the access path and
+    /// recomputed exactly whenever a scan actually runs.
+    next_idle_close: Instant,
     /// Optional fault injector consulted on the refresh-dispatch path.
     faults: Option<FaultInjector>,
     /// Optional ECC path: SECDED decode on reads, patrol scrub, watchdog.
@@ -144,6 +152,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
             counters_valid_from: Instant::ZERO,
             last_cmd_end: Instant::ZERO,
             last_use: vec![Instant::ZERO; banks],
+            next_idle_close: Instant::ZERO,
             faults: None,
             ecc: None,
             rfm: None,
@@ -339,6 +348,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
     /// Overrides the idle page-close timeout (`None` disables idle closes).
     pub fn with_page_close_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.page_close_timeout = timeout;
+        // A changed timeout invalidates the scan-skip bound; force the next
+        // close_idle_pages call to rescan and recompute it.
+        self.next_idle_close = Instant::ZERO;
         self
     }
 
@@ -691,39 +703,64 @@ impl<P: RefreshPolicy> MemoryController<P> {
     }
 
     /// Closes any open page whose bank has been idle past the timeout.
+    ///
+    /// Guarded by [`next_idle_close`](Self::next_idle_close): when `now` is
+    /// before the earliest possible close deadline this is a single
+    /// comparison, so the per-access and per-wakeup calls stay O(1) in the
+    /// common case. A real scan recomputes the bound exactly from the banks
+    /// it leaves open.
     fn close_idle_pages(&mut self, now: Instant) -> Result<(), SimError> {
         let Some(timeout) = self.page_close_timeout else {
             return Ok(());
         };
-        let geometry = *self.device.geometry();
-        for bank_idx in 0..geometry.total_banks() {
-            let rank = bank_idx / geometry.banks();
-            let bank = bank_idx % geometry.banks();
-            let b = self.device.bank(rank, bank);
-            let Some(open_row) = b.open_row() else {
-                continue;
-            };
-            let deadline = self.last_use[bank_idx as usize] + timeout;
-            if deadline > now {
-                continue;
-            }
-            let pre_at = deadline.max(b.earliest_precharge()).max(b.busy_until());
-            if pre_at > now {
-                continue;
-            }
-            self.device.precharge(rank, bank, pre_at).map_err(|e| {
-                SimError::protocol("precharge", rank, bank, Some(open_row), pre_at, e)
-            })?;
-            let end = self.device.bank(rank, bank).busy_until();
-            self.note_command(pre_at, end);
-            let closed = RowAddr {
-                rank,
-                bank,
-                row: open_row,
-            };
-            self.policy.on_row_closed(closed, pre_at);
-            self.note_policy_reset(closed);
+        if now < self.next_idle_close {
+            return Ok(());
         }
+        let geometry = *self.device.geometry();
+        let mut next_due = Instant::MAX;
+        // Walk only banks with an open row (via the device's open-row
+        // bitset), in ascending bank order — the same visit order as a
+        // full scan, so the precharge sequence (and thus every downstream
+        // energy number) is unchanged. Each word is snapshotted before its
+        // banks are processed; a bank this loop closes keeps its stale bit
+        // in the local copy and is skipped by the `open_row` re-check.
+        for w in 0..self.device.open_banks().len() {
+            let mut word = self.device.open_banks()[w];
+            while word != 0 {
+                let bank_idx = w as u32 * 64 + word.trailing_zeros();
+                word &= word - 1;
+                let rank = bank_idx / geometry.banks();
+                let bank = bank_idx % geometry.banks();
+                let b = self.device.bank(rank, bank);
+                let Some(open_row) = b.open_row() else {
+                    continue;
+                };
+                let deadline = self.last_use[bank_idx as usize] + timeout;
+                if deadline > now {
+                    next_due = next_due.min(deadline);
+                    continue;
+                }
+                let pre_at = deadline.max(b.earliest_precharge()).max(b.busy_until());
+                if pre_at > now {
+                    // Still legally unclosable: retry on the next call.
+                    next_due = next_due.min(deadline);
+                    continue;
+                }
+                self.device.precharge(rank, bank, pre_at).map_err(|e| {
+                    SimError::protocol("precharge", rank, bank, Some(open_row), pre_at, e)
+                })?;
+                let end = self.device.bank(rank, bank).busy_until();
+                self.note_command(pre_at, end);
+                let closed = RowAddr {
+                    rank,
+                    bank,
+                    row: open_row,
+                };
+                self.policy.on_row_closed(closed, pre_at);
+                self.note_policy_reset(closed);
+            }
+        }
+        self.next_idle_close = next_due;
         Ok(())
     }
 
@@ -1013,6 +1050,11 @@ impl<P: RefreshPolicy> MemoryController<P> {
             self.note_policy_reset(target);
         }
         self.last_use[self.device.geometry().bank_index(rank, bank) as usize] = out.bank_ready_at;
+        if let Some(timeout) = self.page_close_timeout {
+            // This access (re)armed the only path that leaves a row open, so
+            // fold its idle-close deadline into the scan-skip lower bound.
+            self.next_idle_close = self.next_idle_close.min(out.bank_ready_at + timeout);
+        }
         self.note_command(first_cmd_at, out.bank_ready_at);
         if self.page_policy == PagePolicy::Closed {
             // Auto-precharge: close the row at the earliest legal instant.

@@ -59,6 +59,11 @@ pub struct DramDevice {
     cbr_row_counters: Vec<u32>,
     /// tRRD/tFAW activation windows, one per rank.
     ranks: Vec<RankState>,
+    /// Bitset of banks with an open row (bit `i % 64` of word `i / 64` for
+    /// flat bank index `i`), maintained by the three activate/precharge
+    /// mutation paths. Lets the controller's idle-page sweep visit only
+    /// open banks instead of scanning the whole device.
+    open_mask: Vec<u64>,
     retention: RetentionTracker,
     stats: OpStats,
     /// Optional shadow conformance checker; one branch per command when
@@ -80,6 +85,7 @@ impl DramDevice {
             banks: vec![Bank::new(); nbanks],
             cbr_row_counters: vec![0; nbanks],
             ranks: vec![RankState::new(); geometry.ranks() as usize],
+            open_mask: vec![0; nbanks.div_ceil(64)],
             retention: RetentionTracker::new(&geometry, timing.retention),
             geometry,
             timing,
@@ -183,6 +189,7 @@ impl DramDevice {
     }
 
     /// The module geometry.
+    #[inline]
     pub fn geometry(&self) -> &Geometry {
         &self.geometry
     }
@@ -222,11 +229,13 @@ impl DramDevice {
     }
 
     /// Bank state, for scheduling decisions by the controller.
+    #[inline]
     pub fn bank(&self, rank: u32, bank: u32) -> &Bank {
         &self.banks[self.geometry.bank_index(rank, bank) as usize]
     }
 
     /// Earliest instant an ACTIVATE to `rank` satisfies tRRD and tFAW.
+    #[inline]
     pub fn earliest_activate(&self, rank: u32) -> Instant {
         self.ranks[rank as usize].earliest_activate(self.timing.trrd, self.timing.tfaw)
     }
@@ -250,6 +259,27 @@ impl DramDevice {
     fn bank_mut(&mut self, rank: u32, bank: u32) -> &mut Bank {
         let i = self.geometry.bank_index(rank, bank) as usize;
         &mut self.banks[i]
+    }
+
+    /// Sets or clears a bank's bit in the open-row bitset. Called on every
+    /// path that opens (activate) or closes (precharge, refresh-implicit
+    /// precharge) a row, keeping the bitset exact.
+    #[inline]
+    fn mark_open(&mut self, rank: u32, bank: u32, open: bool) {
+        let i = self.geometry.bank_index(rank, bank) as usize;
+        if open {
+            self.open_mask[i / 64] |= 1 << (i % 64);
+        } else {
+            self.open_mask[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// The open-row bitset: bit `i % 64` of word `i / 64` is set exactly
+    /// when flat bank index `i` has an open row. Lets sweeps over open
+    /// pages (e.g. the controller's idle-page closer) skip precharged
+    /// banks without touching per-bank state.
+    pub fn open_banks(&self) -> &[u64] {
+        &self.open_mask
     }
 
     fn require_ready(&self, rank: u32, bank: u32, now: Instant) -> Result<(), DramError> {
@@ -295,6 +325,7 @@ impl DramDevice {
         let (trcd, tras) = (self.timing.trcd, self.timing.tras);
         self.bank_mut(addr.rank, addr.bank)
             .do_activate(addr.row, now, trcd, tras);
+        self.mark_open(addr.rank, addr.bank, true);
         // The restore completes with the sense/restore phase (tRAS window);
         // we credit it at activate+tRAS, conservatively within the deadline.
         let restore_at = now + tras;
@@ -420,6 +451,7 @@ impl DramDevice {
         let Some(row) = self.bank_mut(rank, bank).do_precharge(now, trp) else {
             return Err(DramError::NoOpenRow { rank, bank });
         };
+        self.mark_open(rank, bank, false);
         self.retention
             .restore(self.geometry.flatten(RowAddr { rank, bank, row }), now);
         self.stats.precharges += 1;
@@ -452,6 +484,7 @@ impl DramDevice {
             let trp = self.timing.trp;
             let pre_at = now.max(self.bank(rank, bank).earliest_precharge());
             if let Some(closed) = self.bank_mut(rank, bank).do_precharge(pre_at, trp) {
+                self.mark_open(rank, bank, false);
                 self.retention.restore(
                     self.geometry.flatten(RowAddr {
                         rank,

@@ -34,6 +34,14 @@ pub struct Geometry {
     columns: u32,
     /// Width of the *data* portion of the bus in bits (excludes ECC).
     data_bits: u32,
+    /// Shift widths for the all-power-of-two fast path of [`decode`], which
+    /// runs once per demand access: `log2` of (column bytes, columns, banks,
+    /// ranks) when every one of those dimensions is a power of two, else
+    /// `None` (the general div/mod path). Derived from the dimensions above,
+    /// so the extra field never changes equality or hashing semantics.
+    ///
+    /// [`decode`]: Geometry::decode
+    shifts: Option<(u8, u8, u8, u8)>,
 }
 
 impl Geometry {
@@ -51,12 +59,28 @@ impl Geometry {
             data_bits > 0 && data_bits.is_multiple_of(8),
             "data_bits must be a nonzero multiple of 8"
         );
+        let col_bytes = u64::from(data_bits) / 8;
+        let shifts = if col_bytes.is_power_of_two()
+            && columns.is_power_of_two()
+            && banks.is_power_of_two()
+            && ranks.is_power_of_two()
+        {
+            Some((
+                col_bytes.trailing_zeros() as u8,
+                columns.trailing_zeros() as u8,
+                banks.trailing_zeros() as u8,
+                ranks.trailing_zeros() as u8,
+            ))
+        } else {
+            None
+        };
         Geometry {
             ranks,
             banks,
             rows,
             columns,
             data_bits,
+            shifts,
         }
     }
 
@@ -122,7 +146,24 @@ impl Geometry {
     ///
     /// Addresses beyond the capacity wrap (callers model virtual→physical
     /// placement separately).
+    #[inline]
     pub fn decode(&self, addr: u64) -> DecodedAddr {
+        if let Some((cb, cols, banks, ranks)) = self.shifts {
+            // All interleave dimensions are powers of two (every shipped
+            // module config): shift/mask instead of eight div/mod ops.
+            let blocks = addr >> cb;
+            let column = (blocks & ((1 << cols) - 1)) as u32;
+            let after_col = blocks >> cols;
+            let bank = (after_col & ((1 << banks) - 1)) as u32;
+            let after_bank = after_col >> banks;
+            let rank = (after_bank & ((1 << ranks) - 1)) as u32;
+            let after_rank = after_bank >> ranks;
+            let row = (after_rank % u64::from(self.rows)) as u32;
+            return DecodedAddr {
+                row_addr: RowAddr { rank, bank, row },
+                column,
+            };
+        }
         let col_unit = self.column_bytes();
         let blocks = addr / col_unit;
         let column = (blocks % u64::from(self.columns)) as u32;
@@ -143,6 +184,7 @@ impl Geometry {
     /// # Panics
     ///
     /// Panics if any component is out of range for this geometry.
+    #[inline]
     pub fn flatten(&self, row: RowAddr) -> u64 {
         assert!(row.rank < self.ranks, "rank out of range");
         assert!(row.bank < self.banks, "bank out of range");
@@ -166,6 +208,7 @@ impl Geometry {
     }
 
     /// Dense index of a `(rank, bank)` pair in `0..total_banks()`.
+    #[inline]
     pub fn bank_index(&self, rank: u32, bank: u32) -> u32 {
         assert!(rank < self.ranks, "rank out of range");
         assert!(bank < self.banks, "bank out of range");

@@ -15,6 +15,11 @@
 use crate::geometry::Geometry;
 use crate::time::{Duration, Instant};
 
+/// Width of one interval-histogram bucket. A compile-time constant so the
+/// per-restore bucket computation is a multiply-shift, not a 64-bit divide —
+/// `restore` runs once per activate and once per refreshed row.
+const HIST_BUCKET: Duration = Duration::from_ms(1);
+
 /// Records the last charge-restore instant for every row of a module.
 ///
 /// # Examples
@@ -40,7 +45,6 @@ pub struct RetentionTracker {
     per_row: Option<Vec<Duration>>,
     /// Histogram of inter-restore intervals, in 1 ms buckets.
     interval_hist: Vec<u64>,
-    hist_bucket: Duration,
     restores: u64,
     /// Restores that arrived *after* the row's deadline — each one is a
     /// data-loss window that actually happened (the row sat decayed until
@@ -87,7 +91,6 @@ impl RetentionTracker {
             retention,
             per_row: None,
             interval_hist: vec![0; buckets],
-            hist_bucket: Duration::from_ms(1),
             restores: 0,
             late_restores: Vec::new(),
         }
@@ -196,7 +199,7 @@ impl RetentionTracker {
         let interval = now.since(*slot);
         *slot = now;
         self.restores += 1;
-        let bucket = (interval.as_ps() / self.hist_bucket.as_ps()) as usize;
+        let bucket = (interval.as_ps() / HIST_BUCKET.as_ps()) as usize;
         let top = self.interval_hist.len() - 1;
         self.interval_hist[bucket.min(top)] += 1;
         let deadline = self.row_deadline(flat_index);
@@ -263,7 +266,7 @@ impl RetentionTracker {
                 .interval_hist
                 .iter()
                 .enumerate()
-                .map(|(i, &c)| (i as f64 + 0.5) * self.hist_bucket.as_ps() as f64 * c as f64)
+                .map(|(i, &c)| (i as f64 + 0.5) * HIST_BUCKET.as_ps() as f64 * c as f64)
                 .sum();
             weighted / total as f64
         };

@@ -36,6 +36,10 @@ impl Instant {
     /// The origin of the simulation timeline.
     pub const ZERO: Instant = Instant(0);
 
+    /// The far-future sentinel: later than every reachable simulation
+    /// instant. Useful as the identity for `min`-folds over deadlines.
+    pub const MAX: Instant = Instant(u64::MAX);
+
     /// Creates an instant at `ps` picoseconds after simulation start.
     pub const fn from_ps(ps: u64) -> Self {
         Instant(ps)
@@ -51,6 +55,7 @@ impl Instant {
     /// # Panics
     ///
     /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
     pub fn since(self, earlier: Instant) -> Duration {
         debug_assert!(earlier.0 <= self.0, "`earlier` is after `self`");
         Duration(self.0 - earlier.0)
@@ -58,16 +63,19 @@ impl Instant {
 
     /// Saturating version of [`Instant::since`]: returns zero when `earlier`
     /// is actually later than `self`.
+    #[inline]
     pub fn saturating_since(self, earlier: Instant) -> Duration {
         Duration(self.0.saturating_sub(earlier.0))
     }
 
     /// The later of two instants.
+    #[inline]
     pub fn max(self, other: Instant) -> Instant {
         Instant(self.0.max(other.0))
     }
 
     /// The earlier of two instants.
+    #[inline]
     pub fn min(self, other: Instant) -> Instant {
         Instant(self.0.min(other.0))
     }

@@ -409,13 +409,43 @@ pub fn run_coschedule_setup(
 pub fn run_coschedule_campaign(
     cfg: &CoscheduleConfig,
 ) -> Result<CoscheduleCampaignResult, SimError> {
+    run_coschedule_campaign_threaded(cfg, crate::parallel::default_threads())
+}
+
+/// [`run_coschedule_campaign`] with an explicit worker-thread count: the
+/// four setup × load scenarios are independent simulations, so they
+/// shard across workers and merge in a fixed order — the report is
+/// bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] (in scenario order) any run hits.
+pub fn run_coschedule_campaign_threaded(
+    cfg: &CoscheduleConfig,
+    threads: usize,
+) -> Result<CoscheduleCampaignResult, SimError> {
+    let scenarios = [
+        (Setup::Uncoordinated, Load::Clean),
+        (Setup::Coscheduled, Load::Clean),
+        (Setup::Uncoordinated, Load::Storm),
+        (Setup::Coscheduled, Load::Storm),
+    ];
+    let mut outcomes = crate::parallel::par_map(threads, &scenarios, |_, &(setup, load)| {
+        run_coschedule_setup(cfg, setup, load)
+    })
+    .into_iter();
+    let mut next = || {
+        outcomes.next().ok_or(SimError::Internal {
+            what: "coschedule campaign scenario result missing",
+        })?
+    };
     Ok(CoscheduleCampaignResult {
         covering_interval: cfg.covering().interval,
         weak_rows: cfg.weak_rows(),
-        uncoordinated_clean: run_coschedule_setup(cfg, Setup::Uncoordinated, Load::Clean)?,
-        coscheduled_clean: run_coschedule_setup(cfg, Setup::Coscheduled, Load::Clean)?,
-        uncoordinated_storm: run_coschedule_setup(cfg, Setup::Uncoordinated, Load::Storm)?,
-        coscheduled_storm: run_coschedule_setup(cfg, Setup::Coscheduled, Load::Storm)?,
+        uncoordinated_clean: next()?,
+        coscheduled_clean: next()?,
+        uncoordinated_storm: next()?,
+        coscheduled_storm: next()?,
     })
 }
 

@@ -330,6 +330,78 @@ pub fn run_experiment_with_events<I>(
 where
     I: IntoIterator<Item = TraceEvent>,
 {
+    // Dispatch on the policy once, up front, so the entire event loop —
+    // controller, policy wakeups, counter resets — monomorphizes over the
+    // concrete policy type. The boxed path pays a virtual call on every
+    // `next_wakeup`/`on_row_opened`/`on_row_closed`, several per access,
+    // which is measurable across a 13-figure corpus.
+    let g = cfg.module.geometry;
+    let r = cfg.module.timing.retention;
+    match cfg.policy {
+        PolicyKind::CbrDistributed => {
+            run_events_typed(cfg, events, workload_name, apki, CbrDistributed::new(g, r))
+        }
+        PolicyKind::RasOnlyDistributed => run_events_typed(
+            cfg,
+            events,
+            workload_name,
+            apki,
+            RasOnlyDistributed::new(g, r),
+        ),
+        PolicyKind::Burst => {
+            run_events_typed(cfg, events, workload_name, apki, BurstRefresh::new(g, r))
+        }
+        PolicyKind::Smart(scfg) => run_events_typed(
+            cfg,
+            events,
+            workload_name,
+            apki,
+            SmartRefresh::new(g, r, scfg),
+        ),
+        PolicyKind::NoRefresh => {
+            run_events_typed(cfg, events, workload_name, apki, NoRefresh::new())
+        }
+        PolicyKind::RetentionAware { profile_seed } => run_events_typed(
+            cfg,
+            events,
+            workload_name,
+            apki,
+            RetentionAwareDistributed::new(
+                g,
+                r,
+                RetentionProfile::rapid_like(g.total_rows(), profile_seed),
+            ),
+        ),
+        PolicyKind::SmartRetentionAware {
+            cfg: scfg,
+            profile_seed,
+        } => run_events_typed(
+            cfg,
+            events,
+            workload_name,
+            apki,
+            SmartRefresh::with_profile(
+                g,
+                r,
+                scfg,
+                &RetentionProfile::rapid_like(g.total_rows(), profile_seed),
+            ),
+        ),
+    }
+}
+
+/// The monomorphized experiment loop behind [`run_experiment_with_events`].
+fn run_events_typed<P, I>(
+    cfg: &ExperimentConfig,
+    events: I,
+    workload_name: &'static str,
+    apki: f64,
+    policy: P,
+) -> Result<RunResult, SimError>
+where
+    P: RefreshPolicy,
+    I: IntoIterator<Item = TraceEvent>,
+{
     assert!(!cfg.measure.is_zero(), "measurement span must be positive");
     let module = &cfg.module;
     let mut device = DramDevice::new(module.geometry, module.timing);
@@ -344,7 +416,6 @@ where
             seed,
         ));
     }
-    let policy = cfg.policy.build(module);
     let mut mc = MemoryController::new(device, policy)
         .with_page_policy(cfg.page_policy)
         .with_counter_power(cfg.counter_power);

@@ -12,12 +12,14 @@
 use smartrefresh_core::SmartRefreshConfig;
 use smartrefresh_ctrl::{EccConfig, ScrubConfig, SimError};
 use smartrefresh_dram::configs::{conventional_2gb, conventional_4gb, stacked_3d_64mb};
-use smartrefresh_dram::time::Duration;
+use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::ModuleConfig;
 use smartrefresh_energy::{geometric_mean, mean, DramPowerParams};
-use smartrefresh_workloads::{catalog, Suite, WorkloadSpec};
+use smartrefresh_workloads::{catalog, AccessGenerator, Suite, TraceEvent, WorkloadSpec};
 
-use crate::experiment::{run_experiment, ExperimentConfig, PolicyKind, RunResult, Topology};
+use crate::experiment::{
+    run_experiment_with_events, ExperimentConfig, PolicyKind, RunResult, Topology,
+};
 
 /// The evaluation figures of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,6 +212,10 @@ pub struct Evaluation {
     /// logic energy into the breakdown. Off by default: the reference
     /// figures assume no ECC and must stay bit-identical.
     ecc: bool,
+    /// Worker threads the corpus runs shard benchmark entries across
+    /// (1 = sequential). Results merge in catalog order, so this is a
+    /// wall-clock knob only — see [`crate::parallel`].
+    threads: usize,
     conv2: Option<Vec<BenchPair>>,
     conv4: Option<Vec<BenchPair>>,
     s64: Option<Vec<BenchPair>>,
@@ -234,11 +240,20 @@ impl Evaluation {
             scale,
             seed: 0x5eed,
             ecc: false,
+            threads: crate::parallel::default_threads(),
             conv2: None,
             conv4: None,
             s64: None,
             s32: None,
         }
+    }
+
+    /// Sets how many worker threads corpus runs may shard benchmark
+    /// entries across. Zero is clamped to 1. Every figure is
+    /// bit-identical at every setting; tests pin the equality.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Enables the ECC + patrol-scrub stack on the 3D-stacked corpora
@@ -292,8 +307,12 @@ impl Evaluation {
                 Topology::Stacked,
             ),
         };
-        let mut out = Vec::new();
-        for entry in catalog() {
+        // Each benchmark entry is an independent pair of experiments with
+        // its own seeded generator, so the corpus shards across worker
+        // threads and merges in catalog order — bit-identical to the
+        // sequential loop at any thread count.
+        let entries = catalog();
+        crate::parallel::par_map(self.threads, &entries, |_, entry| {
             let spec: WorkloadSpec = match id {
                 CorpusId::Conv2Gb => entry.conventional.clone(),
                 CorpusId::Conv4Gb => entry.conventional_4gb(),
@@ -322,21 +341,49 @@ impl Evaluation {
             }
             let mut smart_cfg = base_cfg.clone();
             smart_cfg.policy = PolicyKind::Smart(SmartRefreshConfig::paper_defaults());
-            let baseline = run_experiment(&base_cfg, &spec)?;
-            let smart = run_experiment(&smart_cfg, &spec)?;
+            // The baseline and Smart runs consume the *same* event stream
+            // (same spec, geometry, reference, seed, and horizon), so
+            // generate it once and replay it — sampling the generator is a
+            // measurable slice of corpus wall-clock (an `ln` per event).
+            let workload_geometry = base_cfg
+                .workload_geometry
+                .unwrap_or(base_cfg.module.geometry);
+            let horizon = Instant::ZERO + base_cfg.warmup + base_cfg.measure;
+            let events: Vec<TraceEvent> = AccessGenerator::new(
+                &spec,
+                workload_geometry,
+                base_cfg.reference,
+                0,
+                base_cfg.seed,
+            )
+            .take_while(|e| e.time <= horizon)
+            .collect();
+            let baseline = run_experiment_with_events(
+                &base_cfg,
+                events.iter().copied(),
+                spec.name,
+                spec.apki,
+            )?;
+            let smart = run_experiment_with_events(
+                &smart_cfg,
+                events.iter().copied(),
+                spec.name,
+                spec.apki,
+            )?;
             assert!(
                 baseline.integrity_ok && smart.integrity_ok,
                 "{}: retention violated",
                 spec.name
             );
-            out.push(BenchPair {
+            Ok(BenchPair {
                 name: entry.name(),
                 suite: entry.suite(),
                 baseline,
                 smart,
-            });
-        }
-        Ok(out)
+            })
+        })
+        .into_iter()
+        .collect()
     }
 
     /// The cached corpus for `id`, running it on first use.

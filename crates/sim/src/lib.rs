@@ -42,6 +42,7 @@ pub mod digest;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
+pub mod parallel;
 pub mod powerdown;
 pub mod report;
 pub mod rfm;
@@ -52,8 +53,8 @@ pub mod system;
 pub mod thermal;
 
 pub use coschedule::{
-    run_coschedule_campaign, run_coschedule_setup, CoscheduleCampaignResult, CoscheduleConfig,
-    CoscheduleOutcome, Load, Setup,
+    run_coschedule_campaign, run_coschedule_campaign_threaded, run_coschedule_setup,
+    CoscheduleCampaignResult, CoscheduleConfig, CoscheduleOutcome, Load, Setup,
 };
 pub use digest::{digest_energy, digest_run, Digest64};
 pub use experiment::{
@@ -64,6 +65,7 @@ pub use faults::{
     FaultScenario, ScenarioOutcome,
 };
 pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
+pub use parallel::{default_threads, par_map, par_map_mut, resolve_threads, MAX_DEFAULT_THREADS};
 pub use powerdown::{
     idle_sweep, run_powerdown_campaign, run_powerdown_scenario, IdleSweepPoint,
     PowerdownCampaignResult, PowerdownOutcome,

@@ -39,7 +39,7 @@
 //! scheduler replays every scrub slot and watchdog epoch due since the
 //! last call, in chronological order.
 
-use smartrefresh_core::DegradeCause;
+use smartrefresh_core::{DegradeCause, TimingWheel};
 use smartrefresh_ctrl::{PatrolScrubber, RetentionWatchdog, ScrubConfig, SimError, WatchdogConfig};
 use smartrefresh_dram::time::{Duration, Instant};
 
@@ -113,8 +113,10 @@ pub struct MaintenanceScheduler {
     /// Per channel, per flat row: when it was last scrubbed (`ZERO` =
     /// never; the initial deadline covers the first staggered lap).
     last_scrub: Vec<Vec<Instant>>,
-    /// Per channel, per flat row: when its next scrub is promised by.
-    deadline: Vec<Vec<Instant>>,
+    /// Per channel: a [`TimingWheel`] holding every row's coverage
+    /// deadline. Victim selection reads the wheel's min-cohort instead of
+    /// scanning every row, and each scrub re-keys only its victim.
+    deadlines: Vec<TimingWheel>,
     interval: Duration,
     /// `(when, new_interval)` for every adaptive change, starting with the
     /// initial interval at time zero.
@@ -162,14 +164,18 @@ impl MaintenanceScheduler {
         let interval = cfg.scrub.interval;
         let window = interval * rows * 2;
         let mut scrubbers = Vec::with_capacity(channels);
-        let mut deadline = Vec::with_capacity(channels);
+        let mut deadlines = Vec::with_capacity(channels);
         for i in 0..channels {
             let phase = (interval * i as u64).div_by(channels as u64);
             let first = Instant::ZERO + interval + phase;
             scrubbers.push(PatrolScrubber::starting_at(cfg.scrub, first));
             // The first staggered lap finishes `window` after the phase
             // offset, so the initial promise includes it.
-            deadline.push(vec![first + window; rows as usize]);
+            let mut wheel = TimingWheel::new(rows as usize);
+            for r in 0..rows as usize {
+                wheel.schedule(r, first + window);
+            }
+            deadlines.push(wheel);
         }
         Ok(MaintenanceScheduler {
             cfg,
@@ -177,7 +183,7 @@ impl MaintenanceScheduler {
             watchdog: RetentionWatchdog::new(cfg.watchdog),
             rows_per_channel: rows,
             last_scrub: vec![vec![Instant::ZERO; rows as usize]; channels],
-            deadline,
+            deadlines,
             interval,
             interval_history: vec![(Instant::ZERO, interval)],
             ces_this_epoch: 0,
@@ -278,11 +284,15 @@ impl MaintenanceScheduler {
         let ctrl = sys.channel_mut(channel);
         ctrl.issue_scrub(victim, slot)?;
         self.stats.scrubs[channel] += 1;
-        if slot > self.deadline[channel][victim as usize] {
+        if self.deadlines[channel]
+            .deadline_of(victim as usize)
+            .is_some_and(|d| slot > d)
+        {
             self.stats.missed_deadlines += 1;
         }
         self.last_scrub[channel][victim as usize] = slot;
-        self.deadline[channel][victim as usize] = slot + self.window();
+        let window = self.window();
+        self.deadlines[channel].schedule(victim as usize, slot + window);
         self.scrubbers[channel].advance_past(slot);
         self.drain_ces(sys);
         Ok(())
@@ -293,31 +303,37 @@ impl MaintenanceScheduler {
     /// precharged or its deadline is within the slack; otherwise the
     /// earliest-deadline row on a *precharged* bank is scrubbed instead
     /// and the blocked row waits for a later slot.
+    ///
+    /// Both selections come from the channel's [`TimingWheel`]: the
+    /// outright winner is the wheel's exact `(deadline, row)` minimum,
+    /// and the precharged-bank preference is resolved inside the wheel's
+    /// bucket walk ([`TimingWheel::peek_min_where`]) rather than by
+    /// re-scanning every row. The winners are bit-identical to the linear
+    /// `min_by_key(|r| (deadline, r))` scans this replaced — the wheel's
+    /// contract, enforced by its oracle property test.
     fn pick_victim(
         &mut self,
         sys: &MultiChannelSystem,
         channel: usize,
         slot: Instant,
     ) -> Option<u64> {
-        let deadlines = &self.deadline[channel];
-        let best = (0..self.rows_per_channel).min_by_key(|&r| (deadlines[r as usize], r))?;
+        let wheel = &mut self.deadlines[channel];
+        let (best_deadline, best) = wheel.peek_min()?;
+        let best = best as u64;
         let ctrl = sys.channel(channel);
         if !ctrl.scrub_would_close_page(best) {
             return Some(best);
         }
-        let best_deadline = deadlines[best as usize];
         if best_deadline <= slot + self.cfg.slack {
             // Out of slack: coverage beats the open page.
             self.stats.forced_closures += 1;
             return Some(best);
         }
-        let open_alternative = (0..self.rows_per_channel)
-            .filter(|&r| !ctrl.scrub_would_close_page(r))
-            .min_by_key(|&r| (deadlines[r as usize], r));
+        let open_alternative = wheel.peek_min_where(|r| !ctrl.scrub_would_close_page(r as u64));
         match open_alternative {
-            Some(r) => {
+            Some((_, r)) => {
                 self.stats.deferred_scrubs += 1;
-                Some(r)
+                Some(r as u64)
             }
             None => {
                 // Every bank holds an open page; interference is unavoidable.
@@ -339,7 +355,8 @@ impl MaintenanceScheduler {
             sys.channel_mut(channel).issue_forced_scrub(flat, epoch)?;
             self.stats.forced_scrubs += 1;
             self.last_scrub[channel][flat as usize] = epoch;
-            self.deadline[channel][flat as usize] = epoch + self.window();
+            let window = self.window();
+            self.deadlines[channel].schedule(flat as usize, epoch + window);
         }
         if self.watchdog.should_escalate() && !self.stats.escalated {
             for i in 0..sys.channels() {
@@ -379,15 +396,16 @@ impl MaintenanceScheduler {
                     // A raise stretches the coverage window, so every
                     // outstanding promise is re-made under the new one —
                     // otherwise the slower walk would miss deadlines it
-                    // was never going to be held to. Extend-only: a row
-                    // the walk has not reached yet keeps its original
-                    // (later) promise rather than having one invented in
-                    // its past from `last_scrub = 0`.
+                    // was never going to be held to. Extend-only
+                    // ([`TimingWheel::relax`]): a row the walk has not
+                    // reached yet keeps its original (later) promise
+                    // rather than having one invented in its past from
+                    // `last_scrub = 0`.
                     let window = self.window();
                     for channel in 0..self.last_scrub.len() {
                         for r in 0..self.rows_per_channel as usize {
                             let renewed = self.last_scrub[channel][r] + window;
-                            self.deadline[channel][r] = self.deadline[channel][r].max(renewed);
+                            self.deadlines[channel].relax(r, renewed);
                         }
                     }
                 }
@@ -505,7 +523,7 @@ mod tests {
         assert_eq!(sched.stats.forced_closures, 0);
         // Pull row 0's deadline inside the slack: coverage now beats the
         // open page and the scrub is forced through it.
-        sched.deadline[0][0] = slot + Duration::from_us(100);
+        sched.deadlines[0].schedule(0, slot + Duration::from_us(100));
         let victim = sched.pick_victim(&sys, 0, slot);
         assert_eq!(
             victim,

@@ -42,6 +42,11 @@ use crate::experiment::PolicyKind;
 pub struct MultiChannelSystem {
     controllers: Vec<MemoryController<Box<dyn RefreshPolicy>>>,
     interleave_bytes: u64,
+    /// Worker threads [`advance_to`](Self::advance_to) shards channels
+    /// across (1 = sequential). Channels are independent simulations
+    /// between coordination points and results merge in channel order, so
+    /// the count changes wall-clock, never results.
+    threads: usize,
 }
 
 impl std::fmt::Debug for MultiChannelSystem {
@@ -101,7 +106,17 @@ impl MultiChannelSystem {
         Ok(MultiChannelSystem {
             controllers,
             interleave_bytes,
+            threads: 1,
         })
+    }
+
+    /// Sets how many worker threads [`advance_to`](Self::advance_to) may
+    /// shard the channels across. Zero is clamped to 1. Results are
+    /// bit-identical at every setting (see [`crate::parallel`]); this is
+    /// a wall-clock knob only.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Installs an ECC path on every channel; `ecc_of` is called with each
@@ -203,16 +218,20 @@ impl MultiChannelSystem {
         })
     }
 
-    /// Advances every channel's refresh machinery to `t`.
+    /// Advances every channel's refresh machinery to `t`, sharding the
+    /// channels across the configured worker threads
+    /// ([`with_threads`](Self::with_threads)). Channels never interact
+    /// inside this window and errors are reported in channel order, so
+    /// the outcome is identical to the sequential loop.
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from any channel.
+    /// Propagates the lowest-indexed channel's [`SimError`].
     pub fn advance_to(&mut self, t: Instant) -> Result<(), SimError> {
-        for c in &mut self.controllers {
-            c.advance_to(t)?;
-        }
-        Ok(())
+        let results = crate::parallel::par_map_mut(self.threads, &mut self.controllers, |_, c| {
+            c.advance_to(t)
+        });
+        results.into_iter().collect()
     }
 
     /// Per-channel controller access (stats, device, policy).

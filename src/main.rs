@@ -1,7 +1,7 @@
 //! `smart-refresh` — command-line interface to the reproduction.
 //!
 //! ```text
-//! smart-refresh figures [figNN|all]
+//! smart-refresh figures [figNN|all] [--threads N]
 //! smart-refresh run --workload <name> --module <2gb|4gb|3d64|3d32> --policy <cbr|ras|burst|smart|none> [--scale S]
 //! smart-refresh record --workload <name> --module <...> --seconds <S> --out <file>
 //! smart-refresh replay --trace <file> --module <...> --policy <...>
@@ -29,6 +29,7 @@ use smart_refresh::orchestrator::{
     ModuleKind, OrchestratorConfig, PolicyTag,
 };
 use smart_refresh::sim::figures::{Evaluation, FigureId};
+use smart_refresh::sim::parallel::resolve_threads;
 use smart_refresh::sim::report::{render_figure, render_run};
 use smart_refresh::sim::{run_experiment, ExperimentConfig, PolicyKind, Topology};
 use smart_refresh::workloads::trace::{read_trace, write_trace};
@@ -68,7 +69,7 @@ fn print_help() {
         "smart-refresh — reproduction of Smart Refresh (MICRO 2007)\n\
          \n\
          USAGE:\n\
-         \u{20}  smart-refresh figures [figNN|all]        regenerate evaluation figures\n\
+         \u{20}  smart-refresh figures [figNN|all] [--threads N]   regenerate evaluation figures\n\
          \u{20}  smart-refresh run --workload W --module M --policy P [--scale S] [--seed N]\n\
          \u{20}  smart-refresh sweep --workload W --module M [--scale S]   counter/segment sweep\n\
          \u{20}  smart-refresh record --workload W --module M --seconds S --out FILE\n\
@@ -85,7 +86,10 @@ fn print_help() {
          MODULES:  2gb | 4gb | 3d64 | 3d32  (orchestrate adds mini | mini3d)\n\
          POLICIES: cbr | ras | burst | smart | none  (orchestrate: cbr|ras|burst|smart|ra)\n\
          FAULTS:   clean | dist  (orchestrate fault-regime axis; dist arms ECC+RFM)\n\
-         ENV:      SMARTREFRESH_SCALE scales figure simulation spans"
+         ENV:      SMARTREFRESH_SCALE scales figure simulation spans\n\
+         \u{20}         SMARTREFRESH_THREADS sets the simulation worker count\n\
+         \u{20}         (positive integer; --threads wins; results are\n\
+         \u{20}         bit-identical at any thread count)"
     );
 }
 
@@ -213,9 +217,10 @@ fn lookup_spec(
 }
 
 fn cmd_figures(args: &[String]) -> Result<(), String> {
-    check_flags("figures", args, &[], 1)?;
+    check_flags("figures", args, &["--threads"], 1)?;
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let mut eval = Evaluation::from_env();
+    let threads = resolve_threads(flag(args, "--threads").as_deref()).map_err(|e| e.to_string())?;
+    let mut eval = Evaluation::from_env().with_threads(threads);
     let mut matched = false;
     for id in FigureId::ALL {
         if which == "all" || format!("{id:?}").to_lowercase() == which.to_lowercase() {

@@ -257,3 +257,49 @@ fn replay_reports_missing_trace() {
         .expect("spawn");
     assert!(!out.status.success());
 }
+
+#[test]
+fn figures_threads_flag_rejects_zero_and_garbage() {
+    for bad in ["0", "-3", "many"] {
+        let out = bin()
+            .args(["figures", "fig06", "--threads", bad])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "--threads {bad} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("positive integer"),
+            "unexpected error for --threads {bad}: {err}"
+        );
+    }
+}
+
+#[test]
+fn figures_threads_env_rejects_garbage() {
+    let out = bin()
+        .args(["figures", "fig06"])
+        .env("SMARTREFRESH_THREADS", "several")
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("positive integer"));
+}
+
+#[test]
+fn figures_threads_flag_beats_env_and_runs() {
+    // The env value alone would be rejected; the explicit flag wins and
+    // the (tiny, scaled-down) figure regenerates on two workers.
+    let out = bin()
+        .args(["figures", "fig06", "--threads", "2"])
+        .env("SMARTREFRESH_THREADS", "0")
+        .env("SMARTREFRESH_SCALE", "0.01")
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Fig06"), "figure output missing: {text}");
+}

@@ -1,0 +1,87 @@
+//! 1-thread vs N-thread bit-identity.
+//!
+//! The parallel engine's contract (see `crates/sim/src/parallel.rs` and
+//! `docs/PERFORMANCE.md`) is that thread counts are a wall-clock knob
+//! only: sharded runs merge by item index, so every energy breakdown,
+//! campaign report, and fleet digest is bit-identical to the sequential
+//! run. These tests pin that equality end to end.
+
+use smart_refresh::core::SmartRefreshConfig;
+use smart_refresh::dram::configs::conventional_2gb;
+use smart_refresh::dram::time::{Duration, Instant};
+use smart_refresh::sim::figures::{CorpusId, Evaluation, FigureId};
+use smart_refresh::sim::report::render_coschedule;
+use smart_refresh::sim::system::MultiChannelSystem;
+use smart_refresh::sim::{
+    digest_run, run_coschedule_campaign_threaded, CoscheduleConfig, PolicyKind,
+};
+
+/// Small corpus scale: enough simulated time for every machine to engage,
+/// fast enough for CI.
+const SCALE: f64 = 0.01;
+
+#[test]
+fn figure_corpus_is_bit_identical_across_thread_counts() {
+    let mut seq = Evaluation::with_scale(SCALE).with_threads(1);
+    let mut par = Evaluation::with_scale(SCALE).with_threads(4);
+
+    // Energy breakdowns: digest every run of the 2 GB corpus.
+    let seq_digests: Vec<(u64, u64)> = seq
+        .corpus(CorpusId::Conv2Gb)
+        .expect("sequential corpus")
+        .iter()
+        .map(|p| (digest_run(&p.baseline), digest_run(&p.smart)))
+        .collect();
+    let par_digests: Vec<(u64, u64)> = par
+        .corpus(CorpusId::Conv2Gb)
+        .expect("sharded corpus")
+        .iter()
+        .map(|p| (digest_run(&p.baseline), digest_run(&p.smart)))
+        .collect();
+    assert_eq!(seq_digests, par_digests, "corpus energy digests diverged");
+
+    // Figure values: compare the f64s bitwise, not approximately.
+    for id in [FigureId::Fig06, FigureId::Fig07, FigureId::Fig08] {
+        let a = seq.figure(id).expect("sequential figure");
+        let b = par.figure(id).expect("sharded figure");
+        assert_eq!(a.gmean.to_bits(), b.gmean.to_bits(), "{id:?} gmean");
+        let av: Vec<u64> = a.rows.iter().map(|r| r.value.to_bits()).collect();
+        let bv: Vec<u64> = b.rows.iter().map(|r| r.value.to_bits()).collect();
+        assert_eq!(av, bv, "{id:?} per-benchmark values diverged");
+    }
+}
+
+#[test]
+fn coschedule_campaign_report_is_bit_identical_across_thread_counts() {
+    let cfg = CoscheduleConfig::quick(7);
+    let seq = run_coschedule_campaign_threaded(&cfg, 1).expect("sequential campaign");
+    let par = run_coschedule_campaign_threaded(&cfg, 4).expect("sharded campaign");
+    assert_eq!(
+        render_coschedule(&seq),
+        render_coschedule(&par),
+        "campaign reports diverged across thread counts"
+    );
+}
+
+#[test]
+fn channel_sharded_advance_matches_sequential() {
+    let drive = |threads: usize| {
+        let mut sys = MultiChannelSystem::new(conventional_2gb(), 4, 4096, || {
+            PolicyKind::Smart(SmartRefreshConfig::paper_defaults())
+        })
+        .expect("system")
+        .with_threads(threads);
+        // Scatter accesses across the interleave, then advance through a
+        // stretch of refresh work on every channel.
+        let mut now = Instant::ZERO;
+        for step in 0..512u64 {
+            now = Instant::ZERO + Duration::from_us(40) * step;
+            let addr = step.wrapping_mul(0x9e37_79b9_7f4a_7c15) % (1 << 30);
+            sys.access(addr, step % 3 == 0, now).expect("access");
+        }
+        sys.advance_to(now + Duration::from_ms(80))
+            .expect("advance");
+        (sys.total_ops(), sys.total_ctrl())
+    };
+    assert_eq!(drive(1), drive(4), "sharded advance diverged");
+}
