@@ -1,8 +1,9 @@
 //! Perf trajectory bench: wall-clock timings for the figure corpus (at
-//! 1, 2, and 4 simulation threads), the system campaigns, and an
-//! orchestrated fleet (single worker vs. a supervised pool), emitted as
-//! `BENCH_8.json` at the workspace root so the numbers are tracked
-//! PR-over-PR.
+//! 1, 2, and 4 simulation threads), the system campaigns, an
+//! orchestrated fleet (single worker vs. a supervised pool), and the
+//! conformance tooling (the nine-rule source lint plus the bounded
+//! interleaving model check), emitted as `BENCH_9.json` at the
+//! workspace root so the numbers are tracked PR-over-PR.
 //!
 //! Self-contained `harness = false` timing loop — no external benchmark
 //! framework, so the workspace builds offline. Wall-clock is inherently
@@ -11,8 +12,11 @@
 //! identical across worker counts, and the figure results themselves are
 //! bit-identical across thread counts (see `tests/parallel_determinism.rs`).
 
+use std::path::Path;
 use std::time::Instant as WallClock;
 
+use smartrefresh_check::explore::run_model_check;
+use smartrefresh_check::run_lint;
 use smartrefresh_core::write_atomic;
 use smartrefresh_sim::figures::{Evaluation, FigureId};
 use smartrefresh_sim::{
@@ -212,6 +216,38 @@ fn main() {
         detail: format!("32 cells, digest {pool_digest:#018x}"),
     });
 
+    // The conformance tooling itself: the nine-rule source lint over the
+    // whole workspace (which must come back clean), and the exhaustive
+    // bounded-interleaving model check of the two concurrency protocols.
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let (ms, diags) = timed(|| must(run_lint(root), "workspace lint"));
+    if !diags.is_empty() {
+        eprintln!("workspace lint regressed inside the bench:");
+        for d in &diags {
+            eprintln!("  {d}");
+        }
+        std::process::exit(2);
+    }
+    println!("conformance/lint                   {ms:>10.1} ms");
+    entries.push(Entry {
+        name: "conformance/lint",
+        wall_ms: ms,
+        detail: "9-rule workspace lint, 0 findings".into(),
+    });
+    let (ms, report) = timed(|| must(run_model_check(), "model check"));
+    println!("conformance/model-check            {ms:>10.1} ms");
+    entries.push(Entry {
+        name: "conformance/model-check",
+        wall_ms: ms,
+        detail: format!(
+            "work-cursor {} schedules ({} steps), timing-wheel {} schedules ({} steps)",
+            report.cursor.schedules,
+            report.cursor.steps,
+            report.wheel.schedules,
+            report.wheel.steps
+        ),
+    });
+
     // Emit the trajectory file at the workspace root.
     let mut json =
         String::from("{\n  \"bench\": \"perf_trajectory\",\n  \"schema\": 1,\n  \"entries\": [\n");
@@ -225,10 +261,10 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
     must(
         write_atomic(path.as_ref(), json.as_bytes()),
-        "write BENCH_8.json",
+        "write BENCH_9.json",
     );
     println!("wrote {path}");
 }

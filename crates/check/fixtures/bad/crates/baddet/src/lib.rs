@@ -1,0 +1,19 @@
+//! A deliberately nondeterministic library: the deterministic-rule
+//! extensions and the inline-suppression machinery at pinned lines.
+
+pub mod report;
+
+pub fn host_env() -> Option<String> {
+    std::env::var("HOME").ok()
+}
+
+pub fn suppressed_env() -> Option<String> {
+    // check:allow(deterministic) — silences exactly the next line
+    std::env::var("HOME").ok()
+}
+
+// check:allow(panic-free) — silences nothing: must be flagged as unused
+pub fn wall_clock_methods() -> u64 {
+    let t = std::time::Instant::now();
+    Instant::duration_since_epoch(&t)
+}

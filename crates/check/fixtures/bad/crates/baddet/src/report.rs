@@ -1,0 +1,13 @@
+//! Report assembly with iteration-order hazards at pinned lines: in
+//! report/digest code, unordered collections leak schedule-dependent
+//! output ordering.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for k in keys {
+        seen.insert(*k);
+    }
+    seen.len()
+}

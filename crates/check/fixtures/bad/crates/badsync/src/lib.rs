@@ -1,0 +1,53 @@
+//! A deliberately racy library: every concurrency-safety construct the
+//! lint must flag (plus near-misses it must not) at pinned lines.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::cell::RefCell;
+
+pub static HITS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    HITS.fetch_add(1, Ordering::SeqCst)
+}
+
+pub static mut GLOBAL_SCRATCH: u64 = 0;
+
+pub struct Shared {
+    slot: std::cell::Cell<u8>,
+    guard: Mutex<Vec<u64>>,
+}
+
+pub fn detached() {
+    std::thread::spawn(|| {});
+}
+
+pub fn racy_fold(items: &[u64], sink: &mut Vec<u64>) -> u64 {
+    let mut total = 0;
+    par_map(4, items, |i, x| {
+        sink.push(i as u64 + x);
+        accumulate(&mut total, *x);
+        i as u64
+    });
+    total
+}
+
+pub fn clean_map(items: &[u64]) -> Vec<u64> {
+    // A slot-disciplined closure must NOT be flagged: its only writes go
+    // through closure-bound locals and the returned value.
+    par_map(2, items, |i, x| {
+        let mut local = Vec::new();
+        local.push(*x);
+        local.into_iter().sum::<u64>() + i as u64
+    })
+}
+
+pub fn near_misses(a: std::cmp::Ordering) -> bool {
+    // cmp::Ordering, Cell-prefixed identifiers, and scoped spawns must
+    // NOT fire; only raw atomics and detached threads are banned.
+    let cells_per_epoch = 64;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {});
+    });
+    matches!(a, std::cmp::Ordering::Less) && cells_per_epoch > 0
+}

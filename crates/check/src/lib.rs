@@ -1,45 +1,56 @@
-//! Hermetic conformance lint for the Smart Refresh workspace.
+//! Hermetic conformance suite for the Smart Refresh workspace: a
+//! multi-pass static analyzer plus a bounded interleaving model checker.
 //!
 //! This crate is the static half of the in-repo conformance suite (the
 //! dynamic half is the DDR2/Smart-Refresh protocol sanitizer in
-//! `smartrefresh-dram::protocol`). It is a dependency-free, token-level
-//! scanner over the workspace sources and manifests that enforces the
-//! repo's hermeticity rules:
+//! `smartrefresh-dram::protocol`). It is built on `std` alone — no
+//! external parser, no network, no toolchain plugins — in three layers:
 //!
-//! * **`panic-free`** — library, example, and bench code must not contain
-//!   `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, or `unimplemented!`;
-//!   fallible paths route through `SimError` instead. Test code
-//!   (`tests/` trees and `#[cfg(test)]` regions) is exempt.
-//! * **`deterministic`** — crate library code must not reach for ambient
-//!   nondeterminism (`std::time`, `SystemTime`, `Instant::now`,
-//!   `thread_rng`, `rand::`, `getrandom`); the only randomness source is
-//!   the in-repo seeded xoshiro PRNG, and the only clock is the simulated
-//!   one.
-//! * **`workspace-lints`** — lint policy lives in one place: the root
-//!   manifest's `[workspace.lints.rust]` table (with `missing_docs`
-//!   warned and `unsafe_code` forbidden), inherited by every crate via
-//!   `[lints] workspace = true`. Per-crate-root attribute copies are
-//!   flagged so the policy cannot drift.
-//! * **`exhaustive-variants`** — every `FaultKind` and `DegradeCause`
-//!   variant must be named (non-wildcard) somewhere in the sim layer's
-//!   non-test code, so campaign reporting can never silently ignore a
-//!   newly added fault class.
-//! * **`atomic-io`** — library crates must not create files with bare
-//!   `fs::write` / `File::create`; a crash mid-write leaves a torn file
-//!   that a later resume would trust. Durable output routes through
-//!   `smartrefresh_core::write_atomic` (temp sibling + rename), whose
-//!   implementation site is the single exemption.
+//! 1. **[`lexer`]** — a small Rust lexer producing a *covering* token
+//!    stream (every byte belongs to exactly one token, with byte spans),
+//!    from which the comment/string-blanked view every rule matches
+//!    against is derived. Prose, string data, and `#[cfg(test)]` regions
+//!    can therefore never trip a rule.
+//! 2. **[`pass`]** — the framework: each workspace source is lexed once
+//!    into a [`pass::SourceFile`]; every rule is a [`pass::Pass`] over
+//!    the shared [`pass::Workspace`]. Exemptions are inline
+//!    `// check:allow(<rule>)` comments parsed from the token stream —
+//!    never hard-coded paths — and any suppression that silences nothing
+//!    is itself a finding (`unused-suppression`).
+//! 3. **[`rules`]** — the registry. Five hermeticity rules
+//!    (`panic-free`, `deterministic`, `workspace-lints`,
+//!    `exhaustive-variants`, `atomic-io`) and four concurrency-safety
+//!    rules guarding the determinism contract of the parallel engine:
 //!
-//! The scanner blanks comments, string literals, and character literals
-//! (preserving line structure) before matching tokens, so prose and
-//! string data never trip a rule, and `#[cfg(test)]`-gated regions are
-//! erased by brace matching. Everything is implemented on `std` alone —
-//! no external parser, no network, no toolchain plugins.
+//!    * **`atomics-confined`** — raw atomics and memory orderings live
+//!      in `smartrefresh_core::sync` (the model-checked `WorkCursor`
+//!      site) and nowhere else;
+//!    * **`no-interior-mut`** — no `Mutex` / `RwLock` / `RefCell` /
+//!      `Cell<...>` / `static mut` in library crates: the parallel paths
+//!      are share-nothing with an index-ordered merge;
+//!    * **`scoped-spawn-only`** — workers are born inside
+//!      `std::thread::scope`, never detached `thread::spawn`;
+//!    * **`merge-ordered`** — closures handed to `par_map` /
+//!      `par_map_mut` must write only through their per-item slot, not
+//!      captured `&mut` state.
+//!
+//! The dynamic companion is **[`explore`]**: a dependency-free bounded
+//! interleaving model checker that exhaustively enumerates every
+//! schedule of small worker pools against the real
+//! `smartrefresh_core::sync::WorkCursor` and the real
+//! `smartrefresh_core::TimingWheel`, proving the claim and deadline
+//! protocols converge to identical results under *all* interleavings
+//! (`cargo run -p smartrefresh-check -- model-check`).
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+pub mod explore;
+pub mod lexer;
+pub mod pass;
+pub mod rules;
 
 /// One lint finding, pointing at a workspace-relative file and line.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -74,56 +85,49 @@ pub const RULE_WORKSPACE_LINTS: &str = "workspace-lints";
 pub const RULE_EXHAUSTIVE_VARIANTS: &str = "exhaustive-variants";
 /// Rule identifier for the torn-write (non-atomic file creation) rule.
 pub const RULE_ATOMIC_IO: &str = "atomic-io";
+/// Rule identifier for the atomics-confinement rule.
+pub const RULE_ATOMICS_CONFINED: &str = "atomics-confined";
+/// Rule identifier for the interior-mutability ban in library crates.
+pub const RULE_NO_INTERIOR_MUT: &str = "no-interior-mut";
+/// Rule identifier for the scoped-thread-spawn rule.
+pub const RULE_SCOPED_SPAWN_ONLY: &str = "scoped-spawn-only";
+/// Rule identifier for the par_map closure capture rule.
+pub const RULE_MERGE_ORDERED: &str = "merge-ordered";
+/// Rule identifier for suppressions that silenced nothing (or name an
+/// unknown rule). This meta-rule cannot itself be suppressed.
+pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
 
-/// Tokens banned by [`RULE_PANIC_FREE`]. The `bool` asks for an
-/// identifier boundary on the left of the match.
-const PANIC_TOKENS: &[(&str, bool)] = &[
-    (".unwrap()", false),
-    (".expect(", false),
-    ("panic!", true),
-    ("todo!", true),
-    ("unimplemented!", true),
+/// Every rule a `check:allow(...)` comment may name, in registry order.
+pub const KNOWN_RULES: &[&str] = &[
+    RULE_PANIC_FREE,
+    RULE_DETERMINISTIC,
+    RULE_WORKSPACE_LINTS,
+    RULE_EXHAUSTIVE_VARIANTS,
+    RULE_ATOMIC_IO,
+    RULE_ATOMICS_CONFINED,
+    RULE_NO_INTERIOR_MUT,
+    RULE_SCOPED_SPAWN_ONLY,
+    RULE_MERGE_ORDERED,
 ];
-
-/// Tokens banned by [`RULE_DETERMINISTIC`] in crate library code.
-const DET_TOKENS: &[(&str, bool)] = &[
-    ("std::time", true),
-    ("SystemTime", true),
-    ("Instant::now", true),
-    ("thread_rng", true),
-    ("rand::", true),
-    ("getrandom", true),
-];
-
-/// Tokens banned by [`RULE_ATOMIC_IO`] in library-crate code.
-const ATOMIC_TOKENS: &[(&str, bool)] = &[("fs::write", true), ("File::create", true)];
-
-/// The one sanctioned implementation site for atomic file creation.
-const ATOMIC_IO_EXEMPT: &str = "crates/core/src/atomicio.rs";
 
 /// Directory names that are never scanned (test trees, lint fixtures,
 /// build output, VCS metadata).
 const SKIPPED_DIRS: &[&str] = &["tests", "fixtures", "target", ".git"];
 
-/// Run every lint rule over the workspace rooted at `root`.
+/// Run every lint rule over the workspace rooted at `root`: load and lex
+/// every source once, run the default pass registry, apply inline
+/// `check:allow` suppressions, and flag the unused ones.
 ///
 /// Returns the findings sorted by `(file, line, rule)` so output is
 /// stable across filesystems and runs. I/O failures (unreadable files,
 /// vanishing directories) surface as `Err`, not as diagnostics.
 pub fn run_lint(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-    let sources = collect_rust_sources(root)?;
-    for src in &sources {
-        lint_source(root, src, &mut diags)?;
-    }
-    check_manifests(root, &mut diags)?;
-    check_exhaustive_variants(root, &mut diags)?;
-    diags.sort();
-    Ok(diags)
+    let ws = pass::Workspace::load(root)?;
+    pass::run_passes(&ws, &rules::default_passes())
 }
 
 /// Walk `root` collecting every `.rs` file, skipping [`SKIPPED_DIRS`].
-fn collect_rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+pub(crate) fn collect_rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
@@ -152,7 +156,7 @@ fn collect_rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// The workspace-relative, `/`-separated display path for `path`.
-fn rel_display(root: &Path, path: &Path) -> String {
+pub(crate) fn rel_display(root: &Path, path: &Path) -> String {
     let rel = path.strip_prefix(root).unwrap_or(path);
     let parts: Vec<String> = rel
         .components()
@@ -165,7 +169,7 @@ fn rel_display(root: &Path, path: &Path) -> String {
 ///
 /// Covered: `src/`, `examples/`, `crates/<name>/src/`,
 /// `crates/<name>/benches/`, `crates/<name>/examples/`.
-fn in_panic_scope(rel: &str) -> bool {
+pub(crate) fn in_panic_scope(rel: &str) -> bool {
     if rel.starts_with("src/") || rel.starts_with("examples/") {
         return true;
     }
@@ -176,7 +180,7 @@ fn in_panic_scope(rel: &str) -> bool {
 /// Is `rel` in the nondeterminism scope? Only crate library code: `src/`
 /// and `crates/<name>/src/`. Benches may legitimately consult a wall
 /// clock to report host-side throughput; library code may not.
-fn in_det_scope(rel: &str) -> bool {
+pub(crate) fn in_det_scope(rel: &str) -> bool {
     if rel.starts_with("src/") {
         return true;
     }
@@ -184,81 +188,17 @@ fn in_det_scope(rel: &str) -> bool {
     parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src"
 }
 
-/// Is `rel` in the atomic-io scope? Library crates only
-/// (`crates/<name>/src/`), with the `write_atomic` implementation site
-/// itself exempt — somewhere has to hold the temp-file-plus-rename dance.
-fn in_atomic_scope(rel: &str) -> bool {
-    if rel == ATOMIC_IO_EXEMPT {
-        return false;
-    }
+/// Is `rel` in a library crate (`crates/<name>/src/`)? The scope of the
+/// `atomic-io` and `no-interior-mut` rules; sanctioned implementation
+/// sites carry inline `check:allow` comments instead of path exemptions.
+pub(crate) fn in_library_scope(rel: &str) -> bool {
     let parts: Vec<&str> = rel.split('/').collect();
     parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src"
 }
 
-/// Scan one source file for panic, nondeterminism, and torn-write tokens.
-fn lint_source(root: &Path, path: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
-    let rel = rel_display(root, path);
-    let panic_scope = in_panic_scope(&rel);
-    let det_scope = in_det_scope(&rel);
-    let atomic_scope = in_atomic_scope(&rel);
-    if !panic_scope && !det_scope && !atomic_scope {
-        return Ok(());
-    }
-    let text = fs::read_to_string(path)?;
-    let scrubbed = strip_cfg_test(&blank_source(&text));
-    for (idx, line) in scrubbed.lines().enumerate() {
-        if panic_scope {
-            for &(tok, left) in PANIC_TOKENS {
-                if has_token(line, tok, left) {
-                    diags.push(Diagnostic {
-                        file: rel.clone(),
-                        line: idx + 1,
-                        rule: RULE_PANIC_FREE,
-                        message: format!(
-                            "banned token `{tok}` — route fallible paths through SimError \
-                             (tests and #[cfg(test)] regions are exempt)"
-                        ),
-                    });
-                }
-            }
-        }
-        if det_scope {
-            for &(tok, left) in DET_TOKENS {
-                if has_token(line, tok, left) {
-                    diags.push(Diagnostic {
-                        file: rel.clone(),
-                        line: idx + 1,
-                        rule: RULE_DETERMINISTIC,
-                        message: format!(
-                            "ambient nondeterminism `{tok}` — library code must use the \
-                             simulated clock and the in-repo seeded PRNG"
-                        ),
-                    });
-                }
-            }
-        }
-        if atomic_scope {
-            for &(tok, left) in ATOMIC_TOKENS {
-                if has_token(line, tok, left) {
-                    diags.push(Diagnostic {
-                        file: rel.clone(),
-                        line: idx + 1,
-                        rule: RULE_ATOMIC_IO,
-                        message: format!(
-                            "non-atomic file creation `{tok}` — a crash mid-write leaves a \
-                             torn file; use smartrefresh_core::write_atomic"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
 /// Does `line` contain `tok`, honouring an identifier boundary on the
 /// left when `left_boundary` is set?
-fn has_token(line: &str, tok: &str, left_boundary: bool) -> bool {
+pub(crate) fn has_token(line: &str, tok: &str, left_boundary: bool) -> bool {
     let mut from = 0;
     while let Some(off) = line[from..].find(tok) {
         let at = from + off;
@@ -361,7 +301,10 @@ pub fn blank_source(src: &str) -> String {
             i += 1;
             while i < b.len() {
                 if b[i] == b'\\' && i + 1 < b.len() {
-                    out.extend_from_slice(b"  ");
+                    // A `\<newline>` continuation must keep its newline,
+                    // or every later line number shifts.
+                    out.push(b' ');
+                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
                     i += 2;
                 } else if b[i] == b'"' {
                     out.push(b' ');
@@ -467,7 +410,10 @@ pub fn strip_cfg_test(src: &str) -> String {
 
 /// Lines of the TOML table `[header]`, as `(1-based line, text)` pairs,
 /// plus the header's own line. `None` when the table is absent.
-fn toml_section<'a>(toml: &'a str, header: &str) -> Option<(usize, Vec<(usize, &'a str)>)> {
+pub(crate) fn toml_section<'a>(
+    toml: &'a str,
+    header: &str,
+) -> Option<(usize, Vec<(usize, &'a str)>)> {
     let needle = format!("[{header}]");
     let mut lines = toml.lines().enumerate();
     let header_line = loop {
@@ -499,7 +445,7 @@ fn section_sets(body: &[(usize, &str)], key: &str, value: &str) -> bool {
 
 /// Enforce [`RULE_WORKSPACE_LINTS`]: consolidated lint policy in the root
 /// manifest, inherited (not copied) by every crate.
-fn check_manifests(root: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
+pub(crate) fn check_manifests(root: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
     let root_manifest = root.join("Cargo.toml");
     match fs::read_to_string(&root_manifest) {
         Ok(toml) => match toml_section(&toml, "workspace.lints.rust") {
@@ -691,7 +637,10 @@ pub fn parse_enum_variants(blanked: &str, name: &str) -> Option<(usize, Vec<Stri
 
 /// Enforce [`RULE_EXHAUSTIVE_VARIANTS`]: every `FaultKind` and
 /// `DegradeCause` variant is named in the sim layer's non-test code.
-fn check_exhaustive_variants(root: &Path, diags: &mut Vec<Diagnostic>) -> io::Result<()> {
+pub(crate) fn check_exhaustive_variants(
+    root: &Path,
+    diags: &mut Vec<Diagnostic>,
+) -> io::Result<()> {
     let sim_src = root.join("crates/sim/src");
     if !sim_src.is_dir() {
         return Ok(());

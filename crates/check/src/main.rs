@@ -1,23 +1,25 @@
-//! Command-line entry point for the conformance lint.
+//! Command-line entry point for the conformance suite.
 //!
-//! Usage: `cargo run -p smartrefresh-check -- lint [--root PATH]`
+//! Usage:
 //!
-//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+//! * `cargo run -p smartrefresh-check -- lint [--root PATH]` — the
+//!   multi-pass static analyzer over the workspace sources.
+//! * `cargo run -p smartrefresh-check -- model-check` — the bounded
+//!   interleaving explorer over the `WorkCursor` claim protocol and the
+//!   `TimingWheel` deadline protocol.
+//!
+//! Exit codes: `0` clean, `1` findings / violated invariant, `2` usage
+//! or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: smartrefresh-check lint [--root PATH]");
+    eprintln!("usage: smartrefresh-check lint [--root PATH] | model-check");
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => {}
-        _ => return usage(),
-    }
+fn run_lint_cmd(mut args: std::env::Args) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,5 +56,38 @@ fn main() -> ExitCode {
             eprintln!("smartrefresh-check: i/o error: {err}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn run_model_check_cmd() -> ExitCode {
+    match smartrefresh_check::explore::run_model_check() {
+        Ok(report) => {
+            println!(
+                "smartrefresh-check: model-check clean — work-cursor: {} schedules \
+                 ({} steps), timing-wheel: {} schedules ({} steps)",
+                report.cursor.schedules,
+                report.cursor.steps,
+                report.wheel.schedules,
+                report.wheel.steps,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("smartrefresh-check: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    args.next(); // program name
+    match args.next().as_deref() {
+        Some("lint") => run_lint_cmd(args),
+        Some("model-check") => match args.next() {
+            None => run_model_check_cmd(),
+            Some(_) => usage(),
+        },
+        _ => usage(),
     }
 }

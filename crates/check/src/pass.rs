@@ -1,0 +1,289 @@
+//! The multi-pass analysis framework: loaded sources, the [`Pass`]
+//! trait, and inline suppressions.
+//!
+//! [`Workspace::load`] walks the repository once, lexes every source
+//! file into a covering token stream ([`crate::lexer`]), derives the
+//! comment/string-blanked and `#[cfg(test)]`-scrubbed views every rule
+//! matches against, and parses `// check:allow(<rule>)` suppression
+//! comments out of the raw token stream. Each rule is a [`Pass`] over
+//! that shared workspace; [`run_passes`] runs the registry, applies the
+//! suppressions, and turns every suppression that suppressed nothing
+//! into an `unused-suppression` finding — so an allow cannot outlive
+//! the violation it was written for.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::{
+    collect_rust_sources, rel_display, strip_cfg_test, Diagnostic, KNOWN_RULES,
+    RULE_UNUSED_SUPPRESSION,
+};
+
+/// The marker an inline suppression comment carries:
+/// `// check:allow(<rule>)`. A suppression silences findings of `<rule>`
+/// on its own line and on the line directly below it.
+pub const ALLOW_MARKER: &str = "check:allow(";
+
+/// One parsed inline suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule name inside the parentheses (not yet validated).
+    pub rule: String,
+    /// 1-based line of the marker; the suppression covers this line and
+    /// the next.
+    pub line: usize,
+}
+
+/// One workspace source file, pre-lexed into every view a pass needs.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// Raw file contents.
+    pub text: String,
+    /// Covering token stream over `text`.
+    pub tokens: Vec<Token>,
+    /// `text` with comments and string/char literals blanked to spaces.
+    pub blanked: String,
+    /// `blanked` with `#[cfg(test)]` regions additionally erased — the
+    /// view token rules match against.
+    pub scrubbed: String,
+    /// Inline suppressions parsed from the comment tokens.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Builds every derived view of one source file.
+    pub fn from_text(rel: String, text: String) -> SourceFile {
+        let tokens = lexer::lex(&text);
+        let blanked = lexer::blank_tokens(&text, &tokens);
+        let scrubbed = strip_cfg_test(&blanked);
+        let suppressions = parse_suppressions(&text, &tokens);
+        SourceFile {
+            rel,
+            text,
+            tokens,
+            blanked,
+            scrubbed,
+            suppressions,
+        }
+    }
+}
+
+/// The loaded workspace every pass runs over.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Every `.rs` source outside skipped directories, sorted by path.
+    pub sources: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `root`, reading and lexing every source file once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (unreadable files, vanishing directories).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut sources = Vec::new();
+        for path in collect_rust_sources(root)? {
+            let rel = rel_display(root, &path);
+            let text = fs::read_to_string(&path)?;
+            sources.push(SourceFile::from_text(rel, text));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            sources,
+        })
+    }
+}
+
+/// One lint rule: a named pass over the loaded workspace.
+///
+/// Passes are pure readers of the [`Workspace`]; they report by pushing
+/// [`Diagnostic`]s. Suppression handling is the framework's job — a pass
+/// never looks at `check:allow` comments itself.
+pub trait Pass {
+    /// The stable kebab-case rule identifier findings carry, and the name
+    /// a `check:allow(...)` comment uses to silence this pass.
+    fn rule(&self) -> &'static str;
+
+    /// Runs the pass, appending findings to `diags`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures reading auxiliary inputs (manifests, enum definition
+    /// sites) surface as `Err`, never as diagnostics.
+    fn run(&self, ws: &Workspace, diags: &mut Vec<Diagnostic>) -> io::Result<()>;
+}
+
+/// Parses every `check:allow(<rule>)` marker out of the comment tokens.
+/// Only plain `//` / `/* */` comments count: doc comments (`///`, `//!`,
+/// `/** */`, `/*! */`) may *describe* the marker syntax without creating
+/// a suppression, and markers in string literals or code never match.
+pub fn parse_suppressions(text: &str, tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let comment = t.text(text);
+        let is_doc = comment.starts_with("///")
+            || comment.starts_with("//!")
+            || comment.starts_with("/**")
+            || comment.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(off) = comment[from..].find(ALLOW_MARKER) {
+            let at = from + off;
+            let rest = &comment[at + ALLOW_MARKER.len()..];
+            if let Some(close) = rest.find(')') {
+                out.push(Suppression {
+                    rule: rest[..close].trim().to_string(),
+                    line: lexer::line_of(text, t.start + at),
+                });
+                from = at + ALLOW_MARKER.len() + close;
+            } else {
+                from = at + ALLOW_MARKER.len();
+            }
+        }
+    }
+    out
+}
+
+/// Runs every pass, applies inline suppressions, reports unused or
+/// unknown-rule suppressions, and returns the findings sorted by
+/// `(file, line, rule)`.
+///
+/// # Errors
+///
+/// Propagates the first pass I/O error.
+pub fn run_passes(ws: &Workspace, passes: &[Box<dyn Pass>]) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for pass in passes {
+        pass.run(ws, &mut diags)?;
+    }
+    let mut kept = apply_suppressions(ws, diags);
+    kept.sort();
+    Ok(kept)
+}
+
+/// Applies every file's suppressions to `diags`: a finding of rule `r` on
+/// line `L` is dropped when the same file carries a `check:allow(r)` on
+/// line `L` or `L - 1`. Suppressions that silenced nothing — including
+/// ones naming a rule that does not exist — become
+/// [`RULE_UNUSED_SUPPRESSION`] findings.
+pub fn apply_suppressions(ws: &Workspace, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut kept = Vec::with_capacity(diags.len());
+    // (file index, suppression index) -> silenced something.
+    let mut used: Vec<Vec<bool>> = ws
+        .sources
+        .iter()
+        .map(|s| vec![false; s.suppressions.len()])
+        .collect();
+    for d in diags {
+        let mut silenced = false;
+        for (fi, src) in ws.sources.iter().enumerate() {
+            if src.rel != d.file {
+                continue;
+            }
+            for (si, s) in src.suppressions.iter().enumerate() {
+                if s.rule == d.rule && (d.line == s.line || d.line == s.line + 1) {
+                    used[fi][si] = true;
+                    silenced = true;
+                }
+            }
+        }
+        if !silenced {
+            kept.push(d);
+        }
+    }
+    for (fi, src) in ws.sources.iter().enumerate() {
+        for (si, s) in src.suppressions.iter().enumerate() {
+            if used[fi][si] {
+                continue;
+            }
+            let message = if KNOWN_RULES.contains(&s.rule.as_str()) {
+                format!(
+                    "suppression `check:allow({})` silenced nothing — remove it",
+                    s.rule
+                )
+            } else {
+                format!(
+                    "suppression names unknown rule `{}` — known rules: {}",
+                    s.rule,
+                    KNOWN_RULES.join(", ")
+                )
+            };
+            kept.push(Diagnostic {
+                file: src.rel.clone(),
+                line: s.line,
+                rule: RULE_UNUSED_SUPPRESSION,
+                message,
+            });
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, text: &str) -> SourceFile {
+        SourceFile::from_text(rel.to_string(), text.to_string())
+    }
+
+    #[test]
+    fn parses_markers_only_from_comments() {
+        let src = "let a = 1; // check:allow(panic-free)\n\
+                   let s = \"check:allow(deterministic)\";\n\
+                   /* check:allow(atomic-io) */ let b = 2;\n";
+        let f = file("x.rs", src);
+        let rules: Vec<(&str, usize)> = f
+            .suppressions
+            .iter()
+            .map(|s| (s.rule.as_str(), s.line))
+            .collect();
+        assert_eq!(rules, vec![("panic-free", 1), ("atomic-io", 3)]);
+    }
+
+    #[test]
+    fn suppression_covers_its_line_and_the_next() {
+        let src = "// check:allow(panic-free)\nline two\nline three\n";
+        let ws = Workspace {
+            root: PathBuf::from("."),
+            sources: vec![file("x.rs", src)],
+        };
+        let diag = |line: usize| Diagnostic {
+            file: "x.rs".to_string(),
+            line,
+            rule: crate::RULE_PANIC_FREE,
+            message: String::new(),
+        };
+        // Line 2 is covered; line 3 is not (and the suppression is used,
+        // so only the line-3 finding survives).
+        let kept = apply_suppressions(&ws, vec![diag(2), diag(3)]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 3);
+    }
+
+    #[test]
+    fn unused_and_unknown_suppressions_are_flagged() {
+        let src = "// check:allow(panic-free)\n// check:allow(no-such-rule)\nfn f() {}\n";
+        let ws = Workspace {
+            root: PathBuf::from("."),
+            sources: vec![file("x.rs", src)],
+        };
+        let kept = apply_suppressions(&ws, Vec::new());
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|d| d.rule == RULE_UNUSED_SUPPRESSION));
+        assert!(kept.iter().any(|d| d.message.contains("silenced nothing")));
+        assert!(kept.iter().any(|d| d.message.contains("unknown rule")));
+    }
+}

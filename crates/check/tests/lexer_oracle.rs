@@ -1,0 +1,125 @@
+//! Property test: the lexer-based blanking pipeline is a drop-in
+//! replacement for the legacy single-pass scrubber on every *real*
+//! source file in the workspace.
+//!
+//! Three properties, checked file by file over the whole repository:
+//!
+//! 1. the token stream is covering — token spans tile `0..len` exactly;
+//! 2. blanking preserves geometry — same byte length, same newline
+//!    offsets (line numbers in diagnostics can never drift);
+//! 3. zero diagnostic drift — scanning the old pipeline's scrubbed text
+//!    and the new pipeline's scrubbed text with the original five-rule
+//!    token lists yields the identical `(file, line, token)` hit set.
+//!
+//! The token lists are duplicated here as the specification on purpose:
+//! if the production lists change, this oracle still pins the *lexer*
+//! behaviour, not the rule behaviour.
+
+use std::path::Path;
+
+use smartrefresh_check::lexer::blank_tokens;
+use smartrefresh_check::pass::Workspace;
+use smartrefresh_check::{blank_source, strip_cfg_test};
+
+/// The original flat scanner's token lists — the drift oracle's probes.
+const PROBE_TOKENS: &[(&str, bool)] = &[
+    (".unwrap()", false),
+    (".expect(", false),
+    ("panic!", true),
+    ("todo!", true),
+    ("unimplemented!", true),
+    ("std::time", true),
+    ("SystemTime", true),
+    ("Instant::now", true),
+    ("thread_rng", true),
+    ("rand::", true),
+    ("getrandom", true),
+    ("fs::write", true),
+    ("File::create", true),
+];
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// `(line, token)` hits of the probe list over scrubbed text, mirroring
+/// the scanner's per-line matching with left-identifier boundaries.
+fn probe_hits(scrubbed: &str) -> Vec<(usize, &'static str)> {
+    let mut hits = Vec::new();
+    for (idx, line) in scrubbed.lines().enumerate() {
+        for &(tok, left) in PROBE_TOKENS {
+            let mut from = 0;
+            while let Some(off) = line[from..].find(tok) {
+                let at = from + off;
+                let boundary = !left
+                    || line[..at]
+                        .chars()
+                        .next_back()
+                        .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                if boundary {
+                    hits.push((idx + 1, tok));
+                    break;
+                }
+                from = at + tok.len();
+            }
+        }
+    }
+    hits
+}
+
+#[test]
+fn token_stream_covers_every_real_source_exactly() {
+    let ws = Workspace::load(workspace_root()).expect("workspace is readable");
+    assert!(ws.sources.len() > 50, "workspace walk looks truncated");
+    for src in &ws.sources {
+        let mut at = 0;
+        for t in &src.tokens {
+            assert_eq!(t.start, at, "{}: token gap/overlap at byte {at}", src.rel);
+            assert!(t.end > t.start, "{}: empty {:?} token", src.rel, t.kind);
+            at = t.end;
+        }
+        assert_eq!(at, src.text.len(), "{}: stream does not reach EOF", src.rel);
+    }
+}
+
+#[test]
+fn blanking_preserves_length_and_newline_offsets_everywhere() {
+    let ws = Workspace::load(workspace_root()).expect("workspace is readable");
+    for src in &ws.sources {
+        let blanked = blank_tokens(&src.text, &src.tokens);
+        assert_eq!(
+            blanked.len(),
+            src.text.len(),
+            "{}: blanking changed the byte length",
+            src.rel
+        );
+        let offsets = |s: &str| -> Vec<usize> {
+            s.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_eq!(
+            offsets(&blanked),
+            offsets(&src.text),
+            "{}: newline offsets moved",
+            src.rel
+        );
+    }
+}
+
+#[test]
+fn zero_diagnostic_drift_against_the_legacy_scrubber() {
+    let ws = Workspace::load(workspace_root()).expect("workspace is readable");
+    for src in &ws.sources {
+        let legacy = strip_cfg_test(&blank_source(&src.text));
+        let modern = &src.scrubbed;
+        assert_eq!(
+            probe_hits(&legacy),
+            probe_hits(modern),
+            "{}: probe-token hits drifted between scrubbers",
+            src.rel
+        );
+    }
+}

@@ -38,11 +38,82 @@ fn bad_fixture_tree_produces_exactly_the_pinned_diagnostics() {
          a crash mid-write leaves a torn file; use smartrefresh_core::write_atomic",
         "crates/badcrate/src/lib.rs:34: [atomic-io] non-atomic file creation `File::create` — \
          a crash mid-write leaves a torn file; use smartrefresh_core::write_atomic",
+        "crates/baddet/src/lib.rs:7: [deterministic] environment read `env::var` — resolve \
+         configuration at the CLI boundary and pass it down (check:allow the sanctioned sites)",
+        "crates/baddet/src/lib.rs:15: [unused-suppression] suppression \
+         `check:allow(panic-free)` silenced nothing — remove it",
+        "crates/baddet/src/lib.rs:17: [deterministic] ambient nondeterminism `Instant::now` — \
+         library code must use the simulated clock and the in-repo seeded PRNG",
+        "crates/baddet/src/lib.rs:17: [deterministic] ambient nondeterminism `std::time` — \
+         library code must use the simulated clock and the in-repo seeded PRNG",
+        "crates/baddet/src/lib.rs:18: [deterministic] `Instant::` with no simulated-clock \
+         import resolves to the wall clock — use smartrefresh_dram::time::Instant",
+        "crates/baddet/src/report.rs:5: [deterministic] `HashMap` in report/digest code — \
+         iteration order is unspecified; use BTreeMap/BTreeSet for stable output",
+        "crates/baddet/src/report.rs:8: [deterministic] `HashSet` in report/digest code — \
+         iteration order is unspecified; use BTreeMap/BTreeSet for stable output",
+        "crates/badsync/src/lib.rs:4: [atomics-confined] raw atomic `AtomicUsize` outside \
+         smartrefresh_core::sync — build on WorkCursor (or extend core::sync) so \
+         interleaving-sensitive state stays in the one model-checked module",
+        "crates/badsync/src/lib.rs:4: [atomics-confined] raw atomic `sync::atomic` outside \
+         smartrefresh_core::sync — build on WorkCursor (or extend core::sync) so \
+         interleaving-sensitive state stays in the one model-checked module",
+        "crates/badsync/src/lib.rs:5: [no-interior-mut] interior mutability `Mutex` in \
+         library code — the determinism contract is share-nothing workers with an \
+         index-ordered merge",
+        "crates/badsync/src/lib.rs:6: [no-interior-mut] interior mutability `RefCell` in \
+         library code — the determinism contract is share-nothing workers with an \
+         index-ordered merge",
+        "crates/badsync/src/lib.rs:8: [atomics-confined] raw atomic `AtomicUsize` outside \
+         smartrefresh_core::sync — build on WorkCursor (or extend core::sync) so \
+         interleaving-sensitive state stays in the one model-checked module",
+        "crates/badsync/src/lib.rs:11: [atomics-confined] raw atomic `Ordering::SeqCst` \
+         outside smartrefresh_core::sync — build on WorkCursor (or extend core::sync) so \
+         interleaving-sensitive state stays in the one model-checked module",
+        "crates/badsync/src/lib.rs:14: [no-interior-mut] interior mutability `static mut` in \
+         library code — the determinism contract is share-nothing workers with an \
+         index-ordered merge",
+        "crates/badsync/src/lib.rs:17: [no-interior-mut] interior mutability `Cell<` in \
+         library code — the determinism contract is share-nothing workers with an \
+         index-ordered merge",
+        "crates/badsync/src/lib.rs:18: [no-interior-mut] interior mutability `Mutex` in \
+         library code — the determinism contract is share-nothing workers with an \
+         index-ordered merge",
+        "crates/badsync/src/lib.rs:22: [scoped-spawn-only] unscoped `thread::spawn` — use \
+         std::thread::scope so workers are joined before their borrowed items go away",
+        "crates/badsync/src/lib.rs:28: [merge-ordered] par_map closure mutates captured \
+         `sink` via `.push(` — workers race on it; return a value and merge by item index",
+        "crates/badsync/src/lib.rs:29: [merge-ordered] par_map closure takes `&mut total` \
+         captured from outside — workers race on it; return a value and merge by item index",
     ];
     assert_eq!(
         rendered, expected,
         "diagnostics drifted from the pinned set"
     );
+}
+
+#[test]
+fn suppression_silences_exactly_one_of_two_identical_violations() {
+    // baddet commits the same `env::var` sin twice (lines 7 and 12); the
+    // `check:allow(deterministic)` above line 12 silences that one only,
+    // and the decoy `check:allow(panic-free)` is flagged as unused.
+    let diags = run_lint(fixture_root()).expect("fixture tree is readable");
+    let in_baddet_lib: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file == "crates/baddet/src/lib.rs")
+        .collect();
+    let env_reads: Vec<usize> = in_baddet_lib
+        .iter()
+        .filter(|d| d.message.contains("env::var"))
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(env_reads, [7], "only the unsuppressed read is reported");
+    let unused: Vec<usize> = in_baddet_lib
+        .iter()
+        .filter(|d| d.rule == "unused-suppression")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(unused, [15], "the decoy allow is flagged as unused");
 }
 
 #[test]

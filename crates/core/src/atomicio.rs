@@ -40,7 +40,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     tmp_name.push(format!(".{}.tmp", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
     let result = (|| {
-        let mut f = File::create(&tmp)?;
+        let mut f = File::create(&tmp)?; // check:allow(atomic-io)
         f.write_all(bytes)?;
         // Contents must be durable *before* the rename makes them visible,
         // or a crash could expose a named-but-empty checkpoint.

@@ -53,6 +53,7 @@ pub mod queue;
 pub mod retention_aware;
 pub mod smart;
 pub mod stagger;
+pub mod sync;
 pub mod timing_wheel;
 
 pub use atomicio::write_atomic;
@@ -65,4 +66,5 @@ pub use queue::{PendingRefresh, PendingRefreshQueue, QueueOverflow};
 pub use retention_aware::RetentionAwareDistributed;
 pub use smart::{SmartRefresh, SmartRefreshConfig, SmartRefreshStats};
 pub use stagger::StaggerSchedule;
+pub use sync::WorkCursor;
 pub use timing_wheel::TimingWheel;

@@ -3,9 +3,10 @@
 //! The supervisor advances the campaign in **epochs**. Each epoch it
 //! (A) settles time-based state — stall countdowns, the deadline watchdog,
 //! retry backoff expiry; (B) fans the ready cells out across a pool of
-//! `std::thread` workers pulling from a shared atomic work queue (work
-//! stealing: a slow shard occupies one worker, never a whole static
-//! lane), each shard attempt wrapped in `catch_unwind`;
+//! `std::thread` workers pulling from a shared
+//! [`smartrefresh_core::sync::WorkCursor`] (work stealing: a slow shard
+//! occupies one worker, never a whole static lane), each shard attempt
+//! wrapped in `catch_unwind`;
 //! (C) merges worker verdicts back into the checkpoint in cell order and
 //! writes the checkpoint atomically. Because every transition in (A) and
 //! (C) is a deterministic function of checkpointed state, and chaos
@@ -22,8 +23,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
+use smartrefresh_core::sync::WorkCursor;
 use smartrefresh_ctrl::SimError;
 use smartrefresh_dram::rng::Rng;
 
@@ -209,7 +210,7 @@ pub fn run_fleet(
         let grid = &ckpt.grid;
         let mut verdicts: WorkerVerdicts = Vec::with_capacity(ready.len());
         if !ready.is_empty() {
-            let cursor = AtomicUsize::new(0);
+            let cursor = WorkCursor::new(ready.len());
             let pool = cfg.workers.min(ready.len());
             let joined: Result<Vec<WorkerVerdicts>, SimError> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..pool)
@@ -218,10 +219,8 @@ pub fn run_fleet(
                         let queue = &ready;
                         scope.spawn(move || {
                             let mut out = WorkerVerdicts::new();
-                            loop {
-                                let at = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(item) = queue.get(at) else { break };
-                                out.push(run_attempt(grid, item));
+                            while let Some(at) = cursor.claim() {
+                                out.push(run_attempt(grid, &queue[at]));
                             }
                             out
                         })

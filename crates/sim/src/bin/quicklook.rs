@@ -84,6 +84,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // check:allow(deterministic) — display-only detail toggle
         if std::env::var("QUICKLOOK_DETAIL").is_ok() {
             println!("  base  {}", rb.energy);
             println!("  smart {}", rs.energy);

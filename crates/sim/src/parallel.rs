@@ -3,7 +3,8 @@
 //! Every parallel path in the simulator is a *sharded map with an ordered
 //! merge*: independent work items (figure-corpus experiments, campaign
 //! scenarios, the channels of a [`MultiChannelSystem`]) fan out across
-//! [`std::thread::scope`] workers pulling from an atomic cursor, and the
+//! [`std::thread::scope`] workers pulling from a shared
+//! [`smartrefresh_core::sync::WorkCursor`], and the
 //! results are merged **by item index**, never by completion order. Each
 //! item's computation is already deterministic on its own (seeded PRNGs,
 //! integer simulated time, no wall-clock reads), so the merge order is
@@ -22,8 +23,7 @@
 //!
 //! [`MultiChannelSystem`]: crate::system::MultiChannelSystem
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
+use smartrefresh_core::sync::WorkCursor;
 use smartrefresh_ctrl::SimError;
 
 /// Cap applied to the auto-detected thread count: the work items here are
@@ -64,7 +64,7 @@ pub fn default_threads() -> usize {
 pub fn resolve_threads(explicit: Option<&str>) -> Result<usize, SimError> {
     let spec = match explicit {
         Some(s) => Some(s.to_string()),
-        None => std::env::var(THREADS_ENV).ok(),
+        None => std::env::var(THREADS_ENV).ok(), // check:allow(deterministic)
     };
     let Some(spec) = spec else {
         return Ok(default_threads());
@@ -79,9 +79,10 @@ pub fn resolve_threads(explicit: Option<&str>) -> Result<usize, SimError> {
 
 /// Maps `f` over `items` on up to `threads` scoped workers and returns
 /// the results **in item order**, regardless of which worker finished
-/// which item when. Workers pull from a shared atomic cursor (work
-/// stealing), so a slow item occupies one worker while the rest drain the
-/// queue. With `threads <= 1` (or fewer than two items) this is a plain
+/// which item when. Workers pull from a shared
+/// [`WorkCursor`] (work stealing),
+/// so a slow item occupies one worker while the rest drain the queue.
+/// With `threads <= 1` (or fewer than two items) this is a plain
 /// sequential map — the reference the parallel path must be
 /// bit-identical to.
 ///
@@ -97,7 +98,7 @@ where
     if threads <= 1 || n <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let cursor = AtomicUsize::new(0);
+    let cursor = WorkCursor::new(n);
     let workers = threads.min(n);
     let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -106,10 +107,8 @@ where
                 let f = &f;
                 scope.spawn(move || {
                     let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(i, item)));
+                    while let Some(i) = cursor.claim() {
+                        out.push((i, f(i, &items[i])));
                     }
                     out
                 })

@@ -10,6 +10,6 @@
 /// True when `SMARTREFRESH_SANITIZE` is set to `1`, `true`, `yes`, or
 /// `on` (case-insensitive).
 pub fn sanitize_from_env() -> bool {
-    std::env::var("SMARTREFRESH_SANITIZE")
+    std::env::var("SMARTREFRESH_SANITIZE") // check:allow(deterministic)
         .is_ok_and(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"))
 }
