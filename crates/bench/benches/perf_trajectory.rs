@@ -2,7 +2,7 @@
 //! 1, 2, and 4 simulation threads), the system campaigns, an
 //! orchestrated fleet (single worker vs. a supervised pool), and the
 //! conformance tooling (the nine-rule source lint plus the bounded
-//! interleaving model check), emitted as `BENCH_9.json` at the
+//! interleaving model check), emitted as `BENCH_10.json` at the
 //! workspace root so the numbers are tracked PR-over-PR.
 //!
 //! Self-contained `harness = false` timing loop — no external benchmark
@@ -20,8 +20,9 @@ use smartrefresh_check::run_lint;
 use smartrefresh_core::write_atomic;
 use smartrefresh_sim::figures::{Evaluation, FigureId};
 use smartrefresh_sim::{
-    run_campaign, run_coschedule_campaign, run_powerdown_campaign, run_rfm_campaign,
-    run_scrub_campaign, CampaignConfig, CoscheduleConfig, RfmCampaignConfig,
+    run_campaign, run_coschedule_campaign, run_hot_channel_campaign, run_powerdown_campaign,
+    run_rfm_campaign, run_scrub_campaign, CampaignConfig, CoscheduleConfig, HotChannelConfig,
+    RfmCampaignConfig,
 };
 
 use smartrefresh_orchestrator::{
@@ -192,6 +193,21 @@ fn main() {
             r.undefended.ue_detected, r.defended.ue_detected
         ),
     });
+    let (ms, r) = timed(|| {
+        must(
+            run_hot_channel_campaign(&HotChannelConfig::quick(6)),
+            "hot-channel campaign",
+        )
+    });
+    println!("campaign/hotchannel                {ms:>10.1} ms");
+    entries.push(Entry {
+        name: "campaign/hotchannel",
+        wall_ms: ms,
+        detail: format!(
+            "2 setups, closures {} vs {}, deferred {}",
+            r.baseline.closures, r.darp.closures, r.darp.darp.deferred
+        ),
+    });
 
     // The orchestrated fleet, single-thread vs. a supervised worker pool.
     // The digest must not depend on the worker count.
@@ -261,10 +277,10 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
     must(
         write_atomic(path.as_ref(), json.as_bytes()),
-        "write BENCH_9.json",
+        "write BENCH_10.json",
     );
     println!("wrote {path}");
 }

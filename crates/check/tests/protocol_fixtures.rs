@@ -181,11 +181,43 @@ fn refresh_deferral_beyond_eight_intervals() {
     let trefi = t.retention.div_by(u64::from(g.rows()));
     // Exactly the eight-interval bound is still legal (§5 queues absorb
     // up to 8 x tREFI of slip) …
-    c.note_refresh_dispatch(Instant::ZERO, Instant::ZERO + trefi * 8);
+    c.note_refresh_dispatch(0, 0, Instant::ZERO, Instant::ZERO + trefi * 8);
     assert!(rules(&c).is_empty(), "deferral at the bound must be legal");
     // … one interval past it is not.
-    c.note_refresh_dispatch(Instant::ZERO, Instant::ZERO + trefi * 9);
+    c.note_refresh_dispatch(0, 0, Instant::ZERO, Instant::ZERO + trefi * 9);
     assert_only(&c, RuleId::RefreshDeferral);
+}
+
+#[test]
+fn refresh_deferral_is_accounted_per_bank() {
+    let (mut c, g, t) = setup();
+    let trefi = t.retention.div_by(u64::from(g.rows()));
+    // DARP holds bank 1's refresh behind a hot page while bank 0's own
+    // dispatches stay at the bound: bank 0 must stay clean even though
+    // bank 1 blows the budget in the same command stream.
+    c.note_refresh_dispatch(0, 0, Instant::ZERO, Instant::ZERO + trefi * 8);
+    c.note_refresh_dispatch(0, 1, Instant::ZERO, Instant::ZERO + trefi * 9);
+    assert_only(&c, RuleId::RefreshDeferral);
+    let v = &c.violations()[0];
+    assert_eq!((v.rank, v.bank), (0, 1), "violation must name the bank");
+    assert!(
+        v.detail.contains("bank (0, 1)"),
+        "detail must name the offending bank: {}",
+        v.detail
+    );
+}
+
+#[test]
+fn refresh_deferral_names_each_offending_bank() {
+    let (mut c, g, t) = setup();
+    let trefi = t.retention.div_by(u64::from(g.rows()));
+    // Two different banks both past the bound: two violations, each
+    // attributed to its own bank — not folded onto bank (0, 0).
+    c.note_refresh_dispatch(0, 3, Instant::ZERO, Instant::ZERO + trefi * 9);
+    c.note_refresh_dispatch(0, 5, Instant::ZERO, Instant::ZERO + trefi * 10);
+    assert_only(&c, RuleId::RefreshDeferral);
+    let banks: Vec<(u32, u32)> = c.violations().iter().map(|v| (v.rank, v.bank)).collect();
+    assert_eq!(banks, vec![(0, 3), (0, 5)]);
 }
 
 #[test]

@@ -128,10 +128,26 @@ impl StaggerSchedule {
     }
 
     /// The fixed phase (offset within the access period) at which a given
-    /// counter is examined.
+    /// counter is examined, always strictly inside `[0, access_period)`.
+    ///
+    /// [`tick_time`](Self::tick_time) is 1-based (tick 0 fires one tick
+    /// interval after power-up), so the raw phase of a segment's *last*
+    /// offset is `tick_interval × rows_per_segment` — which equals the
+    /// access period exactly when the division is exact, aliasing tick 0
+    /// of the *next* period. That last offset wraps back to phase zero:
+    /// the counter is examined at the period boundary, which belongs to
+    /// the following period's tick 0.
     pub fn phase_of(&self, flat_index: u64) -> Duration {
         let offset = flat_index % self.rows_per_segment;
-        self.tick_interval * (offset + 1)
+        let raw = self.tick_interval * (offset + 1);
+        // `tick_interval = access_period / rows_per_segment` rounds down,
+        // so `raw` can reach the period only by exact equality; one
+        // subtraction restores the invariant.
+        if raw >= self.access_period {
+            raw - self.access_period
+        } else {
+            raw
+        }
     }
 }
 
@@ -217,10 +233,17 @@ mod tests {
         assert_eq!(s.phase_of(1) - s.phase_of(0), s.tick_interval());
         // Rows 0 and 16 (different segments, same offset) share a phase.
         assert_eq!(s.phase_of(0), s.phase_of(16));
-        // No phase exceeds the access period.
+        // Every phase lies strictly inside the access period: the last
+        // offset of a segment wraps to phase zero instead of aliasing
+        // tick 0 of the next period.
         for i in 0..64 {
-            assert!(s.phase_of(i) <= s.access_period());
+            assert!(
+                s.phase_of(i) < s.access_period(),
+                "row {i} phase {} reached the period",
+                s.phase_of(i)
+            );
         }
+        assert_eq!(s.phase_of(15), Duration::ZERO, "last offset wraps to zero");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use smartrefresh_dram::{DramDevice, RowAddr};
 use smartrefresh_ecc::Decode;
 use smartrefresh_faults::{FaultInjector, Perturbation};
 
+use crate::darp::{BurstTracker, DarpConfig, DarpEngine};
 use crate::ecc::{EccConfig, EccLayer};
 use crate::error::SimError;
 use crate::rfm::{RfmConfig, RfmEngine};
@@ -133,6 +134,13 @@ pub struct MemoryController<P: RefreshPolicy> {
     /// Optional DDR5-style Refresh Management engine (RAA counters, RFM
     /// commands, RAAMMT back-pressure, disturbance-storm escalation).
     rfm: Option<RfmEngine>,
+    /// Optional DARP dispatch: due refreshes to hot banks defer while idle
+    /// banks take theirs out of order, bounded under the sanitizer's
+    /// per-bank deferral rule.
+    darp: Option<DarpEngine>,
+    /// Optional demand-burst tracker: recent activation times, read by a
+    /// system-level scheduler to skew maintenance slots away from bursts.
+    burst: Option<BurstTracker>,
 }
 
 impl<P: RefreshPolicy> MemoryController<P> {
@@ -156,6 +164,8 @@ impl<P: RefreshPolicy> MemoryController<P> {
             faults: None,
             ecc: None,
             rfm: None,
+            darp: None,
+            burst: None,
         }
     }
 
@@ -244,6 +254,73 @@ impl<P: RefreshPolicy> MemoryController<P> {
         self.device.declare_disturbance_ceiling(cfg.act_ceiling);
         self.rfm = Some(RfmEngine::new(cfg, banks));
         Ok(self)
+    }
+
+    /// Enables DARP refresh dispatch (Chang et al., "Improving DRAM
+    /// Performance by Parallelizing Refreshes with Accesses"): a due
+    /// refresh whose bank holds an open page used within
+    /// `cfg.hot_window` is deferred while refreshes to idle banks issue
+    /// out of order ahead of it; at `cfg.max_deferral` the refresh is
+    /// forced through the open page.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when `cfg.max_deferral` reaches the protocol
+    /// sanitizer's `8 × tREFI` per-bank deferral bound (tREFI =
+    /// `retention / rows`): such a config trades the latency win for
+    /// sanitizer violations, so it is rejected up front.
+    pub fn with_darp(mut self, cfg: DarpConfig) -> Result<Self, SimError> {
+        let trefi = self
+            .device
+            .timing()
+            .retention
+            .div_by(u64::from(self.device.geometry().rows()));
+        if cfg.max_deferral >= trefi * 8 {
+            return Err(SimError::Config {
+                what: "DARP max_deferral must stay under the 8 x tREFI sanitizer bound",
+            });
+        }
+        self.darp = Some(DarpEngine::new(cfg));
+        Ok(self)
+    }
+
+    /// Enables SARP subarray parallelism on the device: refreshes whose
+    /// target row lies in a different subarray than the bank's open page
+    /// overlap the access instead of closing it, and the controller's
+    /// access path serialises demand activations behind any in-flight
+    /// refresh of the *same* subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is zero or exceeds the per-bank row count
+    /// (see [`DramDevice::enable_subarrays`]).
+    pub fn with_subarrays(mut self, subarrays: u32) -> Self {
+        self.device.enable_subarrays(subarrays);
+        self
+    }
+
+    /// Enables demand-burst tracking: the issue time of every row
+    /// activation is recorded in a bounded ring of `samples` entries,
+    /// readable via [`MemoryController::burst_tracker`] — the feed a
+    /// system-level maintenance scheduler uses to skew scrub slots away
+    /// from demand bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero (see [`BurstTracker::new`]).
+    pub fn with_burst_tracking(mut self, samples: usize) -> Self {
+        self.burst = Some(BurstTracker::new(samples));
+        self
+    }
+
+    /// The DARP engine, when enabled (its deferral queue and counters).
+    pub fn darp(&self) -> Option<&DarpEngine> {
+        self.darp.as_ref()
+    }
+
+    /// The demand-burst tracker, when enabled.
+    pub fn burst_tracker(&self) -> Option<&BurstTracker> {
+        self.burst.as_ref()
     }
 
     /// The installed fault injector, if any (its event log and stats).
@@ -446,6 +523,12 @@ impl<P: RefreshPolicy> MemoryController<P> {
         }
         self.apply_vrt_transitions(t);
         self.close_idle_pages(t)?;
+        if self.darp.is_some() {
+            // Re-evaluate the deferral queue at the horizon too, so a
+            // deferred refresh never outlives its bound just because the
+            // policy had no wakeup left in the span.
+            self.dispatch_refreshes(t)?;
+        }
         self.run_patrol(t)?;
         self.now = self.now.max(t);
         Ok(())
@@ -531,7 +614,7 @@ impl<P: RefreshPolicy> MemoryController<P> {
         let bank_state = self.device.bank(addr.rank, addr.bank);
         let issue_at = at.max(bank_state.busy_until());
         let closing = bank_state.open_row();
-        self.device.scrub_row(addr, issue_at).map_err(|e| {
+        let out = self.device.scrub_row(addr, issue_at).map_err(|e| {
             SimError::protocol("scrub", addr.rank, addr.bank, Some(addr.row), issue_at, e)
         })?;
         if let Some(closed_row) = closing {
@@ -551,7 +634,14 @@ impl<P: RefreshPolicy> MemoryController<P> {
         if let Some(inj) = self.faults.as_mut() {
             inj.note_row_restored(&geometry, addr);
         }
-        let end = self.device.bank(addr.rank, addr.bank).busy_until();
+        // Like a SARP-overlapping refresh, a scrub that overlaps an open
+        // page in another subarray leaves `busy_until` alone; the device is
+        // still occupied (CKE high) until the scrub's own completion.
+        let end = self
+            .device
+            .bank(addr.rank, addr.bank)
+            .busy_until()
+            .max(out.completed_at);
         self.note_command(issue_at, end);
         self.ecc_check(flat, addr, end, false)
     }
@@ -773,60 +863,125 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 return Ok(());
             }
         }
+        if self.darp.is_some() {
+            return self.dispatch_refreshes_darp(now);
+        }
         while let Some(action) = self.policy.pop_pending() {
-            let (rank, bank) = action.target_bank();
-            let mut issue_at = now.max(self.device.bank(rank, bank).busy_until());
-            if let RefreshAction::RasOnly { row, .. } = action {
-                if let Some(inj) = &mut self.faults {
-                    match inj.perturb_refresh(row, now) {
-                        Perturbation::Pass => {}
-                        Perturbation::Drop => {
-                            // Never issued; the retention tracker will flag
-                            // the row as late on its next restore or in the
-                            // end-of-run violation scan.
-                            self.stats.refreshes_dropped += 1;
-                            self.policy.degrade(DegradeCause::FaultInjection, now);
-                            continue;
-                        }
-                        Perturbation::Delay(by) => {
-                            self.stats.refreshes_delayed += 1;
-                            issue_at += by;
-                            self.policy.degrade(DegradeCause::FaultInjection, now);
-                        }
+            self.issue_refresh_action(action, now, now)?;
+        }
+        Ok(())
+    }
+
+    /// DARP dispatch: newly due refreshes join the deferral queue, then the
+    /// pass walks it in due order. A cold-bank entry issues (counted as
+    /// out-of-order when an older hot-bank entry is being held past it); a
+    /// hot-bank entry defers until the bound forces it through the open
+    /// page.
+    fn dispatch_refreshes_darp(&mut self, now: Instant) -> Result<(), SimError> {
+        while let Some(action) = self.policy.pop_pending() {
+            if let Some(d) = self.darp.as_mut() {
+                d.push(action, now);
+            }
+        }
+        let Some(engine) = self.darp.as_mut() else {
+            return Ok(());
+        };
+        let cfg = engine.config();
+        let queue = engine.take_queue();
+        let mut held_older = false;
+        for entry in queue {
+            let (rank, bank) = entry.action.target_bank();
+            if self.bank_is_hot(rank, bank, now, cfg.hot_window) {
+                if now.saturating_since(entry.due) < cfg.max_deferral {
+                    held_older = true;
+                    if let Some(d) = self.darp.as_mut() {
+                        d.retain(entry);
+                    }
+                    continue;
+                }
+                if let Some(d) = self.darp.as_mut() {
+                    d.note_forced();
+                }
+            } else if held_older {
+                if let Some(d) = self.darp.as_mut() {
+                    d.note_ooo();
+                }
+            }
+            self.issue_refresh_action(entry.action, entry.due, now)?;
+        }
+        Ok(())
+    }
+
+    /// Whether `(rank, bank)` holds an open page that demand traffic used
+    /// within `window` of `now` — the page DARP defers refreshes around.
+    fn bank_is_hot(&self, rank: u32, bank: u32, now: Instant, window: Duration) -> bool {
+        if self.device.bank(rank, bank).open_row().is_none() {
+            return false;
+        }
+        let idx = self.device.geometry().bank_index(rank, bank) as usize;
+        now.saturating_since(self.last_use[idx]) <= window
+    }
+
+    /// Issues one refresh action at `now`. `due` is the wakeup at which the
+    /// action fell due — equal to `now` on the in-order path, earlier when
+    /// DARP deferred it; the sanitizer's per-bank deferral bound is
+    /// measured from it.
+    fn issue_refresh_action(
+        &mut self,
+        action: RefreshAction,
+        due: Instant,
+        now: Instant,
+    ) -> Result<(), SimError> {
+        let (rank, bank) = action.target_bank();
+        let mut issue_at = now.max(self.device.bank(rank, bank).busy_until());
+        if let RefreshAction::RasOnly { row, .. } = action {
+            if let Some(inj) = &mut self.faults {
+                match inj.perturb_refresh(row, now) {
+                    Perturbation::Pass => {}
+                    Perturbation::Drop => {
+                        // Never issued; the retention tracker will flag
+                        // the row as late on its next restore or in the
+                        // end-of-run violation scan.
+                        self.stats.refreshes_dropped += 1;
+                        self.policy.degrade(DegradeCause::FaultInjection, now);
+                        return Ok(());
+                    }
+                    Perturbation::Delay(by) => {
+                        self.stats.refreshes_delayed += 1;
+                        issue_at += by;
+                        self.policy.degrade(DegradeCause::FaultInjection, now);
                     }
                 }
             }
-            // If the bank holds an open page the refresh will close it; the
-            // policy must see the close so the row's counter resets (§4.1).
-            let closing = self.device.bank(rank, bank).open_row();
-            // The action fell due at this wakeup; tell the sanitizer how far
-            // it slipped (fault delays included) for the deferral bound.
-            self.device.note_refresh_dispatch(now, issue_at);
-            let restored_row = match action {
-                RefreshAction::Cbr { .. } => {
-                    let (_, row) = self.device.refresh_cbr(rank, bank, issue_at).map_err(|e| {
-                        SimError::protocol("refresh (CBR)", rank, bank, None, issue_at, e)
-                    })?;
-                    row
+        }
+        // If the bank holds an open page the refresh will close it; the
+        // policy must see the close so the row's counter resets (§4.1).
+        let closing = self.device.bank(rank, bank).open_row();
+        // Tell the sanitizer how far the action slipped past its due wakeup
+        // (DARP deferral and fault delays included) for the per-bank
+        // deferral bound.
+        self.device.note_refresh_dispatch(rank, bank, due, issue_at);
+        let (restored_row, refresh_done) = match action {
+            RefreshAction::Cbr { .. } => {
+                let (out, row) = self.device.refresh_cbr(rank, bank, issue_at).map_err(|e| {
+                    SimError::protocol("refresh (CBR)", rank, bank, None, issue_at, e)
+                })?;
+                (row, out.completed_at)
+            }
+            RefreshAction::RasOnly { row, charge_bus } => {
+                let out = self.device.refresh_ras_only(row, issue_at).map_err(|e| {
+                    SimError::protocol("refresh (RAS-only)", rank, bank, Some(row.row), issue_at, e)
+                })?;
+                if charge_bus {
+                    self.stats.bus_charged_refreshes += 1;
                 }
-                RefreshAction::RasOnly { row, charge_bus } => {
-                    self.device.refresh_ras_only(row, issue_at).map_err(|e| {
-                        SimError::protocol(
-                            "refresh (RAS-only)",
-                            rank,
-                            bank,
-                            Some(row.row),
-                            issue_at,
-                            e,
-                        )
-                    })?;
-                    if charge_bus {
-                        self.stats.bus_charged_refreshes += 1;
-                    }
-                    row.row
-                }
-            };
-            if let Some(closed_row) = closing {
+                (row.row, out.completed_at)
+            }
+        };
+        if let Some(closed_row) = closing {
+            // A SARP overlap leaves the page open; only a refresh the
+            // device actually closed the page for notifies the policy.
+            if self.device.bank(rank, bank).open_row().is_none() {
                 let closed = RowAddr {
                     rank,
                     bank,
@@ -835,26 +990,31 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 self.policy.on_row_closed(closed, issue_at);
                 self.note_policy_reset(closed);
             }
-            let end = self.device.bank(rank, bank).busy_until();
-            self.note_command(issue_at, end);
-            self.stats.refreshes_issued += 1;
-            // The refreshed row's charge is restored: its accumulated
-            // disturbance pressure clears, and the bank's RAA counter gets
-            // DDR5's REF relief.
-            let geometry = *self.device.geometry();
-            if let Some(inj) = self.faults.as_mut() {
-                inj.note_row_restored(
-                    &geometry,
-                    RowAddr {
-                        rank,
-                        bank,
-                        row: restored_row,
-                    },
-                );
-            }
-            if let Some(rfm) = self.rfm.as_mut() {
-                rfm.note_refresh(geometry.bank_index(rank, bank));
-            }
+        }
+        // A SARP overlap leaves the bank demand-ready (`busy_until`
+        // unchanged), but the refresh still occupies the device until its
+        // own completion — CKE stays high through it, so the idle-credit
+        // horizon must advance to the later of the two or a later credited
+        // power-down window would overlap the refresh.
+        let end = self.device.bank(rank, bank).busy_until().max(refresh_done);
+        self.note_command(issue_at, end);
+        self.stats.refreshes_issued += 1;
+        // The refreshed row's charge is restored: its accumulated
+        // disturbance pressure clears, and the bank's RAA counter gets
+        // DDR5's REF relief.
+        let geometry = *self.device.geometry();
+        if let Some(inj) = self.faults.as_mut() {
+            inj.note_row_restored(
+                &geometry,
+                RowAddr {
+                    rank,
+                    bank,
+                    row: restored_row,
+                },
+            );
+        }
+        if let Some(rfm) = self.rfm.as_mut() {
+            rfm.note_refresh(geometry.bank_index(rank, bank));
         }
         Ok(())
     }
@@ -931,7 +1091,8 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 row: vrow,
             };
             let closing = self.device.bank(rank, bank).open_row();
-            self.device
+            let out = self
+                .device
                 .refresh_rfm(victim, t)
                 .map_err(|e| SimError::protocol("refresh (RFM)", rank, bank, Some(vrow), t, e))?;
             if let Some(closed_row) = closing {
@@ -949,7 +1110,14 @@ impl<P: RefreshPolicy> MemoryController<P> {
                 inj.note_row_restored(&geometry, victim);
             }
             self.stats.rfm_row_refreshes += 1;
-            let end = self.device.bank(rank, bank).busy_until();
+            // With SARP the victim refresh may overlap an open page and
+            // leave `busy_until` alone; keep `t` monotone through the
+            // chain and the idle-credit horizon past the refresh.
+            let end = self
+                .device
+                .bank(rank, bank)
+                .busy_until()
+                .max(out.completed_at);
             self.note_command(t, end);
             t = end;
         }
@@ -1010,6 +1178,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
         if outcome != RowBufferOutcome::Hit {
             // Respect the rank's tRRD/tFAW activation window.
             t = t.max(self.device.earliest_activate(rank));
+            // A SARP refresh occupying the target subarray blocks the ACT
+            // until it completes (no-op when subarrays are disabled).
+            t = t.max(self.device.earliest_subarray_ready(target));
             if self.rfm.is_some() {
                 // RAAMMT back-pressure: a bank at the maximum management
                 // threshold must take a mandatory RFM before this ACT.
@@ -1022,6 +1193,9 @@ impl<P: RefreshPolicy> MemoryController<P> {
             self.policy.on_row_opened(target, t);
             self.note_policy_reset(target);
             self.apply_disturbance(target, t);
+            if let Some(b) = self.burst.as_mut() {
+                b.record(t);
+            }
             if let Some(rfm) = self.rfm.as_mut() {
                 elective_rfm =
                     rfm.note_activate(self.device.geometry().bank_index(rank, bank), target.row);
@@ -1247,6 +1421,72 @@ mod tests {
         assert!(mc.device().stats().refreshes_closing_open_page >= 1);
         // ...and integrity still holds.
         assert!(mc.device().check_integrity(ms(70)).is_ok());
+    }
+
+    #[test]
+    fn darp_defers_hot_banks_and_issues_cold_refreshes_out_of_order() {
+        // CbrDistributed on the small module: one CBR per 1 ms slot
+        // (64 ms retention / 64 rows), banks alternating 0, 1, 0, 1…
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let darp = DarpConfig {
+            hot_window: Duration::from_ms(2),
+            max_deferral: Duration::from_ms(6), // < 8 × tREFI = 16 ms
+        };
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention))
+                .with_page_close_timeout(None)
+                .with_darp(darp)
+                .unwrap();
+        // Open bank 0's row 0 just before the first slot and re-touch it
+        // every 1 ms: the page stays inside the 2 ms hot window across the
+        // wakeups at 1..=6 ms.
+        let base = Instant::ZERO + Duration::from_us(900);
+        mc.access(MemTransaction::read(0, base)).unwrap();
+        for k in 1..=6u64 {
+            mc.access(MemTransaction::read(8, base + Duration::from_ms(k)))
+                .unwrap();
+        }
+        // Bank 0's slots (1, 3, 5 ms) all deferred; bank 1's slots (2, 4,
+        // 6 ms) each overtook an older held entry.
+        let stats = mc.darp().unwrap().stats();
+        assert_eq!(stats.deferred, 3);
+        assert_eq!(stats.ooo_issued, 3);
+        assert_eq!(stats.forced, 0);
+        assert_eq!(mc.darp().unwrap().pending(), 3);
+        assert_eq!(mc.device().stats().refreshes_closing_open_page, 0);
+        // At the 7 ms wakeup the oldest entry (due 1 ms) hits the 6 ms
+        // bound and is forced through the still-open page; the close cools
+        // the bank, so the younger entries drain in order behind it.
+        mc.advance_to(ms(7)).unwrap();
+        let stats = mc.darp().unwrap().stats();
+        assert_eq!(stats.forced, 1);
+        assert_eq!(stats.ooo_issued, 3, "drain after the close is in-order");
+        assert_eq!(mc.darp().unwrap().pending(), 0);
+        assert_eq!(mc.device().stats().refreshes_closing_open_page, 1);
+        assert!(mc.device().check_integrity(ms(7)).is_ok());
+    }
+
+    #[test]
+    fn sarp_overlap_keeps_the_page_open_through_refresh() {
+        // 32 rows / 4 subarrays = 8 rows each: row 8 sits in subarray 1,
+        // while the CBR row counter starts its walk in subarray 0.
+        let g = small_geometry();
+        let t = TimingParams::ddr2_667();
+        let mut mc =
+            MemoryController::new(DramDevice::new(g, t), CbrDistributed::new(g, t.retention))
+                .with_page_close_timeout(None)
+                .with_subarrays(4);
+        let row8 = 8 * g.row_bytes() * u64::from(g.total_banks());
+        mc.access(MemTransaction::read(row8, Instant::ZERO))
+            .unwrap();
+        // Bank 0's CBR slots at 1 and 3 ms refresh rows 0 and 1 — a
+        // different subarray than the open page, so both overlap it.
+        mc.advance_to(ms(4)).unwrap();
+        assert_eq!(mc.device().stats().sarp_overlapped_refreshes, 2);
+        assert_eq!(mc.device().stats().refreshes_closing_open_page, 0);
+        assert_eq!(mc.device().bank(0, 0).open_row(), Some(8));
+        assert!(mc.device().check_integrity(ms(4)).is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! ```
 
 pub mod controller;
+pub mod darp;
 pub mod ecc;
 pub mod error;
 pub mod rfm;
@@ -34,6 +35,7 @@ pub mod transaction;
 pub mod watchdog;
 
 pub use controller::{AccessResult, MemoryController, PagePolicy, PowerDownConfig};
+pub use darp::{BurstTracker, DarpConfig, DarpEngine, DarpStats};
 pub use ecc::EccConfig;
 pub use error::SimError;
 pub use rfm::{RfmConfig, RfmEngine, RfmEngineStats, RfmLevel};

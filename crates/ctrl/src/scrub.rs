@@ -115,6 +115,16 @@ impl PatrolScrubber {
         }
     }
 
+    /// Postpones the next slot to `t`, bounded to forward moves of at most
+    /// one interval — a demand-aware scheduler can skew a slot away from
+    /// an access burst within its own period, but can never skip a period
+    /// or pull a slot earlier. Out-of-bounds requests are ignored.
+    pub fn postpone_to(&mut self, t: Instant) {
+        if t > self.next_slot && t <= self.next_slot + self.cfg.interval {
+            self.next_slot = t;
+        }
+    }
+
     /// Picks the scrub victim in deadline order: the flat row index whose
     /// retention deadline (`last_restore + row_deadline`) expires soonest.
     /// Ties break toward the lower index. `None` for an empty tracker.
@@ -174,6 +184,24 @@ mod tests {
             s.set_interval(Duration::ZERO),
             Err(crate::SimError::Config { .. })
         ));
+    }
+
+    #[test]
+    fn postpone_is_bounded_and_forward_only() {
+        let mut s = PatrolScrubber::new(ScrubConfig {
+            interval: Duration::from_us(10),
+        });
+        let base = s.next_slot();
+        // Backward and same-time requests are ignored.
+        s.postpone_to(base - Duration::from_us(1));
+        s.postpone_to(base);
+        assert_eq!(s.next_slot(), base);
+        // Beyond one interval would skip a period: ignored.
+        s.postpone_to(base + Duration::from_us(11));
+        assert_eq!(s.next_slot(), base);
+        // Within the period: honoured.
+        s.postpone_to(base + Duration::from_us(7));
+        assert_eq!(s.next_slot(), base + Duration::from_us(7));
     }
 
     #[test]

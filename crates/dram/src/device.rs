@@ -34,6 +34,20 @@ pub struct OpOutcome {
     pub closed_open_page: bool,
 }
 
+/// Subarray-level refresh/access parallelism (SARP) state: each bank is
+/// split into independently sensable subarrays, and a refresh whose target
+/// row lies in a different subarray than the bank's open page proceeds
+/// without closing it. Only the target subarray's sense amplifiers are
+/// occupied, tracked here as a busy-until horizon per (bank, subarray).
+#[derive(Debug, Clone)]
+struct SarpState {
+    subarrays: u32,
+    /// Rows per subarray (ceiling division of the per-bank row count).
+    rows_per_subarray: u32,
+    /// Busy-until horizon, indexed `flat_bank * subarrays + subarray`.
+    busy: Vec<Instant>,
+}
+
 /// A DDR2-style DRAM module.
 ///
 /// # Examples
@@ -69,6 +83,8 @@ pub struct DramDevice {
     /// Optional shadow conformance checker; one branch per command when
     /// disabled (`None`), full DDR2 + Smart-Refresh validation when enabled.
     checker: Option<Box<ProtocolChecker>>,
+    /// Opt-in SARP capability; `None` keeps every refresh bank-granular.
+    sarp: Option<SarpState>,
 }
 
 impl DramDevice {
@@ -91,6 +107,50 @@ impl DramDevice {
             timing,
             stats: OpStats::new(),
             checker: None,
+            sarp: None,
+        }
+    }
+
+    /// Enables subarray-level refresh/access parallelism (SARP): each bank
+    /// is treated as `subarrays` independently sensable subarrays, so a
+    /// refresh whose target row lies in a different subarray than the
+    /// bank's open page proceeds *without* closing the page. Off by
+    /// default — every refresh then behaves exactly as before. Call right
+    /// after construction; re-enabling resets the subarray busy horizons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is zero or exceeds the per-bank row count.
+    pub fn enable_subarrays(&mut self, subarrays: u32) {
+        assert!(subarrays > 0, "need at least one subarray");
+        assert!(
+            subarrays <= self.geometry.rows(),
+            "more subarrays than rows per bank"
+        );
+        let nbanks = self.geometry.total_banks() as usize;
+        self.sarp = Some(SarpState {
+            subarrays,
+            rows_per_subarray: self.geometry.rows().div_ceil(subarrays),
+            busy: vec![Instant::ZERO; nbanks * subarrays as usize],
+        });
+    }
+
+    /// Subarrays per bank (1 when SARP is disabled).
+    pub fn subarrays(&self) -> u32 {
+        self.sarp.as_ref().map_or(1, |s| s.subarrays)
+    }
+
+    /// Earliest instant the subarray holding `addr.row` accepts a new sense
+    /// operation. Always `Instant::ZERO` when SARP is disabled: bank-level
+    /// busy tracking already covers the whole bank, so there is nothing
+    /// finer-grained to wait for.
+    pub fn earliest_subarray_ready(&self, addr: RowAddr) -> Instant {
+        match &self.sarp {
+            None => Instant::ZERO,
+            Some(s) => {
+                let bi = self.geometry.bank_index(addr.rank, addr.bank) as usize;
+                s.busy[bi * s.subarrays as usize + (addr.row / s.rows_per_subarray) as usize]
+            }
         }
     }
 
@@ -128,11 +188,12 @@ impl DramDevice {
         }
     }
 
-    /// Tells the checker a pending refresh that fell due at `due` was
-    /// dispatched at `issued` (deferral-bound check). No-op when disabled.
-    pub fn note_refresh_dispatch(&mut self, due: Instant, issued: Instant) {
+    /// Tells the checker a pending refresh for `(rank, bank)` that fell due
+    /// at `due` was dispatched at `issued` (per-bank deferral-bound check;
+    /// a violation names the bank). No-op when disabled.
+    pub fn note_refresh_dispatch(&mut self, rank: u32, bank: u32, due: Instant, issued: Instant) {
         if let Some(c) = self.checker.as_deref_mut() {
-            c.note_refresh_dispatch(due, issued);
+            c.note_refresh_dispatch(rank, bank, due, issued);
         }
     }
 
@@ -474,6 +535,14 @@ impl DramDevice {
         class: RefreshClass,
     ) -> Result<OpOutcome, DramError> {
         self.require_ready(rank, bank, now)?;
+        // SARP: with subarrays enabled, a refresh whose target row lives in
+        // a different subarray than the open page overlaps the access — the
+        // page stays open and only the target subarray goes busy.
+        if let (Some(open), Some(s)) = (self.bank(rank, bank).open_row(), self.sarp.as_ref()) {
+            if open / s.rows_per_subarray != row / s.rows_per_subarray {
+                return self.refresh_sarp_overlap(rank, bank, row, now, class);
+            }
+        }
         let mut start = now;
         let mut closed_open_page = false;
         let mut pre = None;
@@ -511,6 +580,46 @@ impl DramDevice {
             bank_ready_at: done,
             completed_at: done,
             closed_open_page,
+        })
+    }
+
+    /// The SARP overlap arm of [`refresh_common`](Self::refresh_common):
+    /// the bank state machine is deliberately untouched (the open page
+    /// stays open, the bank stays available to demand accesses); the
+    /// target subarray alone is occupied for tRFC, serialising
+    /// back-to-back overlapped refreshes into the same subarray.
+    fn refresh_sarp_overlap(
+        &mut self,
+        rank: u32,
+        bank: u32,
+        row: u32,
+        now: Instant,
+        class: RefreshClass,
+    ) -> Result<OpOutcome, DramError> {
+        let trfc = self.timing.trfc;
+        let bi = self.geometry.bank_index(rank, bank) as usize;
+        // The caller only takes this arm with subarray state present; if it
+        // ever were absent the overlap degrades to an unserialised refresh
+        // rather than a panic.
+        let mut start = now;
+        if let Some(s) = self.sarp.as_mut() {
+            let idx = bi * s.subarrays as usize + (row / s.rows_per_subarray) as usize;
+            start = now.max(s.busy[idx]);
+            s.busy[idx] = start + trfc;
+        }
+        let done = start + trfc;
+        let addr = RowAddr { rank, bank, row };
+        self.retention.restore(self.geometry.flatten(addr), done);
+        self.stats.sarp_overlapped_refreshes += 1;
+        if let Some(c) = self.checker.as_deref_mut() {
+            c.observe_sarp_refresh(addr, start, class);
+        }
+        Ok(OpOutcome {
+            // The bank is never reserved: demand accesses to other
+            // subarrays proceed immediately.
+            bank_ready_at: now,
+            completed_at: done,
+            closed_open_page: false,
         })
     }
 
@@ -838,6 +947,67 @@ mod tests {
         .unwrap();
         // Rank 1 is unconstrained by rank 0's activate.
         assert_eq!(d.earliest_activate(1), Instant::ZERO);
+    }
+
+    #[test]
+    fn sarp_refresh_overlaps_a_different_subarrays_open_page() {
+        let mut d = dev();
+        // 16 rows, 4 subarrays -> rows 0..4 in subarray 0, 4..8 in 1, etc.
+        d.enable_subarrays(4);
+        assert_eq!(d.subarrays(), 4);
+        d.activate(row(0, 1), Instant::ZERO).unwrap();
+        let t = Instant::ZERO + Duration::from_us(1);
+        // Row 7 lives in subarray 1; the page in subarray 0 stays open.
+        let out = d.refresh_ras_only(row(0, 7), t).unwrap();
+        assert!(!out.closed_open_page);
+        assert_eq!(d.bank(0, 0).open_row(), Some(1), "page must stay open");
+        assert_eq!(out.bank_ready_at, t, "bank is never reserved");
+        assert_eq!(out.completed_at, t + d.timing().trfc);
+        assert_eq!(d.stats().sarp_overlapped_refreshes, 1);
+        assert_eq!(d.stats().refreshes_closing_open_page, 0);
+        // The refresh still restored the row's charge.
+        let flat = d.geometry().flatten(row(0, 7));
+        assert_eq!(d.retention().last_restore(flat), out.completed_at);
+        // The target subarray is busy until completion; others are free.
+        assert_eq!(d.earliest_subarray_ready(row(0, 7)), out.completed_at);
+        assert_eq!(d.earliest_subarray_ready(row(0, 12)), Instant::ZERO);
+    }
+
+    #[test]
+    fn sarp_same_subarray_refresh_still_closes_the_page() {
+        let mut d = dev();
+        d.enable_subarrays(4);
+        d.activate(row(0, 1), Instant::ZERO).unwrap();
+        let t = Instant::ZERO + Duration::from_us(1);
+        // Row 2 shares subarray 0 with the open row 1: the sense amps are
+        // occupied by the page, so the classic close-then-refresh applies.
+        let out = d.refresh_ras_only(row(0, 2), t).unwrap();
+        assert!(out.closed_open_page);
+        assert_eq!(d.stats().refreshes_closing_open_page, 1);
+        assert_eq!(d.stats().sarp_overlapped_refreshes, 0);
+        assert!(d.bank(0, 0).is_precharged());
+    }
+
+    #[test]
+    fn sarp_back_to_back_overlaps_serialise_within_a_subarray() {
+        let mut d = dev();
+        d.enable_subarrays(4);
+        d.activate(row(0, 1), Instant::ZERO).unwrap();
+        let t = Instant::ZERO + Duration::from_us(1);
+        let first = d.refresh_ras_only(row(0, 7), t).unwrap();
+        // Second overlapped refresh into the same subarray queues behind
+        // the first one's tRFC even though the bank itself is free.
+        let second = d.refresh_ras_only(row(0, 6), t).unwrap();
+        assert_eq!(second.completed_at, first.completed_at + d.timing().trfc);
+    }
+
+    #[test]
+    fn subarray_ready_is_zero_when_sarp_is_disabled() {
+        let mut d = dev();
+        d.refresh_ras_only(row(0, 7), Instant::ZERO).unwrap();
+        assert_eq!(d.subarrays(), 1);
+        assert_eq!(d.earliest_subarray_ready(row(0, 7)), Instant::ZERO);
+        assert_eq!(d.stats().sarp_overlapped_refreshes, 0);
     }
 
     #[test]

@@ -704,25 +704,56 @@ impl ProtocolChecker {
         }
     }
 
+    /// Observe a SARP overlapped refresh: a subarray-level refresh of
+    /// `addr` while a row of a *different* subarray stays open in the same
+    /// bank. The bank-level shadow state is deliberately untouched — the
+    /// open row remains open and the bank stays available to demand
+    /// accesses, which is the whole point of the mechanism — but the
+    /// refresh still restores the row's charge and carries the usual
+    /// Smart-Refresh obligations (disturbance relief, RAA relief, and the
+    /// §4.3 counter-reset expectation for scrubs).
+    pub fn observe_sarp_refresh(&mut self, addr: RowAddr, start: Instant, class: RefreshClass) {
+        self.commands += 1;
+        let bi = self.bank_index(addr.rank, addr.bank);
+        let flat = self.geometry.flatten(addr);
+        self.restore_shadow(flat, start + self.timing.trfc);
+        self.neighbor_pressure.remove(&flat);
+        if let Some((raaimt, _)) = self.rfm_thresholds {
+            if matches!(class, RefreshClass::Cbr | RefreshClass::RasOnly) {
+                let dec = (raaimt / 2).max(1);
+                self.raa_shadow[bi] = self.raa_shadow[bi].saturating_sub(dec);
+            }
+        }
+        if class == RefreshClass::Scrub {
+            self.expect_reset(flat, start);
+        }
+    }
+
     /// Note that the controller reset the time-out counter backing `flat`
     /// (a policy `on_row_opened`/`on_row_closed`/`on_row_scrubbed` call).
     pub fn note_policy_reset(&mut self, flat: u64) {
         self.pending_resets.remove(&flat);
     }
 
-    /// Note a pending refresh action being dispatched: it fell due at
-    /// `due` and was issued at `issued`.
-    pub fn note_refresh_dispatch(&mut self, due: Instant, issued: Instant) {
+    /// Note a pending refresh action for `(rank, bank)` being dispatched: it
+    /// fell due at `due` and was issued at `issued`. The deferral bound is
+    /// judged per dispatch, so a controller holding refreshes behind one
+    /// bank's hot page (DARP) answers for that bank's own backlog, and a
+    /// violation names the bank it occurred on.
+    pub fn note_refresh_dispatch(&mut self, rank: u32, bank: u32, due: Instant, issued: Instant) {
         let bound = self.trefi * 8;
         let deferral = issued.saturating_since(due);
         if deferral > bound {
             self.flag(
                 RuleId::RefreshDeferral,
                 issued,
-                0,
-                0,
+                rank,
+                bank,
                 None,
-                format!("refresh due at {due} deferred {deferral}; bound is 8 x tREFI = {bound}"),
+                format!(
+                    "refresh for bank ({rank}, {bank}) due at {due} deferred {deferral}; \
+                     bound is 8 x tREFI = {bound}"
+                ),
             );
         }
     }

@@ -27,6 +27,11 @@ pub struct OpStats {
     /// RFM victim refreshes (Refresh Management RAS cycles against hammer
     /// victims; accounted separately so mitigation overhead stays visible).
     pub rfm_refreshes: u64,
+    /// SARP overlapped refreshes: subarray-granular refreshes that ran
+    /// under a different subarray's open page without closing it (opt-in
+    /// capability; priced separately by the energy model). Each is *also*
+    /// counted in its mechanism's own counter above.
+    pub sarp_overlapped_refreshes: u64,
 }
 
 impl OpStats {
@@ -59,6 +64,8 @@ impl OpStats {
                 - earlier.refreshes_closing_open_page,
             scrubs: self.scrubs - earlier.scrubs,
             rfm_refreshes: self.rfm_refreshes - earlier.rfm_refreshes,
+            sarp_overlapped_refreshes: self.sarp_overlapped_refreshes
+                - earlier.sarp_overlapped_refreshes,
         }
     }
 }

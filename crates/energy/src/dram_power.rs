@@ -339,6 +339,7 @@ mod tests {
             refreshes_closing_open_page: 2,
             scrubs: 0,
             rfm_refreshes: 0,
+            sarp_overlapped_refreshes: 0,
         };
         let e = p.energy(
             &o,

@@ -22,6 +22,7 @@ fn sample_ops(rng: &mut Rng) -> OpStats {
         refreshes_closing_open_page: (c + ro) / 3,
         scrubs: 0,
         rfm_refreshes: 0,
+        sarp_overlapped_refreshes: 0,
     }
 }
 

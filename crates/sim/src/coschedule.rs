@@ -160,7 +160,14 @@ pub struct CoscheduleOutcome {
     /// Scheduler deferrals in favour of precharged banks (co-scheduled
     /// runs only).
     pub deferred_scrubs: u64,
-    /// Scheduler scrubs forced through an open page (co-scheduled only).
+    /// Scheduler scrubs forced through an open page because the victim's
+    /// coverage deadline was inside the slack (co-scheduled only).
+    pub forced_out_of_slack: u64,
+    /// Scheduler scrubs forced through an open page because every bank
+    /// held one (co-scheduled only).
+    pub forced_no_idle_bank: u64,
+    /// Scheduler scrubs forced through an open page (co-scheduled only);
+    /// the sum of the two components above.
     pub forced_closures: u64,
     /// Scrub-coverage deadlines missed (co-scheduled only; the
     /// uncoordinated wiring makes no coverage promises at all).
@@ -295,6 +302,7 @@ fn scheduler_for(
             watchdog: WatchdogConfig::for_retention(cfg.module.timing.retention),
             adaptive: Some(adaptive),
             slack: cfg.slack,
+            skew: None,
         },
     )
 }
@@ -380,6 +388,8 @@ pub fn run_coschedule_setup(
                 .sum(),
         },
         deferred_scrubs: sched.as_ref().map_or(0, |s| s.stats().deferred_scrubs),
+        forced_out_of_slack: sched.as_ref().map_or(0, |s| s.stats().forced_out_of_slack),
+        forced_no_idle_bank: sched.as_ref().map_or(0, |s| s.stats().forced_no_idle_bank),
         forced_closures: sched.as_ref().map_or(0, |s| s.stats().forced_closures),
         missed_deadlines: sched.as_ref().map_or(0, |s| s.stats().missed_deadlines),
         closures: (0..channels)
@@ -482,6 +492,8 @@ mod tests {
             scrubs: vec![0, 0],
             forced_scrubs: 0,
             deferred_scrubs: 0,
+            forced_out_of_slack: 0,
+            forced_no_idle_bank: 0,
             forced_closures: 0,
             missed_deadlines: 0,
             closures,

@@ -550,6 +550,7 @@ where
             ecc_logic_j,
             counter_power_j,
             rfm_j,
+            sarp_j: 0.0,
         },
         ops,
         ctrl,

@@ -23,6 +23,10 @@
 //!   scheduler co-ordinating scrubs and refreshes across the channels of a
 //!   [`system::MultiChannelSystem`], with a CE-rate-adaptive scrub
 //!   interval; evaluated by [`coschedule::run_coschedule_campaign`];
+//! * [`hotchannel::run_hot_channel_campaign`] — the refresh–access
+//!   parallelism campaign: DARP deferral, demand-aware slot skewing, and
+//!   SARP subarray overlap versus the static baseline on a channel whose
+//!   demand pins a hot page open on every bank;
 //! * [`digest`] — deterministic FNV-1a state digests over run results,
 //!   the replay-verification currency of the fleet orchestrator;
 //! * [`report`] — text tables printed by the bench harness.
@@ -42,6 +46,7 @@ pub mod digest;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
+pub mod hotchannel;
 pub mod parallel;
 pub mod powerdown;
 pub mod report;
@@ -65,6 +70,10 @@ pub use faults::{
     FaultScenario, ScenarioOutcome,
 };
 pub use figures::{BenchPair, CorpusId, Evaluation, Figure, FigureId, FigureRow};
+pub use hotchannel::{
+    run_hot_channel_campaign, run_hot_channel_campaign_threaded, run_hot_channel_setup,
+    HotChannelCampaignResult, HotChannelConfig, HotChannelOutcome, HotSetup,
+};
 pub use parallel::{default_threads, par_map, par_map_mut, resolve_threads, MAX_DEFAULT_THREADS};
 pub use powerdown::{
     idle_sweep, run_powerdown_campaign, run_powerdown_scenario, IdleSweepPoint,

@@ -10,6 +10,7 @@ use crate::coschedule::{CoscheduleCampaignResult, CoscheduleOutcome, Load, Setup
 use crate::experiment::RunResult;
 use crate::faults::{CampaignResult, Expectation};
 use crate::figures::{Figure, FigureId};
+use crate::hotchannel::{HotChannelCampaignResult, HotChannelOutcome, HotSetup};
 use crate::powerdown::PowerdownCampaignResult;
 use crate::rfm::{RfmCampaignResult, RfmOutcome};
 use crate::scrub::{ScrubCampaignResult, ScrubExpectation};
@@ -352,6 +353,19 @@ pub fn render_coschedule(c: &CoscheduleCampaignResult) -> String {
     row(&mut out, &c.coscheduled_clean);
     row(&mut out, &c.uncoordinated_storm);
     row(&mut out, &c.coscheduled_storm);
+    for o in [&c.coscheduled_clean, &c.coscheduled_storm] {
+        let _ = writeln!(
+            out,
+            "Forced closures (coscheduled-{}): {} = out-of-slack {} + no-idle-bank {}",
+            match o.load {
+                Load::Clean => "clean",
+                Load::Storm => "storm",
+            },
+            o.forced_closures,
+            o.forced_out_of_slack,
+            o.forced_no_idle_bank,
+        );
+    }
     let _ = writeln!(
         out,
         "Per-channel scrub energy (coscheduled-storm): {}",
@@ -372,6 +386,93 @@ pub fn render_coschedule(c: &CoscheduleCampaignResult) -> String {
              and the interval adapted both ways"
         } else {
             "CO-SCHEDULING FAILURE — a coverage, interference, or adaptation clause failed"
+        }
+    );
+    out
+}
+
+/// Renders the hot-channel refresh–access parallelism campaign: the
+/// static and DARP runs side by side, the per-capability engagement
+/// counters, the forced-closure split, and the verdict.
+pub fn render_hotchannel(c: &HotChannelCampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Hot-channel refresh-access parallelism campaign ==="
+    );
+    let _ = writeln!(
+        out,
+        "scrub interval {:.2} us; coverage window {:.1} ms of a {:.1} ms horizon",
+        c.scrub_interval.as_secs_f64() * 1e6,
+        c.coverage_window.as_secs_f64() * 1e3,
+        c.horizon.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7} {:>10}",
+        "run",
+        "reads",
+        "avg (ns)",
+        "p99 (ns)",
+        "closures",
+        "deferred",
+        "overlaps",
+        "skews",
+        "missed",
+        "refresh mJ"
+    );
+    let row = |out: &mut String, o: &HotChannelOutcome| {
+        let name = match o.setup {
+            HotSetup::Static => "static",
+            HotSetup::Darp => "darp",
+        };
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>9.1} {:>9.1} {:>9} {:>8} {:>8} {:>7} {:>7} {:>10.4}",
+            name,
+            o.reads,
+            o.avg_latency.as_ns_f64(),
+            o.p99_latency.as_ns_f64(),
+            o.closures,
+            o.darp.deferred,
+            o.sarp_overlaps,
+            o.slot_skews,
+            o.missed_deadlines,
+            o.refresh_j * 1e3,
+        );
+    };
+    row(&mut out, &c.baseline);
+    row(&mut out, &c.darp);
+    for o in [&c.baseline, &c.darp] {
+        let _ = writeln!(
+            out,
+            "Forced scrub closures ({}): {} = out-of-slack {} + no-idle-bank {} (deferred {})",
+            match o.setup {
+                HotSetup::Static => "static",
+                HotSetup::Darp => "darp",
+            },
+            o.forced_closures,
+            o.forced_out_of_slack,
+            o.forced_no_idle_bank,
+            o.deferred_scrubs,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "DARP engine (darp): deferred {} ooo {} forced {}; SARP surcharge {:.4} mJ",
+        c.darp.darp.deferred,
+        c.darp.darp.ooo_issued,
+        c.darp.darp.forced,
+        c.darp.sarp_j * 1e3,
+    );
+    let _ = writeln!(
+        out,
+        "Campaign verdict: {}",
+        if c.darp_wins() {
+            "DARP/SARP cut forced page closures and the demand p99 \
+             without missing a coverage promise"
+        } else {
+            "PARALLELISM FAILURE — a closure, latency, coverage, or engagement clause failed"
         }
     );
     out

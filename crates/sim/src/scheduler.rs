@@ -63,6 +63,21 @@ pub struct AdaptiveScrubConfig {
     pub clean_epochs_to_slow: u32,
 }
 
+/// Demand-aware slot skewing (the scheduling half of DARP): each channel's
+/// next slot is shifted toward the quietest phase of its recent activation
+/// histogram, so maintenance lands between demand bursts instead of on
+/// top of them. Requires the channels to run a
+/// [`BurstTracker`](smartrefresh_ctrl::BurstTracker); channels without one
+/// keep their static stagger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewConfig {
+    /// Histogram bins the slot interval is divided into.
+    pub bins: u32,
+    /// How far back in the activation history to look when judging the
+    /// current burst phase.
+    pub history: Duration,
+}
+
 /// Everything the [`MaintenanceScheduler`] needs to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulerConfig {
@@ -75,6 +90,8 @@ pub struct SchedulerConfig {
     /// How close a victim's coverage deadline must be before a scrub is
     /// allowed to close an open page to reach it.
     pub slack: Duration,
+    /// Demand-aware slot skewing; `None` keeps the static stagger offsets.
+    pub skew: Option<SkewConfig>,
 }
 
 /// Counters the scheduler accumulates across
@@ -88,9 +105,21 @@ pub struct SchedulerStats {
     /// Slots whose deadline-order victim sat behind an open page and was
     /// deferred in favour of a precharged-bank victim.
     pub deferred_scrubs: u64,
-    /// Slots that closed an open page anyway because the victim's
-    /// coverage deadline was within the slack (or no bank was precharged).
+    /// Slots that closed an open page because the victim's coverage
+    /// deadline was inside the slack — coverage beat the page. One of the
+    /// two components of [`forced_closures`](SchedulerStats::forced_closures).
+    pub forced_out_of_slack: u64,
+    /// Slots that closed an open page because every bank held one, so
+    /// there was no idle bank to defer to. The other component of
+    /// [`forced_closures`](SchedulerStats::forced_closures).
+    pub forced_no_idle_bank: u64,
+    /// Slots that closed an open page anyway, for either reason. Always
+    /// equals `forced_out_of_slack + forced_no_idle_bank`; kept as the sum
+    /// so existing reports stay comparable.
     pub forced_closures: u64,
+    /// Slots the demand-aware skew postponed toward a quieter phase of
+    /// the channel's activation histogram.
+    pub slot_skews: u64,
     /// Scrubs that landed after the victim's coverage deadline.
     pub missed_deadlines: u64,
     /// Adaptive interval doublings (system judged idle).
@@ -159,6 +188,18 @@ impl MaintenanceScheduler {
                 });
             }
         }
+        if let Some(s) = cfg.skew {
+            if s.bins == 0 {
+                return Err(SimError::Config {
+                    what: "skew bins must be non-zero",
+                });
+            }
+            if s.history == Duration::ZERO {
+                return Err(SimError::Config {
+                    what: "skew history must be non-zero",
+                });
+            }
+        }
         let channels = sys.channels();
         let rows = sys.rows_per_channel();
         let interval = cfg.scrub.interval;
@@ -192,7 +233,10 @@ impl MaintenanceScheduler {
                 scrubs: vec![0; channels],
                 forced_scrubs: 0,
                 deferred_scrubs: 0,
+                forced_out_of_slack: 0,
+                forced_no_idle_bank: 0,
                 forced_closures: 0,
+                slot_skews: 0,
                 missed_deadlines: 0,
                 interval_raises: 0,
                 interval_drops: 0,
@@ -294,8 +338,39 @@ impl MaintenanceScheduler {
         let window = self.window();
         self.deadlines[channel].schedule(victim as usize, slot + window);
         self.scrubbers[channel].advance_past(slot);
+        if let Some(skew) = self.cfg.skew {
+            self.apply_skew(sys, channel, skew);
+        }
         self.drain_ces(sys);
         Ok(())
+    }
+
+    /// Demand-aware slot skewing: moves the channel's *next* slot toward
+    /// the quietest phase of its recent activation histogram (judged
+    /// modulo the slot interval), postponing by strictly less than one
+    /// interval so the slot never skips a period and coverage promises
+    /// hold. No-op when the channel runs no burst tracker or its histogram
+    /// is flat (no bursts observed — the static stagger is already fine).
+    fn apply_skew(&mut self, sys: &MultiChannelSystem, channel: usize, skew: SkewConfig) {
+        let Some(tracker) = sys.channel(channel).burst_tracker() else {
+            return;
+        };
+        let interval = self.interval;
+        let next = self.scrubbers[channel].next_slot();
+        let since = Instant::from_ps(next.as_ps().saturating_sub(skew.history.as_ps()));
+        let Some(quiet) = tracker.quietest_phase(interval, skew.bins, since) else {
+            return;
+        };
+        let phase = Duration::from_ps(next.as_ps() % interval.as_ps());
+        let delta = if quiet >= phase {
+            quiet - phase
+        } else {
+            quiet + interval - phase
+        };
+        if delta > Duration::ZERO {
+            self.scrubbers[channel].postpone_to(next + delta);
+            self.stats.slot_skews += 1;
+        }
     }
 
     /// Deadline-order victim selection with row-buffer awareness: the row
@@ -326,6 +401,7 @@ impl MaintenanceScheduler {
         }
         if best_deadline <= slot + self.cfg.slack {
             // Out of slack: coverage beats the open page.
+            self.stats.forced_out_of_slack += 1;
             self.stats.forced_closures += 1;
             return Some(best);
         }
@@ -337,6 +413,7 @@ impl MaintenanceScheduler {
             }
             None => {
                 // Every bank holds an open page; interference is unavoidable.
+                self.stats.forced_no_idle_bank += 1;
                 self.stats.forced_closures += 1;
                 Some(best)
             }
@@ -466,6 +543,7 @@ mod tests {
             watchdog: WatchdogConfig::for_retention(Duration::from_ms(8)),
             adaptive: None,
             slack: Duration::from_us(500),
+            skew: None,
         }
     }
 
@@ -530,7 +608,69 @@ mod tests {
             Some(0),
             "a deadline inside the slack forces the row"
         );
+        assert_eq!(sched.stats.forced_out_of_slack, 1);
+        assert_eq!(sched.stats.forced_no_idle_bank, 0);
         assert_eq!(sched.stats.forced_closures, 1);
+    }
+
+    #[test]
+    fn every_bank_open_is_counted_as_no_idle_bank() {
+        let mut sys = system(1).with_page_close_timeout(None);
+        let mut sched = MaintenanceScheduler::new(&sys, cfg()).unwrap();
+        // Open a page on both banks: nowhere left to defer to. The mini
+        // module's address layout is column-then-bank, 16 x 8-byte columns,
+        // so bank 1's row 0 sits at byte 128.
+        sys.access(0, false, Instant::ZERO).unwrap();
+        sys.access(128, false, Instant::ZERO + Duration::from_us(1))
+            .unwrap();
+        let slot = sched.scrubbers[0].next_slot();
+        let victim = sched.pick_victim(&sys, 0, slot);
+        assert_eq!(victim, Some(0), "deadline-order victim wins by default");
+        assert_eq!(sched.stats.forced_no_idle_bank, 1);
+        assert_eq!(sched.stats.forced_out_of_slack, 0);
+        assert_eq!(
+            sched.stats.forced_closures,
+            sched.stats.forced_out_of_slack + sched.stats.forced_no_idle_bank,
+            "the sum invariant must hold"
+        );
+    }
+
+    #[test]
+    fn skew_moves_the_next_slot_into_the_quiet_phase() {
+        let mut sys = system(1).with_burst_tracking(64);
+        let mut c = cfg();
+        c.skew = Some(SkewConfig {
+            bins: 5,
+            history: Duration::from_ms(1),
+        });
+        let mut sched = MaintenanceScheduler::new(&sys, c).unwrap();
+        // Cluster activations at phase ~5 µs of the 125 µs slot interval:
+        // distinct bank-0 rows so every access issues an ACT. The mini
+        // module's bank-0 row stride is row_bytes x banks = 256 bytes.
+        for (k, row) in [(0u64, 0u64), (1, 1), (2, 2)] {
+            let t = Instant::ZERO + Duration::from_us(125) * k + Duration::from_us(5);
+            sys.access(row * 256, false, t).unwrap();
+        }
+        // The first slot (125 µs) runs, then the skew postpones the next
+        // one from 250 µs to the quietest bin's center: bins of 25 µs, the
+        // burst fills bin 0, ties break earliest, so bin 1 wins and the
+        // slot moves to 250 + 37.5 µs.
+        sched
+            .advance(&mut sys, Instant::ZERO + Duration::from_us(260))
+            .unwrap();
+        assert_eq!(sched.stats.scrubs[0], 1);
+        assert_eq!(sched.stats.slot_skews, 1);
+        assert_eq!(
+            sched.scrubbers[0].next_slot(),
+            Instant::ZERO + Duration::from_ps(287_500_000),
+        );
+        // The postponed slot still runs (strictly less than one interval
+        // late), so coverage promises hold.
+        sched
+            .advance(&mut sys, Instant::ZERO + Duration::from_us(300))
+            .unwrap();
+        assert_eq!(sched.stats.scrubs[0], 2);
+        assert_eq!(sched.stats.missed_deadlines, 0);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use smartrefresh_core::RefreshPolicy;
 use smartrefresh_ctrl::{
-    AccessResult, ControllerStats, EccConfig, MemTransaction, MemoryController, SimError,
+    AccessResult, ControllerStats, DarpConfig, EccConfig, MemTransaction, MemoryController,
+    SimError,
 };
 use smartrefresh_dram::time::{Duration, Instant};
 use smartrefresh_dram::{DramDevice, ModuleConfig, OpStats};
@@ -167,6 +168,44 @@ impl MultiChannelSystem {
         self
     }
 
+    /// Enables DARP deferred-refresh dispatch on every channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Config`] when `cfg.max_deferral` reaches the
+    /// per-bank `8 × tREFI` sanitizer bound.
+    pub fn with_darp(mut self, cfg: DarpConfig) -> Result<Self, SimError> {
+        let mut rebuilt = Vec::with_capacity(self.controllers.len());
+        for c in self.controllers {
+            rebuilt.push(c.with_darp(cfg)?);
+        }
+        self.controllers = rebuilt;
+        Ok(self)
+    }
+
+    /// Installs an activation burst tracker of `samples` entries on every
+    /// channel — the histogram demand-aware slot skewing
+    /// ([`SkewConfig`](crate::scheduler::SkewConfig)) reads.
+    pub fn with_burst_tracking(mut self, samples: usize) -> Self {
+        self.controllers = self
+            .controllers
+            .into_iter()
+            .map(|c| c.with_burst_tracking(samples))
+            .collect();
+        self
+    }
+
+    /// Enables SARP subarray parallelism (`subarrays` per bank) on every
+    /// channel's device.
+    pub fn with_subarrays(mut self, subarrays: u32) -> Self {
+        self.controllers = self
+            .controllers
+            .into_iter()
+            .map(|c| c.with_subarrays(subarrays))
+            .collect();
+        self
+    }
+
     /// Number of channels.
     pub fn channels(&self) -> usize {
         self.controllers.len()
@@ -258,6 +297,9 @@ impl MultiChannelSystem {
             sum.cbr_refreshes += s.cbr_refreshes;
             sum.ras_only_refreshes += s.ras_only_refreshes;
             sum.refreshes_closing_open_page += s.refreshes_closing_open_page;
+            sum.scrubs += s.scrubs;
+            sum.rfm_refreshes += s.rfm_refreshes;
+            sum.sarp_overlapped_refreshes += s.sarp_overlapped_refreshes;
         }
         sum
     }

@@ -118,6 +118,13 @@ fn clean_run_slows_down_and_cuts_page_closures() {
         cosched.deferred_scrubs > 0,
         "the preference must actually engage"
     );
+    // The forced-closure accounting is honest: the two causes are counted
+    // apart and the legacy counter is exactly their sum.
+    assert_eq!(
+        cosched.forced_closures,
+        cosched.forced_out_of_slack + cosched.forced_no_idle_bank,
+        "forced_closures must stay the sum of its split components"
+    );
     assert!(cosched.end_violations.is_empty());
     assert!(uncoord.end_violations.is_empty());
     // The slowdown shows up in the energy attribution too.
@@ -144,4 +151,16 @@ fn campaign_holds_and_is_deterministic() {
         a.uncoordinated_clean.closures,
         b.uncoordinated_clean.closures
     );
+    // Pin the split forced-closure counters across the whole campaign.
+    for (x, y) in [
+        (&a.coscheduled_clean, &b.coscheduled_clean),
+        (&a.coscheduled_storm, &b.coscheduled_storm),
+    ] {
+        assert_eq!(x.forced_out_of_slack, y.forced_out_of_slack);
+        assert_eq!(x.forced_no_idle_bank, y.forced_no_idle_bank);
+        assert_eq!(
+            x.forced_closures,
+            x.forced_out_of_slack + x.forced_no_idle_bank
+        );
+    }
 }
